@@ -1,0 +1,191 @@
+//! Local-search improvement: move/swap hill climbing on top of any
+//! feasible schedule.
+//!
+//! Neighborhoods:
+//! * **move** — relocate a job from a makespan-critical machine to a
+//!   conflict-free machine where the new loads strictly reduce the
+//!   lexicographic (makespan, #critical machines) objective;
+//! * **swap** — exchange two jobs across machines when both ends stay
+//!   conflict-free and the objective drops.
+//!
+//! This is the strongest *practical* comparator short of the exact
+//! solver: the experiment harness uses it to show how much headroom the
+//! heuristics leave and whether the EPTAS closes it.
+
+use bagsched_types::{Instance, JobId, MachineId, Schedule};
+
+/// Outcome of a local-search run.
+#[derive(Debug, Clone)]
+pub struct LocalSearchResult {
+    /// The improved schedule (feasible; at least as good as the input).
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: f64,
+    /// Accepted improving moves.
+    pub moves: usize,
+    /// Accepted improving swaps.
+    pub swaps: usize,
+    /// Whether a full pass found no improvement (local optimum reached
+    /// within the iteration budget).
+    pub converged: bool,
+}
+
+/// Improve `start` by move/swap hill climbing (first-improvement,
+/// critical-machine driven). `max_rounds` bounds full passes.
+pub fn local_search(inst: &Instance, start: &Schedule, max_rounds: usize) -> LocalSearchResult {
+    assert!(start.is_feasible(inst), "local search needs a feasible start");
+    let m = inst.num_machines();
+    let mut sched = start.clone();
+    let mut loads = sched.loads(inst);
+    let mut bag_on: Vec<Vec<bool>> = vec![vec![false; inst.num_bags()]; m];
+    for (j, &mid) in sched.assignment().iter().enumerate() {
+        bag_on[mid.idx()][inst.bag_of(JobId(j as u32)).idx()] = true;
+    }
+
+    let mut moves = 0usize;
+    let mut swaps = 0usize;
+    let mut converged = false;
+
+    'rounds: for _ in 0..max_rounds {
+        let makespan = loads.iter().cloned().fold(0.0f64, f64::max);
+        // Jobs on a critical machine, biggest first.
+        let mut critical: Vec<JobId> = (0..inst.num_jobs() as u32)
+            .map(JobId)
+            .filter(|&j| loads[sched.machine_of(j).idx()] >= makespan - 1e-12)
+            .collect();
+        critical.sort_by(|&a, &b| inst.size(b).total_cmp(&inst.size(a)));
+
+        for &job in &critical {
+            let from = sched.machine_of(job);
+            let size = inst.size(job);
+            let bag = inst.bag_of(job).idx();
+
+            // Move: any machine where the job fits strictly below the
+            // critical load.
+            if let Some(to) = (0..m)
+                .filter(|&i| i != from.idx() && !bag_on[i][bag])
+                .filter(|&i| loads[i] + size < makespan - 1e-12)
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            {
+                bag_on[from.idx()][bag] = false;
+                bag_on[to][bag] = true;
+                loads[from.idx()] -= size;
+                loads[to] += size;
+                sched.assign(job, MachineId(to as u32));
+                moves += 1;
+                continue 'rounds;
+            }
+
+            // Swap: exchange with a smaller job elsewhere.
+            for other in 0..inst.num_jobs() as u32 {
+                let pj = JobId(other);
+                let to = sched.machine_of(pj);
+                if to == from {
+                    continue;
+                }
+                let psize = inst.size(pj);
+                if psize >= size - 1e-12 {
+                    continue; // must strictly shrink the critical machine
+                }
+                let pbag = inst.bag_of(pj).idx();
+                // Conflict checks, ignoring the departing partner.
+                let from_ok = pbag == bag || !bag_on[from.idx()][pbag];
+                let to_ok = pbag == bag || !bag_on[to.idx()][bag];
+                if !from_ok || !to_ok {
+                    continue;
+                }
+                let new_from = loads[from.idx()] - size + psize;
+                let new_to = loads[to.idx()] - psize + size;
+                if new_from < makespan - 1e-12 && new_to < makespan - 1e-12 {
+                    bag_on[from.idx()][bag] = false;
+                    bag_on[to.idx()][pbag] = false;
+                    bag_on[from.idx()][pbag] = true;
+                    bag_on[to.idx()][bag] = true;
+                    loads[from.idx()] = new_from;
+                    loads[to.idx()] = new_to;
+                    sched.assign(job, to);
+                    sched.assign(pj, from);
+                    swaps += 1;
+                    continue 'rounds;
+                }
+            }
+        }
+        converged = true;
+        break;
+    }
+
+    let makespan = sched.makespan(inst);
+    debug_assert!(sched.is_feasible(inst));
+    LocalSearchResult { schedule: sched, makespan, moves, swaps, converged }
+}
+
+/// Convenience: conflict-aware LPT followed by local search.
+pub fn lpt_with_local_search(
+    inst: &Instance,
+    max_rounds: usize,
+) -> Result<LocalSearchResult, bagsched_types::InstanceError> {
+    let start = crate::bag_aware_lpt(inst)?;
+    Ok(local_search(inst, &start, max_rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagsched_types::{gen, lowerbound::lower_bounds, validate_schedule};
+
+    #[test]
+    fn never_worse_than_start_and_feasible() {
+        for family in gen::Family::ALL {
+            let inst = family.generate(40, 4, 5);
+            let start = crate::bag_aware_lpt(&inst).unwrap();
+            let before = start.makespan(&inst);
+            let r = local_search(&inst, &start, 500);
+            validate_schedule(&inst, &r.schedule).unwrap();
+            assert!(r.makespan <= before + 1e-9, "{} got worse", family.name());
+        }
+    }
+
+    #[test]
+    fn improves_the_classic_lpt_worst_case() {
+        // 5,5,4,4,3,3,3 on 3 machines: LPT gives 11, optimum is 9.
+        let jobs: Vec<(f64, u32)> =
+            [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0].iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let inst = bagsched_types::Instance::new(&jobs, 3);
+        let r = lpt_with_local_search(&inst, 1000).unwrap();
+        assert!(r.makespan < 11.0 - 1e-9, "local search failed to improve LPT");
+    }
+
+    #[test]
+    fn respects_bags_during_moves() {
+        // One tight bag across all machines pins one job per machine.
+        let inst = gen::tight_bags(12, 3, 2);
+        let r = lpt_with_local_search(&inst, 200).unwrap();
+        validate_schedule(&inst, &r.schedule).unwrap();
+    }
+
+    #[test]
+    fn converges_on_balanced_instances() {
+        let inst = bagsched_types::Instance::new(&[(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3)], 2);
+        let r = lpt_with_local_search(&inst, 100).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.makespan, 2.0);
+        assert_eq!(r.moves + r.swaps, 0, "already optimal");
+    }
+
+    #[test]
+    fn stays_above_lower_bound() {
+        for seed in 0..4 {
+            let inst = gen::powerlaw(30, 4, 12, 1.4, seed);
+            let r = lpt_with_local_search(&inst, 500).unwrap();
+            assert!(r.makespan >= lower_bounds(&inst).combined() - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible")]
+    fn rejects_infeasible_start() {
+        let inst = bagsched_types::Instance::new(&[(1.0, 0), (1.0, 0)], 2);
+        let bad = Schedule::from_assignment(vec![MachineId(0), MachineId(0)], 2);
+        local_search(&inst, &bad, 10);
+    }
+}

@@ -1,0 +1,68 @@
+//! Random conflict-free placement: the sanity floor for the harness.
+//!
+//! Every job goes to a uniformly random machine among those without a
+//! conflict. Any scheduler that does not clearly beat this on makespan is
+//! not doing useful work.
+
+use bagsched_types::{validate_instance, Instance, InstanceError, JobId, MachineId, Schedule};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Schedule every job on a random conflict-free machine (seeded).
+pub fn random_fit(inst: &Instance, seed: u64) -> Result<Schedule, InstanceError> {
+    validate_instance(inst)?;
+    let m = inst.num_machines();
+    if inst.num_jobs() == 0 {
+        return Ok(Schedule::unassigned(0, m.max(1)));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut has_bag = vec![vec![false; inst.num_bags()]; m];
+    let mut sched = Schedule::unassigned(inst.num_jobs(), m);
+    let mut free: Vec<usize> = Vec::with_capacity(m);
+    for j in 0..inst.num_jobs() {
+        let job = JobId(j as u32);
+        let bag = inst.bag_of(job).idx();
+        free.clear();
+        free.extend((0..m).filter(|&i| !has_bag[i][bag]));
+        let pick = free[rng.random_range(0..free.len())];
+        sched.assign(job, MachineId(pick as u32));
+        has_bag[pick][bag] = true;
+    }
+    Ok(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagsched_types::{gen, validate_schedule};
+
+    #[test]
+    fn feasible_and_deterministic() {
+        let inst = gen::uniform(60, 5, 20, 4);
+        let a = random_fit(&inst, 99).unwrap();
+        let b = random_fit(&inst, 99).unwrap();
+        assert_eq!(a, b);
+        validate_schedule(&inst, &a).unwrap();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let inst = gen::uniform(60, 5, 20, 4);
+        let a = random_fit(&inst, 1).unwrap();
+        let b = random_fit(&inst, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn handles_tight_bags() {
+        let inst = gen::tight_bags(12, 3, 0);
+        let s = random_fit(&inst, 5).unwrap();
+        validate_schedule(&inst, &s).unwrap();
+    }
+
+    #[test]
+    fn rejects_infeasible() {
+        let inst = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
+        assert!(random_fit(&inst, 0).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of individual EPTAS phases: rounding +
+//! classification, pattern enumeration, and the pattern MILP — the pieces
+//! whose costs the paper's running-time analysis (Lemma 6) is about.
+
+use bagsched_core::classify::classify;
+use bagsched_core::config::EptasConfig;
+use bagsched_core::milp_model::solve_patterns;
+use bagsched_core::pattern::enumerate_patterns;
+use bagsched_core::priority::select_priority;
+use bagsched_core::rounding::scale_and_round;
+use bagsched_core::transform::transform;
+use bagsched_types::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_round_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_and_classify");
+    for &n in &[1000usize, 10000, 100000] {
+        let inst = gen::uniform(n, (n / 20).max(4), n / 3, 1);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let guess = bagsched_types::lowerbound::lower_bounds(&inst).combined();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sizes, |b, sizes| {
+            b.iter(|| {
+                let r = scale_and_round(sizes, guess, 0.5).unwrap();
+                black_box(classify(&r, inst.num_machines()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_enum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_enumeration");
+    for &n in &[30usize, 60, 120] {
+        let inst = gen::clustered(n, n / 8, n / 3, 4, 2);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let guess = bagsched_types::lowerbound::lower_bounds(&inst).combined();
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let r = scale_and_round(&sizes, guess, 0.5).unwrap();
+        let cl = classify(&r, inst.num_machines());
+        let p = select_priority(&inst, &r, &cl, &cfg);
+        let t = transform(&inst, &r, &cl, &p);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(enumerate_patterns(t, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_milp");
+    group.sample_size(10);
+    for &n in &[20usize, 40] {
+        let inst = gen::clustered(n, 5, n / 3, 3, 2);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        // A comfortably feasible guess so the MILP succeeds.
+        let guess = 2.0 * bagsched_types::lowerbound::lower_bounds(&inst).combined();
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let r = scale_and_round(&sizes, guess, 0.5).unwrap();
+        let cl = classify(&r, inst.num_machines());
+        let p = select_priority(&inst, &r, &cl, &cfg);
+        let t = transform(&inst, &r, &cl, &p);
+        let ps = enumerate_patterns(&t, 100_000).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&t, &ps), |b, (t, ps)| {
+            b.iter(|| black_box(solve_patterns(t, ps, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_classify, bench_pattern_enum, bench_pattern_milp);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the schedulers: heuristics vs EPTAS vs the
+//! PTAS baseline on the workload families.
+
+use bagsched_baselines::{bag_aware_lpt, bag_lpt_schedule, dw_ptas, DwPtasConfig};
+use bagsched_core::Eptas;
+use bagsched_types::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for &n in &[100usize, 1000, 10000] {
+        let inst = gen::uniform(n, (n / 20).max(4), n / 3, 1);
+        group.bench_with_input(BenchmarkId::new("bag_aware_lpt", n), &inst, |b, inst| {
+            b.iter(|| black_box(bag_aware_lpt(inst).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("bag_lpt", n), &inst, |b, inst| {
+            b.iter(|| black_box(bag_lpt_schedule(inst).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eptas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eptas_end_to_end");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 1000] {
+        let inst = gen::clustered(n, (n / 15).max(4), n / 3, 4, 2);
+        group.bench_with_input(BenchmarkId::new("eps_0.5", n), &inst, |b, inst| {
+            b.iter(|| black_box(Eptas::with_epsilon(0.5).solve(inst).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ptas_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dw_ptas");
+    group.sample_size(10);
+    for &n in &[30usize, 60] {
+        let inst = gen::clustered(n, 5, n / 3, 3, 2);
+        group.bench_with_input(BenchmarkId::new("eps_0.5", n), &inst, |b, inst| {
+            b.iter(|| black_box(dw_ptas(inst, &DwPtasConfig::with_epsilon(0.5)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_eptas, bench_ptas_baseline);
+criterion_main!(benches);

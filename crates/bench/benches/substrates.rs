@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the substrates: simplex LP, MILP branch
+//! and bound, Dinic max-flow.
+
+use bagsched_flow::{max_flow, FlowNetwork, NodeId};
+use bagsched_milp::{solve_milp, MilpOptions, Model, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A random-ish dense LP with a known feasible region.
+fn make_lp(vars: usize, cons: usize) -> Model {
+    let mut m = Model::new();
+    let vs: Vec<_> = (0..vars)
+        .map(|j| m.add_var(((j * 7 % 13) as f64 - 6.0) / 6.0, 0.0, 10.0))
+        .collect();
+    for i in 0..cons {
+        let terms: Vec<_> = vs
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, (((i * 31 + j * 17) % 11) as f64 - 5.0) / 5.0))
+            .collect();
+        m.add_con(&terms, Relation::Le, 5.0 + (i % 7) as f64);
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for &(vars, cons) in &[(20usize, 15usize), (60, 40), (150, 100)] {
+        let model = make_lp(vars, cons);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}x{cons}")),
+            &model,
+            |b, model| b.iter(|| black_box(model.solve_lp())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_bb");
+    for &items in &[10usize, 16, 22] {
+        // 0/1 knapsack.
+        let mut m = Model::new();
+        let vs: Vec<_> =
+            (0..items).map(|j| m.add_int_var(-((j % 9 + 1) as f64), 0.0, 1.0)).collect();
+        let terms: Vec<_> =
+            vs.iter().enumerate().map(|(j, &v)| (v, (j % 5 + 1) as f64)).collect();
+        m.add_con(&terms, Relation::Le, (items as f64) * 1.2);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &m, |b, m| {
+            b.iter(|| black_box(solve_milp(m, &MilpOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic");
+    for &layers in &[10usize, 30, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, &layers| {
+            b.iter(|| {
+                // Layered graph: s -> layer1 -> layer2 -> ... -> t, width 8.
+                let width = 8;
+                let mut g = FlowNetwork::new(2 + layers * width);
+                let s = NodeId(0);
+                let t = NodeId(1 + layers * width);
+                for w in 0..width {
+                    g.add_edge(s, NodeId(1 + w), (w as u64 % 5) + 1);
+                    g.add_edge(NodeId(1 + (layers - 1) * width + w), t, (w as u64 % 4) + 1);
+                }
+                for l in 0..layers - 1 {
+                    for a in 0..width {
+                        for b2 in 0..width.min(3) {
+                            g.add_edge(
+                                NodeId(1 + l * width + a),
+                                NodeId(1 + (l + 1) * width + (a + b2) % width),
+                                ((a + b2) as u64 % 6) + 1,
+                            );
+                        }
+                    }
+                }
+                black_box(max_flow(&mut g, s, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp, bench_dinic);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment harness CLI: regenerates every table/figure of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments all [--quick]     run everything
+//! experiments <id> [--quick]    run one experiment (fig1, ratio-small, ...)
+//! experiments list              list experiment ids
+//! ```
+
+use bagsched_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    match ids.first().copied() {
+        None | Some("all") => {
+            for &id in experiments::ALL {
+                let start = Instant::now();
+                let table = experiments::run(id, quick).expect("known id");
+                table.print();
+                println!("[{id} took {:.1?}]", start.elapsed());
+            }
+        }
+        Some("list") => {
+            for &id in experiments::ALL {
+                println!("{id}");
+            }
+        }
+        Some(id) => match experiments::run(id, quick) {
+            Some(table) => table.print(),
+            None => {
+                eprintln!("unknown experiment '{id}'; try: experiments list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,613 @@
+//! The experiment implementations (index: DESIGN.md §6, results:
+//! EXPERIMENTS.md).
+
+use crate::table::{fmt_secs, geomean, Table};
+use bagsched_baselines::{
+    bag_aware_lpt, bag_lpt_assign, bag_lpt_schedule, dw_ptas, exact_makespan, lpt,
+    lpt_with_local_search, random_fit, DwPtasConfig,
+};
+use bagsched_core::{Eptas, EptasConfig};
+use bagsched_types::lowerbound::lower_bounds;
+use bagsched_types::{gen, Instance, JobId, MachineId, Schedule};
+use std::time::Instant;
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2", "fig3", "ratio-small", "ratio-large", "scaling-n", "scaling-eps", "lemma8",
+    "lemma3", "lemma7", "heuristics", "ablate-transform", "ablate-bprime", "ablate-joint",
+];
+
+/// Dispatch by id.
+pub fn run(id: &str, quick: bool) -> Option<Table> {
+    Some(match id {
+        "fig1" => fig1(quick),
+        "fig2" => fig2(quick),
+        "fig3" => fig3(quick),
+        "ratio-small" => ratio_small(quick),
+        "ratio-large" => ratio_large(quick),
+        "scaling-n" => scaling_n(quick),
+        "scaling-eps" => scaling_eps(quick),
+        "lemma8" => lemma8(quick),
+        "lemma3" => lemma3(quick),
+        "lemma7" => lemma7(quick),
+        "heuristics" => heuristics(quick),
+        "ablate-transform" => ablate_transform(quick),
+        "ablate-bprime" => ablate_bprime(quick),
+        "ablate-joint" => ablate_joint(quick),
+        _ => return None,
+    })
+}
+
+/// The bag-oblivious large-job placement of the paper's Figure 1 (right
+/// side): stack the large jobs two per machine — still height <= OPT —
+/// then place small jobs conflict-aware on the least-loaded machine.
+fn fig1_naive(inst: &Instance) -> Schedule {
+    let m = inst.num_machines();
+    let mut sched = Schedule::unassigned(inst.num_jobs(), m);
+    let mut loads = vec![0.0f64; m];
+    let mut has_bag = vec![vec![false; inst.num_bags()]; m];
+    // Large jobs (size 0.5) pairwise onto machines 0, 1, ...
+    let mut slot = 0usize;
+    let mut on_slot = 0usize;
+    for job in inst.jobs() {
+        if job.size >= 0.5 - 1e-9 {
+            sched.assign(job.id, MachineId(slot as u32));
+            loads[slot] += job.size;
+            has_bag[slot][job.bag.idx()] = true;
+            on_slot += 1;
+            if on_slot == 2 {
+                slot += 1;
+                on_slot = 0;
+            }
+        }
+    }
+    // Small jobs: conflict-aware least-loaded.
+    for job in inst.jobs() {
+        if job.size < 0.5 - 1e-9 {
+            let best = (0..m)
+                .filter(|&i| !has_bag[i][job.bag.idx()])
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .expect("gadget is feasible");
+            sched.assign(job.id, MachineId(best as u32));
+            loads[best] += job.size;
+            has_bag[best][job.bag.idx()] = true;
+        }
+    }
+    sched
+}
+
+/// F1 — Figure 1: bag-oblivious large placement forces a 1.5x makespan;
+/// the EPTAS's bag-aware placement stays near OPT = 1.
+pub fn fig1(quick: bool) -> Table {
+    let mut t = Table::new(
+        "F1",
+        "Figure-1 gadget: naive large placement vs EPTAS (OPT = 1)",
+        &["m", "naive", "bag-aware LPT", "EPTAS(0.4)", "naive/OPT", "eptas/OPT"],
+    );
+    let ms: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 12] };
+    for &m in ms {
+        let inst = gen::fig1_gadget(m);
+        let naive = fig1_naive(&inst).makespan(&inst);
+        let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
+        let eptas = Eptas::with_epsilon(0.4).solve(&inst).unwrap().makespan;
+        t.row(vec![
+            m.to_string(),
+            format!("{naive:.3}"),
+            format!("{lpt:.3}"),
+            format!("{eptas:.3}"),
+            format!("{:.2}", naive / 1.0),
+            format!("{:.2}", eptas / 1.0),
+        ]);
+    }
+    t
+}
+
+/// F2 — Figure 2 / Lemma 2: transformation statistics and the
+/// `(1 + eps)` cost bound, measured per family.
+pub fn fig2(quick: bool) -> Table {
+    let mut t = Table::new(
+        "F2",
+        "Instance transformation (Lemma 2): fillers, mediums, cost",
+        &["family", "eps", "fillers", "mediums", "guess", "makespan", "ms/guess<=1+3e"],
+    );
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.priority_cap = Some(1); // force the transformation to actually run
+    let seeds = if quick { 1 } else { 3 };
+    for family in gen::Family::ALL {
+        for seed in 0..seeds {
+            let inst = family.generate(36, 4, seed);
+            let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+            let (fillers, mediums) = r
+                .report
+                .last_success
+                .as_ref()
+                .map(|s| (s.filler_jobs, s.medium_reinserted))
+                .unwrap_or((0, 0));
+            let guess = r.report.chosen_guess.unwrap_or(f64::NAN);
+            let ok = r.makespan <= guess * (1.0 + 3.0 * 0.5) + 1e-9;
+            t.row(vec![
+                family.name().into(),
+                "0.5".into(),
+                fillers.to_string(),
+                mediums.to_string(),
+                format!("{guess:.3}"),
+                format!("{:.3}", r.makespan),
+                if ok { "ok".into() } else { "VIOLATED".into() },
+            ]);
+        }
+    }
+    t
+}
+
+/// F3 — Figure 3 / Lemma 4: filler swap-back accounting; the merge never
+/// breaks feasibility.
+pub fn fig3(quick: bool) -> Table {
+    let mut t = Table::new(
+        "F3",
+        "Lemma-4 filler swaps while undoing the transformation",
+        &["family", "fillers", "lemma4 swaps", "feasible"],
+    );
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.priority_cap = Some(1);
+    let seeds = if quick { 1 } else { 2 };
+    for family in gen::Family::ALL {
+        for seed in 0..seeds {
+            let inst = family.generate(32, 4, 100 + seed);
+            let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+            let (fillers, swaps) = r
+                .report
+                .last_success
+                .as_ref()
+                .map(|s| (s.filler_jobs, s.lemma4_swaps))
+                .unwrap_or((0, 0));
+            t.row(vec![
+                family.name().into(),
+                fillers.to_string(),
+                swaps.to_string(),
+                r.schedule.is_feasible(&inst).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// T1 — approximation ratios vs the exact optimum on small instances.
+pub fn ratio_small(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T1",
+        "Ratio vs exact OPT (n = 11, m = 3); max over seeds",
+        &["family", "eps", "EPTAS", "bagLPT", "DW-PTAS", "bound 1+3e"],
+    );
+    let epsilons: &[f64] = if quick { &[0.5] } else { &[0.75, 0.5, 0.3] };
+    let seeds = if quick { 2 } else { 5 };
+    for family in gen::Family::ALL {
+        for &eps in epsilons {
+            let mut r_eptas: Vec<f64> = Vec::new();
+            let mut r_lpt: Vec<f64> = Vec::new();
+            let mut r_ptas: Vec<f64> = Vec::new();
+            for seed in 0..seeds {
+                let inst = family.generate(11, 3, seed);
+                let opt = exact_makespan(&inst, 50_000_000).unwrap();
+                assert!(opt.proven_optimal);
+                let e = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
+                let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
+                let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps))
+                    .unwrap()
+                    .makespan(&inst);
+                r_eptas.push(e / opt.makespan);
+                r_lpt.push(l / opt.makespan);
+                r_ptas.push(p / opt.makespan);
+            }
+            let maxr = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+            t.row(vec![
+                family.name().into(),
+                format!("{eps}"),
+                format!("{:.3}", maxr(&r_eptas)),
+                format!("{:.3}", maxr(&r_lpt)),
+                format!("{:.3}", maxr(&r_ptas)),
+                format!("{:.2}", 1.0 + 3.0 * eps),
+            ]);
+        }
+    }
+    t
+}
+
+/// T2 — ratio vs the certified lower bound at scale.
+pub fn ratio_large(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T2",
+        "Ratio vs certified lower bound at scale (eps = 0.5)",
+        &["family", "n", "EPTAS", "bagLPT", "time EPTAS"],
+    );
+    let ns: &[usize] = if quick { &[500] } else { &[1000, 10000] };
+    for family in gen::Family::ALL {
+        for &n in ns {
+            let m = (n / 25).max(4);
+            let inst = family.generate(n, m, 1);
+            let lb = lower_bounds(&inst).combined();
+            let start = Instant::now();
+            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let elapsed = start.elapsed().as_secs_f64();
+            let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
+            t.row(vec![
+                family.name().into(),
+                n.to_string(),
+                format!("{:.4}", r.makespan / lb),
+                format!("{:.4}", l / lb),
+                fmt_secs(elapsed),
+            ]);
+        }
+    }
+    t
+}
+
+/// T3 — running time scaling in n at fixed eps (`poly(|I|)`).
+pub fn scaling_n(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T3",
+        "EPTAS running time vs n (eps = 0.5, clustered sizes)",
+        &["n", "m", "time", "time/n (us)", "feasible"],
+    );
+    let ns: &[usize] = if quick {
+        &[100, 400, 1600]
+    } else {
+        &[100, 400, 1600, 6400, 25600, 102400]
+    };
+    // Two regimes: loose (n/m = 20; jobs are small, group-bag-LPT
+    // dominates) and tight (n/m = 3; the pattern MILP engages).
+    for &(label, ratio, cap) in &[("loose", 20usize, usize::MAX), ("tight", 3usize, 25600usize)] {
+        for &n in ns.iter().filter(|&&n| n <= cap) {
+            let m = (n / ratio).max(4);
+            let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
+            let start = Instant::now();
+            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let elapsed = start.elapsed().as_secs_f64();
+            t.row(vec![
+                format!("{n} ({label})"),
+                m.to_string(),
+                fmt_secs(elapsed),
+                format!("{:.2}", elapsed * 1e6 / n as f64),
+                r.schedule.is_feasible(&inst).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// T4 — running time vs 1/eps: EPTAS (`f(1/eps) * poly(n)`) against the
+/// DW-style PTAS (`n^{g(1/eps)}`).
+pub fn scaling_eps(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T4",
+        "Running time vs eps (clustered, n = 40, m = 13; tight regime)",
+        &["eps", "EPTAS time", "EPTAS ratio<=LB", "DW-PTAS time", "PTAS ratio<=LB"],
+    );
+    let inst = gen::clustered(40, 13, 16, 4, 3);
+    let lb = lower_bounds(&inst).combined();
+    let epsilons: &[f64] = if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
+    for &eps in epsilons {
+        let start = Instant::now();
+        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let te = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap();
+        let tp = start.elapsed().as_secs_f64();
+        t.row(vec![
+            format!("{eps}"),
+            fmt_secs(te),
+            format!("{:.3}", r.makespan / lb),
+            fmt_secs(tp),
+            format!("{:.3}", p.makespan(&inst) / lb),
+        ]);
+    }
+    t
+}
+
+/// T5 — Lemma 8 directly: bag-LPT spread and height bounds on random
+/// bag sets.
+pub fn lemma8(quick: bool) -> Table {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut t = Table::new(
+        "T5",
+        "Lemma 8: bag-LPT spread <= pmax and height <= h + x + pmax",
+        &["trial", "m", "bags", "spread", "pmax", "height", "bound", "ok"],
+    );
+    let trials = if quick { 3 } else { 8 };
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(trial as u64);
+        let m = rng.random_range(4..12);
+        let nbags = rng.random_range(2..10);
+        let mut id = 0u32;
+        let bags: Vec<Vec<(JobId, f64)>> = (0..nbags)
+            .map(|_| {
+                (0..rng.random_range(1..=m))
+                    .map(|_| {
+                        id += 1;
+                        (JobId(id), rng.random_range(0.01..1.0))
+                    })
+                    .collect()
+            })
+            .collect();
+        let pmax = bags.iter().flatten().map(|x| x.1).fold(0.0f64, f64::max);
+        let area: f64 = bags.iter().flatten().map(|x| x.1).sum();
+        let mut loads = vec![0.0f64; m];
+        bag_lpt_assign(&mut loads, &bags);
+        let hi = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = loads.iter().cloned().fold(f64::MAX, f64::min);
+        let bound = area / m as f64 + pmax;
+        t.row(vec![
+            trial.to_string(),
+            m.to_string(),
+            nbags.to_string(),
+            format!("{:.3}", hi - lo),
+            format!("{pmax:.3}"),
+            format!("{hi:.3}"),
+            format!("{bound:.3}"),
+            (hi - lo <= pmax + 1e-9 && hi <= bound + 1e-9).to_string(),
+        ]);
+    }
+    t
+}
+
+/// T6 — Lemma 3: medium re-insertion counts and overall feasibility on
+/// medium-heavy instances.
+pub fn lemma3(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T6",
+        "Lemma 3: medium jobs re-inserted by the flow (priority_cap = 1)",
+        &["seed", "n", "mediums", "makespan/LB", "feasible"],
+    );
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.priority_cap = Some(1);
+    let seeds = if quick { 3 } else { 8 };
+    for seed in 0..seeds {
+        let inst = medium_heavy_instance(40, 13, seed as u64);
+        let lb = lower_bounds(&inst).combined();
+        let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+        let mediums = r.report.last_success.as_ref().map_or(0, |s| s.medium_reinserted);
+        t.row(vec![
+            seed.to_string(),
+            inst.num_jobs().to_string(),
+            mediums.to_string(),
+            format!("{:.3}", r.makespan / lb),
+            r.schedule.is_feasible(&inst).to_string(),
+        ]);
+    }
+    t
+}
+
+/// An instance engineered to have a populated medium band: heavy first
+/// band plus jobs in lower bands.
+fn medium_heavy_instance(n: usize, m: usize, seed: u64) -> Instance {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = bagsched_types::InstanceBuilder::new(m);
+    for i in 0..n {
+        let size = match i % 4 {
+            0 => rng.random_range(0.26..0.45), // band 1 (eps = .5): keeps k moving
+            1 => rng.random_range(0.13..0.24), // band 2: mediums when k = 2
+            2 => rng.random_range(0.6..1.0),   // large
+            _ => rng.random_range(0.01..0.05), // small
+        };
+        b.push(size, (i % (n / 2).max(1)) as u32);
+    }
+    b.build()
+}
+
+/// T7 — Lemma 7: swap counts and feasibility as the priority cap shrinks.
+pub fn lemma7(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T7",
+        "Lemma 7: swap repair vs priority cap (clustered, n = 36, m = 12; tight regime)",
+        &["b' cap", "priority bags", "swaps", "makespan/LB", "feasible"],
+    );
+    let caps: &[Option<usize>] =
+        if quick { &[Some(1), None] } else { &[Some(1), Some(2), Some(4), Some(8), None] };
+    let inst = gen::clustered(36, 12, 14, 3, 4);
+    let lb = lower_bounds(&inst).combined();
+    for &cap in caps {
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.priority_cap = cap;
+        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let (pb, swaps) = r
+            .report
+            .last_success
+            .as_ref()
+            .map(|s| (s.priority_bags, s.lemma7_swaps))
+            .unwrap_or((0, 0));
+        t.row(vec![
+            cap.map_or("paper".into(), |c| c.to_string()),
+            pb.to_string(),
+            swaps.to_string(),
+            format!("{:.3}", r.makespan / lb),
+            r.schedule.is_feasible(&inst).to_string(),
+        ]);
+    }
+    t
+}
+
+/// T8 — heuristic comparison across families: who wins where.
+pub fn heuristics(quick: bool) -> Table {
+    let mut t = Table::new(
+        "T8",
+        "Makespan / lower bound per scheduler (n = 60, m = 6)",
+        &["family", "LPT(no bags)", "random", "bagLPT", "aware-LPT", "LPT+LS", "EPTAS(0.5)", "winner"],
+    );
+    let seeds = if quick { 1 } else { 3 };
+    for family in gen::Family::ALL {
+        let mut acc: [Vec<f64>; 6] = Default::default();
+        let mut feasible_lpt = true;
+        for seed in 0..seeds {
+            let inst = family.generate(60, 6, 300 + seed);
+            let lb = lower_bounds(&inst).combined();
+            let s0 = lpt(&inst);
+            feasible_lpt &= s0.is_feasible(&inst);
+            acc[0].push(s0.makespan(&inst) / lb);
+            acc[1].push(random_fit(&inst, 9).unwrap().makespan(&inst) / lb);
+            acc[2].push(bag_lpt_schedule(&inst).unwrap().makespan(&inst) / lb);
+            acc[3].push(bag_aware_lpt(&inst).unwrap().makespan(&inst) / lb);
+            acc[4].push(lpt_with_local_search(&inst, 2000).unwrap().makespan / lb);
+            acc[5].push(Eptas::with_epsilon(0.5).solve(&inst).unwrap().makespan / lb);
+        }
+        let means: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
+        // Winner among the feasible schedulers (index 1..): lowest ratio.
+        let names = ["lpt", "random", "bagLPT", "aware", "LPT+LS", "EPTAS"];
+        let winner = (1..6)
+            .min_by(|&a, &b| means[a].total_cmp(&means[b]))
+            .map(|i| names[i])
+            .unwrap();
+        t.row(vec![
+            family.name().into(),
+            format!("{:.3}{}", means[0], if feasible_lpt { "" } else { "*" }),
+            format!("{:.3}", means[1]),
+            format!("{:.3}", means[2]),
+            format!("{:.3}", means[3]),
+            format!("{:.3}", means[4]),
+            format!("{:.3}", means[5]),
+            winner.into(),
+        ]);
+    }
+    t
+}
+
+/// A1 — ablation: transformation forced on (cap 1) vs off (paper
+/// constants make every bag priority).
+pub fn ablate_transform(quick: bool) -> Table {
+    let mut t = Table::new(
+        "A1",
+        "Ablation: instance transformation (cap=1) vs all-priority",
+        &["mode", "patterns", "time", "makespan/LB", "feasible"],
+    );
+    let inst = gen::clustered(if quick { 30 } else { 48 }, 16, 16, 3, 6);
+    let lb = lower_bounds(&inst).combined();
+    for (name, cap) in [("transform (cap=1)", Some(1)), ("all-priority", None)] {
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.priority_cap = cap;
+        let start = Instant::now();
+        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);
+        t.row(vec![
+            name.into(),
+            patterns.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.3}", r.makespan / lb),
+            r.schedule.is_feasible(&inst).to_string(),
+        ]);
+    }
+    t
+}
+
+/// A2 — ablation: sensitivity to b' (the priority-bag budget).
+pub fn ablate_bprime(quick: bool) -> Table {
+    let mut t = Table::new(
+        "A2",
+        "Ablation: b' sensitivity (clustered, n = 40, m = 13; tight regime)",
+        &["b' cap", "priority bags", "patterns", "time", "makespan/LB"],
+    );
+    let inst = gen::clustered(40, 13, 16, 4, 8);
+    let lb = lower_bounds(&inst).combined();
+    let caps: &[Option<usize>] = if quick {
+        &[Some(1), Some(4), None]
+    } else {
+        &[Some(1), Some(2), Some(4), Some(8), Some(16), None]
+    };
+    for &cap in caps {
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.priority_cap = cap;
+        let start = Instant::now();
+        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        let (pb, patterns) = r
+            .report
+            .last_success
+            .as_ref()
+            .map(|s| (s.priority_bags, s.patterns))
+            .unwrap_or((0, 0));
+        t.row(vec![
+            cap.map_or("paper".into(), |c| c.to_string()),
+            pb.to_string(),
+            patterns.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.3}", r.makespan / lb),
+        ]);
+    }
+    t
+}
+
+/// A3 — ablation: joint (paper-faithful) MILP vs the two-stage path.
+pub fn ablate_joint(quick: bool) -> Table {
+    let mut t = Table::new(
+        "A3",
+        "Ablation: joint MILP vs two-stage x-MILP + greedy y",
+        &["mode", "n", "time", "makespan/LB", "feasible"],
+    );
+    let ns: &[usize] = if quick { &[30] } else { &[30, 60, 120] };
+    for &n in ns {
+        let inst = gen::clustered(n, n / 3, n / 3, 4, 10);
+        let lb = lower_bounds(&inst).combined();
+        for (name, budget) in [("joint", usize::MAX), ("two-stage", 1)] {
+            let mut cfg = EptasConfig::with_epsilon(0.5);
+            cfg.joint_col_budget = budget;
+            let start = Instant::now();
+            let r = Eptas::new(cfg).solve(&inst).unwrap();
+            let elapsed = start.elapsed().as_secs_f64();
+            t.row(vec![
+                name.into(),
+                n.to_string(),
+                fmt_secs(elapsed),
+                format!("{:.3}", r.makespan / lb),
+                r.schedule.is_feasible(&inst).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_experiments_run_quick() {
+        // Smoke only the cheap experiments here (the harness run itself
+        // covers the rest; in debug builds the EPTAS-heavy tables are too
+        // slow for the unit suite).
+        for id in ["fig1", "lemma8"] {
+            let table = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(!table.rows.is_empty(), "{id} produced no rows");
+        }
+    }
+
+    /// Full sweep of every experiment id in quick mode; run explicitly:
+    /// `cargo test -p bagsched-bench --release -- --ignored`.
+    #[test]
+    #[ignore = "expensive; covered by the harness binary"]
+    fn every_experiment_runs_quick() {
+        for &id in ALL {
+            let table = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(!table.rows.is_empty(), "{id} produced no rows");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("nope", true).is_none());
+    }
+
+    #[test]
+    fn fig1_naive_hits_three_halves() {
+        let inst = gen::fig1_gadget(4);
+        let s = fig1_naive(&inst);
+        assert!(s.is_feasible(&inst));
+        assert!((s.makespan(&inst) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn medium_heavy_instance_is_feasible() {
+        let inst = medium_heavy_instance(40, 5, 0);
+        bagsched_types::validate_instance(&inst).unwrap();
+    }
+}

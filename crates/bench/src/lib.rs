@@ -1,0 +1,18 @@
+//! Experiment harness for the `bagsched` reproduction.
+//!
+//! The paper (Grage, Jansen, Klein; SPAA 2019) is theory-only, so the
+//! "tables and figures" regenerated here are the executable versions of
+//! its illustrative figures plus the evaluation suite derived from its
+//! quantitative claims — the experiment index lives in DESIGN.md §6 and
+//! the recorded results in EXPERIMENTS.md.
+//!
+//! Run everything:
+//! ```text
+//! cargo run --release -p bagsched-bench --bin experiments -- all
+//! ```
+//! or a single experiment by id (`fig1`, `ratio-small`, `scaling-n`, ...).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

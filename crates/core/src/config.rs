@@ -1,0 +1,90 @@
+//! Configuration of the EPTAS.
+//!
+//! Every constant of the paper is configurable. Defaults follow the
+//! paper's formulas *clamped to the instance* (DESIGN.md §2): the paper's
+//! constants are astronomically large (its own point is theoretical), and
+//! clamping preserves the approximation guarantee — e.g. making *all*
+//! bags priority is strictly more constrained than the paper requires.
+
+use std::time::Duration;
+
+/// Tuning parameters for [`Eptas`](crate::Eptas).
+#[derive(Debug, Clone)]
+pub struct EptasConfig {
+    /// Approximation parameter `eps` in `(0, 0.95]`. The schedule is
+    /// within `(1 + O(eps))` of optimal; the hidden constant is small
+    /// (see EXPERIMENTS.md T1 for measured ratios).
+    pub epsilon: f64,
+    /// Cap on enumerated patterns per guess; exceeding it fails the guess
+    /// loudly (the driver then degrades as configured).
+    pub max_patterns: usize,
+    /// Override for the number of priority bags per large size class
+    /// (`b'` in Definition 2). `None` = paper formula `(d*q+1)*q` clamped
+    /// to the number of bags.
+    pub priority_cap: Option<usize>,
+    /// Enforce constraint (7) literally (integral `y` for priority small
+    /// jobs larger than `eps^{2k+11}`). Default `false`: all `y`
+    /// fractional, with the Corollary-1 merge rounding to the bag's
+    /// largest small size instead (same `O(eps)` error at practical
+    /// constants; DESIGN.md §2).
+    pub paper_integral_y: bool,
+    /// Branch-and-bound node budget per MILP solve.
+    pub milp_max_nodes: usize,
+    /// Wall-clock budget per MILP solve.
+    pub milp_time_limit: Duration,
+    /// Column budget for the joint (paper-faithful) MILP with explicit
+    /// `y` variables; above it the two-stage path (x-MILP with aggregate
+    /// small-job cuts, then greedy fractional `y`) is used.
+    pub joint_col_budget: usize,
+    /// Row budget, analogous.
+    pub joint_row_budget: usize,
+    /// Binary-search grid ratio is `1 + epsilon * grid_factor`.
+    pub grid_factor: f64,
+}
+
+impl EptasConfig {
+    /// Defaults at the given `eps`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 0.95,
+            "epsilon must be in (0, 0.95], got {epsilon}"
+        );
+        EptasConfig {
+            epsilon,
+            max_patterns: 20_000,
+            priority_cap: None,
+            paper_integral_y: false,
+            milp_max_nodes: 20_000,
+            milp_time_limit: Duration::from_secs(20),
+            joint_col_budget: 2500,
+            joint_row_budget: 1200,
+            grid_factor: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = EptasConfig::with_epsilon(0.5);
+        assert_eq!(c.epsilon, 0.5);
+        assert!(c.max_patterns > 0);
+        assert!(c.priority_cap.is_none());
+        assert!(!c.paper_integral_y);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        EptasConfig::with_epsilon(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_large_epsilon() {
+        EptasConfig::with_epsilon(1.2);
+    }
+}

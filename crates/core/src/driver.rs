@@ -1,0 +1,361 @@
+//! The top-level EPTAS driver: dual-approximation binary search around
+//! the per-guess pipeline.
+//!
+//! The binary-search framework (paper §2, "with a binary search framework
+//! we may assume that we know the height of an optimal makespan") walks a
+//! geometric grid of makespan guesses between a certified lower bound and
+//! the conflict-aware-LPT upper bound. Each guess runs the full pipeline;
+//! an infeasibility proof moves the search up, success moves it down. The
+//! returned schedule is always feasible: a final safety net (counted in
+//! the report, zero on the paper path) would repair any residual
+//! conflict.
+
+use crate::assign_large::{assign_large, WorkState};
+use crate::classify::classify;
+use crate::config::EptasConfig;
+use crate::medium_flow::reinsert_medium;
+use crate::milp_model::solve_patterns;
+use crate::pattern::enumerate_patterns;
+use crate::priority::select_priority;
+use crate::report::{EptasReport, GuessFailure, GuessStats};
+use crate::rounding::scale_and_round;
+use crate::small::{place_nonpriority_smalls, place_priority_smalls, repair_priority_conflicts};
+use crate::swap_repair::repair_conflicts;
+use crate::transform::transform;
+use crate::undo::undo_transform;
+use bagsched_types::{
+    lowerbound::lower_bounds, validate_instance, Instance, InstanceError, JobId, MachineId,
+    Schedule,
+};
+use std::time::Instant;
+
+/// Why the EPTAS refused to run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EptasError {
+    /// The instance admits no feasible schedule.
+    Infeasible(InstanceError),
+}
+
+impl std::fmt::Display for EptasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EptasError::Infeasible(e) => write!(f, "infeasible instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EptasError {}
+
+/// Result of a successful EPTAS run.
+#[derive(Debug, Clone)]
+pub struct EptasResult {
+    /// A feasible schedule for the input instance.
+    pub schedule: Schedule,
+    /// Its makespan (under the original, unrounded sizes).
+    pub makespan: f64,
+    /// Diagnostics (guesses, phases, swap counts, fallbacks).
+    pub report: EptasReport,
+}
+
+/// The EPTAS of Grage, Jansen and Klein.
+#[derive(Debug, Clone)]
+pub struct Eptas {
+    cfg: EptasConfig,
+}
+
+impl Eptas {
+    /// Create a solver with the given configuration.
+    pub fn new(cfg: EptasConfig) -> Self {
+        Eptas { cfg }
+    }
+
+    /// Shorthand: default configuration at `eps`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Eptas::new(EptasConfig::with_epsilon(epsilon))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EptasConfig {
+        &self.cfg
+    }
+
+    /// Compute a `(1 + O(eps))`-approximate feasible schedule.
+    pub fn solve(&self, inst: &Instance) -> Result<EptasResult, EptasError> {
+        let start = Instant::now();
+        validate_instance(inst).map_err(EptasError::Infeasible)?;
+        let mut report = EptasReport::default();
+
+        if inst.num_jobs() == 0 {
+            report.elapsed = start.elapsed();
+            return Ok(EptasResult {
+                schedule: Schedule::unassigned(0, inst.num_machines().max(1)),
+                makespan: 0.0,
+                report,
+            });
+        }
+
+        let lb = lower_bounds(inst).combined();
+        let ub_sched = greedy_upper_bound(inst);
+        let ub = ub_sched.makespan(inst);
+        report.lower_bound = lb;
+        report.lpt_upper_bound = ub;
+
+        // LPT already optimal (or within rounding): done.
+        if ub <= lb * (1.0 + 1e-9) {
+            report.chosen_guess = Some(ub);
+            report.elapsed = start.elapsed();
+            return Ok(EptasResult { schedule: ub_sched, makespan: ub, report });
+        }
+
+        // Geometric guess grid.
+        let eps = self.cfg.epsilon;
+        let step = 1.0 + eps * self.cfg.grid_factor;
+        let mut grid = Vec::new();
+        let mut t = lb;
+        while t < ub * (1.0 - 1e-12) {
+            grid.push(t);
+            t *= step;
+        }
+        grid.push(ub);
+
+        // Binary search the smallest guess that succeeds.
+        let mut best: Option<(Schedule, f64, GuessStats, f64)> = None;
+        let (mut lo, mut hi) = (0usize, grid.len() - 1);
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            report.guesses_tried += 1;
+            match self.try_guess(inst, grid[mid]) {
+                Ok((sched, stats)) => {
+                    let ms = sched.makespan(inst);
+                    let better = best.as_ref().is_none_or(|&(_, bms, _, _)| ms < bms);
+                    if better {
+                        best = Some((sched, ms, stats, grid[mid]));
+                    }
+                    if mid == 0 {
+                        break;
+                    }
+                    hi = mid - 1;
+                }
+                Err(fail) => {
+                    report.failures.push((grid[mid], fail));
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        let (mut schedule, mut makespan) = match best {
+            Some((sched, ms, stats, guess)) => {
+                report.chosen_guess = Some(guess);
+                report.last_success = Some(stats);
+                (sched, ms)
+            }
+            None => {
+                report.fell_back_to_lpt = true;
+                (ub_sched.clone(), ub)
+            }
+        };
+
+        // The guess pipeline can only beat LPT or match it; keep whichever
+        // is better under the true sizes.
+        if ub < makespan {
+            schedule = ub_sched;
+            makespan = ub;
+        }
+
+        // Safety net: the paper path yields a feasible schedule; repair
+        // loudly if a phase misbehaved.
+        report.safety_net_moves = safety_net(inst, &mut schedule);
+        if report.safety_net_moves > 0 {
+            makespan = schedule.makespan(inst);
+        }
+        report.elapsed = start.elapsed();
+        debug_assert!(schedule.is_feasible(inst));
+        Ok(EptasResult { schedule, makespan, report })
+    }
+
+    /// Run the full pipeline for one makespan guess.
+    fn try_guess(
+        &self,
+        inst: &Instance,
+        t0: f64,
+    ) -> Result<(Schedule, GuessStats), GuessFailure> {
+        let cfg = &self.cfg;
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let rounded =
+            scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
+        let class = classify(&rounded, inst.num_machines());
+        let priority = select_priority(inst, &rounded, &class, cfg);
+        let trans = transform(inst, &rounded, &class, &priority);
+
+        let ps = enumerate_patterns(&trans, cfg.max_patterns)
+            .map_err(|_| GuessFailure::PatternBudget)?;
+        let out = solve_patterns(&trans, &ps, cfg)?;
+
+        let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
+        let la = assign_large(&trans, &ps, &out.x, &mut state);
+        let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts)?;
+
+        place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
+        place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
+        let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
+
+        let mediums = reinsert_medium(inst, &trans, &rounded, &mut state)?;
+        let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums);
+
+        let stats = GuessStats {
+            patterns: ps.patterns.len(),
+            symbols: ps.symbols.len(),
+            priority_bags: trans.is_priority_tbag.iter().filter(|&&p| p).count(),
+            joint_milp: out.joint,
+            milp_nodes: out.nodes,
+            lp_iterations: out.lp_iterations,
+            lemma7_swaps,
+            lemma11_moves: small_stats.lemma11_moves,
+            lemma4_swaps,
+            medium_reinserted: mediums.len(),
+            filler_jobs: trans.filler_for.iter().filter(|f| f.is_some()).count(),
+        };
+        Ok((schedule, stats))
+    }
+}
+
+/// Conflict-aware LPT, used to seed the upper bound (kept internal so the
+/// core crate stays dependency-light; `bagsched-baselines` ships the
+/// fully featured version).
+fn greedy_upper_bound(inst: &Instance) -> Schedule {
+    let m = inst.num_machines();
+    let mut order: Vec<JobId> = inst.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| inst.size(b).total_cmp(&inst.size(a)).then(a.cmp(&b)));
+    let mut loads = vec![0.0f64; m];
+    let mut has_bag = vec![vec![false; inst.num_bags()]; m];
+    let mut sched = Schedule::unassigned(inst.num_jobs(), m);
+    for j in order {
+        let bag = inst.bag_of(j).idx();
+        let best = (0..m)
+            .filter(|&i| !has_bag[i][bag])
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .expect("validated instance: |B| <= m");
+        sched.assign(j, MachineId(best as u32));
+        loads[best] += inst.size(j);
+        has_bag[best][bag] = true;
+    }
+    sched
+}
+
+/// Move conflicting jobs to the least-loaded conflict-free machine until
+/// the schedule is feasible. Returns the number of moves.
+fn safety_net(inst: &Instance, sched: &mut Schedule) -> usize {
+    let mut moves = 0usize;
+    loop {
+        let conflicts = sched.conflicts(inst);
+        if conflicts.is_empty() {
+            return moves;
+        }
+        let loads = sched.loads(inst);
+        for (_, job) in conflicts {
+            let bag = inst.bag_of(job);
+            // Recompute occupancy lazily; correctness over speed — this
+            // path is cold by construction.
+            let mut occupied = vec![false; inst.num_machines()];
+            for (other, &mid) in sched.assignment().iter().enumerate() {
+                if other != job.idx() && inst.bag_of(JobId(other as u32)) == bag {
+                    occupied[mid.idx()] = true;
+                }
+            }
+            let target = (0..inst.num_machines())
+                .filter(|&i| !occupied[i])
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .expect("validated instance: |B| <= m");
+            sched.assign(job, MachineId(target as u32));
+            moves += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagsched_types::gen;
+    use bagsched_types::validate_schedule;
+
+    #[test]
+    fn empty_instance() {
+        let inst = bagsched_types::InstanceBuilder::new(3).build();
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn infeasible_instance_rejected() {
+        let inst = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
+        assert!(matches!(
+            Eptas::with_epsilon(0.5).solve(&inst),
+            Err(EptasError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn single_job() {
+        let inst = Instance::new(&[(3.5, 0)], 2);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        assert_eq!(r.makespan, 3.5);
+        validate_schedule(&inst, &r.schedule).unwrap();
+    }
+
+    #[test]
+    fn tiny_instance_feasible_and_bounded() {
+        let inst = Instance::new(&[(0.9, 0), (0.9, 1), (0.4, 2), (0.05, 0), (0.05, 3)], 3);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        validate_schedule(&inst, &r.schedule).unwrap();
+        let lb = lower_bounds(&inst).combined();
+        assert!(r.makespan >= lb - 1e-9);
+        assert!(r.makespan <= lb * (1.0 + 3.0 * 0.5) + 1e-9, "makespan {}", r.makespan);
+        assert_eq!(r.report.safety_net_moves, 0, "paper path must not need the net");
+    }
+
+    #[test]
+    fn families_feasible_no_safety_net() {
+        for family in gen::Family::ALL {
+            let inst = family.generate(24, 3, 11);
+            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            validate_schedule(&inst, &r.schedule)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert_eq!(
+                r.report.safety_net_moves, 0,
+                "{}: safety net engaged",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_lpt() {
+        for seed in 0..3 {
+            let inst = gen::uniform(20, 3, 8, seed);
+            let r = Eptas::with_epsilon(0.4).solve(&inst).unwrap();
+            let lpt = greedy_upper_bound(&inst).makespan(&inst);
+            assert!(r.makespan <= lpt + 1e-9, "seed {seed}: {} > {lpt}", r.makespan);
+        }
+    }
+
+    #[test]
+    fn fig1_gadget_near_optimal() {
+        let inst = gen::fig1_gadget(3);
+        let r = Eptas::with_epsilon(0.4).solve(&inst).unwrap();
+        validate_schedule(&inst, &r.schedule).unwrap();
+        // OPT = 1.0 exactly; the EPTAS must land within 1 + O(eps).
+        assert!(r.makespan <= 1.0 + 3.0 * 0.4 + 1e-9, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn report_carries_diagnostics() {
+        let inst = gen::uniform(15, 3, 6, 2);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        assert!(r.report.guesses_tried >= 1);
+        assert!(r.report.lower_bound > 0.0);
+        assert!(r.report.lpt_upper_bound >= r.report.lower_bound - 1e-9);
+        if !r.report.fell_back_to_lpt {
+            assert!(r.report.chosen_guess.is_some());
+        }
+    }
+}

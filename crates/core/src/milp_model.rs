@@ -1,0 +1,570 @@
+//! The configuration MILP (paper §3, constraints (1)–(9)).
+//!
+//! Variables:
+//! * `x_p` (integer): machines assigned pattern `p` — constraint (6);
+//! * `y_{(l,s),p}` (fractional): small jobs of priority size-restricted
+//!   bag `B_l^s` placed on top of pattern `p` — constraints (8)/(9).
+//!   (Constraint (7) would make the largest of these integral; see
+//!   `EptasConfig::paper_integral_y` and DESIGN.md §2.)
+//! * `a_p` (fractional): aggregate *area* of non-priority small jobs on
+//!   pattern `p`. The paper uses per-(bag, size) `y` variables for
+//!   non-priority bags too, but its own Lemma 9 consumes only the area
+//!   distribution of those variables (group-bag-LPT re-places the jobs
+//!   from scratch), so aggregating them is a lossless model reduction
+//!   that shrinks the LP by a factor of the number of non-priority bags.
+//!
+//! Constraints (paper numbering):
+//! * (1) `sum_p x_p <= m`;
+//! * (2) per slot symbol: `sum_p x_p * mult_p(symbol) = avail` (the paper
+//!   writes `>=`; equality is equally valid — an optimal schedule uses
+//!   each job exactly once — and prunes the search);
+//! * (3) per priority small pair: `sum_p y = count`, plus the aggregate
+//!   `sum_p a_p = total non-priority small area`;
+//! * (4) per pattern: `sum y * size + a_p <= x_p * (T - height(p))`;
+//! * (5) per (pattern, priority bag): `sum_s y <= x_p` when the pattern
+//!   holds no job of the bag, `y = 0` otherwise (encoded by simply not
+//!   creating those variables).
+//!
+//! When the joint model exceeds the configured size budget, a *two-stage*
+//! path solves the x-MILP with aggregate small-job cuts and then
+//! constructs `y` greedily (documented deviation; the driver reports
+//! which path ran).
+
+use crate::classify::JobClass;
+use crate::config::EptasConfig;
+use crate::pattern::PatternSet;
+use crate::report::GuessFailure;
+use crate::rounding::SizeExp;
+use crate::transform::Transformed;
+use bagsched_milp::{solve_milp, MilpOptions, MilpStatus, Model, Relation, VarId};
+use bagsched_types::{BagId, JobId};
+use std::collections::HashMap;
+
+/// A priority size-restricted bag of small jobs: `B_l^s` with `l` priority.
+#[derive(Debug, Clone)]
+pub struct SmallPair {
+    /// The (transformed) priority bag.
+    pub tbag: BagId,
+    /// Size exponent.
+    pub exp: SizeExp,
+    /// Rounded size.
+    pub size: f64,
+    /// The jobs of this pair.
+    pub jobs: Vec<JobId>,
+}
+
+/// Solution of the MILP phase.
+#[derive(Debug, Clone)]
+pub struct MilpOutcome {
+    /// Machines per pattern (integral).
+    pub x: Vec<u32>,
+    /// Fractional job counts per `(pair index, pattern index)`.
+    pub y: HashMap<(usize, usize), f64>,
+    /// The priority small pairs (index space of `y`).
+    pub pairs: Vec<SmallPair>,
+    /// Whether the joint (paper-faithful) model was solved.
+    pub joint: bool,
+    /// Branch-and-bound nodes.
+    pub nodes: usize,
+    /// Simplex iterations.
+    pub lp_iterations: usize,
+}
+
+/// Collect the priority small pairs of the transformed instance.
+pub fn priority_small_pairs(trans: &Transformed) -> Vec<SmallPair> {
+    let epsilon = trans.t.sqrt() - 1.0;
+    let mut map: HashMap<(BagId, SizeExp), Vec<JobId>> = HashMap::new();
+    for j in 0..trans.tinst.num_jobs() {
+        if trans.tclass[j] != JobClass::Small {
+            continue;
+        }
+        let tbag = trans.tinst.bag_of(JobId(j as u32));
+        if trans.is_priority_tbag[tbag.idx()] {
+            map.entry((tbag, trans.texp[j])).or_default().push(JobId(j as u32));
+        }
+    }
+    let mut pairs: Vec<SmallPair> = map
+        .into_iter()
+        .map(|((tbag, exp), jobs)| SmallPair {
+            tbag,
+            exp,
+            size: crate::rounding::exp_size(exp, epsilon),
+            jobs,
+        })
+        .collect();
+    // Deterministic order, large sizes first (the greedy path packs big
+    // pieces while area is plentiful).
+    pairs.sort_by(|a, b| b.size.total_cmp(&a.size).then(a.tbag.cmp(&b.tbag)));
+    pairs
+}
+
+/// Total rounded area of non-priority small jobs (fillers included).
+pub fn nonpriority_small_area(trans: &Transformed) -> f64 {
+    (0..trans.tinst.num_jobs())
+        .filter(|&j| {
+            trans.tclass[j] == JobClass::Small
+                && !trans.is_priority_tbag[trans.tinst.bag_of(JobId(j as u32)).idx()]
+        })
+        .map(|j| trans.tinst.size(JobId(j as u32)))
+        .sum()
+}
+
+/// Build and solve the MILP for one guess.
+pub fn solve_patterns(
+    trans: &Transformed,
+    ps: &PatternSet,
+    cfg: &EptasConfig,
+) -> Result<MilpOutcome, GuessFailure> {
+    let pairs = priority_small_pairs(trans);
+    let w_nonprio = nonpriority_small_area(trans);
+
+    // Estimate the joint model size.
+    let np = ps.patterns.len();
+    let y_cols: usize = pairs
+        .iter()
+        .map(|pair| (0..np).filter(|&p| !ps.chi(p, pair.tbag)).count())
+        .sum();
+    let prio_bags_with_smalls: Vec<BagId> = {
+        let mut seen = Vec::new();
+        for pair in &pairs {
+            if !seen.contains(&pair.tbag) {
+                seen.push(pair.tbag);
+            }
+        }
+        seen
+    };
+    let est_cols = np + y_cols + np; // x + y + a
+    let est_rows = 1 + ps.symbols.len() + pairs.len() + 1 + np + np * prio_bags_with_smalls.len();
+
+    let joint = est_cols <= cfg.joint_col_budget && est_rows <= cfg.joint_row_budget;
+    if joint {
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls)
+    } else {
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls)
+    }
+}
+
+fn milp_options(cfg: &EptasConfig) -> MilpOptions {
+    MilpOptions {
+        max_nodes: cfg.milp_max_nodes,
+        time_limit: cfg.milp_time_limit,
+        int_tol: 1e-6,
+        first_solution: true,
+    }
+}
+
+/// The paper-faithful joint model.
+fn solve_joint(
+    trans: &Transformed,
+    ps: &PatternSet,
+    cfg: &EptasConfig,
+    pairs: Vec<SmallPair>,
+    w_nonprio: f64,
+    prio_bags_with_smalls: &[BagId],
+) -> Result<MilpOutcome, GuessFailure> {
+    let m = trans.tinst.num_machines() as f64;
+    let np = ps.patterns.len();
+    let mut model = Model::new();
+
+    // x_p: integer in [0, m]; empty pattern costs nothing.
+    let x: Vec<VarId> = (0..np)
+        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m))
+        .collect();
+
+    // Integral-y threshold of constraint (7): eps^{2k+11}.
+    let eps = cfg.epsilon;
+    let y_int_threshold = if cfg.paper_integral_y {
+        // medium_threshold = eps^{k+1}  =>  eps^{2k+11} = mt^2 * eps^9.
+        let mt = medium_threshold_of(trans);
+        mt * mt * eps.powi(9)
+    } else {
+        f64::INFINITY
+    };
+
+    // y variables per (pair, pattern with chi = 0).
+    let mut y: HashMap<(usize, usize), VarId> = HashMap::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        for p in 0..np {
+            if !ps.chi(p, pair.tbag) {
+                let v = if pair.size > y_int_threshold {
+                    model.add_int_var(0.0, 0.0, pair.jobs.len() as f64)
+                } else {
+                    model.add_var(0.0, 0.0, pair.jobs.len() as f64)
+                };
+                y.insert((i, p), v);
+            }
+        }
+    }
+
+    // a_p variables.
+    let a: Vec<VarId> = (0..np).map(|_| model.add_var(0.0, 0.0, f64::INFINITY)).collect();
+
+    // (1)
+    let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
+    model.add_con(&ones, Relation::Le, m);
+
+    // (2) per symbol.
+    for (si, sym) in ps.symbols.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (p, pat) in ps.patterns.iter().enumerate() {
+            if let Some(&(_, mult)) = pat.entries.iter().find(|&&(s, _)| s == si) {
+                terms.push((x[p], mult as f64));
+            }
+        }
+        model.add_con(&terms, Relation::Eq, sym.avail as f64);
+    }
+
+    // (3) per pair.
+    for (i, pair) in pairs.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> =
+            (0..np).filter_map(|p| y.get(&(i, p)).map(|&v| (v, 1.0))).collect();
+        model.add_con(&terms, Relation::Eq, pair.jobs.len() as f64);
+    }
+    // (3') aggregate non-priority area.
+    if w_nonprio > 0.0 {
+        let terms: Vec<(VarId, f64)> = a.iter().map(|&v| (v, 1.0)).collect();
+        model.add_con(&terms, Relation::Eq, w_nonprio);
+    }
+
+    // (4) per pattern.
+    for (p, pat) in ps.patterns.iter().enumerate() {
+        let budget = trans.t - pat.height;
+        let mut terms: Vec<(VarId, f64)> = vec![(a[p], 1.0), (x[p], -budget)];
+        for (i, pair) in pairs.iter().enumerate() {
+            if let Some(&v) = y.get(&(i, p)) {
+                terms.push((v, pair.size));
+            }
+        }
+        model.add_con(&terms, Relation::Le, 0.0);
+    }
+
+    // (5) per (pattern, priority bag with smalls, chi = 0).
+    for &l in prio_bags_with_smalls {
+        for p in 0..np {
+            if ps.chi(p, l) {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = vec![(x[p], -1.0)];
+            for (i, pair) in pairs.iter().enumerate() {
+                if pair.tbag == l {
+                    if let Some(&v) = y.get(&(i, p)) {
+                        terms.push((v, 1.0));
+                    }
+                }
+            }
+            if terms.len() > 1 {
+                model.add_con(&terms, Relation::Le, 0.0);
+            }
+        }
+    }
+
+    let res = solve_milp(&model, &milp_options(cfg));
+    match res.status {
+        MilpStatus::Optimal | MilpStatus::Feasible => {
+            let xs: Vec<u32> = x.iter().map(|&v| res.x[v.0].round() as u32).collect();
+            let ys: HashMap<(usize, usize), f64> = y
+                .into_iter()
+                .filter_map(|(key, v)| {
+                    let val = res.x[v.0];
+                    (val > 1e-9).then_some((key, val))
+                })
+                .collect();
+            Ok(MilpOutcome {
+                x: xs,
+                y: ys,
+                pairs,
+                joint: true,
+                nodes: res.nodes,
+                lp_iterations: res.lp_iterations,
+            })
+        }
+        MilpStatus::Infeasible => Err(GuessFailure::MilpInfeasible),
+        MilpStatus::Budget | MilpStatus::Unbounded => Err(GuessFailure::MilpBudget),
+    }
+}
+
+/// Two-stage path: x-MILP with aggregate cuts, then greedy fractional y.
+fn solve_two_stage(
+    trans: &Transformed,
+    ps: &PatternSet,
+    cfg: &EptasConfig,
+    pairs: Vec<SmallPair>,
+    w_nonprio: f64,
+    prio_bags_with_smalls: &[BagId],
+) -> Result<MilpOutcome, GuessFailure> {
+    let m = trans.tinst.num_machines() as f64;
+    let np = ps.patterns.len();
+    let mut model = Model::new();
+    let x: Vec<VarId> = (0..np)
+        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m))
+        .collect();
+
+    let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
+    model.add_con(&ones, Relation::Le, m);
+    for (si, sym) in ps.symbols.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (p, pat) in ps.patterns.iter().enumerate() {
+            if let Some(&(_, mult)) = pat.entries.iter().find(|&&(s, _)| s == si) {
+                terms.push((x[p], mult as f64));
+            }
+        }
+        model.add_con(&terms, Relation::Eq, sym.avail as f64);
+    }
+
+    // Aggregate area cut: all small jobs must fit above the patterns.
+    let w_prio: f64 = pairs.iter().map(|p| p.size * p.jobs.len() as f64).sum();
+    let area_terms: Vec<(VarId, f64)> = ps
+        .patterns
+        .iter()
+        .enumerate()
+        .map(|(p, pat)| (x[p], trans.t - pat.height))
+        .collect();
+    model.add_con(&area_terms, Relation::Ge, w_prio + w_nonprio);
+
+    // Per priority bag: count and area cuts over chi = 0 patterns.
+    for &l in prio_bags_with_smalls {
+        let count: f64 =
+            pairs.iter().filter(|pr| pr.tbag == l).map(|pr| pr.jobs.len() as f64).sum();
+        let area: f64 = pairs
+            .iter()
+            .filter(|pr| pr.tbag == l)
+            .map(|pr| pr.size * pr.jobs.len() as f64)
+            .sum();
+        let count_terms: Vec<(VarId, f64)> =
+            (0..np).filter(|&p| !ps.chi(p, l)).map(|p| (x[p], 1.0)).collect();
+        model.add_con(&count_terms, Relation::Ge, count);
+        let area_terms: Vec<(VarId, f64)> = (0..np)
+            .filter(|&p| !ps.chi(p, l))
+            .map(|p| (x[p], trans.t - ps.patterns[p].height))
+            .collect();
+        model.add_con(&area_terms, Relation::Ge, area);
+    }
+
+    let res = solve_milp(&model, &milp_options(cfg));
+    let xs: Vec<u32> = match res.status {
+        MilpStatus::Optimal | MilpStatus::Feasible => {
+            x.iter().map(|&v| res.x[v.0].round() as u32).collect()
+        }
+        MilpStatus::Infeasible => return Err(GuessFailure::MilpInfeasible),
+        MilpStatus::Budget | MilpStatus::Unbounded => return Err(GuessFailure::MilpBudget),
+    };
+
+    // Greedy fractional y: big pieces first, onto the pattern with the
+    // most free area per machine, respecting the per-(pattern, bag) count
+    // cap x_p and the area budgets; non-priority area w_nonprio must
+    // still fit afterwards.
+    let mut area_left: Vec<f64> =
+        ps.patterns.iter().enumerate().map(|(p, pat)| xs[p] as f64 * (trans.t - pat.height)).collect();
+    let mut bag_cap: HashMap<(BagId, usize), f64> = HashMap::new();
+    for &l in prio_bags_with_smalls {
+        for p in 0..np {
+            if !ps.chi(p, l) {
+                bag_cap.insert((l, p), xs[p] as f64);
+            }
+        }
+    }
+    let mut y: HashMap<(usize, usize), f64> = HashMap::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let mut remaining = pair.jobs.len() as f64;
+        while remaining > 1e-9 {
+            // Pattern with maximal free area per machine among those with
+            // cap and area left.
+            let best = (0..np)
+                .filter(|&p| xs[p] > 0 && !ps.chi(p, pair.tbag))
+                .filter(|&p| bag_cap.get(&(pair.tbag, p)).copied().unwrap_or(0.0) > 1e-9)
+                .filter(|&p| area_left[p] > 1e-9)
+                .max_by(|&a, &b| {
+                    (area_left[a] / xs[a] as f64).total_cmp(&(area_left[b] / xs[b] as f64))
+                });
+            let Some(p) = best else {
+                return Err(GuessFailure::SmallPlacement);
+            };
+            let cap = bag_cap[&(pair.tbag, p)];
+            let by_area = area_left[p] / pair.size;
+            let take = remaining.min(cap).min(by_area);
+            if take <= 1e-9 {
+                return Err(GuessFailure::SmallPlacement);
+            }
+            *y.entry((i, p)).or_insert(0.0) += take;
+            area_left[p] -= take * pair.size;
+            *bag_cap.get_mut(&(pair.tbag, p)).unwrap() -= take;
+            remaining -= take;
+        }
+    }
+    let total_area_left: f64 = area_left.iter().sum();
+    if total_area_left + 1e-6 < w_nonprio {
+        return Err(GuessFailure::SmallPlacement);
+    }
+
+    Ok(MilpOutcome {
+        x: xs,
+        y,
+        pairs,
+        joint: false,
+        nodes: res.nodes,
+        lp_iterations: res.lp_iterations,
+    })
+}
+
+/// Recover `eps^{k+1}` from the transformed instance's job classes.
+fn medium_threshold_of(trans: &Transformed) -> f64 {
+    // Smallest non-small rounded size is >= eps^{k+1}; in its absence use
+    // T (the threshold is only used for the optional constraint (7)).
+    (0..trans.tinst.num_jobs())
+        .filter(|&j| trans.tclass[j] != JobClass::Small)
+        .map(|j| trans.tinst.size(JobId(j as u32)))
+        .fold(trans.t, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::pattern::enumerate_patterns;
+    use crate::priority::select_priority;
+    use crate::rounding::scale_and_round;
+    use crate::transform::transform;
+    use bagsched_types::Instance;
+
+    fn pipeline(
+        jobs: &[(f64, u32)],
+        m: usize,
+        cfg: &EptasConfig,
+    ) -> (Transformed, PatternSet, Result<MilpOutcome, GuessFailure>) {
+        let inst = Instance::new(jobs, m);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let r = scale_and_round(&sizes, 1.0, cfg.epsilon).unwrap();
+        let c = classify(&r, m);
+        let p = select_priority(&inst, &r, &c, cfg);
+        let t = transform(&inst, &r, &c, &p);
+        let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
+        let out = solve_patterns(&t, &ps, cfg);
+        (t, ps, out)
+    }
+
+    #[test]
+    fn feasible_guess_covers_all_slots() {
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let jobs = [(0.9, 0), (0.9, 1), (0.4, 2), (0.05, 0), (0.05, 3)];
+        let (t, ps, out) = pipeline(&jobs, 3, &cfg);
+        let out = out.expect("guess T covers this instance");
+        assert!(out.joint, "small model must take the joint path");
+        // (1): machines.
+        let total: u32 = out.x.iter().sum();
+        assert!(total as usize <= t.tinst.num_machines());
+        // (2): every symbol exactly covered.
+        for (si, sym) in ps.symbols.iter().enumerate() {
+            let covered: u32 = ps
+                .patterns
+                .iter()
+                .enumerate()
+                .map(|(p, pat)| {
+                    pat.entries
+                        .iter()
+                        .find(|&&(s, _)| s == si)
+                        .map_or(0, |&(_, mult)| out.x[p] * mult as u32)
+                })
+                .sum();
+            assert_eq!(covered, sym.avail, "symbol {si} mis-covered");
+        }
+        // (3): y sums to counts.
+        for (i, pair) in out.pairs.iter().enumerate() {
+            let sum: f64 = (0..ps.patterns.len())
+                .filter_map(|p| out.y.get(&(i, p)))
+                .sum();
+            assert!(
+                (sum - pair.jobs.len() as f64).abs() < 1e-6,
+                "pair {i}: y sums to {sum}, want {}",
+                pair.jobs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_guess_detected() {
+        // Five unit jobs on two machines: each pattern holds at most two
+        // slots of size ~1 (T = 2.25), so two machines cover at most four.
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let jobs = [(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3), (1.0, 4)];
+        let (_, _, out) = pipeline(&jobs, 2, &cfg);
+        assert_eq!(out.unwrap_err(), GuessFailure::MilpInfeasible);
+    }
+
+    #[test]
+    fn two_stage_path_triggers_on_tiny_budget() {
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.joint_col_budget = 1; // force the two-stage path
+        let jobs = [(0.9, 0), (0.9, 1), (0.05, 0), (0.05, 1)];
+        let (_, _, out) = pipeline(&jobs, 2, &cfg);
+        let out = out.expect("two-stage path should also succeed here");
+        assert!(!out.joint);
+        // y still covers all priority small jobs.
+        for (i, pair) in out.pairs.iter().enumerate() {
+            let sum: f64 = out
+                .y
+                .iter()
+                .filter(|((pi, _), _)| *pi == i)
+                .map(|(_, &v)| v)
+                .sum();
+            assert!((sum - pair.jobs.len() as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn y_respects_chi_exclusion() {
+        let cfg = EptasConfig::with_epsilon(0.5);
+        // Priority bag 0 has a large job and small jobs: no y of bag 0 may
+        // sit on a pattern containing bag 0's large slot.
+        let jobs = [(0.9, 0), (0.05, 0), (0.05, 0), (0.9, 1)];
+        let (_, ps, out) = pipeline(&jobs, 3, &cfg);
+        let out = out.unwrap();
+        for ((i, p), &v) in &out.y {
+            if v > 1e-9 {
+                assert!(
+                    !ps.chi(*p, out.pairs[*i].tbag),
+                    "y of bag {:?} placed on conflicting pattern {p}",
+                    out.pairs[*i].tbag
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_constraint_respected() {
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let jobs = [(0.9, 0), (0.9, 1), (0.05, 2), (0.05, 3), (0.05, 4)];
+        let (t, ps, out) = pipeline(&jobs, 2, &cfg);
+        let out = out.unwrap();
+        // Reconstruct per-pattern small load and check (4) in aggregate:
+        // priority y-load must fit in the x-weighted free area.
+        for p in 0..ps.patterns.len() {
+            let yload: f64 = out
+                .y
+                .iter()
+                .filter(|((_, pp), _)| *pp == p)
+                .map(|((i, _), &v)| v * out.pairs[*i].size)
+                .sum();
+            let budget = out.x[p] as f64 * (t.t - ps.patterns[p].height);
+            assert!(yload <= budget + 1e-6, "pattern {p}: {yload} > {budget}");
+        }
+    }
+
+    #[test]
+    fn small_pairs_extraction() {
+        let cfg = EptasConfig::with_epsilon(0.5);
+        let inst = Instance::new(&[(0.9, 0), (0.05, 0), (0.05, 0), (0.01, 0)], 2);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let r = scale_and_round(&sizes, 1.0, 0.5).unwrap();
+        let c = classify(&r, 2);
+        let p = select_priority(&inst, &r, &c, &cfg);
+        let t = transform(&inst, &r, &c, &p);
+        let pairs = priority_small_pairs(&t);
+        // Bag 0 is priority (has the only large job); two small sizes.
+        let total_jobs: usize = pairs.iter().map(|p| p.jobs.len()).sum();
+        assert_eq!(total_jobs, 3);
+        // Sorted by size descending.
+        for w in pairs.windows(2) {
+            assert!(w[0].size >= w[1].size);
+        }
+    }
+}

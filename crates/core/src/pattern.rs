@@ -1,0 +1,353 @@
+//! Machine patterns (paper Definition 3).
+//!
+//! A *pattern* is a multiset of large/medium job slots with total height
+//! at most `T = 1 + 2eps + eps^2`. A slot is either reserved for a
+//! specific size-restricted **priority** bag `B_l^s` (at most one slot per
+//! priority bag in a pattern — the bag-constraint), or a wildcard `B_x^s`
+//! slot for a job of size `s` from *any* non-priority bag (arbitrarily
+//! many per pattern; Lemma 7 repairs the resulting conflicts).
+//!
+//! Patterns are enumerated by DFS over the slot symbols present in the
+//! transformed instance, with multiplicities capped by job availability —
+//! which keeps the pattern space tied to the instance rather than the
+//! paper's worst-case bound. The enumeration budget is explicit.
+
+use crate::classify::JobClass;
+use crate::rounding::SizeExp;
+use crate::transform::Transformed;
+use bagsched_types::BagId;
+use std::collections::HashMap;
+
+/// The bag component of a slot: a concrete priority bag or the wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotBag {
+    /// A priority bag of the transformed instance.
+    Priority(BagId),
+    /// `B_x`: any non-priority bag.
+    X,
+}
+
+/// A slot symbol: a size class together with its bag restriction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Symbol {
+    /// Rounded-size exponent of the slot.
+    pub exp: SizeExp,
+    /// Rounded size (`(1+eps)^exp`).
+    pub size: f64,
+    /// Which bag(s) may fill the slot.
+    pub bag: SlotBag,
+    /// How many jobs exist for this symbol (multiplicity cap).
+    pub avail: u32,
+}
+
+/// One machine pattern: symbol multiplicities and the resulting height.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// `(symbol index, multiplicity)`, multiplicities positive.
+    pub entries: Vec<(usize, u16)>,
+    /// Total height of all slots.
+    pub height: f64,
+}
+
+impl Pattern {
+    /// Whether the pattern is the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of slots (counting multiplicity).
+    pub fn num_slots(&self) -> usize {
+        self.entries.iter().map(|&(_, c)| c as usize).sum()
+    }
+}
+
+/// The enumerated pattern universe for one transformed instance.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    /// All slot symbols (by size descending, priority before wildcard).
+    pub symbols: Vec<Symbol>,
+    /// All valid patterns; index 0 is always the empty pattern.
+    pub patterns: Vec<Pattern>,
+    /// For each pattern, the priority bags it touches (`chi_p(B_l) = 1`).
+    pub priority_bags_used: Vec<Vec<BagId>>,
+}
+
+impl PatternSet {
+    /// `chi_p(B_l)`: whether pattern `p` holds a slot of priority bag `l`.
+    pub fn chi(&self, p: usize, l: BagId) -> bool {
+        self.priority_bags_used[p].contains(&l)
+    }
+}
+
+/// Why pattern enumeration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBudgetExceeded {
+    /// The configured cap that was hit.
+    pub budget: usize,
+}
+
+/// Enumerate all valid patterns of the transformed instance.
+pub fn enumerate_patterns(
+    trans: &Transformed,
+    max_patterns: usize,
+) -> Result<PatternSet, PatternBudgetExceeded> {
+    let t = trans.t;
+    let epsilon = trans.t.sqrt() - 1.0; // T = (1 + eps)^2
+
+    // Collect symbol availabilities.
+    let mut prio: HashMap<(SizeExp, BagId), u32> = HashMap::new();
+    let mut wild: HashMap<SizeExp, u32> = HashMap::new();
+    for (j, &class) in trans.tclass.iter().enumerate() {
+        if class == JobClass::Small {
+            continue;
+        }
+        let tbag = trans.tinst.bag_of(bagsched_types::JobId(j as u32));
+        let exp = trans.texp[j];
+        if trans.is_priority_tbag[tbag.idx()] {
+            *prio.entry((exp, tbag)).or_insert(0) += 1;
+        } else {
+            *wild.entry(exp).or_insert(0) += 1;
+        }
+    }
+
+    let mut symbols: Vec<Symbol> = Vec::new();
+    for (&(exp, bag), &avail) in &prio {
+        let size = crate::rounding::exp_size(exp, epsilon);
+        symbols.push(Symbol { exp, size, bag: SlotBag::Priority(bag), avail });
+    }
+    for (&exp, &avail) in &wild {
+        let size = crate::rounding::exp_size(exp, epsilon);
+        // `avail` is the *total* job count — it is the RHS of the covering
+        // constraint (2). Per-pattern multiplicity is limited by the
+        // height bound inside the DFS, never here.
+        symbols.push(Symbol { exp, size, bag: SlotBag::X, avail });
+    }
+    // Deterministic order: size descending, priority before wildcard,
+    // then bag id.
+    symbols.sort_by(|a, b| {
+        b.size.total_cmp(&a.size).then_with(|| match (a.bag, b.bag) {
+            (SlotBag::Priority(x), SlotBag::Priority(y)) => x.cmp(&y),
+            (SlotBag::Priority(_), SlotBag::X) => std::cmp::Ordering::Less,
+            (SlotBag::X, SlotBag::Priority(_)) => std::cmp::Ordering::Greater,
+            (SlotBag::X, SlotBag::X) => std::cmp::Ordering::Equal,
+        })
+    });
+
+    let mut patterns: Vec<Pattern> = Vec::new();
+    let mut entries: Vec<(usize, u16)> = Vec::new();
+    let mut bag_used = vec![false; trans.tinst.num_bags()];
+    dfs(&symbols, 0, 0.0, t, &mut entries, &mut bag_used, &mut patterns, max_patterns)
+        .map_err(|()| PatternBudgetExceeded { budget: max_patterns })?;
+
+    // Normalize: the empty pattern (generated by the all-zero branch,
+    // hence first) sits at index 0.
+    let empty_idx = patterns.iter().position(Pattern::is_empty).expect("empty pattern is valid");
+    patterns.swap(0, empty_idx);
+
+    let priority_bags_used = patterns
+        .iter()
+        .map(|p| {
+            p.entries
+                .iter()
+                .filter_map(|&(si, _)| match symbols[si].bag {
+                    SlotBag::Priority(b) => Some(b),
+                    SlotBag::X => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    Ok(PatternSet { symbols, patterns, priority_bags_used })
+}
+
+fn dfs(
+    symbols: &[Symbol],
+    idx: usize,
+    height: f64,
+    t: f64,
+    entries: &mut Vec<(usize, u16)>,
+    bag_used: &mut [bool],
+    out: &mut Vec<Pattern>,
+    budget: usize,
+) -> Result<(), ()> {
+    if idx == symbols.len() {
+        if out.len() >= budget {
+            return Err(());
+        }
+        out.push(Pattern { entries: entries.clone(), height });
+        return Ok(());
+    }
+    let sym = &symbols[idx];
+    let by_height =
+        if sym.size > 1e-12 { ((t - height) / sym.size + 1e-9).floor().max(0.0) as u32 } else { 0 };
+    let max_mult = match sym.bag {
+        SlotBag::Priority(b) => {
+            if bag_used[b.idx()] {
+                0
+            } else {
+                1.min(sym.avail).min(by_height)
+            }
+        }
+        SlotBag::X => sym.avail.min(by_height),
+    };
+    // multiplicity 0 first, so the empty pattern is generated first.
+    dfs(symbols, idx + 1, height, t, entries, bag_used, out, budget)?;
+    for mult in 1..=max_mult {
+        entries.push((idx, mult as u16));
+        if let SlotBag::Priority(b) = sym.bag {
+            bag_used[b.idx()] = true;
+        }
+        let res = dfs(
+            symbols,
+            idx + 1,
+            height + mult as f64 * sym.size,
+            t,
+            entries,
+            bag_used,
+            out,
+            budget,
+        );
+        entries.pop();
+        if let SlotBag::Priority(b) = sym.bag {
+            bag_used[b.idx()] = false;
+        }
+        res?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::config::EptasConfig;
+    use crate::priority::select_priority;
+    use crate::rounding::scale_and_round;
+    use crate::transform::transform;
+    use bagsched_types::Instance;
+
+    fn patterns_for(
+        jobs: &[(f64, u32)],
+        m: usize,
+        eps: f64,
+        cap: Option<usize>,
+        budget: usize,
+    ) -> (Transformed, Result<PatternSet, PatternBudgetExceeded>) {
+        let inst = Instance::new(jobs, m);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let r = scale_and_round(&sizes, 1.0, eps).unwrap();
+        let c = classify(&r, m);
+        let mut cfg = EptasConfig::with_epsilon(eps);
+        cfg.priority_cap = cap;
+        let p = select_priority(&inst, &r, &c, &cfg);
+        let t = transform(&inst, &r, &c, &p);
+        let ps = enumerate_patterns(&t, budget);
+        (t, ps)
+    }
+
+    #[test]
+    fn single_large_job_two_patterns() {
+        let (_, ps) = patterns_for(&[(0.9, 0)], 2, 0.5, None, 100);
+        let ps = ps.unwrap();
+        assert_eq!(ps.patterns.len(), 2);
+        assert!(ps.patterns[0].is_empty());
+        assert_eq!(ps.patterns[1].num_slots(), 1);
+    }
+
+    #[test]
+    fn priority_bag_capped_at_one_slot() {
+        let (_, ps) = patterns_for(&[(0.9, 0), (0.9, 0)], 2, 0.5, None, 100);
+        let ps = ps.unwrap();
+        for p in &ps.patterns {
+            assert!(p.num_slots() <= 1, "pattern holds two slots of one priority bag");
+        }
+    }
+
+    #[test]
+    fn wildcard_slots_stack_up_to_height() {
+        let jobs = [
+            (0.9, 0), (0.9, 0), (0.9, 0), // priority hog (3 jobs of the class)
+            (0.9, 1), (0.01, 1),
+            (0.9, 2), (0.01, 2),
+        ];
+        let (_, ps) = patterns_for(&jobs, 6, 0.5, Some(1), 1000);
+        let ps = ps.unwrap();
+        assert!(ps.symbols.iter().any(|s| s.bag == SlotBag::X));
+        let has_double = ps.patterns.iter().any(|p| {
+            p.entries.iter().any(|&(si, c)| ps.symbols[si].bag == SlotBag::X && c >= 2)
+        });
+        assert!(has_double, "expected a pattern with two stacked wildcard slots");
+    }
+
+    #[test]
+    fn heights_never_exceed_t() {
+        let jobs = [(0.9, 0), (0.5, 1), (0.3, 2), (0.9, 3), (0.5, 4), (0.01, 5)];
+        let (t, ps) = patterns_for(&jobs, 4, 0.5, None, 100_000);
+        let ps = ps.unwrap();
+        for p in &ps.patterns {
+            assert!(p.height <= t.t + 1e-9, "height {} > T {}", p.height, t.t);
+            let h: f64 =
+                p.entries.iter().map(|&(si, c)| ps.symbols[si].size * c as f64).sum();
+            assert!((h - p.height).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chi_reflects_priority_usage() {
+        let (t, ps) = patterns_for(&[(0.9, 0), (0.8, 1)], 2, 0.5, None, 1000);
+        let ps = ps.unwrap();
+        let both = ps
+            .patterns
+            .iter()
+            .position(|p| p.num_slots() == 2)
+            .expect("a two-slot pattern exists (T = 2.25 fits two larges)");
+        for tbag in 0..t.tinst.num_bags() {
+            assert!(ps.chi(both, BagId(tbag as u32)));
+        }
+        assert!(!ps.chi(0, BagId(0)), "empty pattern uses no bag");
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        let jobs: Vec<(f64, u32)> = (0..12).map(|i| (0.5 + (i as f64) * 0.03, i)).collect();
+        let (_, ps) = patterns_for(&jobs, 12, 0.5, None, 3);
+        assert_eq!(ps.unwrap_err().budget, 3);
+    }
+
+    #[test]
+    fn small_jobs_contribute_no_symbols() {
+        let (_, ps) = patterns_for(&[(0.001, 0), (0.002, 1)], 2, 0.5, None, 100);
+        let ps = ps.unwrap();
+        assert!(ps.symbols.is_empty());
+        assert_eq!(ps.patterns.len(), 1);
+    }
+
+    #[test]
+    fn symbol_count_matches_distinct_pairs() {
+        let jobs = [(0.9, 0), (0.3, 0)];
+        let (t, ps) = patterns_for(&jobs, 2, 0.5, None, 1000);
+        let ps = ps.unwrap();
+        let expected: std::collections::HashSet<_> = (0..t.tinst.num_jobs())
+            .filter(|&j| t.tclass[j] != JobClass::Small)
+            .map(|j| t.texp[j])
+            .collect();
+        assert_eq!(ps.symbols.len(), expected.len());
+    }
+
+    #[test]
+    fn wildcard_multiplicity_capped_by_availability() {
+        // Only one non-priority large job exists, so no pattern may hold
+        // two wildcard slots of that size even though height permits.
+        let jobs = [
+            (0.9, 0), (0.9, 0), (0.9, 0),
+            (0.9, 1), (0.01, 1),
+        ];
+        let (_, ps) = patterns_for(&jobs, 5, 0.5, Some(1), 1000);
+        let ps = ps.unwrap();
+        for p in &ps.patterns {
+            for &(si, c) in &p.entries {
+                assert!(c as u32 <= ps.symbols[si].avail);
+            }
+        }
+    }
+}

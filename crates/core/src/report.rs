@@ -1,0 +1,118 @@
+//! Diagnostics and failure types shared by the pipeline phases.
+
+use std::time::Duration;
+
+/// Why a single makespan guess could not be turned into a schedule.
+///
+/// `Infeasible` proves the guess is below the achievable makespan (up to
+/// the relaxations of the pipeline); the budget/heuristic variants are
+/// inconclusive — the driver treats both as "raise the guess" and falls
+/// back to the LPT schedule if even the largest guess fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuessFailure {
+    /// A single job exceeds the guess: certainly infeasible.
+    JobTooLarge,
+    /// The pattern MILP is infeasible: no schedule of height `T` exists.
+    MilpInfeasible,
+    /// Pattern enumeration exceeded its budget (inconclusive).
+    PatternBudget,
+    /// The MILP solver exhausted its node/time budget (inconclusive).
+    MilpBudget,
+    /// The two-stage small-job placement could not realize the `y`
+    /// assignment (inconclusive; the joint path would have been exact).
+    SmallPlacement,
+    /// The Lemma-7 swap repair found no partner (cannot happen at paper
+    /// constants; possible under a forced small `priority_cap`).
+    SwapRepair,
+    /// The Lemma-3 flow could not place all medium jobs (inconclusive
+    /// outside the paper's parameter regime).
+    MediumFlow,
+}
+
+impl std::fmt::Display for GuessFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GuessFailure::JobTooLarge => "a job exceeds the makespan guess",
+            GuessFailure::MilpInfeasible => "pattern MILP infeasible at this guess",
+            GuessFailure::PatternBudget => "pattern enumeration budget exhausted",
+            GuessFailure::MilpBudget => "MILP solver budget exhausted",
+            GuessFailure::SmallPlacement => "two-stage small-job placement failed",
+            GuessFailure::SwapRepair => "large-job swap repair found no partner",
+            GuessFailure::MediumFlow => "medium-job reinsertion flow incomplete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-run diagnostics of the EPTAS, consumed by the experiment harness
+/// and the ablation benches.
+#[derive(Debug, Clone, Default)]
+pub struct EptasReport {
+    /// Makespan guesses attempted by the binary search.
+    pub guesses_tried: usize,
+    /// The accepted guess `T0` (unscaled), if any guess succeeded.
+    pub chosen_guess: Option<f64>,
+    /// Certified lower bound used to seed the search.
+    pub lower_bound: f64,
+    /// Makespan of the LPT schedule that seeds the upper bound.
+    pub lpt_upper_bound: f64,
+    /// Statistics of the successful guess (if any).
+    pub last_success: Option<GuessStats>,
+    /// Failures per guess, in trial order.
+    pub failures: Vec<(f64, GuessFailure)>,
+    /// `true` when no guess succeeded and the LPT schedule was returned.
+    pub fell_back_to_lpt: bool,
+    /// Conflicts resolved by the *final safety net* (moving a job to the
+    /// least-loaded conflict-free machine). Zero on the paper path; any
+    /// positive value means a phase left a conflict behind.
+    pub safety_net_moves: usize,
+    /// Total wall-clock of the solve.
+    pub elapsed: Duration,
+}
+
+/// Statistics of one successful guess.
+#[derive(Debug, Clone, Default)]
+pub struct GuessStats {
+    /// Number of enumerated patterns.
+    pub patterns: usize,
+    /// Number of slot symbols.
+    pub symbols: usize,
+    /// Number of priority bags (transformed instance).
+    pub priority_bags: usize,
+    /// Whether the joint (paper-faithful) MILP was used, as opposed to
+    /// the two-stage x-MILP + greedy-y path.
+    pub joint_milp: bool,
+    /// Branch-and-bound nodes of the MILP solve.
+    pub milp_nodes: usize,
+    /// Simplex iterations of the MILP solve.
+    pub lp_iterations: usize,
+    /// Lemma-7 swaps performed while placing wildcard large jobs.
+    pub lemma7_swaps: usize,
+    /// Lemma-11 origin-chain moves while repairing small-job conflicts.
+    pub lemma11_moves: usize,
+    /// Lemma-4 filler swaps while undoing the transformation.
+    pub lemma4_swaps: usize,
+    /// Medium jobs re-inserted by the Lemma-3 flow.
+    pub medium_reinserted: usize,
+    /// Filler jobs that existed in the transformed instance.
+    pub filler_jobs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_display() {
+        assert!(GuessFailure::MilpInfeasible.to_string().contains("MILP"));
+        assert!(GuessFailure::JobTooLarge.to_string().contains("guess"));
+    }
+
+    #[test]
+    fn default_report_is_clean() {
+        let r = EptasReport::default();
+        assert_eq!(r.safety_net_moves, 0);
+        assert!(!r.fell_back_to_lpt);
+        assert!(r.last_success.is_none());
+    }
+}

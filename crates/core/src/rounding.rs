@@ -1,0 +1,138 @@
+//! Scaling and geometric rounding (paper §2.1, first paragraph).
+//!
+//! With the makespan guess `T0` fixed by the binary-search framework, the
+//! instance is scaled so `T0 = 1` and every processing time is rounded
+//! *up* to the next power of `1 + eps`. Rounding raises the optimum from
+//! `1` to at most `1 + eps` and leaves only `O(log_{1+eps} n)` distinct
+//! sizes, which the rest of the pipeline indexes by integer exponent.
+
+use bagsched_types::EPS;
+
+/// A rounded processing time, identified by its exponent: the size is
+/// `(1 + eps)^exp`. Exponents are non-positive for sizes `<= 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizeExp(pub i32);
+
+/// The scaled-and-rounded view of the job sizes.
+#[derive(Debug, Clone)]
+pub struct Rounded {
+    /// `eps` used for rounding.
+    pub epsilon: f64,
+    /// Rounded size per job (same index space as the source instance).
+    pub size: Vec<f64>,
+    /// Exponent per job: `size[j] = (1 + eps)^{exp[j].0}`.
+    pub exp: Vec<SizeExp>,
+}
+
+/// The rounded size for an exponent.
+#[inline]
+pub fn exp_size(e: SizeExp, epsilon: f64) -> f64 {
+    (1.0 + epsilon).powi(e.0)
+}
+
+/// Scale all sizes by `1/t0` and round up to powers of `1 + eps`.
+///
+/// Returns `None` if some scaled size exceeds `1 + EPS` — the guess `t0`
+/// is then certainly below the optimum (a job alone overflows a machine).
+pub fn scale_and_round(sizes: &[f64], t0: f64, epsilon: f64) -> Option<Rounded> {
+    assert!(t0 > 0.0 && t0.is_finite(), "guess must be positive");
+    let mut size = Vec::with_capacity(sizes.len());
+    let mut exp = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let scaled = s / t0;
+        if scaled > 1.0 + EPS {
+            return None;
+        }
+        let e = exponent_of(scaled, epsilon);
+        size.push(exp_size(e, epsilon));
+        exp.push(e);
+    }
+    Some(Rounded { epsilon, size, exp })
+}
+
+/// Smallest integer `e` with `(1 + eps)^e >= scaled` (up to tolerance).
+fn exponent_of(scaled: f64, epsilon: f64) -> SizeExp {
+    let raw = scaled.ln() / (1.0 + epsilon).ln();
+    let mut e = raw.ceil() as i32;
+    // `raw` may sit a hair above an integer due to float error; accept the
+    // integer below if it already covers `scaled`.
+    if (1.0 + epsilon).powi(e - 1) >= scaled * (1.0 - 1e-12) {
+        e -= 1;
+    }
+    // Guard against the rare opposite error.
+    while (1.0 + epsilon).powi(e) < scaled * (1.0 - 1e-12) {
+        e += 1;
+    }
+    SizeExp(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rounds_up_within_factor() {
+        let r = scale_and_round(&[0.3, 0.5, 0.99, 1.0], 1.0, 0.5).unwrap();
+        for (orig, (&rs, &e)) in [0.3, 0.5, 0.99, 1.0].iter().zip(r.size.iter().zip(&r.exp)) {
+            assert!(rs >= orig - 1e-12, "rounded {rs} below original {orig}");
+            assert!(rs <= orig * 1.5 + 1e-12, "rounded {rs} too far above {orig}");
+            assert!((exp_size(e, 0.5) - rs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_powers_stay_put() {
+        let eps = 0.5;
+        for e in [-4, -2, -1, 0] {
+            let v = (1.0f64 + eps).powi(e);
+            let r = scale_and_round(&[v], 1.0, eps).unwrap();
+            assert_eq!(r.exp[0], SizeExp(e), "power {v} moved to {:?}", r.exp[0]);
+            assert!((r.size[0] - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_divides_by_guess() {
+        let r = scale_and_round(&[2.0], 4.0, 0.5).unwrap();
+        assert_eq!(r.exp[0], SizeExp(-1)); // 0.5 = 1.5^-1? No: 1.5^-1 = 0.666 >= 0.5.
+        assert!(r.size[0] >= 0.5);
+    }
+
+    #[test]
+    fn oversized_job_rejects_guess() {
+        assert!(scale_and_round(&[2.0], 1.0, 0.5).is_none());
+        assert!(scale_and_round(&[2.0], 2.0, 0.5).is_some());
+    }
+
+    #[test]
+    fn one_rounds_to_exponent_zero() {
+        let r = scale_and_round(&[1.0], 1.0, 0.3).unwrap();
+        assert_eq!(r.exp[0], SizeExp(0));
+    }
+
+    proptest! {
+        #[test]
+        fn rounding_invariants(size in 1e-6f64..1.0, eps in 0.05f64..0.9) {
+            let r = scale_and_round(&[size], 1.0, eps).unwrap();
+            let rs = r.size[0];
+            // Monotone: never below the original.
+            prop_assert!(rs >= size * (1.0 - 1e-9));
+            // At most one factor above.
+            prop_assert!(rs <= size * (1.0 + eps) * (1.0 + 1e-9));
+            // Consistent with the exponent.
+            prop_assert!((exp_size(r.exp[0], eps) - rs).abs() < 1e-9);
+        }
+
+        #[test]
+        fn rounding_is_monotone_in_size(a in 1e-6f64..1.0, b in 1e-6f64..1.0) {
+            let eps = 0.4;
+            let r = scale_and_round(&[a, b], 1.0, eps).unwrap();
+            if a <= b {
+                prop_assert!(r.size[0] <= r.size[1] + 1e-12);
+            } else {
+                prop_assert!(r.size[1] <= r.size[0] + 1e-12);
+            }
+        }
+    }
+}

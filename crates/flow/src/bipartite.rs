@@ -1,0 +1,183 @@
+//! Bipartite assignment with supplies and capacities, solved by max-flow.
+//!
+//! This is the exact shape of the Lemma-3 network: left nodes are bags
+//! (supply = number of medium jobs to place), right nodes are machines
+//! (capacity = ceiling of the fractional assignment), and an edge `(l, r)`
+//! with capacity 1 exists iff machine `r` is free for bag `l`.
+
+use crate::dinic::max_flow;
+use crate::graph::{EdgeId, FlowNetwork, NodeId};
+
+/// A bipartite assignment problem.
+#[derive(Debug, Clone)]
+pub struct BipartiteProblem {
+    num_left: usize,
+    num_right: usize,
+    supply: Vec<u64>,
+    capacity: Vec<u64>,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+/// The integral assignment found by [`BipartiteProblem::solve`].
+#[derive(Debug, Clone)]
+pub struct BipartiteAssignment {
+    /// Total units assigned.
+    pub total: u64,
+    /// `(left, right, amount)` triples with `amount > 0`.
+    pub flows: Vec<(usize, usize, u64)>,
+    /// Sum of all supplies (for completeness checks).
+    pub total_supply: u64,
+}
+
+impl BipartiteAssignment {
+    /// Whether every unit of supply was assigned.
+    pub fn is_complete(&self) -> bool {
+        self.total == self.total_supply
+    }
+}
+
+impl BipartiteProblem {
+    /// A problem with `num_left` supply nodes and `num_right` capacity
+    /// nodes, all supplies and capacities zero, no edges.
+    pub fn new(num_left: usize, num_right: usize) -> Self {
+        BipartiteProblem {
+            num_left,
+            num_right,
+            supply: vec![0; num_left],
+            capacity: vec![0; num_right],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Set the supply of left node `l`.
+    pub fn set_supply(&mut self, l: usize, units: u64) {
+        self.supply[l] = units;
+    }
+
+    /// Set the capacity of right node `r`.
+    pub fn set_capacity(&mut self, r: usize, units: u64) {
+        self.capacity[r] = units;
+    }
+
+    /// Allow `cap` units to move from left `l` to right `r`.
+    pub fn allow(&mut self, l: usize, r: usize, cap: u64) {
+        assert!(l < self.num_left && r < self.num_right, "node out of range");
+        self.edges.push((l, r, cap));
+    }
+
+    /// Solve by max-flow; the result is integral.
+    pub fn solve(&self) -> BipartiteAssignment {
+        // Node layout: 0 = source, 1..=L = left, L+1..=L+R = right, last = sink.
+        let l0 = 1;
+        let r0 = 1 + self.num_left;
+        let sink = r0 + self.num_right;
+        let mut net = FlowNetwork::new(sink + 1);
+        for (l, &s) in self.supply.iter().enumerate() {
+            if s > 0 {
+                net.add_edge(NodeId(0), NodeId(l0 + l), s);
+            }
+        }
+        for (r, &c) in self.capacity.iter().enumerate() {
+            if c > 0 {
+                net.add_edge(NodeId(r0 + r), NodeId(sink), c);
+            }
+        }
+        let mut mid_edges: Vec<(usize, usize, EdgeId)> = Vec::with_capacity(self.edges.len());
+        for &(l, r, cap) in &self.edges {
+            let e = net.add_edge(NodeId(l0 + l), NodeId(r0 + r), cap);
+            mid_edges.push((l, r, e));
+        }
+        let total = max_flow(&mut net, NodeId(0), NodeId(sink));
+        let flows = mid_edges
+            .into_iter()
+            .filter_map(|(l, r, e)| {
+                let f = net.flow(e);
+                (f > 0).then_some((l, r, f))
+            })
+            .collect();
+        BipartiteAssignment { total, flows, total_supply: self.supply.iter().sum() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching() {
+        let mut p = BipartiteProblem::new(2, 2);
+        p.set_supply(0, 1);
+        p.set_supply(1, 1);
+        p.set_capacity(0, 1);
+        p.set_capacity(1, 1);
+        p.allow(0, 0, 1);
+        p.allow(0, 1, 1);
+        p.allow(1, 0, 1);
+        let a = p.solve();
+        assert!(a.is_complete());
+        assert_eq!(a.total, 2);
+        // Left 1 can only go right 0, forcing left 0 to right 1.
+        assert!(a.flows.contains(&(1, 0, 1)));
+        assert!(a.flows.contains(&(0, 1, 1)));
+    }
+
+    #[test]
+    fn incomplete_when_capacity_short() {
+        let mut p = BipartiteProblem::new(1, 1);
+        p.set_supply(0, 5);
+        p.set_capacity(0, 3);
+        p.allow(0, 0, 10);
+        let a = p.solve();
+        assert!(!a.is_complete());
+        assert_eq!(a.total, 3);
+        assert_eq!(a.total_supply, 5);
+    }
+
+    #[test]
+    fn respects_edge_caps() {
+        let mut p = BipartiteProblem::new(1, 2);
+        p.set_supply(0, 4);
+        p.set_capacity(0, 4);
+        p.set_capacity(1, 4);
+        p.allow(0, 0, 1);
+        p.allow(0, 1, 1);
+        let a = p.solve();
+        assert_eq!(a.total, 2);
+        for &(_, _, f) in &a.flows {
+            assert!(f <= 1);
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = BipartiteProblem::new(0, 0);
+        let a = p.solve();
+        assert_eq!(a.total, 0);
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn lemma3_shape_distributes_evenly() {
+        // 3 bags with 2 medium jobs each, 6 machines, every bag allowed on
+        // every machine (unit edges), machine capacity 1: a perfect spread
+        // must exist.
+        let mut p = BipartiteProblem::new(3, 6);
+        for l in 0..3 {
+            p.set_supply(l, 2);
+            for r in 0..6 {
+                p.allow(l, r, 1);
+            }
+        }
+        for r in 0..6 {
+            p.set_capacity(r, 1);
+        }
+        let a = p.solve();
+        assert!(a.is_complete());
+        // Every machine got exactly one job.
+        let mut per_machine = [0u64; 6];
+        for &(_, r, f) in &a.flows {
+            per_machine[r] += f;
+        }
+        assert!(per_machine.iter().all(|&c| c == 1));
+    }
+}

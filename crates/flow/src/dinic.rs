@@ -1,0 +1,243 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Runs in `O(V^2 E)` in general and `O(E sqrt(V))` on the unit-capacity
+//! bipartite networks Lemma 3 builds — far below the cost of the MILP, so
+//! the reinsertion step never dominates the EPTAS running time.
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// Compute the maximum `source -> sink` flow. The network retains the flow
+/// (query per-edge flow with [`FlowNetwork::flow`]).
+pub fn max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> u64 {
+    assert!(source.0 < net.num_nodes() && sink.0 < net.num_nodes(), "node out of range");
+    assert_ne!(source, sink, "source and sink must differ");
+    let n = net.num_nodes();
+    let mut level = vec![-1i32; n];
+    let mut it = vec![0usize; n];
+    let mut queue = Vec::with_capacity(n);
+    let mut total = 0u64;
+
+    loop {
+        // BFS: build level graph.
+        level.iter_mut().for_each(|l| *l = -1);
+        level[source.0] = 0;
+        queue.clear();
+        queue.push(source.0);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &eid in &net.adj[u] {
+                let e = &net.edges[eid];
+                if e.cap > 0 && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push(e.to);
+                }
+            }
+        }
+        if level[sink.0] < 0 {
+            break;
+        }
+        // DFS: find blocking flow.
+        it.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = dfs(net, source.0, sink.0, u64::MAX, &level, &mut it);
+            if pushed == 0 {
+                break;
+            }
+            total += pushed;
+        }
+    }
+    total
+}
+
+fn dfs(
+    net: &mut FlowNetwork,
+    u: usize,
+    sink: usize,
+    limit: u64,
+    level: &[i32],
+    it: &mut [usize],
+) -> u64 {
+    if u == sink {
+        return limit;
+    }
+    while it[u] < net.adj[u].len() {
+        let eid = net.adj[u][it[u]];
+        let (to, cap) = {
+            let e = &net.edges[eid];
+            (e.to, e.cap)
+        };
+        if cap > 0 && level[to] == level[u] + 1 {
+            let pushed = dfs(net, to, sink, limit.min(cap), level, it);
+            if pushed > 0 {
+                net.edges[eid].cap -= pushed;
+                net.edges[eid ^ 1].cap += pushed;
+                return pushed;
+            }
+        }
+        it[u] += 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowNetwork;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 7);
+        assert_eq!(max_flow(&mut g, NodeId(0), NodeId(1)), 7);
+        assert_eq!(g.flow(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1)
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b, t) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        g.add_edge(s, a, 3);
+        g.add_edge(s, b, 2);
+        g.add_edge(a, t, 2);
+        g.add_edge(b, t, 3);
+        g.add_edge(a, b, 1);
+        assert_eq!(max_flow(&mut g, s, t), 5);
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 10);
+        assert_eq!(max_flow(&mut g, NodeId(0), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn bottleneck_path() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 10);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(2), NodeId(3), 10);
+        assert_eq!(max_flow(&mut g, NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 2);
+        g.add_edge(NodeId(0), NodeId(1), 3);
+        assert_eq!(max_flow(&mut g, NodeId(0), NodeId(1)), 5);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut g = FlowNetwork::new(6);
+        let s = NodeId(0);
+        let t = NodeId(5);
+        let edges = [
+            (0, 1, 4),
+            (0, 2, 6),
+            (1, 3, 3),
+            (2, 3, 2),
+            (2, 4, 5),
+            (3, 5, 6),
+            (4, 5, 3),
+            (1, 4, 1),
+        ];
+        let mut ids = Vec::new();
+        for &(u, v, c) in &edges {
+            ids.push((u, v, g.add_edge(NodeId(u), NodeId(v), c)));
+        }
+        let total = max_flow(&mut g, s, t);
+        assert!(total > 0);
+        // Net flow at every interior node must be zero.
+        let mut net_flow = vec![0i64; 6];
+        for &(u, v, e) in &ids {
+            let f = g.flow(e) as i64;
+            net_flow[u] -= f;
+            net_flow[v] += f;
+        }
+        assert_eq!(net_flow[s.0], -(total as i64));
+        assert_eq!(net_flow[t.0], total as i64);
+        for node in 1..5 {
+            assert_eq!(net_flow[node], 0, "conservation violated at node {node}");
+        }
+    }
+
+    #[test]
+    fn reset_then_resolve_same_value() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 3);
+        g.add_edge(NodeId(1), NodeId(3), 2);
+        g.add_edge(NodeId(0), NodeId(2), 2);
+        g.add_edge(NodeId(2), NodeId(3), 4);
+        let f1 = max_flow(&mut g, NodeId(0), NodeId(3));
+        g.reset();
+        let f2 = max_flow(&mut g, NodeId(0), NodeId(3));
+        assert_eq!(f1, f2);
+        assert_eq!(f1, 4);
+    }
+
+    /// Reference implementation: Edmonds–Karp (BFS augmenting paths), used
+    /// to cross-check Dinic on random graphs.
+    fn edmonds_karp(net: &mut FlowNetwork, s: usize, t: usize) -> u64 {
+        let n = net.num_nodes();
+        let mut total = 0;
+        loop {
+            let mut parent_edge = vec![usize::MAX; n];
+            let mut visited = vec![false; n];
+            visited[s] = true;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &eid in &net.adj[u] {
+                    let e = &net.edges[eid];
+                    if e.cap > 0 && !visited[e.to] {
+                        visited[e.to] = true;
+                        parent_edge[e.to] = eid;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !visited[t] {
+                return total;
+            }
+            // Find bottleneck.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v];
+                bottleneck = bottleneck.min(net.edges[eid].cap);
+                v = net.edges[eid ^ 1].to;
+            }
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v];
+                net.edges[eid].cap -= bottleneck;
+                net.edges[eid ^ 1].cap += bottleneck;
+                v = net.edges[eid ^ 1].to;
+            }
+            total += bottleneck;
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn dinic_matches_edmonds_karp(
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 1..40)
+        ) {
+            let mut g1 = FlowNetwork::new(8);
+            let mut g2 = FlowNetwork::new(8);
+            for &(u, v, c) in &edges {
+                if u != v {
+                    g1.add_edge(NodeId(u), NodeId(v), c);
+                    g2.add_edge(NodeId(u), NodeId(v), c);
+                }
+            }
+            let d = max_flow(&mut g1, NodeId(0), NodeId(7));
+            let ek = edmonds_karp(&mut g2, 0, 7);
+            proptest::prop_assert_eq!(d, ek);
+        }
+    }
+}

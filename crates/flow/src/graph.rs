@@ -1,0 +1,126 @@
+//! Compact adjacency-list flow network with residual edges.
+
+/// Node index in a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Edge index in a [`FlowNetwork`]. Identifies the *forward* edge; its
+/// residual twin is `EdgeId(id.0 ^ 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub to: usize,
+    pub cap: u64,
+}
+
+/// A directed flow network with integral capacities.
+///
+/// Edges are stored in pairs: the forward edge at an even index and its
+/// residual (initially zero-capacity) twin at the following odd index, so
+/// the twin of edge `e` is `e ^ 1`.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) adj: Vec<Vec<usize>>,
+    initial_caps: Vec<u64>,
+}
+
+impl FlowNetwork {
+    /// An empty network with `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); nodes], initial_caps: Vec::new() }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId(self.adj.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Add a directed edge `from -> to` with capacity `cap`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        assert!(from.0 < self.adj.len() && to.0 < self.adj.len(), "node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: to.0, cap });
+        self.edges.push(Edge { to: from.0, cap: 0 });
+        self.adj[from.0].push(id);
+        self.adj[to.0].push(id + 1);
+        self.initial_caps.push(cap);
+        self.initial_caps.push(0);
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through a forward edge (its residual twin's
+    /// accumulated capacity).
+    pub fn flow(&self, e: EdgeId) -> u64 {
+        assert!(e.0 % 2 == 0, "flow() takes a forward edge id");
+        self.edges[e.0 ^ 1].cap
+    }
+
+    /// Remaining capacity of a forward edge.
+    pub fn residual(&self, e: EdgeId) -> u64 {
+        self.edges[e.0].cap
+    }
+
+    /// Reset all flow to zero, restoring initial capacities.
+    pub fn reset(&mut self) {
+        for (edge, &cap) in self.edges.iter_mut().zip(&self.initial_caps) {
+            edge.cap = cap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_pairing() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 5);
+        assert_eq!(e, EdgeId(0));
+        assert_eq!(g.residual(e), 5);
+        assert_eq!(g.flow(e), 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = FlowNetwork::new(0);
+        assert_eq!(g.add_node(), NodeId(0));
+        assert_eq!(g.add_node(), NodeId(1));
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 3);
+        g.edges[0].cap -= 2;
+        g.edges[1].cap += 2;
+        assert_eq!(g.flow(e), 2);
+        g.reset();
+        assert_eq!(g.flow(e), 0);
+        assert_eq!(g.residual(e), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let mut g = FlowNetwork::new(1);
+        g.add_edge(NodeId(0), NodeId(5), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Max-flow substrate for `bagsched`.
+//!
+//! The EPTAS of Grage, Jansen and Klein reinserts the medium jobs of
+//! non-priority bags through an integral maximum flow in a bag -> machine
+//! network (Lemma 3 of the paper). This crate provides:
+//!
+//! * [`FlowNetwork`] — a compact adjacency-list flow network,
+//! * [`max_flow`] — Dinic's blocking-flow algorithm (integral capacities),
+//! * [`bipartite`] — a convenience layer for the bag/machine assignment
+//!   networks the scheduler actually builds.
+//!
+//! Capacities are `u64`; Dinic returns integral flows, which is exactly the
+//! integrality argument Lemma 3 relies on ("flow theory implies that there
+//! exists an integral solution").
+
+pub mod bipartite;
+pub mod dinic;
+pub mod graph;
+
+pub use bipartite::{BipartiteAssignment, BipartiteProblem};
+pub use dinic::max_flow;
+pub use graph::{EdgeId, FlowNetwork, NodeId};

@@ -1,0 +1,416 @@
+//! Branch & bound for mixed-integer linear programs.
+//!
+//! Depth-first search over LP relaxations with most-fractional branching.
+//! The child closer to the relaxation value is explored first (a diving
+//! strategy that finds integral incumbents quickly on the pattern MILPs
+//! the EPTAS generates, where LP optima are near-integral).
+//!
+//! Budgets (nodes, wall-clock) are explicit: exhausting one yields
+//! [`MilpStatus::Feasible`] if an incumbent exists, otherwise
+//! [`MilpStatus::Budget`] — never a silent wrong answer.
+
+use crate::model::{LpStatus, Model, VarId};
+use crate::simplex;
+use crate::TOL;
+use std::time::{Duration, Instant};
+
+/// Budgets and tolerances for [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// A value within this distance of an integer counts as integral.
+    pub int_tol: f64,
+    /// Stop as soon as *any* integral solution is found (feasibility mode —
+    /// the paper's MILP is a pure feasibility question).
+    pub first_solution: bool,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 50_000,
+            time_limit: Duration::from_secs(60),
+            int_tol: 1e-6,
+            first_solution: false,
+        }
+    }
+}
+
+/// Outcome status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proven optimal integral solution.
+    Optimal,
+    /// Integral solution found, but a budget stopped the optimality proof
+    /// (or `first_solution` was set).
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// A budget was exhausted before any integral solution was found;
+    /// feasibility is unknown.
+    Budget,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    pub status: MilpStatus,
+    /// Best integral solution (empty unless `Optimal`/`Feasible`).
+    pub x: Vec<f64>,
+    /// Its objective value.
+    pub objective: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub lp_iterations: usize,
+}
+
+struct Node {
+    /// Bound overrides along the path from the root: `(var, lb, ub)`.
+    bounds: Vec<(usize, f64, f64)>,
+    /// Parent LP objective (a lower bound for this node), used for pruning
+    /// before the LP is solved.
+    parent_bound: f64,
+}
+
+/// Solve `model` to integral optimality (subject to budgets).
+pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
+    let start = Instant::now();
+    // Root presolve: tighten bounds, drop redundant rows, detect trivial
+    // infeasibility. Variables are never removed, so indices are stable.
+    let reduced;
+    let model = match crate::presolve::presolve(model) {
+        crate::presolve::PresolveStatus::Infeasible => {
+            return MilpResult {
+                status: MilpStatus::Infeasible,
+                x: vec![],
+                objective: f64::INFINITY,
+                nodes: 0,
+                lp_iterations: 0,
+            };
+        }
+        crate::presolve::PresolveStatus::Reduced { model, .. } => {
+            reduced = model;
+            &reduced
+        }
+    };
+    let int_vars: Vec<usize> =
+        (0..model.num_vars()).filter(|&j| model.is_integer(VarId(j))).collect();
+    let iter_limit = simplex::default_iter_limit(model);
+
+    let mut nodes = 0usize;
+    let mut lp_iterations = 0usize;
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut budget_hit = false;
+
+    let mut stack = vec![Node { bounds: Vec::new(), parent_bound: f64::NEG_INFINITY }];
+    let mut work = model.clone();
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes || start.elapsed() > opts.time_limit {
+            budget_hit = true;
+            break;
+        }
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.parent_bound >= *inc_obj - TOL {
+                continue; // dominated before solving
+            }
+        }
+        nodes += 1;
+
+        // Apply node bounds on the shared work model, solve, then restore.
+        let saved: Vec<(usize, f64, f64)> = node
+            .bounds
+            .iter()
+            .map(|&(j, _, _)| {
+                let (lb, ub) = work.bounds(VarId(j));
+                (j, lb, ub)
+            })
+            .collect();
+        for &(j, lb, ub) in &node.bounds {
+            work.set_bounds(VarId(j), lb, ub);
+        }
+        let lp = simplex::solve(&work, iter_limit);
+        for &(j, lb, ub) in &saved {
+            work.set_bounds(VarId(j), lb, ub);
+        }
+        lp_iterations += lp.iterations;
+
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // Unbounded relaxation at the root means the MILP itself is
+                // unbounded or ill-posed; deeper in the tree it cannot
+                // happen (bounds only tighten), but handle it defensively.
+                if node.bounds.is_empty() {
+                    return MilpResult {
+                        status: MilpStatus::Unbounded,
+                        x: vec![],
+                        objective: f64::NEG_INFINITY,
+                        nodes,
+                        lp_iterations,
+                    };
+                }
+                continue;
+            }
+            LpStatus::IterLimit => {
+                budget_hit = true;
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+
+        if let Some((_, inc_obj)) = &incumbent {
+            if lp.objective >= *inc_obj - TOL {
+                continue;
+            }
+        }
+
+        // Most fractional integer variable.
+        let mut branch_var: Option<(f64, usize)> = None;
+        for &j in &int_vars {
+            let v = lp.x[j];
+            let frac = (v - v.round()).abs();
+            if frac > opts.int_tol {
+                let score = (v.fract() - 0.5).abs(); // smaller = more fractional
+                match branch_var {
+                    Some((s, _)) if s <= score => {}
+                    _ => branch_var = Some((score, j)),
+                }
+            }
+        }
+
+        let Some((_, j)) = branch_var else {
+            // Integral solution.
+            let mut x = lp.x.clone();
+            for &jj in &int_vars {
+                x[jj] = x[jj].round();
+            }
+            let obj = model.objective_value(&x);
+            let better = incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc - TOL);
+            if better {
+                incumbent = Some((x, obj));
+                if opts.first_solution {
+                    return MilpResult {
+                        status: MilpStatus::Feasible,
+                        x: incumbent.as_ref().unwrap().0.clone(),
+                        objective: obj,
+                        nodes,
+                        lp_iterations,
+                    };
+                }
+            }
+            continue;
+        };
+
+        let v = lp.x[j];
+        let (lb, ub) = {
+            // Effective bounds at this node (base model + path overrides).
+            let mut eff = work.bounds(VarId(j));
+            for &(bj, blb, bub) in &node.bounds {
+                if bj == j {
+                    eff = (blb, bub);
+                }
+            }
+            eff
+        };
+        let floor = v.floor();
+        let ceil = v.ceil();
+
+        let mut down = node.bounds.clone();
+        down.push((j, lb, floor.min(ub)));
+        let mut up = node.bounds.clone();
+        up.push((j, ceil.max(lb), ub));
+
+        let down_node = Node { bounds: down, parent_bound: lp.objective };
+        let up_node = Node { bounds: up, parent_bound: lp.objective };
+        // DFS: push the less promising child first so the child closer to
+        // the LP value is explored next (diving).
+        if v - floor <= 0.5 {
+            stack.push(up_node);
+            stack.push(down_node);
+        } else {
+            stack.push(down_node);
+            stack.push(up_node);
+        }
+    }
+
+    match incumbent {
+        Some((x, objective)) => MilpResult {
+            status: if budget_hit || !stack.is_empty() { MilpStatus::Feasible } else { MilpStatus::Optimal },
+            x,
+            objective,
+            nodes,
+            lp_iterations,
+        },
+        None => MilpResult {
+            status: if budget_hit { MilpStatus::Budget } else { MilpStatus::Infeasible },
+            x: vec![],
+            objective: f64::INFINITY,
+            nodes,
+            lp_iterations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation::*};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 10x1 + 13x2 + 7x3, 3x1 + 4x2 + 2x3 <= 6, x binary.
+        // Best: x1 + x3 (weight 5, value 17) vs x2 + x3 (weight 6, value 20).
+        let mut m = Model::new();
+        let x1 = m.add_int_var(-10.0, 0.0, 1.0);
+        let x2 = m.add_int_var(-13.0, 0.0, 1.0);
+        let x3 = m.add_int_var(-7.0, 0.0, 1.0);
+        m.add_con(&[(x1, 3.0), (x2, 4.0), (x3, 2.0)], Le, 6.0);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective, -20.0);
+        assert_close(r.x[1], 1.0);
+        assert_close(r.x[2], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_gap() {
+        // max x s.t. 2x <= 5, x integer => x = 2 (LP gives 2.5).
+        let mut m = Model::new();
+        let x = m.add_int_var(-1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 2.0)], Le, 5.0);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.x[0], 2.0);
+    }
+
+    #[test]
+    fn lp_feasible_ip_infeasible() {
+        // 2x + 2y = 3 with x, y binary: LP ok (0.75, 0.75), IP impossible.
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 0.0, 1.0);
+        let y = m.add_int_var(0.0, 0.0, 1.0);
+        m.add_con(&[(x, 2.0), (y, 2.0)], Eq, 3.0);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer() {
+        // min y s.t. y >= 1.3 x, x >= 2 integer, y continuous.
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 2.0, f64::INFINITY);
+        let y = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(y, 1.0), (x, -1.3)], Ge, 0.0);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.x[0], 2.0);
+        assert_close(r.objective, 2.6);
+    }
+
+    #[test]
+    fn equality_assignment() {
+        // Assign 2 items to 2 slots, each exactly once; cost matrix
+        // [[1, 10], [10, 1]] => diagonal assignment, cost 2.
+        let mut m = Model::new();
+        let a = [[1.0, 10.0], [10.0, 1.0]];
+        let mut v = [[VarId(0); 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                v[i][j] = m.add_int_var(a[i][j], 0.0, 1.0);
+            }
+        }
+        for i in 0..2 {
+            m.add_con(&[(v[i][0], 1.0), (v[i][1], 1.0)], Eq, 1.0);
+            m.add_con(&[(v[0][i], 1.0), (v[1][i], 1.0)], Eq, 1.0);
+        }
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.objective, 2.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // A deliberately nasty IP with an immediate node budget.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|_| m.add_int_var(-1.0, 0.0, 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+        m.add_con(&terms, Le, 11.0);
+        let opts = MilpOptions { max_nodes: 1, ..Default::default() };
+        let r = solve_milp(&m, &opts);
+        // With one node we solve only the root LP: fractional, no incumbent.
+        assert_eq!(r.status, MilpStatus::Budget);
+    }
+
+    #[test]
+    fn first_solution_mode_stops_early() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.add_int_var(-1.0, 0.0, 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+        m.add_con(&terms, Le, 7.0);
+        let opts = MilpOptions { first_solution: true, ..Default::default() };
+        let r = solve_milp(&m, &opts);
+        assert_eq!(r.status, MilpStatus::Feasible);
+        assert!(!r.x.is_empty());
+        assert!(m.is_feasible_point(&r.x, 1e-6));
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer vars: B&B reduces to a single LP solve.
+        let mut m = Model::new();
+        let _x = m.add_var(-1.0, 0.0, 3.5);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.x[0], 3.5);
+        assert_eq!(r.nodes, 1);
+    }
+
+    #[test]
+    fn unbounded_root_reported() {
+        let mut m = Model::new();
+        m.add_int_var(-1.0, 0.0, f64::INFINITY);
+        let r = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Unbounded);
+    }
+
+    proptest::proptest! {
+        /// On random bounded pure-binary knapsacks the B&B optimum must
+        /// match brute-force enumeration.
+        #[test]
+        fn matches_bruteforce_knapsack(
+            values in proptest::collection::vec(1u32..20, 3..9),
+            weights in proptest::collection::vec(1u32..10, 9),
+            cap in 5u32..30,
+        ) {
+            let n = values.len();
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n).map(|j| m.add_int_var(-(values[j] as f64), 0.0, 1.0)).collect();
+            let terms: Vec<_> = vars.iter().enumerate().map(|(j, &v)| (v, weights[j] as f64)).collect();
+            m.add_con(&terms, Le, cap as f64);
+            let r = solve_milp(&m, &MilpOptions::default());
+            proptest::prop_assert_eq!(r.status, MilpStatus::Optimal);
+
+            let mut best = 0i64;
+            for mask in 0u32..(1 << n) {
+                let w: u32 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| weights[j]).sum();
+                if w <= cap {
+                    let v: i64 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| values[j] as i64).sum();
+                    best = best.max(v);
+                }
+            }
+            proptest::prop_assert!((r.objective + best as f64).abs() < 1e-6,
+                "bb={} brute={}", -r.objective, best);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! LP / MILP substrate for `bagsched`.
+//!
+//! The EPTAS of Grage, Jansen and Klein reduces large/medium job placement
+//! to a mixed-integer linear program over machine *patterns* (paper §3,
+//! constraints (1)–(9)) and solves it with Kannan's fixed-dimension integer
+//! programming algorithm. Kannan's algorithm is a worst-case device; any
+//! exact MILP oracle answers the same feasibility question, so this crate
+//! implements the substrate from scratch:
+//!
+//! * [`Model`] — a small modelling layer (variables with bounds and
+//!   integrality, linear constraints, minimization objective),
+//! * [`simplex`] — a dense-tableau two-phase primal simplex solver,
+//! * [`branch`] — depth-first branch & bound on the LP relaxation, with
+//!   node/iteration budgets and incumbent tracking,
+//! * [`presolve`] — root-node bound tightening and redundancy
+//!   elimination (singleton rows, activity analysis).
+//!
+//! The solver is exact up to floating-point tolerance ([`TOL`]); budgets
+//! are explicit and exhausting one is reported, never silent.
+
+pub mod branch;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use branch::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use model::{LpResult, LpStatus, Model, Relation, VarId};
+pub use presolve::{presolve, PresolveStatus};
+
+/// Numerical tolerance used for reduced costs, pivots, integrality and
+/// constraint satisfaction throughout the solver.
+pub const TOL: f64 = 1e-7;

@@ -1,0 +1,234 @@
+//! Modelling layer: variables, bounds, integrality, linear constraints.
+//!
+//! All problems are *minimization*; maximize by negating the objective.
+//! Variable lower bounds must be finite (the schedulers only ever need
+//! `x >= 0`); upper bounds may be `f64::INFINITY`.
+
+use crate::simplex;
+use crate::TOL;
+
+/// Index of a variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `<= rhs`
+    Le,
+    /// `== rhs`
+    Eq,
+    /// `>= rhs`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub obj: f64,
+    pub lb: f64,
+    pub ub: f64,
+    pub integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Sparse row: `(variable, coefficient)`, coalesced on build.
+    pub terms: Vec<(usize, f64)>,
+    pub rel: Relation,
+    pub rhs: f64,
+}
+
+/// A linear (mixed-integer) minimization problem.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration budget was exhausted before convergence.
+    IterLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    pub status: LpStatus,
+    /// Variable values (original variable space); empty unless `Optimal`.
+    pub x: Vec<f64>,
+    /// Objective value; meaningful only when `Optimal`.
+    pub objective: f64,
+    /// Simplex iterations spent (both phases).
+    pub iterations: usize,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Add a continuous variable with objective coefficient `obj` and
+    /// bounds `[lb, ub]` (`ub` may be infinite; `lb` must be finite).
+    pub fn add_var(&mut self, obj: f64, lb: f64, ub: f64) -> VarId {
+        assert!(lb.is_finite(), "lower bounds must be finite");
+        assert!(!ub.is_nan() && ub >= lb - TOL, "need lb <= ub, got [{lb}, {ub}]");
+        self.vars.push(VarDef { obj, lb, ub, integer: false });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add an integer variable with objective coefficient `obj` and bounds
+    /// `[lb, ub]`.
+    pub fn add_int_var(&mut self, obj: f64, lb: f64, ub: f64) -> VarId {
+        let v = self.add_var(obj, lb, ub);
+        self.vars[v.0].integer = true;
+        v
+    }
+
+    /// Mark an existing variable integer.
+    pub fn set_integer(&mut self, v: VarId, integer: bool) {
+        self.vars[v.0].integer = integer;
+    }
+
+    /// Tighten (replace) the bounds of a variable.
+    pub fn set_bounds(&mut self, v: VarId, lb: f64, ub: f64) {
+        assert!(lb.is_finite(), "lower bounds must be finite");
+        self.vars[v.0].lb = lb;
+        self.vars[v.0].ub = ub;
+    }
+
+    /// Current bounds of a variable.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lb, self.vars[v.0].ub)
+    }
+
+    /// Whether a variable is integer-constrained.
+    pub fn is_integer(&self, v: VarId) -> bool {
+        self.vars[v.0].integer
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Add the constraint `sum(coeff * var) rel rhs`. Duplicate variable
+    /// mentions are summed; zero coefficients are dropped.
+    pub fn add_con(&mut self, terms: &[(VarId, f64)], rel: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut coalesced: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(v.0 < self.vars.len(), "variable out of range");
+            assert!(c.is_finite(), "coefficients must be finite");
+            match coalesced.iter_mut().find(|(u, _)| *u == v.0) {
+                Some((_, acc)) => *acc += c,
+                None => coalesced.push((v.0, c)),
+            }
+        }
+        coalesced.retain(|&(_, c)| c.abs() > 0.0);
+        self.cons.push(Constraint { terms: coalesced, rel, rhs });
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
+    }
+
+    /// Check whether `x` satisfies every constraint and bound up to `tol`.
+    pub fn is_feasible_point(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lb - tol || xi > v.ub + tol {
+                return false;
+            }
+        }
+        for con in &self.cons {
+            let lhs: f64 = con.terms.iter().map(|&(j, c)| c * x[j]).sum();
+            let ok = match con.rel {
+                Relation::Le => lhs <= con.rhs + tol,
+                Relation::Ge => lhs >= con.rhs - tol,
+                Relation::Eq => (lhs - con.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solve the LP relaxation (integrality ignored) with the default
+    /// iteration budget.
+    pub fn solve_lp(&self) -> LpResult {
+        simplex::solve(self, simplex::default_iter_limit(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        let y = m.add_int_var(2.0, 0.0, 5.0);
+        assert_eq!(m.num_vars(), 2);
+        assert!(!m.is_integer(x));
+        assert!(m.is_integer(y));
+        m.add_con(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        assert_eq!(m.num_cons(), 1);
+        assert_eq!(m.objective_value(&[1.0, 1.5]), 4.0);
+    }
+
+    #[test]
+    fn coalesces_duplicate_terms() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 1.0);
+        m.add_con(&[(x, 1.0), (x, 2.0)], Relation::Le, 2.0);
+        assert_eq!(m.cons[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn drops_zero_coefficients() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 1.0);
+        let y = m.add_var(0.0, 0.0, 1.0);
+        m.add_con(&[(x, 0.0), (y, 1.0)], Relation::Ge, 0.5);
+        assert_eq!(m.cons[0].terms, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 2.0);
+        let y = m.add_var(0.0, 1.0, 3.0);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        assert!(m.is_feasible_point(&[1.0, 2.0], 1e-9));
+        assert!(!m.is_feasible_point(&[0.0, 0.5], 1e-9)); // y below lb
+        assert!(!m.is_feasible_point(&[2.0, 2.0], 1e-9)); // eq violated
+        assert!(!m.is_feasible_point(&[1.0], 1e-9)); // wrong len
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_lb() {
+        let mut m = Model::new();
+        m.add_var(0.0, f64::NEG_INFINITY, 0.0);
+    }
+}

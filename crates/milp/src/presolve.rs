@@ -1,0 +1,271 @@
+//! Presolve: bound tightening and redundancy elimination before the
+//! branch-and-bound search.
+//!
+//! The pattern MILPs the EPTAS generates contain many singleton rows
+//! (upper bounds the modeller wrote as constraints) and rows made
+//! redundant by variable bounds. Presolve runs to a fixpoint:
+//!
+//! * **singleton rows** become variable bounds and are dropped;
+//! * **integer bounds** are rounded inward (`ceil(lb)`, `floor(ub)`);
+//! * **activity analysis**: a row whose worst-case activity already
+//!   satisfies it is dropped; one whose best-case activity cannot satisfy
+//!   it proves infeasibility.
+//!
+//! Variables are never removed, so solutions of the reduced model are
+//! solutions of the original — the reduction is safe to apply at the
+//! root of the branch-and-bound tree.
+
+use crate::model::{Model, Relation};
+use crate::TOL;
+
+/// Outcome of presolving.
+#[derive(Debug, Clone)]
+pub enum PresolveStatus {
+    /// The reduced (equivalent) model plus reduction statistics.
+    Reduced { model: Model, rows_dropped: usize, bounds_tightened: usize },
+    /// The constraints are infeasible (proven without any LP).
+    Infeasible,
+}
+
+/// Presolve `model` to a fixpoint (bounded number of passes).
+pub fn presolve(model: &Model) -> PresolveStatus {
+    let mut m = model.clone();
+    let mut rows_dropped = 0usize;
+    let mut bounds_tightened = 0usize;
+
+    // Round integer bounds inward once up front.
+    for j in 0..m.num_vars() {
+        let v = crate::model::VarId(j);
+        if m.is_integer(v) {
+            let (lb, ub) = m.bounds(v);
+            let new_lb = (lb - TOL).ceil();
+            let new_ub = if ub.is_finite() { (ub + TOL).floor() } else { ub };
+            if new_lb > new_ub + TOL {
+                return PresolveStatus::Infeasible;
+            }
+            if new_lb > lb + TOL || new_ub < ub - TOL {
+                bounds_tightened += 1;
+            }
+            m.set_bounds(v, new_lb, new_ub.max(new_lb));
+        }
+    }
+
+    for _pass in 0..10 {
+        let mut changed = false;
+        let mut keep = Vec::with_capacity(m.cons.len());
+        for con in std::mem::take(&mut m.cons) {
+            // Singleton row -> bound.
+            if con.terms.len() == 1 {
+                let (j, a) = con.terms[0];
+                let v = crate::model::VarId(j);
+                let (mut lb, mut ub) = m.bounds(v);
+                let bound = con.rhs / a;
+                let tighten_ub = |ub: &mut f64, b: f64| {
+                    if b < *ub - TOL {
+                        *ub = b;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tighten_lb = |lb: &mut f64, b: f64| {
+                    if b > *lb + TOL {
+                        *lb = b;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let t = match (con.rel, a > 0.0) {
+                    (Relation::Le, true) | (Relation::Ge, false) => tighten_ub(&mut ub, bound),
+                    (Relation::Le, false) | (Relation::Ge, true) => tighten_lb(&mut lb, bound),
+                    (Relation::Eq, _) => {
+                        let a1 = tighten_ub(&mut ub, bound);
+                        let b1 = tighten_lb(&mut lb, bound);
+                        a1 || b1
+                    }
+                };
+                if m.is_integer(v) {
+                    lb = (lb - TOL).ceil();
+                    ub = if ub.is_finite() { (ub + TOL).floor() } else { ub };
+                }
+                if lb > ub + TOL {
+                    return PresolveStatus::Infeasible;
+                }
+                m.set_bounds(v, lb, ub.max(lb));
+                if t {
+                    bounds_tightened += 1;
+                    changed = true;
+                }
+                rows_dropped += 1;
+                continue; // row absorbed into bounds
+            }
+            // Activity analysis.
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            let mut max_finite = true;
+            for &(j, a) in &con.terms {
+                let (lb, ub) = m.bounds(crate::model::VarId(j));
+                if a > 0.0 {
+                    min_act += a * lb;
+                    if ub.is_finite() {
+                        max_act += a * ub;
+                    } else {
+                        max_finite = false;
+                    }
+                } else {
+                    if ub.is_finite() {
+                        min_act += a * ub;
+                    } else {
+                        min_act = f64::NEG_INFINITY;
+                    }
+                    max_act += a * lb;
+                }
+            }
+            match con.rel {
+                Relation::Le => {
+                    if min_act > con.rhs + 1e-6 {
+                        return PresolveStatus::Infeasible;
+                    }
+                    if max_finite && max_act <= con.rhs + TOL {
+                        rows_dropped += 1;
+                        changed = true;
+                        continue; // always satisfied
+                    }
+                }
+                Relation::Ge => {
+                    if max_finite && max_act < con.rhs - 1e-6 {
+                        return PresolveStatus::Infeasible;
+                    }
+                    if min_act.is_finite() && min_act >= con.rhs - TOL {
+                        rows_dropped += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                Relation::Eq => {
+                    if min_act > con.rhs + 1e-6
+                        || (max_finite && max_act < con.rhs - 1e-6)
+                    {
+                        return PresolveStatus::Infeasible;
+                    }
+                }
+            }
+            keep.push(con);
+        }
+        m.cons = keep;
+        if !changed {
+            break;
+        }
+    }
+
+    PresolveStatus::Reduced { model: m, rows_dropped, bounds_tightened }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpStatus, Model, Relation::*, VarId};
+
+    #[test]
+    fn singleton_becomes_bound() {
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 2.0)], Le, 10.0);
+        match presolve(&m) {
+            PresolveStatus::Reduced { model, rows_dropped, .. } => {
+                assert_eq!(rows_dropped, 1);
+                assert_eq!(model.num_cons(), 0);
+                assert_eq!(model.bounds(x), (0.0, 5.0));
+            }
+            PresolveStatus::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn integer_bounds_rounded() {
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 2.0)], Le, 5.0); // x <= 2.5 -> x <= 2
+        match presolve(&m) {
+            PresolveStatus::Reduced { model, .. } => {
+                assert_eq!(model.bounds(x).1, 2.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn crossing_singletons_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Le, 1.0);
+        m.add_con(&[(x, 1.0)], Ge, 2.0);
+        assert!(matches!(presolve(&m), PresolveStatus::Infeasible));
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 1.0);
+        let y = m.add_var(0.0, 0.0, 1.0);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Le, 5.0); // max activity 2 <= 5
+        match presolve(&m) {
+            PresolveStatus::Reduced { model, rows_dropped, .. } => {
+                assert_eq!(rows_dropped, 1);
+                assert_eq!(model.num_cons(), 0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn impossible_activity_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 1.0);
+        let y = m.add_var(0.0, 0.0, 1.0);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Ge, 3.0); // max activity 2 < 3
+        assert!(matches!(presolve(&m), PresolveStatus::Infeasible));
+    }
+
+    #[test]
+    fn integer_gap_detected() {
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 0.4, 0.6); // no integer in [0.4, 0.6]
+        let _ = x;
+        assert!(matches!(presolve(&m), PresolveStatus::Infeasible));
+    }
+
+    proptest::proptest! {
+        /// Presolve preserves the LP optimum on random feasible models.
+        #[test]
+        fn preserves_lp_optimum(
+            seed_x in proptest::collection::vec(0.0f64..3.0, 3..5),
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1.0f64..2.0, 5), 2..6),
+            costs in proptest::collection::vec(-1.0f64..1.0, 5),
+        ) {
+            let n = seed_x.len();
+            let mut m = Model::new();
+            let vars: Vec<VarId> = (0..n).map(|j| m.add_var(costs[j], 0.0, 8.0)).collect();
+            for row in &rows {
+                let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &c)| (v, c)).collect();
+                let lhs: f64 = row.iter().take(n).zip(&seed_x).map(|(c, x)| c * x).sum();
+                m.add_con(&terms[..n], Le, lhs + 0.3);
+            }
+            let before = m.solve_lp();
+            proptest::prop_assert_eq!(before.status, LpStatus::Optimal);
+            match presolve(&m) {
+                PresolveStatus::Reduced { model, .. } => {
+                    let after = model.solve_lp();
+                    proptest::prop_assert_eq!(after.status, LpStatus::Optimal);
+                    proptest::prop_assert!((after.objective - before.objective).abs() < 1e-5,
+                        "objective moved: {} -> {}", before.objective, after.objective);
+                }
+                PresolveStatus::Infeasible => {
+                    proptest::prop_assert!(false, "feasible model declared infeasible");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! Scope: the pattern MILP relaxations the EPTAS generates are dense-ish
+//! and small (hundreds of rows/columns), so a dense tableau is both simple
+//! and fast enough; sparse revised simplex would be over-engineering here.
+//!
+//! Method: variables are shifted to `x' = x - lb >= 0`; finite upper
+//! bounds become explicit `x' <= ub - lb` rows. Inequalities get slack /
+//! surplus variables, rows are sign-normalized to `rhs >= 0`, and rows
+//! without a natural slack basis get artificial variables. Phase 1
+//! minimizes the artificial sum (infeasible iff positive), phase 2 the
+//! shifted objective. Dantzig pricing with a switch to Bland's rule after
+//! a degeneracy threshold guards against cycling.
+
+use crate::model::{LpResult, LpStatus, Model, Relation};
+use crate::TOL;
+
+/// A generous iteration budget scaled to model size.
+pub fn default_iter_limit(model: &Model) -> usize {
+    // Simplex converges in O(rows) iterations in practice; the hard cap
+    // keeps a single degenerate solve on a large dense tableau from
+    // dominating the branch-and-bound wall clock.
+    (500 * (model.num_vars() + model.num_cons()) + 2000).min(60_000)
+}
+
+struct Tableau {
+    /// Row-major `(rows) x (cols + 1)`; last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Objective row: reduced costs (length `cols`), last entry = objective value (negated z).
+    obj: Vec<f64>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// Gauss–Jordan pivot on `(prow, pcol)`.
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let width = self.cols + 1;
+        let pval = self.at(prow, pcol);
+        debug_assert!(pval.abs() > TOL, "pivot element too small: {pval}");
+        let inv = 1.0 / pval;
+        let prow_off = prow * width;
+        for c in 0..width {
+            self.a[prow_off + c] *= inv;
+        }
+        self.a[prow_off + pcol] = 1.0;
+        for r in 0..self.rows {
+            if r == prow {
+                continue;
+            }
+            let factor = self.at(r, pcol);
+            if factor.abs() <= 1e-12 {
+                continue;
+            }
+            let r_off = r * width;
+            for c in 0..width {
+                self.a[r_off + c] -= factor * self.a[prow_off + c];
+            }
+            self.a[r_off + pcol] = 0.0;
+        }
+        let factor = self.obj[pcol];
+        if factor.abs() > 1e-12 {
+            for c in 0..width {
+                self.obj[c] -= factor * self.a[prow_off + c];
+            }
+            self.obj[pcol] = 0.0;
+        }
+        self.basis[prow] = pcol;
+    }
+
+    /// Ratio test: leaving row for entering column `pcol`, or `None` if the
+    /// column is unbounded. Ties break toward the smallest basis index
+    /// (lexicographic-ish, helps against cycling).
+    fn ratio_test(&self, pcol: usize) -> Option<usize> {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+        for r in 0..self.rows {
+            let a = self.at(r, pcol);
+            if a > TOL {
+                let ratio = self.rhs(r) / a;
+                let key = (ratio, self.basis[r]);
+                match best {
+                    Some((br, bb, _)) if (br, bb) <= key => {}
+                    _ => best = Some((ratio, self.basis[r], r)),
+                }
+            }
+        }
+        best.map(|(_, _, r)| r)
+    }
+
+    /// One optimization run on the current objective row.
+    /// Only columns `c` with `allowed(c)` may enter.
+    fn optimize(
+        &mut self,
+        allowed: impl Fn(usize) -> bool,
+        iter_limit: usize,
+        iterations: &mut usize,
+    ) -> LpStatus {
+        let bland_after = iter_limit / 2;
+        let mut local_iter = 0usize;
+        loop {
+            if *iterations >= iter_limit {
+                return LpStatus::IterLimit;
+            }
+            // Entering column.
+            let entering = if local_iter < bland_after {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<(f64, usize)> = None;
+                for c in 0..self.cols {
+                    let rc = self.obj[c];
+                    if rc < -TOL && allowed(c) {
+                        match best {
+                            Some((b, _)) if b <= rc => {}
+                            _ => best = Some((rc, c)),
+                        }
+                    }
+                }
+                best.map(|(_, c)| c)
+            } else {
+                // Bland: smallest index with negative reduced cost.
+                (0..self.cols).find(|&c| self.obj[c] < -TOL && allowed(c))
+            };
+            let Some(pcol) = entering else {
+                return LpStatus::Optimal;
+            };
+            let Some(prow) = self.ratio_test(pcol) else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(prow, pcol);
+            *iterations += 1;
+            local_iter += 1;
+        }
+    }
+}
+
+/// Solve the LP relaxation of `model` (integrality ignored).
+pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
+    let n = model.num_vars();
+    let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let obj_offset: f64 = model.vars.iter().map(|v| v.obj * v.lb).sum();
+
+    // Assemble rows over shifted variables. Each row: (dense coeffs over
+    // structural vars, relation, rhs).
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+    for con in &model.cons {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(j, c) in &con.terms {
+            coeffs[j] += c;
+            shift += c * lbs[j];
+        }
+        rows.push((coeffs, con.rel, con.rhs - shift));
+    }
+    for (j, v) in model.vars.iter().enumerate() {
+        if v.ub.is_finite() {
+            let range = v.ub - v.lb;
+            if range < -TOL {
+                return LpResult { status: LpStatus::Infeasible, x: vec![], objective: 0.0, iterations: 0 };
+            }
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            rows.push((coeffs, Relation::Le, range.max(0.0)));
+        }
+    }
+
+    if rows.is_empty() {
+        // No constraints at all: optimum sits at the lower bounds unless
+        // some cost is negative (then x_j -> +inf is improving).
+        if model.vars.iter().any(|v| v.obj < -TOL) {
+            return LpResult { status: LpStatus::Unbounded, x: vec![], objective: 0.0, iterations: 0 };
+        }
+        return LpResult {
+            status: LpStatus::Optimal,
+            x: lbs,
+            objective: obj_offset,
+            iterations: 0,
+        };
+    }
+
+    let m = rows.len();
+    // Column layout: structural (n) | slacks (one per inequality) | artificials.
+    let num_slacks = rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+    // Worst case every row needs an artificial.
+    let cols_upper = n + num_slacks + m;
+    let width = cols_upper + 1;
+    let mut t = Tableau {
+        a: vec![0.0; m * width],
+        rows: m,
+        cols: cols_upper,
+        basis: vec![usize::MAX; m],
+        obj: vec![0.0; width],
+    };
+
+    let mut next_slack = n;
+    let mut next_art = n + num_slacks;
+    let art_start = n + num_slacks;
+    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+        let neg = *rhs < 0.0;
+        let sign = if neg { -1.0 } else { 1.0 };
+        for (j, &c) in coeffs.iter().enumerate() {
+            *t.at_mut(r, j) = sign * c;
+        }
+        *t.at_mut(r, cols_upper) = sign * rhs;
+        let slack_coef = match rel {
+            Relation::Le => {
+                let s = next_slack;
+                next_slack += 1;
+                *t.at_mut(r, s) = sign;
+                Some((s, sign))
+            }
+            Relation::Ge => {
+                let s = next_slack;
+                next_slack += 1;
+                *t.at_mut(r, s) = -sign;
+                Some((s, -sign))
+            }
+            Relation::Eq => None,
+        };
+        match slack_coef {
+            Some((s, coef)) if coef > 0.0 => t.basis[r] = s,
+            _ => {
+                let a = next_art;
+                next_art += 1;
+                *t.at_mut(r, a) = 1.0;
+                t.basis[r] = a;
+            }
+        }
+    }
+    let num_arts = next_art - art_start;
+
+    let mut iterations = 0usize;
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    if num_arts > 0 {
+        // obj row = -(sum of rows whose basis is artificial), expressing
+        // reduced costs of cost-1 artificial basics.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                let r_off = r * width;
+                for c in 0..width {
+                    t.obj[c] -= t.a[r_off + c];
+                }
+            }
+        }
+        // Artificial columns have cost 1.
+        for c in art_start..next_art {
+            t.obj[c] += 1.0;
+        }
+        let status = t.optimize(|_| true, iter_limit, &mut iterations);
+        if status == LpStatus::IterLimit {
+            return LpResult { status, x: vec![], objective: 0.0, iterations };
+        }
+        let phase1_obj = -t.obj[cols_upper];
+        if phase1_obj > 1e-6 {
+            return LpResult { status: LpStatus::Infeasible, x: vec![], objective: 0.0, iterations };
+        }
+        // Drive remaining artificials out of the basis.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                if let Some(pcol) = (0..art_start).find(|&c| t.at(r, c).abs() > 1e-6) {
+                    t.pivot(r, pcol);
+                    iterations += 1;
+                }
+                // If no structural pivot exists the row is redundant
+                // (all-zero); the artificial stays basic at value ~0 and we
+                // simply never let artificials re-enter in phase 2.
+            }
+        }
+    }
+
+    // ---- Phase 2: minimize the real objective. ----
+    t.obj.iter_mut().for_each(|v| *v = 0.0);
+    for (j, v) in model.vars.iter().enumerate() {
+        t.obj[j] = v.obj;
+    }
+    // Make reduced costs of basic variables zero.
+    for r in 0..m {
+        let b = t.basis[r];
+        let cost = t.obj[b];
+        if cost.abs() > 1e-12 {
+            let r_off = r * width;
+            for c in 0..width {
+                t.obj[c] -= cost * t.a[r_off + c];
+            }
+            t.obj[b] = 0.0;
+        }
+    }
+    let status = t.optimize(|c| c < art_start, iter_limit, &mut iterations);
+    if status != LpStatus::Optimal {
+        return LpResult { status, x: vec![], objective: 0.0, iterations };
+    }
+
+    // Extract solution.
+    let mut x = lbs.clone();
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = lbs[b] + t.rhs(r).max(0.0);
+        }
+    }
+    let objective = model.objective_value(&x);
+    LpResult { status: LpStatus::Optimal, x, objective, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation::*};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), z = 36.
+        let mut m = Model::new();
+        let x = m.add_var(-3.0, 0.0, f64::INFINITY);
+        let y = m.add_var(-5.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Le, 4.0);
+        m.add_con(&[(y, 2.0)], Le, 12.0);
+        m.add_con(&[(x, 3.0), (y, 2.0)], Le, 18.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, -36.0);
+        assert_close(r.x[0], 2.0);
+        assert_close(r.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2 => 10, e.g. (3, 7).
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        let y = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Eq, 10.0);
+        m.add_con(&[(x, 1.0)], Ge, 3.0);
+        m.add_con(&[(y, 1.0)], Ge, 2.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 10.0);
+        assert!(r.x[0] >= 3.0 - 1e-6 && r.x[1] >= 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Le, 1.0);
+        m.add_con(&[(x, 1.0)], Ge, 2.0);
+        assert_eq!(m.solve_lp().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 0.0, f64::INFINITY);
+        let y = m.add_var(0.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, -1.0)], Le, 1.0);
+        assert_eq!(m.solve_lp().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        // min -x with x in [0, 7].
+        let mut m = Model::new();
+        let _x = m.add_var(-1.0, 0.0, 7.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.x[0], 7.0);
+    }
+
+    #[test]
+    fn respects_shifted_lower_bounds() {
+        // min x + y with x >= 2.5, y >= 1, x + y >= 5.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 2.5, f64::INFINITY);
+        let y = m.add_var(1.0, 1.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Ge, 5.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 5.0);
+    }
+
+    #[test]
+    fn no_constraints_sits_at_lb() {
+        let mut m = Model::new();
+        m.add_var(1.0, 2.0, f64::INFINITY);
+        m.add_var(0.0, -1.0, f64::INFINITY);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 2.0);
+        assert_close(r.x[1], -1.0);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut m = Model::new();
+        m.add_var(-1.0, 0.0, f64::INFINITY);
+        assert_eq!(m.solve_lp().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn crossing_bounds_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 0.0, 1.0);
+        m.set_bounds(x, 2.0, 1.0);
+        assert_eq!(m.solve_lp().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: many redundant constraints through the origin.
+        let mut m = Model::new();
+        let x = m.add_var(-0.75, 0.0, f64::INFINITY);
+        let y = m.add_var(150.0, 0.0, f64::INFINITY);
+        let z = m.add_var(-0.02, 0.0, f64::INFINITY);
+        let w = m.add_var(6.0, 0.0, f64::INFINITY);
+        // Beale's cycling example (classic form).
+        m.add_con(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Le, 0.0);
+        m.add_con(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Le, 0.0);
+        m.add_con(&[(z, 1.0)], Le, 1.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, -0.05);
+    }
+
+    #[test]
+    fn transportation_lp() {
+        // 2 supplies (10, 20), 2 demands (15, 15); costs [[1,2],[3,1]].
+        let mut m = Model::new();
+        let x11 = m.add_var(1.0, 0.0, f64::INFINITY);
+        let x12 = m.add_var(2.0, 0.0, f64::INFINITY);
+        let x21 = m.add_var(3.0, 0.0, f64::INFINITY);
+        let x22 = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x11, 1.0), (x12, 1.0)], Eq, 10.0);
+        m.add_con(&[(x21, 1.0), (x22, 1.0)], Eq, 20.0);
+        m.add_con(&[(x11, 1.0), (x21, 1.0)], Eq, 15.0);
+        m.add_con(&[(x12, 1.0), (x22, 1.0)], Eq, 15.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Optimal: x11=10, x21=5, x22=15 => 10 + 15 + 15 = 40.
+        assert_close(r.objective, 40.0);
+    }
+
+    proptest::proptest! {
+        /// Random LPs constructed around a known feasible point: the solver
+        /// must (a) report optimal, (b) return a feasible point, (c) reach
+        /// an objective no worse than the seed point's.
+        #[test]
+        fn solves_random_feasible_lps(
+            seed_x in proptest::collection::vec(0.0f64..5.0, 3..6),
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-2.0f64..2.0, 6), 2..8),
+            costs in proptest::collection::vec(-1.0f64..1.0, 6),
+        ) {
+            let n = seed_x.len();
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n).map(|j| m.add_var(costs[j], 0.0, 10.0)).collect();
+            for row in &rows {
+                let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &c)| (v, c)).collect();
+                let lhs: f64 = row.iter().take(n).zip(&seed_x).map(|(c, x)| c * x).sum();
+                m.add_con(&terms[..n], Le, lhs + 0.5);
+            }
+            let r = m.solve_lp();
+            proptest::prop_assert_eq!(r.status, LpStatus::Optimal);
+            proptest::prop_assert!(m.is_feasible_point(&r.x, 1e-5));
+            let seed_obj: f64 = seed_x.iter().zip(&costs).map(|(x, c)| x * c).sum();
+            proptest::prop_assert!(r.objective <= seed_obj + 1e-6);
+        }
+    }
+}

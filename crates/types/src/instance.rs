@@ -1,0 +1,304 @@
+//! Problem instances: jobs, bags, machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a job within an [`Instance`] (dense, `0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// Index of a bag within an [`Instance`] (dense, `0..b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BagId(pub u32);
+
+impl JobId {
+    /// The job index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BagId {
+    /// The bag index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single job: a processing time and the bag it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense job index.
+    pub id: JobId,
+    /// Processing time `p_j > 0`.
+    pub size: f64,
+    /// The unique bag containing this job.
+    pub bag: BagId,
+}
+
+/// An instance of machine scheduling with bag-constraints.
+///
+/// Construct via [`InstanceBuilder`] or [`Instance::new`]; both enforce the
+/// structural invariants (positive sizes, dense bag ids). Semantic
+/// feasibility (`|B_l| <= m`) is checked by
+/// [`validate_instance`](crate::validate::validate_instance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    machines: usize,
+    num_bags: usize,
+    /// Jobs of each bag, indexed by `BagId`.
+    #[serde(skip)]
+    bag_members: Vec<Vec<JobId>>,
+}
+
+impl Instance {
+    /// Build an instance from `(size, bag)` pairs and a machine count.
+    ///
+    /// # Panics
+    /// Panics if any size is non-positive or not finite. Bag ids may be
+    /// sparse; they are compacted to a dense range preserving order.
+    pub fn new(jobs: &[(f64, u32)], machines: usize) -> Self {
+        let mut builder = InstanceBuilder::new(machines);
+        for &(size, bag) in jobs {
+            builder.push(size, bag);
+        }
+        builder.build()
+    }
+
+    pub(crate) fn from_parts(jobs: Vec<Job>, machines: usize, num_bags: usize) -> Self {
+        let mut bag_members = vec![Vec::new(); num_bags];
+        for job in &jobs {
+            bag_members[job.bag.idx()].push(job.id);
+        }
+        Instance { jobs, machines, num_bags, bag_members }
+    }
+
+    /// Recompute the derived bag membership table (used after
+    /// deserialization, where it is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.bag_members = vec![Vec::new(); self.num_bags];
+        for job in &self.jobs {
+            self.bag_members[job.bag.idx()].push(job.id);
+        }
+    }
+
+    /// All jobs, indexed by [`JobId`].
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The job with the given id.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.idx()]
+    }
+
+    /// Processing time of a job.
+    #[inline]
+    pub fn size(&self, id: JobId) -> f64 {
+        self.jobs[id.idx()].size
+    }
+
+    /// Bag of a job.
+    #[inline]
+    pub fn bag_of(&self, id: JobId) -> BagId {
+        self.jobs[id.idx()].bag
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of bags `b`.
+    #[inline]
+    pub fn num_bags(&self) -> usize {
+        self.num_bags
+    }
+
+    /// The jobs of bag `l`.
+    #[inline]
+    pub fn bag(&self, l: BagId) -> &[JobId] {
+        &self.bag_members[l.idx()]
+    }
+
+    /// Iterator over `(BagId, members)`.
+    pub fn bags(&self) -> impl Iterator<Item = (BagId, &[JobId])> {
+        self.bag_members
+            .iter()
+            .enumerate()
+            .map(|(l, members)| (BagId(l as u32), members.as_slice()))
+    }
+
+    /// Total processing time of all jobs.
+    pub fn total_size(&self) -> f64 {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// Largest processing time (0 for an empty instance).
+    pub fn max_size(&self) -> f64 {
+        self.jobs.iter().map(|j| j.size).fold(0.0, f64::max)
+    }
+
+    /// Size of the largest bag.
+    pub fn max_bag_size(&self) -> usize {
+        self.bag_members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// A copy of this instance with a different machine count.
+    pub fn with_machines(&self, machines: usize) -> Self {
+        let mut inst = self.clone();
+        inst.machines = machines;
+        inst
+    }
+
+    /// A copy with every processing time multiplied by `factor > 0`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        let mut inst = self.clone();
+        for job in &mut inst.jobs {
+            job.size *= factor;
+        }
+        inst
+    }
+}
+
+/// Incremental [`Instance`] construction.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    jobs: Vec<Job>,
+    machines: usize,
+    bag_remap: Vec<(u32, u32)>,
+}
+
+impl InstanceBuilder {
+    /// Start building an instance on `machines` identical machines.
+    pub fn new(machines: usize) -> Self {
+        InstanceBuilder { jobs: Vec::new(), machines, bag_remap: Vec::new() }
+    }
+
+    /// Append a job with processing time `size` in external bag `bag`.
+    ///
+    /// External bag ids may be arbitrary `u32`s; they are compacted in
+    /// first-seen order.
+    pub fn push(&mut self, size: f64, bag: u32) -> JobId {
+        assert!(size > 0.0 && size.is_finite(), "job sizes must be positive and finite, got {size}");
+        let dense = match self.bag_remap.iter().find(|&&(ext, _)| ext == bag) {
+            Some(&(_, dense)) => dense,
+            None => {
+                let dense = self.bag_remap.len() as u32;
+                self.bag_remap.push((bag, dense));
+                dense
+            }
+        };
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(Job { id, size, bag: BagId(dense) });
+        id
+    }
+
+    /// Append a job in its own fresh singleton bag.
+    pub fn push_singleton(&mut self, size: f64) -> JobId {
+        let fresh = self
+            .bag_remap
+            .iter()
+            .map(|&(ext, _)| ext)
+            .max()
+            .map_or(0, |m| m.wrapping_add(1));
+        self.push(size, fresh)
+    }
+
+    /// Number of jobs pushed so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> Instance {
+        let num_bags = self.bag_remap.len();
+        Instance::from_parts(self.jobs, self.machines, num_bags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_compacts_bags() {
+        let inst = Instance::new(&[(1.0, 7), (2.0, 3), (3.0, 7)], 2);
+        assert_eq!(inst.num_bags(), 2);
+        assert_eq!(inst.bag_of(JobId(0)), inst.bag_of(JobId(2)));
+        assert_ne!(inst.bag_of(JobId(0)), inst.bag_of(JobId(1)));
+        assert_eq!(inst.bag(BagId(0)), &[JobId(0), JobId(2)]);
+    }
+
+    #[test]
+    fn singleton_bags_are_fresh() {
+        let mut b = InstanceBuilder::new(4);
+        b.push(1.0, 0);
+        b.push_singleton(2.0);
+        b.push_singleton(3.0);
+        let inst = b.build();
+        assert_eq!(inst.num_bags(), 3);
+        assert_eq!(inst.max_bag_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        Instance::new(&[(0.0, 0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan_size() {
+        Instance::new(&[(f64::NAN, 0)], 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let inst = Instance::new(&[(1.0, 0), (2.0, 1), (3.0, 0)], 2);
+        assert_eq!(inst.total_size(), 6.0);
+        assert_eq!(inst.max_size(), 3.0);
+        assert_eq!(inst.max_bag_size(), 2);
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.num_machines(), 2);
+    }
+
+    #[test]
+    fn scaled_multiplies_sizes() {
+        let inst = Instance::new(&[(1.0, 0), (2.0, 1)], 2).scaled(0.5);
+        assert_eq!(inst.size(JobId(0)), 0.5);
+        assert_eq!(inst.size(JobId(1)), 1.0);
+    }
+
+    #[test]
+    fn with_machines_keeps_jobs() {
+        let inst = Instance::new(&[(1.0, 0)], 2).with_machines(5);
+        assert_eq!(inst.num_machines(), 5);
+        assert_eq!(inst.num_jobs(), 1);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new(3).build();
+        assert_eq!(inst.num_jobs(), 0);
+        assert_eq!(inst.max_size(), 0.0);
+        assert_eq!(inst.max_bag_size(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! JSON (de)serialization of instances and schedules.
+//!
+//! Used by the experiment harness to persist workloads and results, and by
+//! the examples to show the interchange format. The format is plain
+//! `serde_json` over the public types.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialize an instance to a JSON string.
+pub fn instance_to_json(inst: &Instance) -> String {
+    serde_json::to_string_pretty(inst).expect("instance serialization cannot fail")
+}
+
+/// Deserialize an instance from JSON, rebuilding derived indices.
+pub fn instance_from_json(json: &str) -> Result<Instance, serde_json::Error> {
+    let mut inst: Instance = serde_json::from_str(json)?;
+    inst.rebuild_index();
+    Ok(inst)
+}
+
+/// Write an instance to a file.
+pub fn write_instance(path: &Path, inst: &Instance) -> io::Result<()> {
+    fs::write(path, instance_to_json(inst))
+}
+
+/// Read an instance from a file.
+pub fn read_instance(path: &Path) -> io::Result<Instance> {
+    let data = fs::read_to_string(path)?;
+    instance_from_json(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serialize a schedule to a JSON string.
+pub fn schedule_to_json(sched: &Schedule) -> String {
+    serde_json::to_string_pretty(sched).expect("schedule serialization cannot fail")
+}
+
+/// Deserialize a schedule from JSON.
+pub fn schedule_from_json(json: &str) -> Result<Schedule, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::instance::{BagId, JobId};
+    use crate::schedule::MachineId;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = gen::uniform(20, 3, 7, 5);
+        let back = instance_from_json(&instance_to_json(&inst)).unwrap();
+        assert_eq!(inst, back);
+        // Derived index must be rebuilt.
+        assert_eq!(inst.bag(BagId(0)), back.bag(BagId(0)));
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let s = Schedule::from_assignment(vec![MachineId(0), MachineId(2), MachineId(1)], 3);
+        let back = schedule_from_json(&schedule_to_json(&s)).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.machine_of(JobId(1)), MachineId(2));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bagsched-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let inst = gen::clustered(15, 4, 5, 3, 9);
+        write_instance(&path, &inst).unwrap();
+        let back = read_instance(&path).unwrap();
+        assert_eq!(inst, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(instance_from_json("{not json").is_err());
+        assert!(schedule_from_json("[1,2,3]").is_err());
+    }
+}

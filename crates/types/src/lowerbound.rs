@@ -1,0 +1,128 @@
+//! Certified makespan lower bounds.
+//!
+//! Where the exact optimum is out of reach (large `n`), approximation
+//! ratios in the experiment harness are measured against
+//! [`LowerBounds::combined`]; every component is a valid lower bound on the
+//! optimal makespan of the bag-constrained problem, so the reported ratios
+//! are conservative (an upper bound on the true ratio).
+
+use crate::instance::Instance;
+
+/// The individual lower bounds computed by [`lower_bounds`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBounds {
+    /// Largest processing time: some machine runs the largest job.
+    pub max_job: f64,
+    /// Average load `total / m`: some machine carries at least the average.
+    pub area: f64,
+    /// Counting bound: among the `t*m + 1` largest jobs, some machine holds
+    /// `t + 1` of them, so it carries at least the sum of the `t + 1`
+    /// smallest of those. Maximized over `t >= 1`.
+    pub packing: f64,
+    /// Bag bound: a bag with exactly `m` jobs places one job on *every*
+    /// machine, so every machine load is at least the sum over such "full"
+    /// bags of their smallest job.
+    pub full_bags: f64,
+}
+
+impl LowerBounds {
+    /// The strongest certified bound (maximum of all components).
+    pub fn combined(&self) -> f64 {
+        self.max_job.max(self.area).max(self.packing).max(self.full_bags)
+    }
+}
+
+/// Compute all lower bounds for `inst`.
+pub fn lower_bounds(inst: &Instance) -> LowerBounds {
+    let m = inst.num_machines();
+    if m == 0 || inst.num_jobs() == 0 {
+        return LowerBounds { max_job: 0.0, area: 0.0, packing: 0.0, full_bags: 0.0 };
+    }
+
+    let max_job = inst.max_size();
+    let area = inst.total_size() / m as f64;
+
+    // Sort sizes descending once for the packing bound.
+    let mut sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+    sizes.sort_by(|a, b| b.total_cmp(a));
+    let n = sizes.len();
+    let mut packing = 0.0f64;
+    let mut t = 1usize;
+    while t * m < n {
+        // The t*m + 1 largest are sizes[0..=t*m]; the t+1 smallest of those
+        // are sizes[(t-1)*m .. =t*m] ... more precisely the last t+1 entries
+        // of the prefix, i.e. indices (t*m - t)..=(t*m).
+        let lo = t * m - t;
+        let bound: f64 = sizes[lo..=t * m].iter().sum();
+        packing = packing.max(bound);
+        t += 1;
+    }
+
+    let mut full_bags = 0.0;
+    for (_, members) in inst.bags() {
+        if members.len() == m {
+            let min = members.iter().map(|&j| inst.size(j)).fold(f64::INFINITY, f64::min);
+            full_bags += min;
+        }
+    }
+
+    LowerBounds { max_job, area, packing, full_bags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_area() {
+        let inst = Instance::new(&[(3.0, 0), (1.0, 1), (2.0, 2)], 2);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.max_job, 3.0);
+        assert_eq!(lb.area, 3.0);
+        assert_eq!(lb.combined(), 3.0);
+    }
+
+    #[test]
+    fn packing_bound_beats_area() {
+        // Three jobs of size 1 on two machines: some machine holds two.
+        let inst = Instance::new(&[(1.0, 0), (1.0, 1), (1.0, 2)], 2);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.packing, 2.0);
+        assert!(lb.combined() >= 2.0);
+        // area bound alone would give only 1.5
+        assert_eq!(lb.area, 1.5);
+    }
+
+    #[test]
+    fn full_bag_bound() {
+        // Two full bags of size m=2: every machine holds one job of each.
+        let inst = Instance::new(&[(2.0, 0), (3.0, 0), (1.0, 1), (5.0, 1)], 2);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.full_bags, 2.0 + 1.0);
+        // combined must dominate it
+        assert!(lb.combined() >= 3.0);
+    }
+
+    #[test]
+    fn empty_instance_zero() {
+        let inst = crate::instance::InstanceBuilder::new(3).build();
+        assert_eq!(lower_bounds(&inst).combined(), 0.0);
+    }
+
+    #[test]
+    fn single_machine_area_is_total() {
+        let inst = Instance::new(&[(1.0, 0), (2.0, 1), (3.0, 2)], 1);
+        let lb = lower_bounds(&inst);
+        assert_eq!(lb.area, 6.0);
+        assert_eq!(lb.combined(), 6.0);
+    }
+
+    #[test]
+    fn bounds_never_exceed_trivial_schedule() {
+        // All jobs on distinct machines where possible; LB must be <= n * max.
+        let inst = Instance::new(&[(1.5, 0), (0.5, 1), (2.5, 2), (0.1, 3)], 4);
+        let lb = lower_bounds(&inst);
+        assert!(lb.combined() <= inst.total_size());
+        assert!(lb.combined() >= inst.max_size());
+    }
+}

@@ -1,0 +1,211 @@
+//! Schedules: a total assignment of jobs to machines.
+
+use crate::instance::{Instance, JobId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a machine (`0..m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The machine index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An assignment of every job of an [`Instance`] to a machine.
+///
+/// A `Schedule` is a plain data object; it does not enforce feasibility by
+/// itself. Use [`Schedule::conflicts`] /
+/// [`validate_schedule`](crate::validate::validate_schedule) to check the
+/// bag-constraints, and [`Schedule::makespan`] for the objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `assignment[j]` is the machine running job `j`.
+    assignment: Vec<MachineId>,
+    machines: usize,
+}
+
+impl Schedule {
+    /// An empty schedule skeleton: every job provisionally on machine 0.
+    /// Useful as a buffer to be filled by an algorithm.
+    pub fn unassigned(num_jobs: usize, machines: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        Schedule { assignment: vec![MachineId(0); num_jobs], machines }
+    }
+
+    /// Build from an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any machine index is out of range.
+    pub fn from_assignment(assignment: Vec<MachineId>, machines: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        for &mid in &assignment {
+            assert!(mid.idx() < machines, "machine index {} out of range (m={})", mid.0, machines);
+        }
+        Schedule { assignment, machines }
+    }
+
+    /// The machine running job `j`.
+    #[inline]
+    pub fn machine_of(&self, j: JobId) -> MachineId {
+        self.assignment[j.idx()]
+    }
+
+    /// Assign (or reassign) job `j` to machine `mid`.
+    #[inline]
+    pub fn assign(&mut self, j: JobId, mid: MachineId) {
+        assert!(mid.idx() < self.machines, "machine index {} out of range (m={})", mid.0, self.machines);
+        self.assignment[j.idx()] = mid;
+    }
+
+    /// Swap the machines of two jobs.
+    pub fn swap(&mut self, a: JobId, b: JobId) {
+        self.assignment.swap(a.idx(), b.idx());
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of jobs covered by this schedule.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The raw assignment slice (`job -> machine`).
+    pub fn assignment(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
+    /// Per-machine loads under the sizes of `inst`.
+    pub fn loads(&self, inst: &Instance) -> Vec<f64> {
+        assert_eq!(inst.num_jobs(), self.assignment.len(), "schedule/instance job count mismatch");
+        let mut loads = vec![0.0; self.machines];
+        for (j, &mid) in self.assignment.iter().enumerate() {
+            loads[mid.idx()] += inst.size(JobId(j as u32));
+        }
+        loads
+    }
+
+    /// The makespan (maximum machine load; 0 for an empty instance).
+    pub fn makespan(&self, inst: &Instance) -> f64 {
+        self.loads(inst).into_iter().fold(0.0, f64::max)
+    }
+
+    /// The jobs assigned to each machine.
+    pub fn machine_jobs(&self, inst: &Instance) -> Vec<Vec<JobId>> {
+        assert_eq!(inst.num_jobs(), self.assignment.len(), "schedule/instance job count mismatch");
+        let mut per = vec![Vec::new(); self.machines];
+        for (j, &mid) in self.assignment.iter().enumerate() {
+            per[mid.idx()].push(JobId(j as u32));
+        }
+        per
+    }
+
+    /// All bag-constraint violations: pairs of same-bag jobs sharing a
+    /// machine. Each offending pair is reported once.
+    pub fn conflicts(&self, inst: &Instance) -> Vec<(JobId, JobId)> {
+        let mut out = Vec::new();
+        // seen[machine][bag] -> first job of that bag on that machine
+        let mut seen = vec![vec![None; inst.num_bags()]; self.machines];
+        for (j, &mid) in self.assignment.iter().enumerate() {
+            let job = JobId(j as u32);
+            let bag = inst.bag_of(job).idx();
+            match seen[mid.idx()][bag] {
+                Some(first) => out.push((first, job)),
+                None => seen[mid.idx()][bag] = Some(job),
+            }
+        }
+        out
+    }
+
+    /// Whether the schedule satisfies every bag-constraint.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        let mut seen = vec![vec![false; inst.num_bags()]; self.machines];
+        for (j, &mid) in self.assignment.iter().enumerate() {
+            let bag = inst.bag_of(JobId(j as u32)).idx();
+            if seen[mid.idx()][bag] {
+                return false;
+            }
+            seen[mid.idx()][bag] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn tiny() -> Instance {
+        // bags: {0,1} in bag 0, {2} in bag 1
+        Instance::new(&[(1.0, 0), (2.0, 0), (3.0, 1)], 2)
+    }
+
+    #[test]
+    fn loads_and_makespan() {
+        let inst = tiny();
+        let s = Schedule::from_assignment(vec![MachineId(0), MachineId(1), MachineId(0)], 2);
+        assert_eq!(s.loads(&inst), vec![4.0, 2.0]);
+        assert_eq!(s.makespan(&inst), 4.0);
+    }
+
+    #[test]
+    fn detects_conflicts() {
+        let inst = tiny();
+        let bad = Schedule::from_assignment(vec![MachineId(0), MachineId(0), MachineId(1)], 2);
+        assert!(!bad.is_feasible(&inst));
+        assert_eq!(bad.conflicts(&inst), vec![(JobId(0), JobId(1))]);
+
+        let good = Schedule::from_assignment(vec![MachineId(0), MachineId(1), MachineId(0)], 2);
+        assert!(good.is_feasible(&inst));
+        assert!(good.conflicts(&inst).is_empty());
+    }
+
+    #[test]
+    fn triple_conflict_reports_two_pairs() {
+        let inst = Instance::new(&[(1.0, 0), (1.0, 0), (1.0, 0)], 2);
+        let s = Schedule::from_assignment(vec![MachineId(1); 3], 2);
+        assert_eq!(s.conflicts(&inst).len(), 2);
+    }
+
+    #[test]
+    fn swap_and_assign() {
+        let inst = tiny();
+        let mut s = Schedule::from_assignment(vec![MachineId(0), MachineId(1), MachineId(0)], 2);
+        s.swap(JobId(0), JobId(1));
+        assert_eq!(s.machine_of(JobId(0)), MachineId(1));
+        s.assign(JobId(2), MachineId(1));
+        assert_eq!(s.loads(&inst), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_machine() {
+        Schedule::from_assignment(vec![MachineId(3)], 2);
+    }
+
+    #[test]
+    fn machine_jobs_partition() {
+        let inst = tiny();
+        let s = Schedule::from_assignment(vec![MachineId(0), MachineId(1), MachineId(0)], 2);
+        let per = s.machine_jobs(&inst);
+        assert_eq!(per[0], vec![JobId(0), JobId(2)]);
+        assert_eq!(per[1], vec![JobId(1)]);
+    }
+
+    #[test]
+    fn empty_schedule_feasible() {
+        let inst = crate::instance::InstanceBuilder::new(2).build();
+        let s = Schedule::unassigned(0, 2);
+        assert!(s.is_feasible(&inst));
+        assert_eq!(s.makespan(&inst), 0.0);
+    }
+}

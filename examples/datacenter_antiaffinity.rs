@@ -1,0 +1,79 @@
+//! Datacenter anti-affinity scheduling — the paper's §1.1 motivation.
+//!
+//! Replicated services must spread their replicas over distinct hosts for
+//! fault tolerance (a bag per service). This example builds a synthetic
+//! cluster workload, compares the EPTAS against the practical heuristics,
+//! and reports how much makespan the constraints actually cost.
+//!
+//! ```text
+//! cargo run --release --example datacenter_antiaffinity
+//! ```
+
+use bagsched::baselines::{bag_aware_lpt, bag_lpt_schedule, lpt, random_fit};
+use bagsched::eptas::Eptas;
+use bagsched::types::lowerbound::lower_bounds;
+use bagsched::types::{Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A cluster of `hosts` machines running replicated services: each
+/// service has `replicas` instances of equal size (one bag), plus
+/// background batch jobs in singleton bags.
+fn cluster_workload(hosts: usize, services: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(hosts);
+    for s in 0..services {
+        let replicas = rng.random_range(2..=hosts.min(5));
+        let size = rng.random_range(0.5..4.0);
+        for _ in 0..replicas {
+            b.push(size, s as u32);
+        }
+    }
+    // Background batch jobs: no anti-affinity.
+    let batch = hosts * 3;
+    for i in 0..batch {
+        b.push(rng.random_range(0.1..1.5), (services + i) as u32);
+    }
+    b.build()
+}
+
+fn main() {
+    let inst = cluster_workload(8, 12, 42);
+    let lb = lower_bounds(&inst).combined();
+    println!(
+        "cluster: {} hosts, {} jobs, {} bags; lower bound {lb:.3}\n",
+        inst.num_machines(),
+        inst.num_jobs(),
+        inst.num_bags()
+    );
+
+    println!("{:<28} {:>9} {:>9} {:>10}", "scheduler", "makespan", "vs LB", "feasible");
+    let report = |name: &str, makespan: f64, feasible: bool| {
+        println!(
+            "{:<28} {:>9.3} {:>8.1}% {:>10}",
+            name,
+            makespan,
+            (makespan / lb - 1.0) * 100.0,
+            if feasible { "yes" } else { "NO" }
+        );
+    };
+
+    let s = lpt(&inst);
+    report("LPT (ignores bags)", s.makespan(&inst), s.is_feasible(&inst));
+
+    let s = random_fit(&inst, 7).unwrap();
+    report("random conflict-free", s.makespan(&inst), true);
+
+    let s = bag_lpt_schedule(&inst).unwrap();
+    report("bag-LPT (paper Sec. 4)", s.makespan(&inst), true);
+
+    let s = bag_aware_lpt(&inst).unwrap();
+    report("conflict-aware LPT", s.makespan(&inst), true);
+
+    for eps in [0.75, 0.5, 0.3] {
+        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        report(&format!("EPTAS eps={eps}"), r.makespan, r.schedule.is_feasible(&inst));
+    }
+
+    println!("\nanti-affinity price: compare LPT-without-bags to the best feasible schedule.");
+}

@@ -1,0 +1,44 @@
+//! The accuracy/runtime trade-off of the EPTAS: sweep `eps` and watch
+//! makespan quality against solve time — the knob the paper's
+//! `f(1/eps) * poly(n)` bound is about.
+//!
+//! ```text
+//! cargo run --release --example epsilon_tradeoff
+//! ```
+
+use bagsched::eptas::Eptas;
+use bagsched::types::gen;
+use bagsched::types::lowerbound::lower_bounds;
+use std::time::Instant;
+
+fn main() {
+    let inst = gen::clustered(60, 6, 25, 4, 9);
+    let lb = lower_bounds(&inst).combined();
+    println!(
+        "clustered workload: n = {}, m = {}, b = {}, lower bound {lb:.3}\n",
+        inst.num_jobs(),
+        inst.num_machines(),
+        inst.num_bags()
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>9} {:>9} {:>10}",
+        "eps", "makespan", "ratio<=", "guesses", "patterns", "time"
+    );
+    for eps in [0.9, 0.75, 0.6, 0.5, 0.4, 0.3] {
+        let start = Instant::now();
+        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let elapsed = start.elapsed();
+        assert!(r.schedule.is_feasible(&inst));
+        let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);
+        println!(
+            "{:>6.2} {:>10.3} {:>10.3} {:>9} {:>9} {:>9.1?}",
+            eps,
+            r.makespan,
+            r.makespan / lb,
+            r.report.guesses_tried,
+            patterns,
+            elapsed
+        );
+    }
+    println!("\nratio<= is measured against the lower bound, so it overstates the true ratio.");
+}

@@ -1,0 +1,68 @@
+//! Wave-structured batch scheduling (MapReduce-style).
+//!
+//! A job tracker runs `w` waves of reducers; the reducers of one wave
+//! must land on distinct workers (a bag per wave — e.g. each wave reads a
+//! distinct shard replica hosted per worker). Wave sizes are heavy-tailed
+//! and stragglers dominate, which is exactly the regime where LPT's 4/3
+//! worst case bites and the EPTAS's `1 + eps` pays off.
+//!
+//! ```text
+//! cargo run --release --example mapreduce_waves
+//! ```
+
+use bagsched::baselines::{bag_aware_lpt, exact_makespan};
+use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::types::lowerbound::lower_bounds;
+use bagsched::types::InstanceBuilder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let workers = 4;
+    let waves = 5;
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut b = InstanceBuilder::new(workers);
+    for wave in 0..waves {
+        // Each wave has up to `workers` reducers; one straggler per wave.
+        let reducers = rng.random_range(2..=workers);
+        for r in 0..reducers {
+            let size = if r == 0 {
+                rng.random_range(3.0..5.0) // straggler
+            } else {
+                rng.random_range(0.5..2.0)
+            };
+            b.push(size, wave as u32);
+        }
+    }
+    let inst = b.build();
+
+    println!(
+        "{} reducers in {waves} waves on {workers} workers (bags = waves)\n",
+        inst.num_jobs()
+    );
+
+    let lb = lower_bounds(&inst).combined();
+    let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
+
+    // Small instance: the exact branch-and-bound gives the true optimum.
+    let exact = exact_makespan(&inst, 50_000_000).unwrap();
+    println!("certified lower bound: {lb:.3}");
+    println!(
+        "true optimum (exact B&B, {} nodes): {:.3}",
+        exact.nodes, exact.makespan
+    );
+    println!("conflict-aware LPT: {lpt:.3}  (ratio {:.3})", lpt / exact.makespan);
+
+    for eps in [0.6, 0.4, 0.25] {
+        let r = Eptas::new(EptasConfig::with_epsilon(eps)).solve(&inst).unwrap();
+        println!(
+            "EPTAS eps={eps}: {:.3}  (ratio {:.3}, {} guesses, {:?})",
+            r.makespan,
+            r.makespan / exact.makespan,
+            r.report.guesses_tried,
+            r.report.elapsed
+        );
+        assert!(r.schedule.is_feasible(&inst));
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: schedule a small job set with bag-constraints.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bagsched::baselines::bag_aware_lpt;
+use bagsched::eptas::Eptas;
+use bagsched::types::lowerbound::lower_bounds;
+use bagsched::types::Instance;
+
+fn main() {
+    // Eight jobs in four bags on three machines. Jobs of one bag must run
+    // on different machines (think: replicas of one service).
+    let jobs = [
+        (4.0, 0), (4.0, 0), // two replicas of a heavy service
+        (3.0, 1), (2.0, 1),
+        (2.0, 2), (1.0, 2),
+        (1.5, 3), (0.5, 3),
+    ];
+    let inst = Instance::new(&jobs, 3);
+
+    let lb = lower_bounds(&inst).combined();
+    println!("jobs: {}, machines: {}, certified lower bound: {lb:.3}", inst.num_jobs(), 3);
+
+    // The practical heuristic...
+    let lpt = bag_aware_lpt(&inst).expect("feasible instance");
+    println!("conflict-aware LPT makespan: {:.3}", lpt.makespan(&inst));
+
+    // ...and the EPTAS at eps = 0.3.
+    let result = Eptas::with_epsilon(0.3).solve(&inst).expect("feasible instance");
+    println!("EPTAS(eps=0.3) makespan:     {:.3}", result.makespan);
+    assert!(result.schedule.is_feasible(&inst), "bag-constraints hold");
+
+    // Show the schedule.
+    for (machine, jobs) in result.schedule.machine_jobs(&inst).iter().enumerate() {
+        let detail: Vec<String> = jobs
+            .iter()
+            .map(|&j| format!("j{}(p={}, bag {})", j.0, inst.size(j), inst.bag_of(j).0))
+            .collect();
+        println!("  machine {machine}: {}", detail.join(", "));
+    }
+    println!(
+        "guesses tried: {}, chosen guess: {:?}",
+        result.report.guesses_tried, result.report.chosen_guess
+    );
+}

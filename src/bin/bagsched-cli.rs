@@ -1,0 +1,152 @@
+//! `bagsched-cli` — solve, generate and inspect bag-constrained
+//! scheduling instances from the command line.
+//!
+//! ```text
+//! bagsched-cli gen <family> <n> <m> <seed> <out.json>   generate a workload
+//! bagsched-cli info <instance.json>                     print instance stats
+//! bagsched-cli solve <instance.json> [algo] [eps]       schedule it
+//! ```
+//!
+//! `algo` is one of `eptas` (default), `lpt`, `bag-lpt`, `local-search`,
+//! `random`, `ptas`, `exact`; `eps` applies to `eptas`/`ptas` (default 0.5).
+
+use bagsched::baselines as bl;
+use bagsched::eptas::Eptas;
+use bagsched::types::lowerbound::lower_bounds;
+use bagsched::types::{gen, io, validate_instance, Instance, Schedule};
+use std::path::Path;
+use std::process::exit;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        _ => {
+            eprintln!("usage: bagsched-cli gen|info|solve ... (see --help in the README)");
+            2
+        }
+    };
+    exit(code);
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let [family, n, m, seed, out] = args else {
+        eprintln!("usage: bagsched-cli gen <family> <n> <m> <seed> <out.json>");
+        eprintln!("families: {}", gen::Family::ALL.map(|f| f.name()).join(", "));
+        return 2;
+    };
+    let Some(family) = gen::Family::parse(family) else {
+        eprintln!("unknown family '{family}'");
+        return 2;
+    };
+    let (Ok(n), Ok(m), Ok(seed)) = (n.parse(), m.parse(), seed.parse()) else {
+        eprintln!("n, m, seed must be integers");
+        return 2;
+    };
+    let inst = family.generate(n, m, seed);
+    if let Err(e) = io::write_instance(Path::new(out), &inst) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("wrote {} jobs / {} bags / {} machines to {out}", inst.num_jobs(), inst.num_bags(), m);
+    0
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("usage: bagsched-cli info <instance.json>");
+        return 2;
+    };
+    let inst = match io::read_instance(Path::new(path)) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    print_info(&inst);
+    0
+}
+
+fn print_info(inst: &Instance) {
+    println!("jobs:       {}", inst.num_jobs());
+    println!("machines:   {}", inst.num_machines());
+    println!("bags:       {}", inst.num_bags());
+    println!("max bag:    {}", inst.max_bag_size());
+    println!("total size: {:.4}", inst.total_size());
+    println!("max size:   {:.4}", inst.max_size());
+    let lb = lower_bounds(inst);
+    println!(
+        "lower bounds: max_job {:.4}  area {:.4}  packing {:.4}  full_bags {:.4}  => {:.4}",
+        lb.max_job,
+        lb.area,
+        lb.packing,
+        lb.full_bags,
+        lb.combined()
+    );
+    match validate_instance(inst) {
+        Ok(()) => println!("feasible:   yes"),
+        Err(e) => println!("feasible:   NO — {e}"),
+    }
+}
+
+fn cmd_solve(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: bagsched-cli solve <instance.json> [algo] [eps]");
+        return 2;
+    };
+    let algo = args.get(1).map(String::as_str).unwrap_or("eptas");
+    let eps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let inst = match io::read_instance(Path::new(path)) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = validate_instance(&inst) {
+        eprintln!("instance infeasible: {e}");
+        return 1;
+    }
+
+    let start = Instant::now();
+    let schedule: Schedule = match algo {
+        "eptas" => Eptas::with_epsilon(eps).solve(&inst).expect("validated").schedule,
+        "lpt" => bl::bag_aware_lpt(&inst).expect("validated"),
+        "bag-lpt" => bl::bag_lpt_schedule(&inst).expect("validated"),
+        "local-search" => bl::lpt_with_local_search(&inst, 5000).expect("validated").schedule,
+        "random" => bl::random_fit(&inst, 0).expect("validated"),
+        "ptas" => match bl::dw_ptas(&inst, &bl::DwPtasConfig::with_epsilon(eps)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ptas failed: {e}");
+                return 1;
+            }
+        },
+        "exact" => {
+            let r = bl::exact_makespan(&inst, 100_000_000).expect("validated");
+            if !r.proven_optimal {
+                eprintln!("warning: node budget hit; result is an incumbent, not proven optimal");
+            }
+            r.schedule
+        }
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            return 2;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let lb = lower_bounds(&inst).combined();
+    let ms = schedule.makespan(&inst);
+    println!("algorithm:  {algo}");
+    println!("makespan:   {ms:.6}");
+    println!("lower bnd:  {lb:.6}  (ratio <= {:.4})", ms / lb);
+    println!("feasible:   {}", schedule.is_feasible(&inst));
+    println!("time:       {elapsed:.2?}");
+    println!("{}", io::schedule_to_json(&schedule));
+    0
+}

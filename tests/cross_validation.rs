@@ -1,0 +1,91 @@
+//! Cross-validation of the whole solver stack: EPTAS vs the exact
+//! branch-and-bound optimum, the PTAS baseline, and the heuristics.
+
+use bagsched::baselines::{bag_aware_lpt, dw_ptas, exact_makespan, DwPtasConfig};
+use bagsched::eptas::Eptas;
+use bagsched::types::{gen, validate_schedule};
+
+#[test]
+fn eptas_within_bound_of_true_optimum() {
+    // Exhaustive check against exact optima on small instances.
+    let eps = 0.4;
+    for family in gen::Family::ALL {
+        for seed in 0..3 {
+            let inst = family.generate(11, 3, seed);
+            let exact = exact_makespan(&inst, 20_000_000).unwrap();
+            assert!(exact.proven_optimal, "{}: exact budget too small", family.name());
+            let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+            let ratio = r.makespan / exact.makespan;
+            assert!(
+                ratio <= 1.0 + 3.0 * eps + 1e-9,
+                "{} seed {seed}: ratio {ratio:.4} > 1 + 3 eps (eptas {}, opt {})",
+                family.name(),
+                r.makespan,
+                exact.makespan
+            );
+            assert!(ratio >= 1.0 - 1e-9, "{}: beat the optimum?!", family.name());
+        }
+    }
+}
+
+#[test]
+fn eptas_never_loses_to_lpt() {
+    // By construction the driver returns min(EPTAS pipeline, LPT).
+    for family in gen::Family::ALL {
+        for seed in 0..2 {
+            let inst = family.generate(28, 4, seed + 20);
+            let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
+            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            assert!(r.makespan <= lpt + 1e-9, "{} seed {seed}", family.name());
+        }
+    }
+}
+
+#[test]
+fn eptas_and_ptas_agree_on_small_instances() {
+    // Both schemes promise (1 + O(eps)); their outputs should be within a
+    // small factor of each other everywhere.
+    let eps = 0.4;
+    for seed in 0..3 {
+        let inst = gen::uniform(14, 3, 6, seed);
+        let a = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
+        let b = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
+        assert!(a <= b * (1.0 + eps) + 1e-9 && b <= a * (1.0 + eps) + 1e-9,
+            "seed {seed}: eptas {a} vs ptas {b}");
+    }
+}
+
+#[test]
+fn all_solvers_feasible_on_adversarial_bags() {
+    let inst = gen::adversarial_bags(30, 5, 77);
+    let solvers: Vec<(&str, Box<dyn Fn() -> bagsched::types::Schedule>)> = vec![
+        ("bag_aware_lpt", Box::new(|| bag_aware_lpt(&inst).unwrap())),
+        ("eptas", Box::new(|| Eptas::with_epsilon(0.5).solve(&inst).unwrap().schedule)),
+        (
+            "dw_ptas",
+            Box::new(|| dw_ptas(&inst, &DwPtasConfig::with_epsilon(0.5)).unwrap()),
+        ),
+    ];
+    for (name, run) in solvers {
+        let s = run();
+        validate_schedule(&inst, &s).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn exact_optimum_confirms_bag_price() {
+    // The same job sizes with and without bag-constraints: the
+    // constrained optimum can only be larger, and the EPTAS must track
+    // both correctly.
+    let sizes = [3.0, 3.0, 2.0, 2.0, 1.0, 1.0];
+    let with_bags: Vec<(f64, u32)> = sizes.iter().map(|&s| (s, (s * 2.0) as u32)).collect();
+    let without: Vec<(f64, u32)> = sizes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+    let inst_bags = bagsched::types::Instance::new(&with_bags, 2);
+    let inst_free = bagsched::types::Instance::new(&without, 2);
+    let opt_bags = exact_makespan(&inst_bags, 10_000_000).unwrap().makespan;
+    let opt_free = exact_makespan(&inst_free, 10_000_000).unwrap().makespan;
+    assert!(opt_bags >= opt_free - 1e-9);
+    let r = Eptas::with_epsilon(0.3).solve(&inst_bags).unwrap();
+    assert!(r.makespan >= opt_bags - 1e-9);
+    assert!(r.makespan <= opt_bags * (1.0 + 3.0 * 0.3) + 1e-9);
+}

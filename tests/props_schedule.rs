@@ -1,0 +1,84 @@
+//! Property-based integration tests: randomized instances through every
+//! scheduler, checking the invariants that must hold universally.
+
+use bagsched::baselines::{bag_aware_lpt, bag_lpt_schedule, random_fit};
+use bagsched::eptas::Eptas;
+use bagsched::types::lowerbound::lower_bounds;
+use bagsched::types::{Instance, InstanceBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a feasible random instance (every bag capped at m members).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..6, 1usize..30).prop_flat_map(|(m, n)| {
+        (
+            Just(m),
+            proptest::collection::vec((0.01f64..1.0, 0u32..12), n..n + 1),
+        )
+            .prop_map(|(m, jobs)| {
+                let mut builder = InstanceBuilder::new(m);
+                let mut counts = std::collections::HashMap::new();
+                for (size, bag) in jobs {
+                    // Redirect to a fresh bag when the target is full.
+                    let mut bag = bag;
+                    while *counts.get(&bag).unwrap_or(&0) >= m {
+                        bag += 13;
+                    }
+                    *counts.entry(bag).or_insert(0) += 1;
+                    builder.push(size, bag);
+                }
+                builder.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheduler returns a feasible schedule containing every job
+    /// exactly once, with makespan between the certified lower bound and
+    /// the sum of all sizes.
+    #[test]
+    fn universal_scheduler_invariants(inst in arb_instance()) {
+        let lb = lower_bounds(&inst).combined();
+        let total = inst.total_size();
+        let schedules = [
+            ("bag_aware_lpt", bag_aware_lpt(&inst).unwrap()),
+            ("bag_lpt", bag_lpt_schedule(&inst).unwrap()),
+            ("random_fit", random_fit(&inst, 5).unwrap()),
+            ("eptas", Eptas::with_epsilon(0.6).solve(&inst).unwrap().schedule),
+        ];
+        for (name, s) in schedules {
+            prop_assert!(s.is_feasible(&inst), "{name} infeasible");
+            prop_assert_eq!(s.num_jobs(), inst.num_jobs(), "{} dropped jobs", name);
+            let ms = s.makespan(&inst);
+            prop_assert!(ms >= lb - 1e-9, "{name} beat the lower bound");
+            prop_assert!(ms <= total + 1e-9, "{name} exceeded the trivial bound");
+        }
+    }
+
+    /// The EPTAS respects its approximation promise against the lower
+    /// bound on arbitrary feasible instances.
+    #[test]
+    fn eptas_ratio_bound(inst in arb_instance()) {
+        let lb = lower_bounds(&inst).combined();
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        if lb > 0.0 {
+            prop_assert!(r.makespan / lb <= 1.0 + 3.0 * 0.5 + 1e-9,
+                "ratio {} too large", r.makespan / lb);
+        }
+        prop_assert_eq!(r.report.safety_net_moves, 0, "safety net engaged");
+    }
+
+    /// Scaling all sizes scales the makespan linearly (scale invariance of
+    /// the whole pipeline).
+    #[test]
+    fn eptas_scale_invariance(inst in arb_instance(), factor in 0.5f64..20.0) {
+        let a = Eptas::with_epsilon(0.5).solve(&inst).unwrap().makespan;
+        let scaled = inst.scaled(factor);
+        let b = Eptas::with_epsilon(0.5).solve(&scaled).unwrap().makespan;
+        // Binary-search grids differ after scaling, so allow a small
+        // relative tolerance rather than exact equality.
+        prop_assert!((b - a * factor).abs() <= 0.05 * a * factor + 1e-9,
+            "scale invariance broken: {} vs {}", b, a * factor);
+    }
+}
