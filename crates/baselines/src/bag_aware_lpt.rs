@@ -46,8 +46,7 @@ mod tests {
             for seed in 0..3 {
                 let inst = family.generate(40, 4, seed);
                 let s = bag_aware_lpt(&inst).unwrap();
-                validate_schedule(&inst, &s)
-                    .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+                validate_schedule(&inst, &s).unwrap_or_else(|e| panic!("{}: {e}", family.name()));
             }
         }
     }

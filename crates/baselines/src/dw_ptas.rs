@@ -109,7 +109,11 @@ pub fn dw_ptas(inst: &Instance, cfg: &DwPtasConfig) -> Result<Schedule, DwPtasEr
         Some(s) => {
             // The binary search may have found a schedule worse than plain
             // LPT (the grid is coarse); keep whichever is better.
-            if s.makespan(inst) <= ub { Ok(s) } else { Ok(ub_sched) }
+            if s.makespan(inst) <= ub {
+                Ok(s)
+            } else {
+                Ok(ub_sched)
+            }
         }
         None if saw_budget => Err(DwPtasError::StateBudget),
         // Every threshold failed (possible: the slot-filling heuristic is
@@ -146,10 +150,8 @@ fn try_threshold(inst: &Instance, t: f64, cfg: &DwPtasConfig) -> Result<Schedule
     let mut sizes: Vec<u32> = large.iter().map(|&(_, q)| q).collect();
     sizes.sort_unstable();
     sizes.dedup();
-    let counts: Vec<u16> = sizes
-        .iter()
-        .map(|&q| large.iter().filter(|&&(_, jq)| jq == q).count() as u16)
-        .collect();
+    let counts: Vec<u16> =
+        sizes.iter().map(|&q| large.iter().filter(|&&(_, jq)| jq == q).count() as u16).collect();
 
     // Machine capacity in quanta: (1 + eps) * t worth of rounded load.
     let cap: u32 = ((1.0 + eps) / (eps * eps)).floor() as u32;
@@ -225,10 +227,8 @@ fn try_threshold(inst: &Instance, t: f64, cfg: &DwPtasConfig) -> Result<Schedule
             let pool = per_size_jobs.get_mut(&sizes[si]).expect("counted above");
             for _ in 0..mult {
                 // Prefer a conflict-free job of this rounded size.
-                let pick = pool
-                    .iter()
-                    .position(|&j| !has_bag[machine][inst.bag_of(j).idx()])
-                    .unwrap_or(0);
+                let pick =
+                    pool.iter().position(|&j| !has_bag[machine][inst.bag_of(j).idx()]).unwrap_or(0);
                 let job = pool.swap_remove(pick);
                 let bag = inst.bag_of(job).idx();
                 if has_bag[machine][bag] {
@@ -285,9 +285,8 @@ fn try_threshold(inst: &Instance, t: f64, cfg: &DwPtasConfig) -> Result<Schedule
     small.sort_by(|&a, &b| inst.size(b).total_cmp(&inst.size(a)).then(a.cmp(&b)));
     for job in small {
         let bag = inst.bag_of(job).idx();
-        let Some(best) = (0..m)
-            .filter(|&i| !has_bag[i][bag])
-            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+        let Some(best) =
+            (0..m).filter(|&i| !has_bag[i][bag]).min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
         else {
             return Err(false);
         };
@@ -321,7 +320,14 @@ fn enumerate_configs(
     let max_mult = (cap_left / sizes[idx]).min(counts[idx] as u32) as u16;
     for mult in 0..=max_mult {
         current[idx] = mult;
-        enumerate_configs(sizes, counts, idx + 1, cap_left - mult as u32 * sizes[idx], current, out);
+        enumerate_configs(
+            sizes,
+            counts,
+            idx + 1,
+            cap_left - mult as u32 * sizes[idx],
+            current,
+            out,
+        );
     }
     current[idx] = 0;
 }

@@ -126,7 +126,12 @@ pub fn exact_makespan(inst: &Instance, node_budget: usize) -> Result<ExactResult
     let lb = lower_bounds(inst).combined();
     if seed_makespan <= lb + 1e-12 {
         // LPT already optimal; no search needed.
-        return Ok(ExactResult { schedule: seed, makespan: seed_makespan, nodes: 0, proven_optimal: true });
+        return Ok(ExactResult {
+            schedule: seed,
+            makespan: seed_makespan,
+            nodes: 0,
+            proven_optimal: true,
+        });
     }
 
     let mut order: Vec<JobId> = inst.jobs().iter().map(|j| j.id).collect();

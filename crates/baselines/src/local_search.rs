@@ -148,8 +148,11 @@ mod tests {
     #[test]
     fn improves_the_classic_lpt_worst_case() {
         // 5,5,4,4,3,3,3 on 3 machines: LPT gives 11, optimum is 9.
-        let jobs: Vec<(f64, u32)> =
-            [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0].iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let jobs: Vec<(f64, u32)> = [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         let inst = bagsched_types::Instance::new(&jobs, 3);
         let r = lpt_with_local_search(&inst, 1000).unwrap();
         assert!(r.makespan < 11.0 - 1e-9, "local search failed to improve LPT");

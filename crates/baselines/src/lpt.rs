@@ -18,11 +18,8 @@ pub fn lpt(inst: &Instance) -> Schedule {
     let mut loads = vec![0.0f64; m];
     let mut sched = Schedule::unassigned(inst.num_jobs(), m);
     for j in order {
-        let (best, _) = loads
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.total_cmp(b))
-            .expect("m > 0");
+        let (best, _) =
+            loads.iter().enumerate().min_by(|(_, a), (_, b)| a.total_cmp(b)).expect("m > 0");
         sched.assign(j, MachineId(best as u32));
         loads[best] += inst.size(j);
     }
@@ -45,8 +42,11 @@ mod tests {
     fn classic_lpt_example() {
         // The classic 4/3 worst case: sizes 5,5,4,4,3,3,3 on 3 machines.
         // LPT yields 11 while the optimum is 9 (5+4 | 5+4 | 3+3+3).
-        let jobs: Vec<(f64, u32)> =
-            [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0].iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let jobs: Vec<(f64, u32)> = [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         let inst = Instance::new(&jobs, 3);
         let s = lpt(&inst);
         assert_eq!(s.makespan(&inst), 11.0);

@@ -9,9 +9,8 @@ use std::hint::black_box;
 /// A random-ish dense LP with a known feasible region.
 fn make_lp(vars: usize, cons: usize) -> Model {
     let mut m = Model::new();
-    let vs: Vec<_> = (0..vars)
-        .map(|j| m.add_var(((j * 7 % 13) as f64 - 6.0) / 6.0, 0.0, 10.0))
-        .collect();
+    let vs: Vec<_> =
+        (0..vars).map(|j| m.add_var(((j * 7 % 13) as f64 - 6.0) / 6.0, 0.0, 10.0)).collect();
     for i in 0..cons {
         let terms: Vec<_> = vs
             .iter()
@@ -43,8 +42,7 @@ fn bench_milp(c: &mut Criterion) {
         let mut m = Model::new();
         let vs: Vec<_> =
             (0..items).map(|j| m.add_int_var(-((j % 9 + 1) as f64), 0.0, 1.0)).collect();
-        let terms: Vec<_> =
-            vs.iter().enumerate().map(|(j, &v)| (v, (j % 5 + 1) as f64)).collect();
+        let terms: Vec<_> = vs.iter().enumerate().map(|(j, &v)| (v, (j % 5 + 1) as f64)).collect();
         m.add_con(&terms, Relation::Le, (items as f64) * 1.2);
         group.bench_with_input(BenchmarkId::from_parameter(items), &m, |b, m| {
             b.iter(|| black_box(solve_milp(m, &MilpOptions::default())))

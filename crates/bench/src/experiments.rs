@@ -13,8 +13,20 @@ use std::time::Instant;
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2", "fig3", "ratio-small", "ratio-large", "scaling-n", "scaling-eps", "lemma8",
-    "lemma3", "lemma7", "heuristics", "ablate-transform", "ablate-bprime", "ablate-joint",
+    "fig1",
+    "fig2",
+    "fig3",
+    "ratio-small",
+    "ratio-large",
+    "scaling-n",
+    "scaling-eps",
+    "lemma8",
+    "lemma3",
+    "lemma7",
+    "heuristics",
+    "ablate-transform",
+    "ablate-bprime",
+    "ablate-joint",
 ];
 
 /// Dispatch by id.
@@ -191,9 +203,7 @@ pub fn ratio_small(quick: bool) -> Table {
                 assert!(opt.proven_optimal);
                 let e = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
                 let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
-                let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps))
-                    .unwrap()
-                    .makespan(&inst);
+                let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
                 r_eptas.push(e / opt.makespan);
                 r_lpt.push(l / opt.makespan);
                 r_ptas.push(p / opt.makespan);
@@ -248,11 +258,8 @@ pub fn scaling_n(quick: bool) -> Table {
         "EPTAS running time vs n (eps = 0.5, clustered sizes)",
         &["n", "m", "time", "time/n (us)", "feasible"],
     );
-    let ns: &[usize] = if quick {
-        &[100, 400, 1600]
-    } else {
-        &[100, 400, 1600, 6400, 25600, 102400]
-    };
+    let ns: &[usize] =
+        if quick { &[100, 400, 1600] } else { &[100, 400, 1600, 6400, 25600, 102400] };
     // Two regimes: loose (n/m = 20; jobs are small, group-bag-LPT
     // dominates) and tight (n/m = 3; the pattern MILP engages).
     for &(label, ratio, cap) in &[("loose", 20usize, usize::MAX), ("tight", 3usize, 25600usize)] {
@@ -284,7 +291,8 @@ pub fn scaling_eps(quick: bool) -> Table {
     );
     let inst = gen::clustered(40, 13, 16, 4, 3);
     let lb = lower_bounds(&inst).combined();
-    let epsilons: &[f64] = if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
+    let epsilons: &[f64] =
+        if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
     for &eps in epsilons {
         let start = Instant::now();
         let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
@@ -433,7 +441,16 @@ pub fn heuristics(quick: bool) -> Table {
     let mut t = Table::new(
         "T8",
         "Makespan / lower bound per scheduler (n = 60, m = 6)",
-        &["family", "LPT(no bags)", "random", "bagLPT", "aware-LPT", "LPT+LS", "EPTAS(0.5)", "winner"],
+        &[
+            "family",
+            "LPT(no bags)",
+            "random",
+            "bagLPT",
+            "aware-LPT",
+            "LPT+LS",
+            "EPTAS(0.5)",
+            "winner",
+        ],
     );
     let seeds = if quick { 1 } else { 3 };
     for family in gen::Family::ALL {
@@ -454,10 +471,8 @@ pub fn heuristics(quick: bool) -> Table {
         let means: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
         // Winner among the feasible schedulers (index 1..): lowest ratio.
         let names = ["lpt", "random", "bagLPT", "aware", "LPT+LS", "EPTAS"];
-        let winner = (1..6)
-            .min_by(|&a, &b| means[a].total_cmp(&means[b]))
-            .map(|i| names[i])
-            .unwrap();
+        let winner =
+            (1..6).min_by(|&a, &b| means[a].total_cmp(&means[b])).map(|i| names[i]).unwrap();
         t.row(vec![
             family.name().into(),
             format!("{:.3}{}", means[0], if feasible_lpt { "" } else { "*" }),
@@ -520,12 +535,8 @@ pub fn ablate_bprime(quick: bool) -> Table {
         let start = Instant::now();
         let r = Eptas::new(cfg).solve(&inst).unwrap();
         let elapsed = start.elapsed().as_secs_f64();
-        let (pb, patterns) = r
-            .report
-            .last_success
-            .as_ref()
-            .map(|s| (s.priority_bags, s.patterns))
-            .unwrap_or((0, 0));
+        let (pb, patterns) =
+            r.report.last_success.as_ref().map(|s| (s.priority_bags, s.patterns)).unwrap_or((0, 0));
         t.row(vec![
             cap.map_or("paper".into(), |c| c.to_string()),
             pb.to_string(),
@@ -581,16 +592,8 @@ mod tests {
         }
     }
 
-    /// Full sweep of every experiment id in quick mode; run explicitly:
-    /// `cargo test -p bagsched-bench --release -- --ignored`.
-    #[test]
-    #[ignore = "expensive; covered by the harness binary"]
-    fn every_experiment_runs_quick() {
-        for &id in ALL {
-            let table = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
-            assert!(!table.rows.is_empty(), "{id} produced no rows");
-        }
-    }
+    // The full sweep of every experiment id lives in
+    // `tests/experiments_smoke.rs`, where it runs un-ignored.
 
     #[test]
     fn unknown_id_is_none() {

@@ -1,0 +1,31 @@
+//! Smoke test for the experiment harness: every registered experiment id
+//! must run in quick mode and produce a well-formed, non-empty table.
+//! Guards the experiment code against silently rotting while the repo
+//! grows around it.
+
+use bagsched_bench::experiments;
+
+#[test]
+fn every_experiment_runs_quick_and_yields_rows() {
+    for &id in experiments::ALL {
+        let table = experiments::run(id, true)
+            .unwrap_or_else(|| panic!("experiment id {id:?} is in ALL but run() ignores it"));
+        assert!(!table.rows.is_empty(), "experiment {id:?} produced an empty table");
+        assert!(!table.headers.is_empty(), "experiment {id:?} has no headers");
+        for (i, row) in table.rows.iter().enumerate() {
+            assert_eq!(row.len(), table.headers.len(), "experiment {id:?} row {i} arity mismatch");
+        }
+        assert!(
+            !table.id.is_empty() && !table.title.is_empty(),
+            "experiment {id:?} lacks id/title"
+        );
+    }
+}
+
+#[test]
+fn all_ids_are_unique() {
+    let mut seen = std::collections::HashSet::new();
+    for &id in experiments::ALL {
+        assert!(seen.insert(id), "duplicate experiment id {id:?}");
+    }
+}

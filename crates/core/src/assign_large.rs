@@ -172,9 +172,8 @@ pub fn assign_large(
                 continue;
             }
             for _ in 0..mult {
-                let pools = wild_pool
-                    .get_mut(&sym.exp)
-                    .expect("constraint (2) guarantees availability");
+                let pools =
+                    wild_pool.get_mut(&sym.exp).expect("constraint (2) guarantees availability");
                 // Non-conflicting bag with the most remaining jobs; if all
                 // conflict, the fullest bag overall (conflict recorded).
                 let pick_free = pools
@@ -228,8 +227,7 @@ mod tests {
         jobs: &[(f64, u32)],
         m: usize,
         cfg: &EptasConfig,
-    ) -> (Transformed, PatternSet, crate::milp_model::MilpOutcome, WorkState, LargeAssignment)
-    {
+    ) -> (Transformed, PatternSet, crate::milp_model::MilpOutcome, WorkState, LargeAssignment) {
         let inst = Instance::new(jobs, m);
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
         let r = scale_and_round(&sizes, 1.0, cfg.epsilon).unwrap();
@@ -295,11 +293,7 @@ mod tests {
         // jobs of the same size can share a machine (T = 2.25), and the
         // greedy must not pair two jobs of the same bag... they are from
         // different bags here, so zero conflicts must remain.
-        let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.01, 1),
-            (0.9, 2), (0.01, 2),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 0), (0.9, 1), (0.01, 1), (0.9, 2), (0.01, 2)];
         let (_, _, _, state, la) = run_pipeline(&jobs, 6, &cfg);
         assert_eq!(la.conflicts.len(), 0);
         assert_eq!(state.conflict_count(), 0);

@@ -45,10 +45,7 @@ pub struct EptasConfig {
 impl EptasConfig {
     /// Defaults at the given `eps`.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon <= 0.95,
-            "epsilon must be in (0, 0.95], got {epsilon}"
-        );
+        assert!(epsilon > 0.0 && epsilon <= 0.95, "epsilon must be in (0, 0.95], got {epsilon}");
         EptasConfig {
             epsilon,
             max_patterns: 20_000,

@@ -174,15 +174,10 @@ impl Eptas {
     }
 
     /// Run the full pipeline for one makespan guess.
-    fn try_guess(
-        &self,
-        inst: &Instance,
-        t0: f64,
-    ) -> Result<(Schedule, GuessStats), GuessFailure> {
+    fn try_guess(&self, inst: &Instance, t0: f64) -> Result<(Schedule, GuessStats), GuessFailure> {
         let cfg = &self.cfg;
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
-        let rounded =
-            scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
+        let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
         let class = classify(&rounded, inst.num_machines());
         let priority = select_priority(inst, &rounded, &class, cfg);
         let trans = transform(inst, &rounded, &class, &priority);
@@ -288,10 +283,7 @@ mod tests {
     #[test]
     fn infeasible_instance_rejected() {
         let inst = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
-        assert!(matches!(
-            Eptas::with_epsilon(0.5).solve(&inst),
-            Err(EptasError::Infeasible(_))
-        ));
+        assert!(matches!(Eptas::with_epsilon(0.5).solve(&inst), Err(EptasError::Infeasible(_))));
     }
 
     #[test]
@@ -320,11 +312,7 @@ mod tests {
             let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
             validate_schedule(&inst, &r.schedule)
                 .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
-            assert_eq!(
-                r.report.safety_net_moves, 0,
-                "{}: safety net engaged",
-                family.name()
-            );
+            assert_eq!(r.report.safety_net_moves, 0, "{}: safety net engaged", family.name());
         }
     }
 

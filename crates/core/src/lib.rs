@@ -57,4 +57,3 @@ pub mod undo;
 pub use config::EptasConfig;
 pub use driver::{Eptas, EptasError, EptasResult};
 pub use report::EptasReport;
-

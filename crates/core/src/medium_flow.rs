@@ -48,11 +48,7 @@ pub fn reinsert_medium(
         .map(|&l| {
             let large_side = trans.large_side_of[l];
             (0..m)
-                .filter(|&i| {
-                    large_side.is_none_or(|ls| {
-                        state.bag_on(MachineId(i as u32), ls) == 0
-                    })
-                })
+                .filter(|&i| large_side.is_none_or(|ls| state.bag_on(MachineId(i as u32), ls) == 0))
                 .collect()
         })
         .collect();
@@ -193,11 +189,7 @@ mod tests {
         reinsert_medium(&inst, &t, &r, &mut state).unwrap();
         // Lemma 3: increase <= 2*eps per machine... with clamped constants
         // we check a conservative multiple.
-        let medium_top = t
-            .removed_medium
-            .iter()
-            .map(|&j| r.size[j.idx()])
-            .fold(0.0f64, f64::max);
+        let medium_top = t.removed_medium.iter().map(|&j| r.size[j.idx()]).fold(0.0f64, f64::max);
         let per_machine_cap = (t.removed_medium.len() as f64 / 1.0) * medium_top;
         for (b, a) in before.iter().zip(&state.loads) {
             assert!(a - b <= per_machine_cap + 1e-9);

@@ -120,10 +120,8 @@ pub fn solve_patterns(
 
     // Estimate the joint model size.
     let np = ps.patterns.len();
-    let y_cols: usize = pairs
-        .iter()
-        .map(|pair| (0..np).filter(|&p| !ps.chi(p, pair.tbag)).count())
-        .sum();
+    let y_cols: usize =
+        pairs.iter().map(|pair| (0..np).filter(|&p| !ps.chi(p, pair.tbag)).count()).sum();
     let prio_bags_with_smalls: Vec<BagId> = {
         let mut seen = Vec::new();
         for pair in &pairs {
@@ -167,9 +165,8 @@ fn solve_joint(
     let mut model = Model::new();
 
     // x_p: integer in [0, m]; empty pattern costs nothing.
-    let x: Vec<VarId> = (0..np)
-        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m))
-        .collect();
+    let x: Vec<VarId> =
+        (0..np).map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m)).collect();
 
     // Integral-y threshold of constraint (7): eps^{2k+11}.
     let eps = cfg.epsilon;
@@ -295,9 +292,8 @@ fn solve_two_stage(
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
-    let x: Vec<VarId> = (0..np)
-        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m))
-        .collect();
+    let x: Vec<VarId> =
+        (0..np).map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m)).collect();
 
     let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
     model.add_con(&ones, Relation::Le, m);
@@ -313,23 +309,16 @@ fn solve_two_stage(
 
     // Aggregate area cut: all small jobs must fit above the patterns.
     let w_prio: f64 = pairs.iter().map(|p| p.size * p.jobs.len() as f64).sum();
-    let area_terms: Vec<(VarId, f64)> = ps
-        .patterns
-        .iter()
-        .enumerate()
-        .map(|(p, pat)| (x[p], trans.t - pat.height))
-        .collect();
+    let area_terms: Vec<(VarId, f64)> =
+        ps.patterns.iter().enumerate().map(|(p, pat)| (x[p], trans.t - pat.height)).collect();
     model.add_con(&area_terms, Relation::Ge, w_prio + w_nonprio);
 
     // Per priority bag: count and area cuts over chi = 0 patterns.
     for &l in prio_bags_with_smalls {
         let count: f64 =
             pairs.iter().filter(|pr| pr.tbag == l).map(|pr| pr.jobs.len() as f64).sum();
-        let area: f64 = pairs
-            .iter()
-            .filter(|pr| pr.tbag == l)
-            .map(|pr| pr.size * pr.jobs.len() as f64)
-            .sum();
+        let area: f64 =
+            pairs.iter().filter(|pr| pr.tbag == l).map(|pr| pr.size * pr.jobs.len() as f64).sum();
         let count_terms: Vec<(VarId, f64)> =
             (0..np).filter(|&p| !ps.chi(p, l)).map(|p| (x[p], 1.0)).collect();
         model.add_con(&count_terms, Relation::Ge, count);
@@ -353,8 +342,12 @@ fn solve_two_stage(
     // most free area per machine, respecting the per-(pattern, bag) count
     // cap x_p and the area budgets; non-priority area w_nonprio must
     // still fit afterwards.
-    let mut area_left: Vec<f64> =
-        ps.patterns.iter().enumerate().map(|(p, pat)| xs[p] as f64 * (trans.t - pat.height)).collect();
+    let mut area_left: Vec<f64> = ps
+        .patterns
+        .iter()
+        .enumerate()
+        .map(|(p, pat)| xs[p] as f64 * (trans.t - pat.height))
+        .collect();
     let mut bag_cap: HashMap<(BagId, usize), f64> = HashMap::new();
     for &l in prio_bags_with_smalls {
         for p in 0..np {
@@ -469,9 +462,7 @@ mod tests {
         }
         // (3): y sums to counts.
         for (i, pair) in out.pairs.iter().enumerate() {
-            let sum: f64 = (0..ps.patterns.len())
-                .filter_map(|p| out.y.get(&(i, p)))
-                .sum();
+            let sum: f64 = (0..ps.patterns.len()).filter_map(|p| out.y.get(&(i, p))).sum();
             assert!(
                 (sum - pair.jobs.len() as f64).abs() < 1e-6,
                 "pair {i}: y sums to {sum}, want {}",
@@ -500,12 +491,7 @@ mod tests {
         assert!(!out.joint);
         // y still covers all priority small jobs.
         for (i, pair) in out.pairs.iter().enumerate() {
-            let sum: f64 = out
-                .y
-                .iter()
-                .filter(|((pi, _), _)| *pi == i)
-                .map(|(_, &v)| v)
-                .sum();
+            let sum: f64 = out.y.iter().filter(|((pi, _), _)| *pi == i).map(|(_, &v)| v).sum();
             assert!((sum - pair.jobs.len() as f64).abs() < 1e-6);
         }
     }

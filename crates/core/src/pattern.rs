@@ -266,16 +266,21 @@ mod tests {
     #[test]
     fn wildcard_slots_stack_up_to_height() {
         let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0), // priority hog (3 jobs of the class)
-            (0.9, 1), (0.01, 1),
-            (0.9, 2), (0.01, 2),
+            (0.9, 0),
+            (0.9, 0),
+            (0.9, 0), // priority hog (3 jobs of the class)
+            (0.9, 1),
+            (0.01, 1),
+            (0.9, 2),
+            (0.01, 2),
         ];
         let (_, ps) = patterns_for(&jobs, 6, 0.5, Some(1), 1000);
         let ps = ps.unwrap();
         assert!(ps.symbols.iter().any(|s| s.bag == SlotBag::X));
-        let has_double = ps.patterns.iter().any(|p| {
-            p.entries.iter().any(|&(si, c)| ps.symbols[si].bag == SlotBag::X && c >= 2)
-        });
+        let has_double = ps
+            .patterns
+            .iter()
+            .any(|p| p.entries.iter().any(|&(si, c)| ps.symbols[si].bag == SlotBag::X && c >= 2));
         assert!(has_double, "expected a pattern with two stacked wildcard slots");
     }
 
@@ -286,8 +291,7 @@ mod tests {
         let ps = ps.unwrap();
         for p in &ps.patterns {
             assert!(p.height <= t.t + 1e-9, "height {} > T {}", p.height, t.t);
-            let h: f64 =
-                p.entries.iter().map(|&(si, c)| ps.symbols[si].size * c as f64).sum();
+            let h: f64 = p.entries.iter().map(|&(si, c)| ps.symbols[si].size * c as f64).sum();
             assert!((h - p.height).abs() < 1e-9);
         }
     }
@@ -338,10 +342,7 @@ mod tests {
     fn wildcard_multiplicity_capped_by_availability() {
         // Only one non-priority large job exists, so no pattern may hold
         // two wildcard slots of that size even though height permits.
-        let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.01, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 0), (0.9, 1), (0.01, 1)];
         let (_, ps) = patterns_for(&jobs, 5, 0.5, Some(1), 1000);
         let ps = ps.unwrap();
         for p in &ps.patterns {

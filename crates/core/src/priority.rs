@@ -61,10 +61,8 @@ pub fn select_priority(
     let mut counts: HashMap<SizeExp, Vec<u32>> = HashMap::new();
     for job in inst.jobs() {
         if class.of(job.id.idx()) == JobClass::Large {
-            counts
-                .entry(rounded.exp[job.id.idx()])
-                .or_insert_with(|| vec![0; b])
-                [job.bag.idx()] += 1;
+            counts.entry(rounded.exp[job.id.idx()]).or_insert_with(|| vec![0; b])[job.bag.idx()] +=
+                1;
         }
     }
     let d = counts.len().max(1);
@@ -76,8 +74,7 @@ pub fn select_priority(
 
     // Top-b' bags per large size class.
     for per_bag in counts.values() {
-        let mut order: Vec<usize> =
-            (0..b).filter(|&l| per_bag[l] > 0).collect();
+        let mut order: Vec<usize> = (0..b).filter(|&l| per_bag[l] > 0).collect();
         order.sort_by(|&a, &c| per_bag[c].cmp(&per_bag[a]).then(a.cmp(&c)));
         for &l in order.iter().take(b_prime) {
             is_priority[l] = true;
@@ -88,10 +85,7 @@ pub fn select_priority(
     let large_bag_threshold = eps * m as f64;
     let mut num_large_bags = 0;
     for (bag, members) in inst.bags() {
-        let non_small = members
-            .iter()
-            .filter(|&&j| class.of(j.idx()) != JobClass::Small)
-            .count();
+        let non_small = members.iter().filter(|&&j| class.of(j.idx()) != JobClass::Small).count();
         if non_small as f64 >= large_bag_threshold - bagsched_types::EPS && non_small > 0 {
             if !is_priority[bag.idx()] {
                 is_priority[bag.idx()] = true;
@@ -105,11 +99,7 @@ pub fn select_priority(
 
 /// Convenience: the list of priority bag ids.
 pub fn priority_bags(p: &Priority) -> Vec<BagId> {
-    p.is_priority
-        .iter()
-        .enumerate()
-        .filter_map(|(l, &is)| is.then_some(BagId(l as u32)))
-        .collect()
+    p.is_priority.iter().enumerate().filter_map(|(l, &is)| is.then_some(BagId(l as u32))).collect()
 }
 
 #[cfg(test)]
@@ -143,11 +133,7 @@ mod tests {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = Some(1);
         // Three bags with 3, 2, 1 large jobs of the same (rounded) size.
-        let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.9, 1),
-            (0.9, 2),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 0), (0.9, 1), (0.9, 1), (0.9, 2)];
         let (_, p) = setup(&jobs, 6, &cfg);
         assert!(p.is_priority[0], "bag with most jobs of the class must win");
         assert!(!p.is_priority[1] && !p.is_priority[2]);
@@ -161,8 +147,11 @@ mod tests {
         // Bag 1 has eps*m = 2 medium/large jobs but fewer large jobs of the
         // top size than bag 0; the large-bag rule still makes it priority.
         let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.3, 1), // 0.3 rounds into medium-or-large band
+            (0.9, 0),
+            (0.9, 0),
+            (0.9, 0),
+            (0.9, 1),
+            (0.3, 1), // 0.3 rounds into medium-or-large band
         ];
         let (_, p) = setup(&jobs, 4, &cfg);
         assert!(p.is_priority[1], "large bag must be priority");

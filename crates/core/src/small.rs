@@ -72,9 +72,8 @@ pub fn place_priority_smalls(
     let mut job_pieces: HashMap<JobId, Vec<(usize, f64)>> = HashMap::new();
 
     for (i, pair) in out.pairs.iter().enumerate() {
-        let mut quotas: Vec<(usize, f64)> = (0..np)
-            .filter_map(|p| out.y.get(&(i, p)).map(|&v| (p, v)))
-            .collect();
+        let mut quotas: Vec<(usize, f64)> =
+            (0..np).filter_map(|p| out.y.get(&(i, p)).map(|&v| (p, v))).collect();
         quotas.sort_by_key(|&(p, _)| p);
         let mut jobs = pair.jobs.iter().copied();
         let mut current: Option<JobId> = jobs.next();
@@ -126,12 +125,8 @@ pub fn place_priority_smalls(
         }
         let mp = machines.len();
         // Bags present on this pattern.
-        let mut bags: Vec<BagId> = fulls
-            .keys()
-            .chain(fracs.keys())
-            .filter(|&&(pp, _)| pp == p)
-            .map(|&(_, b)| b)
-            .collect();
+        let mut bags: Vec<BagId> =
+            fulls.keys().chain(fracs.keys()).filter(|&&(pp, _)| pp == p).map(|&(_, b)| b).collect();
         bags.sort();
         bags.dedup();
         if bags.is_empty() {
@@ -144,17 +139,13 @@ pub fn place_priority_smalls(
         for &bag in &bags {
             let full = fulls.get(&(p, bag)).cloned().unwrap_or_default();
             let frac = fracs.get(&(p, bag)).cloned().unwrap_or_default();
-            let nf_jobs: std::collections::HashSet<JobId> =
-                frac.iter().map(|pc| pc.job).collect();
+            let nf_jobs: std::collections::HashSet<JobId> = frac.iter().map(|pc| pc.job).collect();
             let _ = &nf_jobs;
             let mf = mp.saturating_sub(full.len());
-            let frac_area: f64 =
-                frac.iter().map(|pc| pc.alpha * trans.tinst.size(pc.job)).sum();
+            let frac_area: f64 = frac.iter().map(|pc| pc.alpha * trans.tinst.size(pc.job)).sum();
             let hf = if mf > 0 { frac_area / mf as f64 } else { 0.0 };
-            let mut list: Vec<(Option<JobId>, f64)> = full
-                .iter()
-                .map(|&j| (Some(j), trans.tinst.size(j)))
-                .collect();
+            let mut list: Vec<(Option<JobId>, f64)> =
+                full.iter().map(|&j| (Some(j), trans.tinst.size(j))).collect();
             for _ in 0..mf {
                 list.push((None, hf));
             }
@@ -300,11 +291,8 @@ pub fn repair_priority_conflicts(
     let mut conflicted: Vec<JobId> = Vec::new();
     for machine in 0..m {
         let mid = MachineId(machine as u32);
-        let overfull: Vec<u32> = state.bag_count[machine]
-            .iter()
-            .filter(|&(_, &c)| c > 1)
-            .map(|(&b, _)| b)
-            .collect();
+        let overfull: Vec<u32> =
+            state.bag_count[machine].iter().filter(|&(_, &c)| c > 1).map(|(&b, _)| b).collect();
         for bagraw in overfull {
             let bag = BagId(bagraw);
             if !trans.is_priority_tbag[bag.idx()] {
@@ -344,9 +332,7 @@ pub fn repair_priority_conflicts(
         let mut chain_machine: Option<MachineId> = state.machine_jobs[here.idx()]
             .iter()
             .find(|&&j| {
-                j != js
-                    && trans.tinst.bag_of(j) == bag
-                    && trans.tclass[j.idx()] != JobClass::Small
+                j != js && trans.tinst.bag_of(j) == bag && trans.tclass[j.idx()] != JobClass::Small
             })
             .and_then(|j| origin.get(j).copied());
         let mut visited = vec![false; m];
@@ -424,11 +410,7 @@ mod tests {
     #[test]
     fn priority_smalls_placed_without_conflicts() {
         let cfg = EptasConfig::with_epsilon(0.5);
-        let jobs = [
-            (0.9, 0), (0.05, 0), (0.05, 0),
-            (0.9, 1), (0.05, 1),
-            (0.4, 2),
-        ];
+        let jobs = [(0.9, 0), (0.05, 0), (0.05, 0), (0.9, 1), (0.05, 1), (0.4, 2)];
         let (t, state) = full_small_pipeline(&jobs, 3, &cfg);
         assert_all_placed_and_feasible(&t, &state);
     }
@@ -438,11 +420,16 @@ mod tests {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = Some(1);
         let jobs = [
-            (0.9, 0), (0.9, 0),
+            (0.9, 0),
+            (0.9, 0),
             // bag 1: non-priority, small jobs only
-            (0.05, 1), (0.05, 1), (0.05, 1),
+            (0.05, 1),
+            (0.05, 1),
+            (0.05, 1),
             // bag 2: non-priority with a large job and smalls (split)
-            (0.9, 2), (0.04, 2), (0.03, 2),
+            (0.9, 2),
+            (0.04, 2),
+            (0.03, 2),
         ];
         let (t, state) = full_small_pipeline(&jobs, 4, &cfg);
         assert_all_placed_and_feasible(&t, &state);
@@ -457,10 +444,7 @@ mod tests {
         let total: f64 = (0..t.tinst.num_jobs()).map(|j| t.tinst.size(JobId(j as u32))).sum();
         // Loads may carry tiny constructed-height residue from merged
         // slots whose jobs were matched elsewhere; bound the drift.
-        assert!(
-            (placed - total).abs() < 0.05 + total * 0.02,
-            "placed {placed} vs total {total}"
-        );
+        assert!((placed - total).abs() < 0.05 + total * 0.02, "placed {placed} vs total {total}");
     }
 
     #[test]
@@ -469,8 +453,15 @@ mod tests {
         // A comfortably feasible guess: the final (rounded) height must be
         // near T = 2.25 at most.
         let jobs = [
-            (0.9, 0), (0.05, 0), (0.05, 1), (0.9, 1), (0.4, 2), (0.05, 3),
-            (0.01, 4), (0.01, 4), (0.02, 5),
+            (0.9, 0),
+            (0.05, 0),
+            (0.05, 1),
+            (0.9, 1),
+            (0.4, 2),
+            (0.05, 3),
+            (0.01, 4),
+            (0.01, 4),
+            (0.02, 5),
         ];
         let (t, state) = full_small_pipeline(&jobs, 3, &cfg);
         let max_load = state.loads.iter().cloned().fold(0.0, f64::max);

@@ -38,8 +38,7 @@ pub fn repair_conflicts(
         let m = state.machine_jobs.len();
         let mut done = false;
         'machines: for other in 0..m {
-            if other == mid.idx() || state.conflicts(bagsched_types::MachineId(other as u32), bag)
-            {
+            if other == mid.idx() || state.conflicts(bagsched_types::MachineId(other as u32), bag) {
                 continue;
             }
             // A same-size large/medium partner whose bag is free on `mid`
@@ -90,9 +89,15 @@ mod tests {
         // eps = 0.5. Bag 0 hogs priority (cap 1); bags 1 and 2 are
         // non-priority, with two large jobs each (plus a small to split).
         let jobs = [
-            (0.9, 0), (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.9, 1), (0.01, 1),
-            (0.9, 2), (0.9, 2), (0.01, 2),
+            (0.9, 0),
+            (0.9, 0),
+            (0.9, 0),
+            (0.9, 1),
+            (0.9, 1),
+            (0.01, 1),
+            (0.9, 2),
+            (0.9, 2),
+            (0.01, 2),
         ];
         let inst = Instance::new(&jobs, 6);
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();

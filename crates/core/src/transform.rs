@@ -75,25 +75,24 @@ pub fn transform(
 
     // External bag ids for the builder: 2l = the bag itself (or its small
     // side), 2l + 1 = the large side of a split bag.
-    let push =
-        |builder: &mut InstanceBuilder,
-         size: f64,
-         ext: u32,
-         orig: Option<JobId>,
-         filler: Option<JobId>,
-         exp: SizeExp,
-         cls: JobClass,
-         to_orig: &mut Vec<Option<JobId>>,
-         filler_for: &mut Vec<Option<JobId>>,
-         texp: &mut Vec<SizeExp>,
-         tclass: &mut Vec<JobClass>| {
-            let tid = builder.push(size, ext);
-            to_orig.push(orig);
-            filler_for.push(filler);
-            texp.push(exp);
-            tclass.push(cls);
-            tid
-        };
+    let push = |builder: &mut InstanceBuilder,
+                size: f64,
+                ext: u32,
+                orig: Option<JobId>,
+                filler: Option<JobId>,
+                exp: SizeExp,
+                cls: JobClass,
+                to_orig: &mut Vec<Option<JobId>>,
+                filler_for: &mut Vec<Option<JobId>>,
+                texp: &mut Vec<SizeExp>,
+                tclass: &mut Vec<JobClass>| {
+        let tid = builder.push(size, ext);
+        to_orig.push(orig);
+        filler_for.push(filler);
+        texp.push(exp);
+        tclass.push(cls);
+        tid
+    };
 
     for (bag, members) in inst.bags() {
         let l = bag.idx();
@@ -271,7 +270,12 @@ mod tests {
     use crate::priority::select_priority;
     use crate::rounding::scale_and_round;
 
-    fn build(jobs: &[(f64, u32)], m: usize, eps: f64, cap: Option<usize>) -> (Instance, Transformed) {
+    fn build(
+        jobs: &[(f64, u32)],
+        m: usize,
+        eps: f64,
+        cap: Option<usize>,
+    ) -> (Instance, Transformed) {
         let inst = Instance::new(jobs, m);
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
         let r = scale_and_round(&sizes, 1.0, eps).unwrap();
@@ -290,8 +294,11 @@ mod tests {
     fn split_bag_bookkeeping() {
         // Force non-priority by making another bag dominate the size class.
         let jobs = [
-            (0.9, 0), (0.9, 0), // bag 0: two large of the class -> priority
-            (0.9, 1), (0.05, 1), (0.01, 1), // bag 1: one large + smalls
+            (0.9, 0),
+            (0.9, 0), // bag 0: two large of the class -> priority
+            (0.9, 1),
+            (0.05, 1),
+            (0.01, 1), // bag 1: one large + smalls
         ];
         let (inst, t) = build(&jobs, 4, 0.5, Some(1));
         // Bag 0 wins the single priority slot.
@@ -313,18 +320,12 @@ mod tests {
         assert_eq!(t.filler_for[fillers[0].idx()], Some(JobId(2)));
         // Total job conservation: |I'| = |I| + #ml-jobs-of-modified-bags
         //                                 - #removed-medium.
-        assert_eq!(
-            t.tinst.num_jobs(),
-            inst.num_jobs() + 1 - t.removed_medium.len()
-        );
+        assert_eq!(t.tinst.num_jobs(), inst.num_jobs() + 1 - t.removed_medium.len());
     }
 
     #[test]
     fn filler_size_is_pmax_small() {
-        let jobs = [
-            (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.05, 1), (0.01, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1), (0.05, 1), (0.01, 1)];
         let (_, t) = build(&jobs, 4, 0.5, Some(1));
         let ss = t.small_side_of[1].unwrap();
         let pmax = t
@@ -357,10 +358,7 @@ mod tests {
     #[test]
     fn bag_without_smalls_unmodified() {
         // Bag 1 is non-priority (cap 1) but has no small jobs.
-        let jobs = [
-            (0.9, 0), (0.9, 0),
-            (0.9, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1)];
         let (inst, t) = build(&jobs, 3, 0.5, Some(1));
         assert!(!t.was_modified[1]);
         assert_eq!(t.tinst.num_jobs(), inst.num_jobs());
@@ -394,10 +392,7 @@ mod tests {
     #[test]
     fn small_side_size_bounded_by_original_bag() {
         // |small side| = |B_l| - #medium <= m always (feasible instances).
-        let jobs = [
-            (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.6, 1), (0.05, 1), (0.01, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1), (0.6, 1), (0.05, 1), (0.01, 1)];
         let (inst, t) = build(&jobs, 4, 0.5, Some(1));
         if let Some(ss) = t.small_side_of[1] {
             assert!(t.tinst.bag(ss).len() <= inst.num_machines());

@@ -60,9 +60,8 @@ pub fn undo_transform(
         }
         // Large jobs (mapped) and mediums (reinserted) of modified bags.
         let is_ml = trans.removed_medium.contains(&job.id)
-            || trans.from_orig[job.id.idx()].is_some_and(|tj| {
-                trans.tclass[tj.idx()] != crate::classify::JobClass::Small
-            });
+            || trans.from_orig[job.id.idx()]
+                .is_some_and(|tj| trans.tclass[tj.idx()] != crate::classify::JobClass::Small);
         if is_ml {
             if let Some(mid) = machine[job.id.idx()] {
                 ml_here.insert((mid.0, l), true);
@@ -101,10 +100,8 @@ pub fn undo_transform(
         swaps += 1;
     }
 
-    let assignment: Vec<MachineId> = machine
-        .into_iter()
-        .map(|mo| mo.expect("every original job must be placed"))
-        .collect();
+    let assignment: Vec<MachineId> =
+        machine.into_iter().map(|mo| mo.expect("every original job must be placed")).collect();
     (Schedule::from_assignment(assignment, m), swaps)
 }
 
@@ -120,10 +117,7 @@ mod tests {
     /// Instance with one modified bag (bag 1: large + smalls) and a
     /// priority hog bag 0.
     fn fixture() -> (Instance, Transformed) {
-        let jobs = [
-            (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.05, 1), (0.01, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1), (0.05, 1), (0.01, 1)];
         let inst = Instance::new(&jobs, 3);
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
         let r = scale_and_round(&sizes, 1.0, 0.5).unwrap();
@@ -184,10 +178,7 @@ mod tests {
     #[test]
     fn medium_assignment_lands_in_schedule() {
         // Reuse the medium fixture from medium_flow: simpler — hand-build.
-        let jobs = [
-            (0.9, 0), (0.9, 0),
-            (0.9, 1), (0.05, 1), (0.01, 1),
-        ];
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1), (0.05, 1), (0.01, 1)];
         let (inst, t) = {
             let inst = Instance::new(&jobs, 3);
             let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();

@@ -242,7 +242,11 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
 
     match incumbent {
         Some((x, objective)) => MilpResult {
-            status: if budget_hit || !stack.is_empty() { MilpStatus::Feasible } else { MilpStatus::Optimal },
+            status: if budget_hit || !stack.is_empty() {
+                MilpStatus::Feasible
+            } else {
+                MilpStatus::Optimal
+            },
             x,
             objective,
             nodes,

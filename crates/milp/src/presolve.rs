@@ -144,9 +144,7 @@ pub fn presolve(model: &Model) -> PresolveStatus {
                     }
                 }
                 Relation::Eq => {
-                    if min_act > con.rhs + 1e-6
-                        || (max_finite && max_act < con.rhs - 1e-6)
-                    {
+                    if min_act > con.rhs + 1e-6 || (max_finite && max_act < con.rhs - 1e-6) {
                         return PresolveStatus::Infeasible;
                     }
                 }

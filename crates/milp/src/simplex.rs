@@ -171,7 +171,12 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         if v.ub.is_finite() {
             let range = v.ub - v.lb;
             if range < -TOL {
-                return LpResult { status: LpStatus::Infeasible, x: vec![], objective: 0.0, iterations: 0 };
+                return LpResult {
+                    status: LpStatus::Infeasible,
+                    x: vec![],
+                    objective: 0.0,
+                    iterations: 0,
+                };
             }
             let mut coeffs = vec![0.0; n];
             coeffs[j] = 1.0;
@@ -183,7 +188,12 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         // No constraints at all: optimum sits at the lower bounds unless
         // some cost is negative (then x_j -> +inf is improving).
         if model.vars.iter().any(|v| v.obj < -TOL) {
-            return LpResult { status: LpStatus::Unbounded, x: vec![], objective: 0.0, iterations: 0 };
+            return LpResult {
+                status: LpStatus::Unbounded,
+                x: vec![],
+                objective: 0.0,
+                iterations: 0,
+            };
         }
         return LpResult {
             status: LpStatus::Optimal,
@@ -268,7 +278,12 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         }
         let phase1_obj = -t.obj[cols_upper];
         if phase1_obj > 1e-6 {
-            return LpResult { status: LpStatus::Infeasible, x: vec![], objective: 0.0, iterations };
+            return LpResult {
+                status: LpStatus::Infeasible,
+                x: vec![],
+                objective: 0.0,
+                iterations,
+            };
         }
         // Drive remaining artificials out of the basis.
         for r in 0..m {

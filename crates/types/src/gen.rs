@@ -26,9 +26,8 @@ fn random_bags(rng: &mut StdRng, n: usize, b: usize, m: usize) -> Vec<u32> {
                 break;
             }
         }
-        let bag = bag.unwrap_or_else(|| {
-            counts.iter().position(|&c| c < m).expect("capacity checked above")
-        });
+        let bag = bag
+            .unwrap_or_else(|| counts.iter().position(|&c| c < m).expect("capacity checked above"));
         counts[bag] += 1;
         out.push(bag as u32);
     }
@@ -70,9 +69,8 @@ pub fn bimodal(n: usize, m: usize, b: usize, frac_large: f64, seed: u64) -> Inst
 pub fn clustered(n: usize, m: usize, b: usize, distinct: usize, seed: u64) -> Instance {
     assert!(distinct > 0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let sizes: Vec<f64> = (0..distinct)
-        .map(|i| 0.15 + 0.85 * (i as f64 + 0.5) / distinct as f64)
-        .collect();
+    let sizes: Vec<f64> =
+        (0..distinct).map(|i| 0.15 + 0.85 * (i as f64 + 0.5) / distinct as f64).collect();
     let bags = random_bags(&mut rng, n, b, m);
     let mut builder = InstanceBuilder::new(m);
     for bag in bags {

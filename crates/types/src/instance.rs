@@ -1,13 +1,13 @@
 //! Problem instances: jobs, bags, machines.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, DeserializeError, Serialize, Value};
 
 /// Index of a job within an [`Instance`] (dense, `0..n`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
 
 /// Index of a bag within an [`Instance`] (dense, `0..b`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BagId(pub u32);
 
 impl JobId {
@@ -27,7 +27,7 @@ impl BagId {
 }
 
 /// A single job: a processing time and the bag it belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Dense job index.
     pub id: JobId,
@@ -43,14 +43,126 @@ pub struct Job {
 /// structural invariants (positive sizes, dense bag ids). Semantic
 /// feasibility (`|B_l| <= m`) is checked by
 /// [`validate_instance`](crate::validate::validate_instance).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     jobs: Vec<Job>,
     machines: usize,
     num_bags: usize,
-    /// Jobs of each bag, indexed by `BagId`.
-    #[serde(skip)]
+    /// Jobs of each bag, indexed by `BagId`. Derived; not serialized, and
+    /// reconstructed whenever an `Instance` is built or deserialized.
     bag_members: Vec<Vec<JobId>>,
+}
+
+impl Serialize for JobId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for JobId {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        u32::from_value(v).map(JobId)
+    }
+}
+
+impl Serialize for BagId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for BagId {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        u32::from_value(v).map(BagId)
+    }
+}
+
+impl Serialize for Job {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("size".into(), self.size.to_value()),
+            ("bag".into(), self.bag.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Job {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(Job {
+            id: JobId::from_value(v.field("id")?)?,
+            size: f64::from_value(v.field("size")?)?,
+            bag: BagId::from_value(v.field("bag")?)?,
+        })
+    }
+}
+
+impl Serialize for Instance {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("jobs".into(), self.jobs.to_value()),
+            ("machines".into(), self.machines.to_value()),
+            ("num_bags".into(), self.num_bags.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Instance {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let jobs: Vec<Job> = Vec::from_value(v.field("jobs")?)?;
+        let machines = usize::from_value(v.field("machines")?)?;
+        let num_bags = usize::from_value(v.field("num_bags")?)?;
+        // Enforce the structural invariants the builder guarantees, so
+        // hostile or hand-edited JSON surfaces as an error, not a panic
+        // deep inside `rebuild_index` or a size lookup. The builder keeps
+        // every bag non-empty, hence `num_bags <= n`; machines must fit a
+        // `MachineId` (u32).
+        if num_bags > jobs.len() {
+            return Err(DeserializeError::new(format!(
+                "num_bags {num_bags} exceeds job count {} (bags are dense and non-empty)",
+                jobs.len()
+            )));
+        }
+        if machines > u32::MAX as usize {
+            return Err(DeserializeError::new(format!(
+                "machine count {machines} exceeds the representable range"
+            )));
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            if job.id.idx() != i {
+                return Err(DeserializeError::new(format!(
+                    "job at position {i} has id {} (ids must be dense)",
+                    job.id.0
+                )));
+            }
+            if job.bag.idx() >= num_bags {
+                return Err(DeserializeError::new(format!(
+                    "job {} references bag {} but num_bags is {num_bags}",
+                    job.id.0, job.bag.0
+                )));
+            }
+            if !(job.size > 0.0 && job.size.is_finite()) {
+                return Err(DeserializeError::new(format!(
+                    "job {} has non-positive or non-finite size {}",
+                    job.id.0, job.size
+                )));
+            }
+        }
+        // Bags must not only be in range but dense-and-non-empty, exactly
+        // as the builder produces them.
+        let mut occupied = vec![false; num_bags];
+        for job in &jobs {
+            occupied[job.bag.idx()] = true;
+        }
+        if let Some(empty) = occupied.iter().position(|&o| !o) {
+            return Err(DeserializeError::new(format!(
+                "bag {empty} has no jobs (bags are dense and non-empty)"
+            )));
+        }
+        // The checks above make `from_parts` safe, so the returned value is
+        // fully indexed — no separate `rebuild_index` step required.
+        Ok(Instance::from_parts(jobs, machines, num_bags))
+    }
 }
 
 impl Instance {
@@ -75,8 +187,9 @@ impl Instance {
         Instance { jobs, machines, num_bags, bag_members }
     }
 
-    /// Recompute the derived bag membership table (used after
-    /// deserialization, where it is skipped).
+    /// Recompute the derived bag membership table. Construction and
+    /// deserialization both produce an indexed instance already; this is
+    /// only needed after direct mutation of the job list.
     pub fn rebuild_index(&mut self) {
         self.bag_members = vec![Vec::new(); self.num_bags];
         for job in &self.jobs {
@@ -192,7 +305,10 @@ impl InstanceBuilder {
     /// External bag ids may be arbitrary `u32`s; they are compacted in
     /// first-seen order.
     pub fn push(&mut self, size: f64, bag: u32) -> JobId {
-        assert!(size > 0.0 && size.is_finite(), "job sizes must be positive and finite, got {size}");
+        assert!(
+            size > 0.0 && size.is_finite(),
+            "job sizes must be positive and finite, got {size}"
+        );
         let dense = match self.bag_remap.iter().find(|&&(ext, _)| ext == bag) {
             Some(&(_, dense)) => dense,
             None => {
@@ -208,12 +324,8 @@ impl InstanceBuilder {
 
     /// Append a job in its own fresh singleton bag.
     pub fn push_singleton(&mut self, size: f64) -> JobId {
-        let fresh = self
-            .bag_remap
-            .iter()
-            .map(|&(ext, _)| ext)
-            .max()
-            .map_or(0, |m| m.wrapping_add(1));
+        let fresh =
+            self.bag_remap.iter().map(|&(ext, _)| ext).max().map_or(0, |m| m.wrapping_add(1));
         self.push(size, fresh)
     }
 

@@ -15,11 +15,10 @@ pub fn instance_to_json(inst: &Instance) -> String {
     serde_json::to_string_pretty(inst).expect("instance serialization cannot fail")
 }
 
-/// Deserialize an instance from JSON, rebuilding derived indices.
+/// Deserialize an instance from JSON (derived indices are rebuilt by the
+/// `Deserialize` impl itself).
 pub fn instance_from_json(json: &str) -> Result<Instance, serde_json::Error> {
-    let mut inst: Instance = serde_json::from_str(json)?;
-    inst.rebuild_index();
-    Ok(inst)
+    serde_json::from_str(json)
 }
 
 /// Write an instance to a file.
@@ -83,5 +82,53 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(instance_from_json("{not json").is_err());
         assert!(schedule_from_json("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn inconsistent_instance_json_rejected() {
+        // Bag id out of the declared dense range.
+        let bad_bag =
+            r#"{"jobs": [{"id": 0, "size": 1.0, "bag": 5}], "machines": 2, "num_bags": 1}"#;
+        assert!(instance_from_json(bad_bag).is_err());
+        // Job ids must be dense and in position.
+        let bad_id =
+            r#"{"jobs": [{"id": 3, "size": 1.0, "bag": 0}], "machines": 2, "num_bags": 1}"#;
+        assert!(instance_from_json(bad_id).is_err());
+        // Sizes must be positive and finite.
+        let bad_size =
+            r#"{"jobs": [{"id": 0, "size": -1.0, "bag": 0}], "machines": 2, "num_bags": 1}"#;
+        assert!(instance_from_json(bad_size).is_err());
+        // An inflated num_bags with no jobs to back it must not reach the
+        // `rebuild_index` allocation.
+        let huge_bags = r#"{"jobs": [], "machines": 1, "num_bags": 1e15}"#;
+        assert!(instance_from_json(huge_bags).is_err());
+        // Bags must be dense and non-empty, as the builder guarantees.
+        let empty_bag = r#"{"jobs": [{"id": 0, "size": 1.0, "bag": 1}, {"id": 1, "size": 1.0, "bag": 1}], "machines": 2, "num_bags": 2}"#;
+        assert!(instance_from_json(empty_bag).is_err());
+        // Machine counts beyond MachineId range are rejected.
+        let huge_machines = r#"{"jobs": [], "machines": 1e15, "num_bags": 0}"#;
+        assert!(instance_from_json(huge_machines).is_err());
+    }
+
+    #[test]
+    fn zero_machine_instance_parses_but_fails_validation() {
+        // `machines: 0` is representable (the builder allows it), so the
+        // parser accepts it and `validate_instance` is the semantic gate —
+        // the same split as for builder-made instances.
+        let json = r#"{"jobs": [{"id": 0, "size": 1.0, "bag": 0}], "machines": 0, "num_bags": 1}"#;
+        let inst = instance_from_json(json).unwrap();
+        assert!(crate::validate::validate_instance(&inst).is_err());
+        // And the deserialized value is fully indexed without any extra
+        // rebuild step.
+        assert_eq!(inst.bag(BagId(0)), &[JobId(0)]);
+    }
+
+    #[test]
+    fn out_of_range_schedule_json_rejected() {
+        assert!(schedule_from_json(r#"{"assignment": [7], "machines": 1}"#).is_err());
+        assert!(schedule_from_json(r#"{"assignment": [], "machines": 0}"#).is_err());
+        // A huge machine count must error at parse time, not abort in the
+        // `loads()` allocation.
+        assert!(schedule_from_json(r#"{"assignment": [], "machines": 1e15}"#).is_err());
     }
 }

@@ -1,11 +1,23 @@
 //! Schedules: a total assignment of jobs to machines.
 
 use crate::instance::{Instance, JobId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, DeserializeError, Serialize, Value};
 
 /// Index of a machine (`0..m`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(pub u32);
+
+impl Serialize for MachineId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for MachineId {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        u32::from_value(v).map(MachineId)
+    }
+}
 
 impl MachineId {
     /// The machine index as a `usize`, for slice indexing.
@@ -21,11 +33,44 @@ impl MachineId {
 /// itself. Use [`Schedule::conflicts`] /
 /// [`validate_schedule`](crate::validate::validate_schedule) to check the
 /// bag-constraints, and [`Schedule::makespan`] for the objective.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// `assignment[j]` is the machine running job `j`.
     assignment: Vec<MachineId>,
     machines: usize,
+}
+
+impl Serialize for Schedule {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("assignment".into(), self.assignment.to_value()),
+            ("machines".into(), self.machines.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Schedule {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let assignment: Vec<MachineId> = Vec::from_value(v.field("assignment")?)?;
+        let machines = usize::from_value(v.field("machines")?)?;
+        // Enforce the `from_assignment` invariants so malformed JSON is an
+        // error here instead of a panic later in `loads`/`makespan`.
+        if machines == 0 {
+            return Err(DeserializeError::new("schedule must have at least one machine"));
+        }
+        if machines > u32::MAX as usize {
+            return Err(DeserializeError::new(format!(
+                "machine count {machines} exceeds the representable range"
+            )));
+        }
+        if let Some(mid) = assignment.iter().find(|mid| mid.idx() >= machines) {
+            return Err(DeserializeError::new(format!(
+                "machine index {} out of range (m={machines})",
+                mid.0
+            )));
+        }
+        Ok(Schedule { assignment, machines })
+    }
 }
 
 impl Schedule {
@@ -57,7 +102,12 @@ impl Schedule {
     /// Assign (or reassign) job `j` to machine `mid`.
     #[inline]
     pub fn assign(&mut self, j: JobId, mid: MachineId) {
-        assert!(mid.idx() < self.machines, "machine index {} out of range (m={})", mid.0, self.machines);
+        assert!(
+            mid.idx() < self.machines,
+            "machine index {} out of range (m={})",
+            mid.0,
+            self.machines
+        );
         self.assignment[j.idx()] = mid;
     }
 

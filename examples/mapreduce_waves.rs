@@ -37,10 +37,7 @@ fn main() {
     }
     let inst = b.build();
 
-    println!(
-        "{} reducers in {waves} waves on {workers} workers (bags = waves)\n",
-        inst.num_jobs()
-    );
+    println!("{} reducers in {waves} waves on {workers} workers (bags = waves)\n", inst.num_jobs());
 
     let lb = lower_bounds(&inst).combined();
     let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
@@ -48,10 +45,7 @@ fn main() {
     // Small instance: the exact branch-and-bound gives the true optimum.
     let exact = exact_makespan(&inst, 50_000_000).unwrap();
     println!("certified lower bound: {lb:.3}");
-    println!(
-        "true optimum (exact B&B, {} nodes): {:.3}",
-        exact.nodes, exact.makespan
-    );
+    println!("true optimum (exact B&B, {} nodes): {:.3}", exact.nodes, exact.makespan);
     println!("conflict-aware LPT: {lpt:.3}  (ratio {:.3})", lpt / exact.makespan);
 
     for eps in [0.6, 0.4, 0.25] {

@@ -13,10 +13,14 @@ fn main() {
     // Eight jobs in four bags on three machines. Jobs of one bag must run
     // on different machines (think: replicas of one service).
     let jobs = [
-        (4.0, 0), (4.0, 0), // two replicas of a heavy service
-        (3.0, 1), (2.0, 1),
-        (2.0, 2), (1.0, 2),
-        (1.5, 3), (0.5, 3),
+        (4.0, 0),
+        (4.0, 0), // two replicas of a heavy service
+        (3.0, 1),
+        (2.0, 1),
+        (2.0, 2),
+        (1.0, 2),
+        (1.5, 3),
+        (0.5, 3),
     ];
     let inst = Instance::new(&jobs, 3);
 

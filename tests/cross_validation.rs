@@ -50,8 +50,10 @@ fn eptas_and_ptas_agree_on_small_instances() {
         let inst = gen::uniform(14, 3, 6, seed);
         let a = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
         let b = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
-        assert!(a <= b * (1.0 + eps) + 1e-9 && b <= a * (1.0 + eps) + 1e-9,
-            "seed {seed}: eptas {a} vs ptas {b}");
+        assert!(
+            a <= b * (1.0 + eps) + 1e-9 && b <= a * (1.0 + eps) + 1e-9,
+            "seed {seed}: eptas {a} vs ptas {b}"
+        );
     }
 }
 
@@ -61,10 +63,7 @@ fn all_solvers_feasible_on_adversarial_bags() {
     let solvers: Vec<(&str, Box<dyn Fn() -> bagsched::types::Schedule>)> = vec![
         ("bag_aware_lpt", Box::new(|| bag_aware_lpt(&inst).unwrap())),
         ("eptas", Box::new(|| Eptas::with_epsilon(0.5).solve(&inst).unwrap().schedule)),
-        (
-            "dw_ptas",
-            Box::new(|| dw_ptas(&inst, &DwPtasConfig::with_epsilon(0.5)).unwrap()),
-        ),
+        ("dw_ptas", Box::new(|| dw_ptas(&inst, &DwPtasConfig::with_epsilon(0.5)).unwrap())),
     ];
     for (name, run) in solvers {
         let s = run();

@@ -13,12 +13,11 @@ fn all_families_all_epsilons_feasible() {
         for &eps in &[0.75, 0.5] {
             for seed in 0..2 {
                 let inst = family.generate(30, 4, seed);
-                let r = Eptas::with_epsilon(eps).solve(&inst).unwrap_or_else(|e| {
-                    panic!("{} eps={eps} seed={seed}: {e}", family.name())
-                });
-                validate_schedule(&inst, &r.schedule).unwrap_or_else(|e| {
-                    panic!("{} eps={eps} seed={seed}: {e}", family.name())
-                });
+                let r = Eptas::with_epsilon(eps)
+                    .solve(&inst)
+                    .unwrap_or_else(|e| panic!("{} eps={eps} seed={seed}: {e}", family.name()));
+                validate_schedule(&inst, &r.schedule)
+                    .unwrap_or_else(|e| panic!("{} eps={eps} seed={seed}: {e}", family.name()));
                 assert_eq!(
                     r.report.safety_net_moves,
                     0,
@@ -26,11 +25,7 @@ fn all_families_all_epsilons_feasible() {
                     family.name()
                 );
                 let lb = lower_bounds(&inst).combined();
-                assert!(
-                    r.makespan >= lb - 1e-9,
-                    "{}: makespan below lower bound?!",
-                    family.name()
-                );
+                assert!(r.makespan >= lb - 1e-9, "{}: makespan below lower bound?!", family.name());
             }
         }
     }
@@ -175,10 +170,7 @@ fn failures_carry_the_guess_value() {
     let r = Eptas::new(cfg).solve(&inst).unwrap();
     for (guess, failure) in &r.report.failures {
         assert!(*guess > 0.0);
-        assert_eq!(
-            *failure,
-            bagsched::eptas::report::GuessFailure::PatternBudget
-        );
+        assert_eq!(*failure, bagsched::eptas::report::GuessFailure::PatternBudget);
     }
 }
 

@@ -4,17 +4,14 @@
 use bagsched::baselines::{bag_aware_lpt, bag_lpt_schedule, random_fit};
 use bagsched::eptas::Eptas;
 use bagsched::types::lowerbound::lower_bounds;
-use bagsched::types::{Instance, InstanceBuilder};
+use bagsched::types::{validate_schedule, Instance, InstanceBuilder, Schedule, ScheduleError};
 use proptest::prelude::*;
 
 /// Strategy: a feasible random instance (every bag capped at m members).
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (2usize..6, 1usize..30).prop_flat_map(|(m, n)| {
-        (
-            Just(m),
-            proptest::collection::vec((0.01f64..1.0, 0u32..12), n..n + 1),
-        )
-            .prop_map(|(m, jobs)| {
+        (Just(m), proptest::collection::vec((0.01f64..1.0, 0u32..12), n..n + 1)).prop_map(
+            |(m, jobs)| {
                 let mut builder = InstanceBuilder::new(m);
                 let mut counts = std::collections::HashMap::new();
                 for (size, bag) in jobs {
@@ -27,7 +24,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                     builder.push(size, bag);
                 }
                 builder.build()
-            })
+            },
+        )
     })
 }
 
@@ -80,5 +78,97 @@ proptest! {
         // relative tolerance rather than exact equality.
         prop_assert!((b - a * factor).abs() <= 0.05 * a * factor + 1e-9,
             "scale invariance broken: {} vs {}", b, a * factor);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection paths of `validate_schedule`: corrupt a known-feasible schedule
+// in each of the ways the validator must catch and check the exact error.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dropping a job from the assignment (a "missing job") is rejected as
+    /// a job-count mismatch, never accepted.
+    #[test]
+    fn missing_job_rejected(inst in arb_instance()) {
+        let good = bag_aware_lpt(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &good).is_ok());
+        let mut short = good.assignment().to_vec();
+        short.pop();
+        let bad = Schedule::from_assignment(short, inst.num_machines());
+        match validate_schedule(&inst, &bad) {
+            Err(ScheduleError::JobCountMismatch { schedule, instance }) => {
+                prop_assert_eq!(schedule, inst.num_jobs() - 1);
+                prop_assert_eq!(instance, inst.num_jobs());
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "missing job not caught: {other:?}"))),
+        }
+    }
+
+    /// Duplicating a job's placement entry (the schedule claims one more
+    /// job than the instance has) is likewise a job-count mismatch.
+    #[test]
+    fn duplicate_job_placement_rejected(inst in arb_instance(), pick in 0usize..1_000_000) {
+        let good = bag_aware_lpt(&inst).unwrap();
+        let mut long = good.assignment().to_vec();
+        let dup = long[pick % long.len()];
+        long.push(dup);
+        let bad = Schedule::from_assignment(long, inst.num_machines());
+        match validate_schedule(&inst, &bad) {
+            Err(ScheduleError::JobCountMismatch { schedule, instance }) => {
+                prop_assert_eq!(schedule, inst.num_jobs() + 1);
+                prop_assert_eq!(instance, inst.num_jobs());
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "duplicate placement not caught: {other:?}"))),
+        }
+    }
+
+    /// Forcing two same-bag jobs onto one machine is rejected as a
+    /// conflict naming exactly that pair and bag.
+    #[test]
+    fn bag_conflict_on_one_machine_rejected(inst in arb_instance()) {
+        // Find a bag with at least two members; instances whose bags are
+        // all singletons admit no conflict and are vacuously fine.
+        let Some((bag, members)) = inst
+            .bags()
+            .find(|(_, members)| members.len() >= 2)
+            .map(|(bag, members)| (bag, members.to_vec()))
+        else {
+            return Ok(());
+        };
+        let mut sched = bag_aware_lpt(&inst).unwrap();
+        let (a, b) = (members[0], members[1]);
+        // Collide b onto a's machine. The base schedule was feasible, so
+        // (a, b) is the only conflict afterwards.
+        sched.assign(b, sched.machine_of(a));
+        prop_assert!(!sched.is_feasible(&inst));
+        match validate_schedule(&inst, &sched) {
+            Err(ScheduleError::Conflict { a: ra, b: rb, bag: rbag }) => {
+                prop_assert_eq!(ra, a.min(b));
+                prop_assert_eq!(rb, a.max(b));
+                prop_assert_eq!(rbag, bag);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "bag conflict not caught: {other:?}"))),
+        }
+    }
+
+    /// A machine-count mismatch is caught even when the assignment itself
+    /// is otherwise fine.
+    #[test]
+    fn machine_count_mismatch_rejected(inst in arb_instance()) {
+        let good = bag_aware_lpt(&inst).unwrap();
+        let wide = Schedule::from_assignment(
+            good.assignment().to_vec(),
+            inst.num_machines() + 1,
+        );
+        prop_assert!(matches!(
+            validate_schedule(&inst, &wide),
+            Err(ScheduleError::MachineCountMismatch { .. })
+        ));
     }
 }

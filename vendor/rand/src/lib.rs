@@ -1,0 +1,149 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The workspace must build without network access, so this vendored crate
+//! provides the narrow slice of the `rand` API that `bagsched` uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`RngExt::random_range`] over integer and `f64` ranges. The generator is
+//! deterministic in its seed (a requirement of the workload generators and
+//! the determinism test suite) but makes **no** reproducibility promise
+//! relative to the real `rand` crate's `StdRng`.
+//!
+//! The core is xoshiro256**, seeded through SplitMix64 — the same
+//! construction the `rand` ecosystem uses for small fast generators.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range, mirroring the `rand` 0.9 `Rng` surface.
+pub trait RngExt {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngExt>(self, rng: &mut G) -> T;
+}
+
+// Span arithmetic runs in the same-width unsigned domain ($u): a direct
+// `end - start` would overflow signed types on ranges wider than their
+// positive half, while two's-complement wrapping_sub reinterpreted as
+// unsigned is exact for every range width.
+macro_rules! impl_int_range {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngExt>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $u as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngExt>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi.wrapping_sub(lo) as $u as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit-wide range: every value is valid.
+                    return lo.wrapping_add(rng.next_u64() as $u as $t);
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!((u32, u32), (u64, u64), (usize, usize), (i32, u32), (i64, u64));
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<G: RngExt>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.random_range(5..=9);
+            assert!((5..=9).contains(&y));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        // `(MAX - 0) + 1` overflows; the span must wrap to 0 and fall into
+        // the full-width branch instead of panicking in debug builds.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let _: u64 = rng.random_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_work() {
+        // Spans wider than the signed positive half must not overflow.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let x: i32 = rng.random_range(i32::MIN..i32::MAX);
+            assert!(x < i32::MAX);
+            let y: i64 = rng.random_range(i64::MIN..=i64::MAX);
+            let _ = y;
+            let z: i32 = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

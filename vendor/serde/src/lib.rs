@@ -1,0 +1,234 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The real serde is a derive-driven zero-copy framework; this vendored
+//! crate is the minimal Value-tree version the workspace needs to persist
+//! instances and schedules as JSON without network access. Types implement
+//! [`Serialize`] / [`Deserialize`] by hand against a dynamic [`Value`];
+//! the companion vendored `serde_json` crate renders and parses that tree.
+
+use std::fmt;
+
+/// A dynamic JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers are carried as `f64`; integral values print without
+    /// a fractional part and round-trip exactly up to 2^53.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key order is preserved (insertion order), matching serde_json's
+    /// `preserve_order` behaviour so output is deterministic.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field, as a deserialization error otherwise.
+    pub fn field(&self, key: &str) -> Result<&Value, DeserializeError> {
+        self.get(key).ok_or_else(|| DeserializeError::new(format!("missing field `{key}`")))
+    }
+}
+
+/// Error produced by [`Deserialize`] implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeserializeError {
+    msg: String,
+}
+
+impl DeserializeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeserializeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError>;
+}
+
+fn expect_num(v: &Value, what: &str) -> Result<f64, DeserializeError> {
+    match v {
+        Value::Num(x) => Ok(*x),
+        other => Err(DeserializeError::new(format!("expected {what}, got {other:?}"))),
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // All numbers travel as f64; refuse to silently corrupt
+                // integers beyond its 2^53 exact range (no in-repo type
+                // carries such values, so this is a loud guard, not a
+                // path). A round-trip cast check would be fooled by `as`
+                // saturation at u64::MAX, so bound explicitly.
+                assert!(
+                    *self as u64 <= (1u64 << 53),
+                    "{} value {self} is not exactly representable as f64",
+                    stringify!($t)
+                );
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                let x = expect_num(v, stringify!($t))?;
+                // `MAX as f64` rounds *up* to 2^64 for u64, so compare
+                // against the exactly-representable 2^bits limit instead
+                // of MAX itself (`as` would silently saturate).
+                let limit = <$t>::MAX as f64 + 1.0;
+                if x.fract() != 0.0 || x < 0.0 || x >= limit {
+                    return Err(DeserializeError::new(format!(
+                        "number {x} out of range for {}", stringify!($t))));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        expect_num(v, "f64")
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeserializeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeserializeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeserializeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&0.25f64.to_value()), Ok(0.25));
+        assert_eq!(Vec::<u64>::from_value(&vec![1u64, 2, 3].to_value()), Ok(vec![1, 2, 3]));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+        assert!(u32::from_value(&Value::Num(-1.0)).is_err());
+        assert!(String::from_value(&Value::Num(1.0)).is_err());
+    }
+
+    #[test]
+    fn integer_overflow_rejected_not_saturated() {
+        // 2^64 rounds into `u64::MAX as f64`, so a naive `> MAX` check
+        // would accept it and `as` would saturate. Must be an error.
+        let two_pow_64 = 18446744073709551616.0f64;
+        assert!(u64::from_value(&Value::Num(two_pow_64)).is_err());
+        assert!(usize::from_value(&Value::Num(two_pow_64)).is_err());
+        assert!(u32::from_value(&Value::Num(4294967296.0)).is_err());
+        // The largest exactly-representable in-range values still parse.
+        assert_eq!(u32::from_value(&Value::Num(u32::MAX as f64)), Ok(u32::MAX));
+        assert_eq!(u64::from_value(&Value::Num(2.0f64.powi(53))), Ok(1u64 << 53));
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.field("a").unwrap(), &Value::Num(1.0));
+        assert!(v.field("b").is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! Hermetic stand-in for `serde_json`: a strict JSON parser and
+//! pretty-printer over the vendored `serde` [`Value`] tree.
+//!
+//! Numbers are `f64` and print via Rust's shortest-round-trip `Display`,
+//! so finite floats survive a serialize/parse cycle bit-exactly.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Parse or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeserializeError> for Error {
+    fn from(e: serde::DeserializeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0)?;
+    Ok(out)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => {
+            if !x.is_finite() {
+                return Err(Error::new(format!("non-finite number {x} is not JSON")));
+            }
+            out.push_str(&x.to_string());
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_value(out, item, indent + 1)?;
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    write_value(out, val, indent + 1)?;
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser would otherwise overflow the stack (an uncatchable abort) on
+/// adversarial inputs like a megabyte of `[`.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(Error::new(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let r = self.array_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_inner(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' but found '{}' at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let r = self.object_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_inner(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                c => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' but found '{}' at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // High surrogate: a low surrogate escape
+                                // must follow; combine into one scalar.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(&b"\\u"[..]) {
+                                        return Err(Error::new(
+                                            "high surrogate not followed by \\u escape",
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error::new("lone low surrogate"));
+                                }
+                                _ => char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            };
+                            out.push(c);
+                        }
+                        c => return Err(Error::new(format!("invalid escape '\\{}'", c as char))),
+                    }
+                }
+                b if b < 0x20 => return Err(Error::new("control character in string")),
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error::new("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        match text.parse::<f64>() {
+            // `str::parse` returns Ok(inf) on overflow (e.g. "1e999");
+            // keep the crate's finite-Num invariant by rejecting it.
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            _ => Err(Error::new(format!("invalid number '{text}'"))),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        parse_value(&{
+            let mut s = String::new();
+            write_value(&mut s, v, 0).unwrap();
+            s
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("a \"quoted\"\nline".into())),
+            ("xs".into(), Value::Arr(vec![Value::Num(1.0), Value::Num(0.1 + 0.2)])),
+            ("flag".into(), Value::Bool(true)),
+            ("nothing".into(), Value::Null),
+            ("empty".into(), Value::Arr(vec![])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1, 1e-12, 123456.789, 1.0 / 3.0, f64::MIN_POSITIVE] {
+            assert_eq!(roundtrip(&Value::Num(x)), Value::Num(x));
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_value("{not json").is_err());
+        assert!(parse_value("[1, 2,]").is_err());
+        assert!(parse_value("\"open").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(parse_value("").is_err());
+        // Overflowing literals must not smuggle in a non-finite Num.
+        assert!(parse_value("1e999").is_err());
+        assert!(parse_value("-1e999").is_err());
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u32>>("{\"a\": 1}").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_an_abort() {
+        let deep = "[".repeat(200_000);
+        assert!(parse_value(&deep).is_err());
+        let mixed = "{\"a\":".repeat(5_000) + "1" + &"}".repeat(5_000);
+        assert!(parse_value(&mixed).is_err());
+        // Sibling containers at the same level do not accumulate depth.
+        let wide = format!("[{}]", vec!["[]"; 10_000].join(","));
+        assert!(parse_value(&wide).is_ok());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let v = Value::Str("héllo ☃ \u{1F600}".into());
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // Externally produced JSON may escape non-BMP characters as pairs.
+        let v: String = from_str("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v, "\u{1F600}");
+        // BMP escapes still decode directly.
+        let v: String = from_str("\"\\u00e9\\u2603\"").unwrap();
+        assert_eq!(v, "é☃");
+        // Lone or malformed surrogates are errors, not U+FFFD.
+        assert!(from_str::<String>(r#""\uD83D""#).is_err());
+        assert!(from_str::<String>(r#""\uD83Dxx""#).is_err());
+        assert!(from_str::<String>(r#""\uD83DA""#).is_err());
+        assert!(from_str::<String>(r#""\uDE00""#).is_err());
+    }
+}
