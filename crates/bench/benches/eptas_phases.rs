@@ -62,7 +62,7 @@ fn bench_pattern_milp(c: &mut Criterion) {
         let t = transform(&inst, &r, &cl, &p);
         let ps = enumerate_patterns(&t, 100_000).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &(&t, &ps), |b, (t, ps)| {
-            b.iter(|| black_box(solve_patterns(t, ps, &cfg)))
+            b.iter(|| black_box(solve_patterns(t, ps, &cfg, &mut bagsched_core::Stats::default())))
         });
     }
     group.finish();

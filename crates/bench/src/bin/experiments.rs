@@ -1,40 +1,178 @@
 //! Experiment harness CLI: regenerates every table/figure of
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, in parallel, with machine-readable perf reports.
 //!
 //! ```text
-//! experiments all [--quick]     run everything
-//! experiments <id> [--quick]    run one experiment (fig1, ratio-small, ...)
-//! experiments list              list experiment ids
+//! experiments all [flags]           run everything
+//! experiments <id>... [flags]       run selected experiments
+//! experiments list                  list experiment ids
+//!
+//! flags:
+//!   --quick             small grids (CI mode)
+//!   --jobs N            worker threads (default: available parallelism)
+//!   --json DIR          write BENCH_<id>.json per experiment plus
+//!                       BENCH_summary.json into DIR
+//!   --compare FILE      gate against a baseline summary (exit 3 on a
+//!                       regression past the threshold)
+//!   --threshold X       slowdown factor for --compare (default 10.0)
 //! ```
+//!
+//! Tables go to **stdout** and are byte-identical for any `--jobs` value;
+//! progress and the comparison report go to **stderr**. Exit codes:
+//! `0` ok, `2` usage error, `3` perf regression.
 
-use bagsched_bench::experiments;
-use std::time::Instant;
+use bagsched_bench::{json, runner};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+struct Args {
+    ids: Vec<String>,
+    quick: bool,
+    jobs: usize,
+    json_dir: Option<PathBuf>,
+    compare: Option<PathBuf>,
+    threshold: f64,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        quick: false,
+        jobs: runner::default_jobs(),
+        json_dir: None,
+        compare: None,
+        threshold: 10.0,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--jobs" => {
+                args.jobs = value_of("--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&j| j >= 1)
+                    .ok_or("--jobs needs a positive integer")?;
+            }
+            "--json" => args.json_dir = Some(PathBuf::from(value_of("--json")?)),
+            "--compare" => args.compare = Some(PathBuf::from(value_of("--compare")?)),
+            "--threshold" => {
+                args.threshold = value_of("--threshold")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t >= 1.0)
+                    .ok_or("--threshold needs a number >= 1.0")?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    Ok(args)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: experiments [all|list|<id>...] [--quick] [--jobs N] [--json DIR] [--compare FILE] [--threshold X]");
+            exit(2);
+        }
+    };
 
-    match ids.first().copied() {
-        None | Some("all") => {
-            for &id in experiments::ALL {
-                let start = Instant::now();
-                let table = experiments::run(id, quick).expect("known id");
-                table.print();
-                println!("[{id} took {:.1?}]", start.elapsed());
-            }
+    if args.ids.first().map(String::as_str) == Some("list") {
+        for &id in bagsched_bench::experiments::ALL {
+            println!("{id}");
         }
-        Some("list") => {
-            for &id in experiments::ALL {
-                println!("{id}");
-            }
-        }
-        Some(id) => match experiments::run(id, quick) {
-            Some(table) => table.print(),
-            None => {
-                eprintln!("unknown experiment '{id}'; try: experiments list");
-                std::process::exit(2);
-            }
-        },
+        return;
     }
+
+    // Validate every positional id before resolving, so a typo next to
+    // "all" still errors instead of silently running the built-in list.
+    for id in &args.ids {
+        if id != "all" && !bagsched_bench::experiments::ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment '{id}'; try: experiments list");
+            exit(2);
+        }
+    }
+    let ids: Vec<&str> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
+        bagsched_bench::experiments::ALL.to_vec()
+    } else {
+        args.ids.iter().map(String::as_str).collect()
+    };
+
+    eprintln!("[running {} experiment(s), quick={}, jobs={}]", ids.len(), args.quick, args.jobs);
+    let outcomes = runner::run_experiments(&ids, args.quick, args.jobs, |o| {
+        eprintln!("[{} done in {:.2}s]", o.id, o.wall_secs);
+    });
+
+    // Deterministic stdout: tables only, in input order.
+    for o in &outcomes {
+        o.table.print();
+    }
+    let total: f64 = outcomes.iter().map(|o| o.wall_secs).sum();
+    eprintln!("[total cell time {total:.2}s across {} cells]", outcomes.len());
+
+    if let Some(dir) = &args.json_dir {
+        if let Err(e) = write_reports(dir, &outcomes, args.quick) {
+            eprintln!("cannot write reports to {}: {e}", dir.display());
+            exit(1);
+        }
+        eprintln!("[wrote {} BENCH_*.json files to {}]", outcomes.len() + 1, dir.display());
+    }
+
+    if let Some(path) = &args.compare {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        let mut baseline = match json::Baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot parse baseline {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        // A deliberate subset run only gates the selected experiments;
+        // the missing-id coverage check is for full runs (CI).
+        if !bagsched_bench::experiments::ALL.iter().all(|id| ids.contains(id)) {
+            eprintln!("[subset run: gating only the selected experiments against the baseline]");
+            baseline = baseline.restricted_to(&ids);
+        }
+        let current = json::Baseline::from_outcomes(&outcomes, args.quick);
+        let cmp = json::compare(&current, &baseline, args.threshold);
+        eprintln!("[compare vs {} at threshold {:.2}x]", path.display(), args.threshold);
+        for line in &cmp.lines {
+            eprintln!("  {line}");
+        }
+        for reg in &cmp.regressions {
+            eprintln!("  REGRESSION {reg}");
+        }
+        if cmp.exit_code() == 0 {
+            eprintln!("[perf gate: ok]");
+        } else {
+            eprintln!("[perf gate: FAILED with {} regression(s)]", cmp.regressions.len());
+        }
+        exit(cmp.exit_code());
+    }
+}
+
+/// Write `BENCH_<id>.json` per outcome plus `BENCH_summary.json`.
+fn write_reports(
+    dir: &Path,
+    outcomes: &[runner::ExperimentOutcome],
+    quick: bool,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for o in outcomes {
+        let record = json::BenchRecord::from_outcome(o, quick);
+        std::fs::write(dir.join(format!("BENCH_{}.json", o.id)), record.to_json() + "\n")?;
+    }
+    let summary = json::Baseline::from_outcomes(outcomes, quick);
+    std::fs::write(dir.join("BENCH_summary.json"), summary.to_json() + "\n")?;
+    Ok(())
 }

@@ -6,7 +6,7 @@ use bagsched_baselines::{
     bag_aware_lpt, bag_lpt_assign, bag_lpt_schedule, dw_ptas, exact_makespan, lpt,
     lpt_with_local_search, random_fit, DwPtasConfig,
 };
-use bagsched_core::{Eptas, EptasConfig};
+use bagsched_core::{Eptas, EptasConfig, EptasResult, Stats};
 use bagsched_types::lowerbound::lower_bounds;
 use bagsched_types::{gen, Instance, JobId, MachineId, Schedule};
 use std::time::Instant;
@@ -29,25 +29,48 @@ pub const ALL: &[&str] = &[
     "ablate-joint",
 ];
 
+/// One finished experiment: the printable table plus the aggregate work
+/// counters of every EPTAS solve it performed, so the JSON reports can
+/// attribute wall-clock to algorithmic work.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// The rendered result table.
+    pub table: Table,
+    /// Summed [`Stats`] across all `Eptas::solve` calls of the experiment.
+    pub stats: Stats,
+}
+
 /// Dispatch by id.
-pub fn run(id: &str, quick: bool) -> Option<Table> {
-    Some(match id {
-        "fig1" => fig1(quick),
-        "fig2" => fig2(quick),
-        "fig3" => fig3(quick),
-        "ratio-small" => ratio_small(quick),
-        "ratio-large" => ratio_large(quick),
-        "scaling-n" => scaling_n(quick),
-        "scaling-eps" => scaling_eps(quick),
-        "lemma8" => lemma8(quick),
-        "lemma3" => lemma3(quick),
-        "lemma7" => lemma7(quick),
-        "heuristics" => heuristics(quick),
-        "ablate-transform" => ablate_transform(quick),
-        "ablate-bprime" => ablate_bprime(quick),
-        "ablate-joint" => ablate_joint(quick),
+pub fn run(id: &str, quick: bool) -> Option<ExperimentRun> {
+    let mut stats = Stats::default();
+    let st = &mut stats;
+    let table = match id {
+        "fig1" => fig1(quick, st),
+        "fig2" => fig2(quick, st),
+        "fig3" => fig3(quick, st),
+        "ratio-small" => ratio_small(quick, st),
+        "ratio-large" => ratio_large(quick, st),
+        "scaling-n" => scaling_n(quick, st),
+        "scaling-eps" => scaling_eps(quick, st),
+        "lemma8" => lemma8(quick, st),
+        "lemma3" => lemma3(quick, st),
+        "lemma7" => lemma7(quick, st),
+        "heuristics" => heuristics(quick, st),
+        "ablate-transform" => ablate_transform(quick, st),
+        "ablate-bprime" => ablate_bprime(quick, st),
+        "ablate-joint" => ablate_joint(quick, st),
         _ => return None,
-    })
+    };
+    Some(ExperimentRun { table, stats })
+}
+
+/// Solve with the EPTAS and fold the run's counters into the experiment
+/// accumulator. Every experiment routes its solves through here so no
+/// work escapes the report.
+fn solve(solver: &Eptas, inst: &Instance, stats: &mut Stats) -> EptasResult {
+    let r = solver.solve(inst).expect("experiment instances are feasible");
+    stats.add(&r.report.stats);
+    r
 }
 
 /// The bag-oblivious large-job placement of the paper's Figure 1 (right
@@ -90,7 +113,7 @@ fn fig1_naive(inst: &Instance) -> Schedule {
 
 /// F1 — Figure 1: bag-oblivious large placement forces a 1.5x makespan;
 /// the EPTAS's bag-aware placement stays near OPT = 1.
-pub fn fig1(quick: bool) -> Table {
+pub fn fig1(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "F1",
         "Figure-1 gadget: naive large placement vs EPTAS (OPT = 1)",
@@ -101,7 +124,7 @@ pub fn fig1(quick: bool) -> Table {
         let inst = gen::fig1_gadget(m);
         let naive = fig1_naive(&inst).makespan(&inst);
         let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
-        let eptas = Eptas::with_epsilon(0.4).solve(&inst).unwrap().makespan;
+        let eptas = solve(&Eptas::with_epsilon(0.4), &inst, stats).makespan;
         t.row(vec![
             m.to_string(),
             format!("{naive:.3}"),
@@ -116,7 +139,7 @@ pub fn fig1(quick: bool) -> Table {
 
 /// F2 — Figure 2 / Lemma 2: transformation statistics and the
 /// `(1 + eps)` cost bound, measured per family.
-pub fn fig2(quick: bool) -> Table {
+pub fn fig2(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "F2",
         "Instance transformation (Lemma 2): fillers, mediums, cost",
@@ -128,7 +151,7 @@ pub fn fig2(quick: bool) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(36, 4, seed);
-            let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+            let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
             let (fillers, mediums) = r
                 .report
                 .last_success
@@ -153,7 +176,7 @@ pub fn fig2(quick: bool) -> Table {
 
 /// F3 — Figure 3 / Lemma 4: filler swap-back accounting; the merge never
 /// breaks feasibility.
-pub fn fig3(quick: bool) -> Table {
+pub fn fig3(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "F3",
         "Lemma-4 filler swaps while undoing the transformation",
@@ -165,7 +188,7 @@ pub fn fig3(quick: bool) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(32, 4, 100 + seed);
-            let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+            let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
             let (fillers, swaps) = r
                 .report
                 .last_success
@@ -184,7 +207,7 @@ pub fn fig3(quick: bool) -> Table {
 }
 
 /// T1 — approximation ratios vs the exact optimum on small instances.
-pub fn ratio_small(quick: bool) -> Table {
+pub fn ratio_small(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T1",
         "Ratio vs exact OPT (n = 11, m = 3); max over seeds",
@@ -201,7 +224,7 @@ pub fn ratio_small(quick: bool) -> Table {
                 let inst = family.generate(11, 3, seed);
                 let opt = exact_makespan(&inst, 50_000_000).unwrap();
                 assert!(opt.proven_optimal);
-                let e = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
+                let e = solve(&Eptas::with_epsilon(eps), &inst, stats).makespan;
                 let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
                 let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
                 r_eptas.push(e / opt.makespan);
@@ -223,7 +246,7 @@ pub fn ratio_small(quick: bool) -> Table {
 }
 
 /// T2 — ratio vs the certified lower bound at scale.
-pub fn ratio_large(quick: bool) -> Table {
+pub fn ratio_large(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T2",
         "Ratio vs certified lower bound at scale (eps = 0.5)",
@@ -236,7 +259,7 @@ pub fn ratio_large(quick: bool) -> Table {
             let inst = family.generate(n, m, 1);
             let lb = lower_bounds(&inst).combined();
             let start = Instant::now();
-            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
             let elapsed = start.elapsed().as_secs_f64();
             let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
             t.row(vec![
@@ -252,7 +275,7 @@ pub fn ratio_large(quick: bool) -> Table {
 }
 
 /// T3 — running time scaling in n at fixed eps (`poly(|I|)`).
-pub fn scaling_n(quick: bool) -> Table {
+pub fn scaling_n(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T3",
         "EPTAS running time vs n (eps = 0.5, clustered sizes)",
@@ -267,7 +290,7 @@ pub fn scaling_n(quick: bool) -> Table {
             let m = (n / ratio).max(4);
             let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
             let start = Instant::now();
-            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
             let elapsed = start.elapsed().as_secs_f64();
             t.row(vec![
                 format!("{n} ({label})"),
@@ -283,7 +306,7 @@ pub fn scaling_n(quick: bool) -> Table {
 
 /// T4 — running time vs 1/eps: EPTAS (`f(1/eps) * poly(n)`) against the
 /// DW-style PTAS (`n^{g(1/eps)}`).
-pub fn scaling_eps(quick: bool) -> Table {
+pub fn scaling_eps(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T4",
         "Running time vs eps (clustered, n = 40, m = 13; tight regime)",
@@ -295,7 +318,7 @@ pub fn scaling_eps(quick: bool) -> Table {
         if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
     for &eps in epsilons {
         let start = Instant::now();
-        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let r = solve(&Eptas::with_epsilon(eps), &inst, stats);
         let te = start.elapsed().as_secs_f64();
         let start = Instant::now();
         let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap();
@@ -313,7 +336,7 @@ pub fn scaling_eps(quick: bool) -> Table {
 
 /// T5 — Lemma 8 directly: bag-LPT spread and height bounds on random
 /// bag sets.
-pub fn lemma8(quick: bool) -> Table {
+pub fn lemma8(quick: bool, _stats: &mut Stats) -> Table {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
     let mut t = Table::new(
@@ -360,7 +383,7 @@ pub fn lemma8(quick: bool) -> Table {
 
 /// T6 — Lemma 3: medium re-insertion counts and overall feasibility on
 /// medium-heavy instances.
-pub fn lemma3(quick: bool) -> Table {
+pub fn lemma3(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T6",
         "Lemma 3: medium jobs re-inserted by the flow (priority_cap = 1)",
@@ -372,7 +395,7 @@ pub fn lemma3(quick: bool) -> Table {
     for seed in 0..seeds {
         let inst = medium_heavy_instance(40, 13, seed as u64);
         let lb = lower_bounds(&inst).combined();
-        let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+        let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
         let mediums = r.report.last_success.as_ref().map_or(0, |s| s.medium_reinserted);
         t.row(vec![
             seed.to_string(),
@@ -405,7 +428,7 @@ fn medium_heavy_instance(n: usize, m: usize, seed: u64) -> Instance {
 }
 
 /// T7 — Lemma 7: swap counts and feasibility as the priority cap shrinks.
-pub fn lemma7(quick: bool) -> Table {
+pub fn lemma7(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T7",
         "Lemma 7: swap repair vs priority cap (clustered, n = 36, m = 12; tight regime)",
@@ -418,7 +441,7 @@ pub fn lemma7(quick: bool) -> Table {
     for &cap in caps {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
-        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let r = solve(&Eptas::new(cfg), &inst, stats);
         let (pb, swaps) = r
             .report
             .last_success
@@ -437,7 +460,7 @@ pub fn lemma7(quick: bool) -> Table {
 }
 
 /// T8 — heuristic comparison across families: who wins where.
-pub fn heuristics(quick: bool) -> Table {
+pub fn heuristics(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T8",
         "Makespan / lower bound per scheduler (n = 60, m = 6)",
@@ -466,7 +489,7 @@ pub fn heuristics(quick: bool) -> Table {
             acc[2].push(bag_lpt_schedule(&inst).unwrap().makespan(&inst) / lb);
             acc[3].push(bag_aware_lpt(&inst).unwrap().makespan(&inst) / lb);
             acc[4].push(lpt_with_local_search(&inst, 2000).unwrap().makespan / lb);
-            acc[5].push(Eptas::with_epsilon(0.5).solve(&inst).unwrap().makespan / lb);
+            acc[5].push(solve(&Eptas::with_epsilon(0.5), &inst, stats).makespan / lb);
         }
         let means: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
         // Winner among the feasible schedulers (index 1..): lowest ratio.
@@ -489,7 +512,7 @@ pub fn heuristics(quick: bool) -> Table {
 
 /// A1 — ablation: transformation forced on (cap 1) vs off (paper
 /// constants make every bag priority).
-pub fn ablate_transform(quick: bool) -> Table {
+pub fn ablate_transform(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "A1",
         "Ablation: instance transformation (cap=1) vs all-priority",
@@ -501,7 +524,7 @@ pub fn ablate_transform(quick: bool) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let r = solve(&Eptas::new(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);
         t.row(vec![
@@ -516,7 +539,7 @@ pub fn ablate_transform(quick: bool) -> Table {
 }
 
 /// A2 — ablation: sensitivity to b' (the priority-bag budget).
-pub fn ablate_bprime(quick: bool) -> Table {
+pub fn ablate_bprime(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "A2",
         "Ablation: b' sensitivity (clustered, n = 40, m = 13; tight regime)",
@@ -533,7 +556,7 @@ pub fn ablate_bprime(quick: bool) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = Eptas::new(cfg).solve(&inst).unwrap();
+        let r = solve(&Eptas::new(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let (pb, patterns) =
             r.report.last_success.as_ref().map(|s| (s.priority_bags, s.patterns)).unwrap_or((0, 0));
@@ -549,7 +572,7 @@ pub fn ablate_bprime(quick: bool) -> Table {
 }
 
 /// A3 — ablation: joint (paper-faithful) MILP vs the two-stage path.
-pub fn ablate_joint(quick: bool) -> Table {
+pub fn ablate_joint(quick: bool, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "A3",
         "Ablation: joint MILP vs two-stage x-MILP + greedy y",
@@ -563,7 +586,7 @@ pub fn ablate_joint(quick: bool) -> Table {
             let mut cfg = EptasConfig::with_epsilon(0.5);
             cfg.joint_col_budget = budget;
             let start = Instant::now();
-            let r = Eptas::new(cfg).solve(&inst).unwrap();
+            let r = solve(&Eptas::new(cfg), &inst, stats);
             let elapsed = start.elapsed().as_secs_f64();
             t.row(vec![
                 name.into(),
@@ -587,9 +610,16 @@ mod tests {
         // covers the rest; in debug builds the EPTAS-heavy tables are too
         // slow for the unit suite).
         for id in ["fig1", "lemma8"] {
-            let table = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
-            assert!(!table.rows.is_empty(), "{id} produced no rows");
+            let r = run(id, true).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(!r.table.rows.is_empty(), "{id} produced no rows");
         }
+        // lemma3 forces the transformation pipeline (priority_cap = 1),
+        // so its counters must be non-trivial and deterministic.
+        let a = run("lemma3", true).unwrap();
+        assert!(a.stats.patterns_enumerated > 0, "lemma3 counted no patterns");
+        assert!(a.stats.flow_augmentations > 0, "lemma3 ran no reinsertion flow");
+        let b = run("lemma3", true).unwrap();
+        assert_eq!(a.stats, b.stats, "experiment counters must be deterministic");
     }
 
     // The full sweep of every experiment id lives in

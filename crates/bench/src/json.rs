@@ -1,0 +1,526 @@
+//! Machine-readable perf reports (`BENCH_*.json`) and the regression
+//! comparator behind `experiments --compare`.
+//!
+//! Two document shapes share `"schema_version": 1`:
+//!
+//! * **Per-experiment record** (`BENCH_<id>.json`): the full table
+//!   (headers + formatted rows) plus `wall_secs` and the deterministic
+//!   algorithm counters of [`Stats`].
+//! * **Summary / baseline** (`BENCH_summary.json`, and the committed
+//!   `BENCH_baseline.json` at the repo root): one entry per experiment
+//!   with just `wall_secs` and the counters — everything `--compare`
+//!   needs. Blessing a new baseline is `cp bench-out/BENCH_summary.json
+//!   BENCH_baseline.json`.
+//!
+//! Everything in these documents except `wall_secs` is deterministic for
+//! a fixed `(id, quick)` — the counters come from [`Stats`], the rows are
+//! pre-formatted strings. [`redact_wall_secs`] zeroes the one
+//! nondeterministic field so byte-level comparisons (the parallel
+//! determinism guard) are possible.
+
+use crate::runner::ExperimentOutcome;
+use bagsched_core::Stats;
+use serde::{Deserialize, DeserializeError, Serialize, Value};
+
+/// Version stamp of every document this module emits. Bump on any
+/// breaking change to field names or meanings, and teach `--compare` to
+/// reject mismatches loudly rather than mis-reading old baselines.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Counters as ordered `(name, value)` pairs — the JSON `"counters"`
+/// object. Emitted from [`Stats::named`], so the schema tracks the struct.
+pub type Counters = Vec<(String, u64)>;
+
+fn counters_of(stats: &Stats) -> Counters {
+    stats.named().iter().map(|&(name, value)| (name.to_string(), value)).collect()
+}
+
+fn counters_to_value(counters: &Counters) -> Value {
+    Value::Obj(counters.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+}
+
+fn counters_from_value(v: &Value) -> Result<Counters, DeserializeError> {
+    match v {
+        Value::Obj(fields) => {
+            fields.iter().map(|(k, val)| Ok((k.clone(), u64::from_value(val)?))).collect()
+        }
+        other => Err(DeserializeError::new(format!("expected counters object, got {other:?}"))),
+    }
+}
+
+/// The `BENCH_<id>.json` document: one experiment's table and measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Always [`SCHEMA_VERSION`] when emitted by this build.
+    pub schema_version: u64,
+    /// Harness experiment id (`"fig1"`, `"ratio-small"`, ...).
+    pub id: String,
+    /// Table id as printed (`"F1"`, `"T1"`, ...).
+    pub table_id: String,
+    /// Table title.
+    pub title: String,
+    /// Whether quick mode was used (baselines only compare like-for-like).
+    pub quick: bool,
+    /// Wall-clock of the cell in seconds. The only nondeterministic field.
+    pub wall_secs: f64,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, exactly as printed.
+    pub rows: Vec<Vec<String>>,
+    /// Deterministic algorithm counters ([`Stats::named`] order).
+    pub counters: Counters,
+}
+
+impl BenchRecord {
+    /// Build the record for one finished cell.
+    pub fn from_outcome(o: &ExperimentOutcome, quick: bool) -> Self {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            id: o.id.clone(),
+            table_id: o.table.id.clone(),
+            title: o.table.title.clone(),
+            quick,
+            wall_secs: o.wall_secs,
+            headers: o.table.headers.clone(),
+            rows: o.table.rows.clone(),
+            counters: counters_of(&o.stats),
+        }
+    }
+
+    /// Serialize to the canonical pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench records contain only finite numbers")
+    }
+
+    /// Parse a document emitted by [`BenchRecord::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl Serialize for BenchRecord {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("schema_version".into(), self.schema_version.to_value()),
+            ("id".into(), self.id.to_value()),
+            ("table_id".into(), self.table_id.to_value()),
+            ("title".into(), self.title.to_value()),
+            ("quick".into(), self.quick.to_value()),
+            ("wall_secs".into(), self.wall_secs.to_value()),
+            ("headers".into(), self.headers.to_value()),
+            ("rows".into(), self.rows.to_value()),
+            ("counters".into(), counters_to_value(&self.counters)),
+        ])
+    }
+}
+
+impl Deserialize for BenchRecord {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(BenchRecord {
+            schema_version: u64::from_value(v.field("schema_version")?)?,
+            id: String::from_value(v.field("id")?)?,
+            table_id: String::from_value(v.field("table_id")?)?,
+            title: String::from_value(v.field("title")?)?,
+            quick: bool::from_value(v.field("quick")?)?,
+            wall_secs: f64::from_value(v.field("wall_secs")?)?,
+            headers: Vec::from_value(v.field("headers")?)?,
+            rows: Vec::from_value(v.field("rows")?)?,
+            counters: counters_from_value(v.field("counters")?)?,
+        })
+    }
+}
+
+/// One experiment's entry in a summary/baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Harness experiment id.
+    pub id: String,
+    /// Wall-clock in seconds when the baseline was recorded.
+    pub wall_secs: f64,
+    /// Deterministic algorithm counters at baseline time.
+    pub counters: Counters,
+}
+
+impl Serialize for BaselineEntry {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("wall_secs".into(), self.wall_secs.to_value()),
+            ("counters".into(), counters_to_value(&self.counters)),
+        ])
+    }
+}
+
+impl Deserialize for BaselineEntry {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(BaselineEntry {
+            id: String::from_value(v.field("id")?)?,
+            wall_secs: f64::from_value(v.field("wall_secs")?)?,
+            counters: counters_from_value(v.field("counters")?)?,
+        })
+    }
+}
+
+/// The summary/baseline document (`BENCH_summary.json` /
+/// `BENCH_baseline.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Always [`SCHEMA_VERSION`] when emitted by this build.
+    pub schema_version: u64,
+    /// Whether the run used quick mode.
+    pub quick: bool,
+    /// Per-experiment measurements, in run order.
+    pub experiments: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Summarize a finished run.
+    pub fn from_outcomes(outcomes: &[ExperimentOutcome], quick: bool) -> Self {
+        Baseline {
+            schema_version: SCHEMA_VERSION,
+            quick,
+            experiments: outcomes
+                .iter()
+                .map(|o| BaselineEntry {
+                    id: o.id.clone(),
+                    wall_secs: o.wall_secs,
+                    counters: counters_of(&o.stats),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the canonical pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baselines contain only finite numbers")
+    }
+
+    /// Parse a document emitted by [`Baseline::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Entry lookup by experiment id.
+    pub fn entry(&self, id: &str) -> Option<&BaselineEntry> {
+        self.experiments.iter().find(|e| e.id == id)
+    }
+
+    /// The baseline restricted to the given experiment ids. [`compare`]
+    /// treats a baseline id missing from the run as a regression (full
+    /// runs must not silently lose coverage); a caller comparing a
+    /// deliberate *subset* run restricts the baseline first so only the
+    /// selected experiments are gated.
+    pub fn restricted_to(&self, ids: &[&str]) -> Baseline {
+        Baseline {
+            schema_version: self.schema_version,
+            quick: self.quick,
+            experiments: self
+                .experiments
+                .iter()
+                .filter(|e| ids.contains(&e.id.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl Serialize for Baseline {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("schema_version".into(), self.schema_version.to_value()),
+            ("quick".into(), self.quick.to_value()),
+            ("experiments".into(), self.experiments.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Baseline {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(Baseline {
+            schema_version: u64::from_value(v.field("schema_version")?)?,
+            quick: bool::from_value(v.field("quick")?)?,
+            experiments: Vec::from_value(v.field("experiments")?)?,
+        })
+    }
+}
+
+/// Zero every `"wall_secs"` field of a document produced by this module,
+/// leaving all deterministic content untouched. Two runs of the same
+/// experiments at any `--jobs` value must agree byte-for-byte after this
+/// redaction — the parallel determinism guard relies on it.
+pub fn redact_wall_secs(json: &str) -> Result<String, serde_json::Error> {
+    let mut v: Value = serde_json::from_str(json)?;
+    fn walk(v: &mut Value) {
+        match v {
+            Value::Obj(fields) => {
+                for (k, val) in fields.iter_mut() {
+                    if k == "wall_secs" {
+                        *val = Value::Num(0.0);
+                    } else {
+                        walk(val);
+                    }
+                }
+            }
+            Value::Arr(items) => items.iter_mut().for_each(walk),
+            _ => {}
+        }
+    }
+    walk(&mut v);
+    serde_json::to_string_pretty(&v)
+}
+
+/// Wall-clock below this is treated as the measurement floor: quick-mode
+/// cells finish in milliseconds where scheduler noise dominates, so
+/// slowdown ratios are computed against at least this many seconds.
+pub const MIN_BASE_SECS: f64 = 0.01;
+
+/// Outcome of comparing a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Human-readable per-experiment report lines (always populated).
+    pub lines: Vec<String>,
+    /// Regressions that should fail the gate (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// Process exit code for the gate: `0` pass, `3` regression.
+    pub fn exit_code(&self) -> i32 {
+        if self.regressions.is_empty() {
+            0
+        } else {
+            3
+        }
+    }
+}
+
+/// Compare `current` against `baseline` with a slowdown `threshold`
+/// (e.g. `3.0` = fail when an experiment takes more than 3x its baseline
+/// wall-clock). Deterministic counters are gated by the same factor —
+/// counter *growth* beyond it means the algorithm is doing measurably
+/// more work, which is a real regression even when wall-clock noise
+/// hides it. Experiments missing from either side are reported but only
+/// fail the gate when the baseline id vanished from a run that should
+/// contain it (the caller compares full runs).
+pub fn compare(current: &Baseline, baseline: &Baseline, threshold: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    assert!(threshold >= 1.0, "a slowdown threshold below 1.0 would fail on any noise");
+
+    if baseline.schema_version != SCHEMA_VERSION {
+        cmp.regressions.push(format!(
+            "baseline schema_version {} != supported {SCHEMA_VERSION}; re-bless the baseline",
+            baseline.schema_version
+        ));
+        return cmp;
+    }
+    if baseline.quick != current.quick {
+        cmp.regressions.push(format!(
+            "mode mismatch: current quick={} vs baseline quick={} — not comparable",
+            current.quick, baseline.quick
+        ));
+        return cmp;
+    }
+
+    for cur in &current.experiments {
+        let Some(base) = baseline.entry(&cur.id) else {
+            cmp.lines.push(format!("{:<16} no baseline entry (new experiment?)", cur.id));
+            continue;
+        };
+        let floor = base.wall_secs.max(MIN_BASE_SECS);
+        let slowdown = cur.wall_secs.max(0.0) / floor;
+        let mut verdict = "ok";
+        if slowdown > threshold {
+            verdict = "SLOW";
+            cmp.regressions.push(format!(
+                "{}: wall-clock {:.3}s vs baseline {:.3}s ({slowdown:.2}x > {threshold:.2}x)",
+                cur.id, cur.wall_secs, base.wall_secs
+            ));
+        }
+        for (name, cur_val) in &cur.counters {
+            let Some((_, base_val)) = base.counters.iter().find(|(n, _)| n == name) else {
+                continue;
+            };
+            // Counters are deterministic; growth past the threshold is
+            // algorithmic work inflation, not noise.
+            if *cur_val as f64 > (*base_val).max(1) as f64 * threshold {
+                verdict = "WORK";
+                cmp.regressions.push(format!(
+                    "{}: counter {name} {} vs baseline {} (> {threshold:.2}x)",
+                    cur.id, cur_val, base_val
+                ));
+            }
+        }
+        cmp.lines.push(format!(
+            "{:<16} {:>8.3}s vs {:>8.3}s  ({slowdown:>5.2}x)  {verdict}",
+            cur.id, cur.wall_secs, base.wall_secs
+        ));
+    }
+    for base in &baseline.experiments {
+        if current.entry(&base.id).is_none() {
+            cmp.regressions
+                .push(format!("{}: present in baseline but missing from this run", base.id));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn outcome(id: &str, wall: f64) -> ExperimentOutcome {
+        let mut table = Table::new("T9", "demo table", &["a", "b"]);
+        table.row(vec!["1".into(), "x y".into()]);
+        table.row(vec!["2".into(), "\"quoted\"".into()]);
+        let stats = Stats {
+            patterns_enumerated: 10,
+            simplex_pivots: 20,
+            lp_solves: 5,
+            milp_nodes: 5,
+            flow_augmentations: 3,
+            swap_repair_rounds: 2,
+            mediums_reinserted: 3,
+        };
+        ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let rec = BenchRecord::from_outcome(&outcome("fig9", 1.25), true);
+        let parsed = BenchRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed, rec, "emit -> parse must be the identity");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.counters.len(), Stats::default().named().len());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let outs = vec![outcome("a", 0.5), outcome("b", 2.0)];
+        let base = Baseline::from_outcomes(&outs, false);
+        let parsed = Baseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.entry("b").unwrap().wall_secs, 2.0);
+        assert!(parsed.entry("zzz").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(BenchRecord::from_json("{}").is_err());
+        assert!(BenchRecord::from_json("not json").is_err());
+        assert!(Baseline::from_json("{\"schema_version\": 1}").is_err());
+    }
+
+    #[test]
+    fn redaction_zeroes_only_wall_secs() {
+        let rec = BenchRecord::from_outcome(&outcome("fig9", 7.5), true);
+        let redacted = redact_wall_secs(&rec.to_json()).unwrap();
+        let parsed = BenchRecord::from_json(&redacted).unwrap();
+        assert_eq!(parsed.wall_secs, 0.0);
+        let mut expect = rec.clone();
+        expect.wall_secs = 0.0;
+        assert_eq!(parsed, expect, "redaction touched a deterministic field");
+        // Nested wall_secs (baseline entries) are redacted too.
+        let base = Baseline::from_outcomes(&[outcome("a", 1.0)], true);
+        let parsed = Baseline::from_json(&redact_wall_secs(&base.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed.experiments[0].wall_secs, 0.0);
+    }
+
+    fn baseline_of(entries: &[(&str, f64, u64)]) -> Baseline {
+        Baseline {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            experiments: entries
+                .iter()
+                .map(|&(id, wall, patterns)| BaselineEntry {
+                    id: id.into(),
+                    wall_secs: wall,
+                    counters: vec![("patterns_enumerated".into(), patterns)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_threshold() {
+        let base = baseline_of(&[("fig1", 1.0, 100)]);
+        let cur = baseline_of(&[("fig1", 2.9, 100)]);
+        let c = compare(&cur, &base, 3.0);
+        assert!(c.regressions.is_empty(), "{:?}", c.regressions);
+        assert_eq!(c.exit_code(), 0);
+        assert_eq!(c.lines.len(), 1);
+    }
+
+    #[test]
+    fn compare_fails_past_threshold() {
+        let base = baseline_of(&[("fig1", 1.0, 100)]);
+        let cur = baseline_of(&[("fig1", 3.1, 100)]);
+        let c = compare(&cur, &base, 3.0);
+        assert_eq!(c.regressions.len(), 1);
+        assert_eq!(c.exit_code(), 3);
+        assert!(c.regressions[0].contains("fig1"), "{}", c.regressions[0]);
+    }
+
+    #[test]
+    fn compare_uses_measurement_floor_for_tiny_baselines() {
+        // 1ms -> 5ms is 5x raw but both are under the 10ms floor: pass.
+        let base = baseline_of(&[("fig1", 0.001, 100)]);
+        let cur = baseline_of(&[("fig1", 0.005, 100)]);
+        assert_eq!(compare(&cur, &base, 3.0).exit_code(), 0);
+    }
+
+    #[test]
+    fn compare_gates_counter_growth() {
+        let base = baseline_of(&[("fig1", 1.0, 100)]);
+        let cur = baseline_of(&[("fig1", 1.0, 301)]);
+        let c = compare(&cur, &base, 3.0);
+        assert_eq!(c.exit_code(), 3);
+        assert!(c.regressions[0].contains("patterns_enumerated"));
+        // Counter *shrink* (an optimization) passes.
+        let cur = baseline_of(&[("fig1", 1.0, 10)]);
+        assert_eq!(compare(&cur, &base, 3.0).exit_code(), 0);
+    }
+
+    #[test]
+    fn restricted_baseline_gates_only_the_subset() {
+        let base = baseline_of(&[("fig1", 1.0, 100), ("fig2", 1.0, 100)]);
+        let cur = baseline_of(&[("fig1", 1.0, 100)]);
+        // Unrestricted: the absent fig2 is a (spurious, for a subset run)
+        // regression. Restricted: clean pass.
+        assert_eq!(compare(&cur, &base, 3.0).exit_code(), 3);
+        let restricted = base.restricted_to(&["fig1"]);
+        assert_eq!(restricted.experiments.len(), 1);
+        assert_eq!(compare(&cur, &restricted, 3.0).exit_code(), 0);
+    }
+
+    #[test]
+    fn compare_flags_missing_and_tolerates_new() {
+        let base = baseline_of(&[("fig1", 1.0, 100), ("fig2", 1.0, 100)]);
+        let cur = baseline_of(&[("fig1", 1.0, 100), ("fig9", 1.0, 100)]);
+        let c = compare(&cur, &base, 3.0);
+        assert_eq!(c.regressions.len(), 1, "{:?}", c.regressions);
+        assert!(c.regressions[0].contains("fig2"));
+        assert!(c.lines.iter().any(|l| l.contains("fig9") && l.contains("no baseline")));
+    }
+
+    #[test]
+    fn compare_rejects_mode_and_schema_mismatch() {
+        let base = baseline_of(&[("fig1", 1.0, 100)]);
+        let mut cur = baseline_of(&[("fig1", 1.0, 100)]);
+        cur.quick = false;
+        assert_eq!(compare(&cur, &base, 3.0).exit_code(), 3);
+        let cur = baseline_of(&[("fig1", 1.0, 100)]);
+        let mut base2 = base.clone();
+        base2.schema_version = 99;
+        let c = compare(&cur, &base2, 3.0);
+        assert_eq!(c.exit_code(), 3);
+        assert!(c.regressions[0].contains("schema_version"));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn compare_rejects_sub_unit_threshold() {
+        let base = baseline_of(&[]);
+        compare(&base, &base, 0.5);
+    }
+}

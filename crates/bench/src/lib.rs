@@ -6,13 +6,23 @@
 //! quantitative claims — the experiment index lives in DESIGN.md §6 and
 //! the recorded results in EXPERIMENTS.md.
 //!
-//! Run everything:
+//! Run everything in parallel and emit machine-readable perf reports:
 //! ```text
-//! cargo run --release -p bagsched-bench --bin experiments -- all
+//! cargo run --release -p bagsched-bench --bin experiments -- \
+//!     all --quick --jobs 2 --json bench-out --compare BENCH_baseline.json
 //! ```
 //! or a single experiment by id (`fig1`, `ratio-small`, `scaling-n`, ...).
+//!
+//! * [`runner`] shards experiment cells across worker threads; output is
+//!   byte-identical to a sequential run for any `--jobs`.
+//! * [`json`] defines the `BENCH_*.json` schema and the `--compare`
+//!   regression gate CI enforces.
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 pub mod table;
 
+pub use json::{Baseline, BenchRecord, Comparison};
+pub use runner::{run_experiments, ExperimentOutcome};
 pub use table::Table;

@@ -1,0 +1,160 @@
+//! Parallel experiment runner: scoped worker threads pulling cells from a
+//! shared atomic work index.
+//!
+//! The design constraint is *byte-identical output regardless of
+//! `--jobs`*: every experiment cell is a pure function of `(id, quick)`
+//! (all RNG seeding is self-contained per cell — see the generators and
+//! `StdRng::seed_from_u64` uses in `experiments`), workers only race for
+//! the *claim* of a cell via `fetch_add`, and results land in
+//! per-cell slots that are read back in input order. The only fields that
+//! vary between runs are the wall-clock measurements, which is exactly
+//! what the JSON layer knows how to redact for comparisons.
+
+use crate::experiments;
+use crate::table::Table;
+use bagsched_core::Stats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed experiment cell.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The experiment id (e.g. `"fig1"`).
+    pub id: String,
+    /// The rendered table.
+    pub table: Table,
+    /// Aggregate EPTAS work counters of the cell (deterministic).
+    pub stats: Stats,
+    /// Wall-clock of the cell in seconds (not deterministic).
+    pub wall_secs: f64,
+}
+
+/// Worker count to use when `--jobs` is not given.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Map `f` over `items` with up to `jobs` worker threads. Idle workers
+/// claim the next unstarted item from a shared atomic index (a
+/// work-stealing-style single deque), so an expensive item never blocks
+/// the rest of the list. Results are returned in input order. Panics in
+/// `f` propagate to the caller (the scope re-raises them on join).
+pub fn parallel_map<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        // Sequential fast path: no threads, no locks — and the reference
+        // ordering the parallel path must reproduce.
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("every claimed slot is filled"))
+        .collect()
+}
+
+/// Run the given experiment ids (each must be a member of
+/// [`experiments::ALL`]) in quick or full mode with `jobs` workers.
+/// `progress` is invoked from worker threads as each cell finishes —
+/// callers use it for stderr progress lines; pass `|_| ()` to stay
+/// silent. The returned outcomes are in input order and, apart from
+/// `wall_secs`, independent of `jobs`.
+pub fn run_experiments(
+    ids: &[&str],
+    quick: bool,
+    jobs: usize,
+    progress: impl Fn(&ExperimentOutcome) + Sync,
+) -> Vec<ExperimentOutcome> {
+    parallel_map(ids, jobs, |&id| {
+        let start = Instant::now();
+        let run =
+            experiments::run(id, quick).unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+        let outcome = ExperimentOutcome {
+            id: id.to_string(),
+            table: run.table,
+            stats: run.stats,
+            wall_secs: start.elapsed().as_secs_f64(),
+        };
+        progress(&outcome);
+        outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..50).collect();
+        for jobs in [1, 2, 7] {
+            let out = parallel_map(&items, jobs, |&i| i * 3);
+            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..31).collect();
+        let out = parallel_map(&items, 4, |&i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_oversubscribed() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(&none, 8, |&x| x).is_empty());
+        // More workers than items must not deadlock or drop items.
+        let out = parallel_map(&[1, 2], 16, |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn runner_fills_outcome_fields() {
+        let out = run_experiments(&["fig1"], true, 2, |_| ());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, "fig1");
+        assert!(!out[0].table.rows.is_empty());
+        assert!(out[0].wall_secs >= 0.0);
+        // Counters must match a direct (sequential) run of the same cell.
+        let direct = experiments::run("fig1", true).unwrap();
+        assert_eq!(out[0].stats, direct.stats);
+        assert_eq!(out[0].table.render(), direct.table.render());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_cell() {
+        let seen = Mutex::new(Vec::new());
+        run_experiments(&["fig1", "lemma8"], true, 2, |o| {
+            seen.lock().unwrap().push(o.id.clone());
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(seen, vec!["fig1".to_string(), "lemma8".to_string()]);
+    }
+}

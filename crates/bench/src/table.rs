@@ -30,9 +30,12 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Render to stdout.
-    pub fn print(&self) {
-        println!("\n== {} — {} ==", self.id, self.title);
+    /// Render to a string — the exact bytes `print` writes to stdout.
+    /// The parallel-determinism guard compares these renderings across
+    /// `--jobs` values, so keep this function free of anything stateful.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} — {} ==\n", self.id, self.title));
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -47,11 +50,27 @@ impl Table {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
         for row in &self.rows {
-            println!("{}", fmt_row(row));
+            out.push_str(&fmt_row(row));
+            out.push('\n');
         }
+        out
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Whether any column header mentions wall-clock time. Tables with
+    /// time columns can never be byte-compared across runs; the
+    /// determinism tests use this to pick their subset honestly.
+    pub fn has_time_column(&self) -> bool {
+        self.headers.iter().any(|h| h.to_ascii_lowercase().contains("time"))
     }
 }
 
@@ -84,6 +103,29 @@ mod tests {
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.rows.len(), 1);
         t.print(); // smoke: must not panic
+    }
+
+    #[test]
+    fn render_is_aligned_and_deterministic() {
+        let mut t = Table::new("T0", "demo", &["col", "x"]);
+        t.row(vec!["1".into(), "22".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let r = t.render();
+        assert_eq!(r, t.render(), "render must be a pure function");
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1], "== T0 — demo ==");
+        // All data lines are padded to equal width.
+        assert_eq!(lines[2].len(), lines[4].len());
+        assert_eq!(lines[4], "  1  22");
+        assert_eq!(lines[5], "333   4");
+    }
+
+    #[test]
+    fn time_column_detection() {
+        let t = Table::new("T", "x", &["n", "time EPTAS"]);
+        assert!(t.has_time_column());
+        let t = Table::new("T", "x", &["n", "makespan/LB"]);
+        assert!(!t.has_time_column());
     }
 
     #[test]

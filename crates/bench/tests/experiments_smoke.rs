@@ -8,8 +8,9 @@ use bagsched_bench::experiments;
 #[test]
 fn every_experiment_runs_quick_and_yields_rows() {
     for &id in experiments::ALL {
-        let table = experiments::run(id, true)
+        let run = experiments::run(id, true)
             .unwrap_or_else(|| panic!("experiment id {id:?} is in ALL but run() ignores it"));
+        let table = &run.table;
         assert!(!table.rows.is_empty(), "experiment {id:?} produced an empty table");
         assert!(!table.headers.is_empty(), "experiment {id:?} has no headers");
         for (i, row) in table.rows.iter().enumerate() {

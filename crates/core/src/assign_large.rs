@@ -235,7 +235,8 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg).expect("guess feasible");
+        let out = solve_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
+            .expect("guess feasible");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
         let la = assign_large(&t, &ps, &out.x, &mut state);
         (t, ps, out, state, la)

@@ -17,7 +17,7 @@ use crate::medium_flow::reinsert_medium;
 use crate::milp_model::solve_patterns;
 use crate::pattern::enumerate_patterns;
 use crate::priority::select_priority;
-use crate::report::{EptasReport, GuessFailure, GuessStats};
+use crate::report::{EptasReport, GuessFailure, GuessStats, Stats};
 use crate::rounding::scale_and_round;
 use crate::small::{place_nonpriority_smalls, place_priority_smalls, repair_priority_conflicts};
 use crate::swap_repair::repair_conflicts;
@@ -124,7 +124,7 @@ impl Eptas {
         while lo <= hi {
             let mid = (lo + hi) / 2;
             report.guesses_tried += 1;
-            match self.try_guess(inst, grid[mid]) {
+            match self.try_guess(inst, grid[mid], &mut report.stats) {
                 Ok((sched, stats)) => {
                     let ms = sched.makespan(inst);
                     let better = best.as_ref().is_none_or(|&(_, bms, _, _)| ms < bms);
@@ -173,8 +173,15 @@ impl Eptas {
         Ok(EptasResult { schedule, makespan, report })
     }
 
-    /// Run the full pipeline for one makespan guess.
-    fn try_guess(&self, inst: &Instance, t0: f64) -> Result<(Schedule, GuessStats), GuessFailure> {
+    /// Run the full pipeline for one makespan guess. Work counters are
+    /// accumulated into `stats` incrementally, phase by phase, so the cost
+    /// of guesses that *fail* midway still shows up in the report.
+    fn try_guess(
+        &self,
+        inst: &Instance,
+        t0: f64,
+        stats: &mut Stats,
+    ) -> Result<(Schedule, GuessStats), GuessFailure> {
         let cfg = &self.cfg;
         let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
         let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
@@ -182,20 +189,29 @@ impl Eptas {
         let priority = select_priority(inst, &rounded, &class, cfg);
         let trans = transform(inst, &rounded, &class, &priority);
 
-        let ps = enumerate_patterns(&trans, cfg.max_patterns)
-            .map_err(|_| GuessFailure::PatternBudget)?;
-        let out = solve_patterns(&trans, &ps, cfg)?;
+        let ps = enumerate_patterns(&trans, cfg.max_patterns).map_err(|e| {
+            // The DFS aborts after generating exactly `budget` patterns.
+            stats.patterns_enumerated += e.budget as u64;
+            GuessFailure::PatternBudget
+        })?;
+        stats.patterns_enumerated += ps.patterns.len() as u64;
+        let out = solve_patterns(&trans, &ps, cfg, stats)?;
 
         let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
         let la = assign_large(&trans, &ps, &out.x, &mut state);
-        let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts)?;
+        // repair_conflicts records its swaps into `stats` itself, so
+        // work done before a SwapRepair abort is not lost.
+        let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts, stats)?;
 
         place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
         place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
         let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
+        stats.swap_repair_rounds += small_stats.lemma11_moves as u64;
 
-        let mediums = reinsert_medium(inst, &trans, &rounded, &mut state)?;
+        let mediums = reinsert_medium(inst, &trans, &rounded, &mut state, stats)?;
+        stats.mediums_reinserted += mediums.len() as u64;
         let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums);
+        stats.swap_repair_rounds += lemma4_swaps as u64;
 
         let stats = GuessStats {
             patterns: ps.patterns.len(),
@@ -345,5 +361,33 @@ mod tests {
         if !r.report.fell_back_to_lpt {
             assert!(r.report.chosen_guess.is_some());
         }
+    }
+
+    #[test]
+    fn stats_accumulate_across_guesses() {
+        // An instance the full pipeline engages on (patterns, MILP, flow,
+        // repair all run): every aggregate counter must reflect real work.
+        let inst = gen::uniform(40, 4, 12, 7);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let stats = &r.report.stats;
+        for (name, value) in stats.named() {
+            assert!(value > 0, "counter {name} stayed zero on a full-pipeline instance");
+        }
+        assert!(stats.lp_solves <= stats.milp_nodes, "one LP relaxation per explored node");
+        // Per-guess stats of the winning guess are a lower bound on the
+        // aggregate (failed guesses only add).
+        if let Some(s) = &r.report.last_success {
+            assert!(stats.patterns_enumerated >= s.patterns as u64);
+            assert!(stats.simplex_pivots >= s.lp_iterations as u64);
+        }
+    }
+
+    #[test]
+    fn stats_zero_on_lpt_shortcut() {
+        // A single job is solved by the LPT-already-optimal shortcut; no
+        // pipeline work should be counted.
+        let inst = Instance::new(&[(3.5, 0)], 2);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        assert_eq!(r.report.stats, Stats::default());
     }
 }

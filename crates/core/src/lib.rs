@@ -56,4 +56,4 @@ pub mod undo;
 
 pub use config::EptasConfig;
 pub use driver::{Eptas, EptasError, EptasResult};
-pub use report::EptasReport;
+pub use report::{EptasReport, Stats};

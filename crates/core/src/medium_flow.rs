@@ -11,7 +11,7 @@
 //! Flow integrality (Dinic) is exactly the argument the paper invokes.
 
 use crate::assign_large::WorkState;
-use crate::report::GuessFailure;
+use crate::report::{GuessFailure, Stats};
 use crate::rounding::Rounded;
 use crate::transform::Transformed;
 use bagsched_flow::BipartiteProblem;
@@ -19,12 +19,15 @@ use bagsched_types::{JobId, MachineId};
 use std::collections::HashMap;
 
 /// Assign every removed medium job to a machine. Returns `(original job,
-/// machine)` pairs and updates the state's load bookkeeping.
+/// machine)` pairs and updates the state's load bookkeeping. Augmenting
+/// paths pushed by the underlying max-flow (both capacity-relaxation
+/// rounds, successful or not) are recorded into `stats`.
 pub fn reinsert_medium(
     inst: &bagsched_types::Instance,
     trans: &Transformed,
     rounded: &Rounded,
     state: &mut WorkState,
+    stats: &mut Stats,
 ) -> Result<Vec<(JobId, MachineId)>, GuessFailure> {
     if trans.removed_medium.is_empty() {
         return Ok(Vec::new());
@@ -80,6 +83,7 @@ pub fn reinsert_medium(
             problem.set_capacity(i, (f - 1e-9).ceil().max(0.0) as u64 + slack);
         }
         let solution = problem.solve();
+        stats.flow_augmentations += solution.stats.augmenting_paths;
         if !solution.is_complete() {
             continue;
         }
@@ -132,8 +136,13 @@ mod tests {
             return;
         }
         let mut state = WorkState::new(t.tinst.num_jobs(), 2);
-        let placed = reinsert_medium(&inst, &t, &r, &mut state).unwrap();
+        let mut stats = Stats::default();
+        let placed = reinsert_medium(&inst, &t, &r, &mut state, &mut stats).unwrap();
         assert_eq!(placed.len(), t.removed_medium.len());
+        assert!(
+            stats.flow_augmentations >= placed.len() as u64,
+            "unit-capacity network: one augmenting path per placed job"
+        );
         // At most one medium of each bag per machine.
         let mut seen: std::collections::HashSet<(usize, u32)> = Default::default();
         for &(j, mid) in &placed {
@@ -156,7 +165,7 @@ mod tests {
         if let Some(ls) = t.large_side_of[bag1] {
             let large_job = t.tinst.bag(ls)[0];
             state.place(&t, large_job, MachineId(0));
-            let placed = reinsert_medium(&inst, &t, &r, &mut state).unwrap();
+            let placed = reinsert_medium(&inst, &t, &r, &mut state, &mut Stats::default()).unwrap();
             for &(j, mid) in &placed {
                 if inst.bag_of(j).idx() == bag1 {
                     assert_ne!(mid, MachineId(0), "medium shares a machine with its large side");
@@ -175,7 +184,9 @@ mod tests {
         let p = select_priority(&inst, &r, &c, &cfg);
         let t = transform(&inst, &r, &c, &p);
         let mut state = WorkState::new(t.tinst.num_jobs(), 2);
-        assert!(reinsert_medium(&inst, &t, &r, &mut state).unwrap().is_empty());
+        let mut stats = Stats::default();
+        assert!(reinsert_medium(&inst, &t, &r, &mut state, &mut stats).unwrap().is_empty());
+        assert_eq!(stats.flow_augmentations, 0);
     }
 
     #[test]
@@ -186,7 +197,7 @@ mod tests {
         }
         let mut state = WorkState::new(t.tinst.num_jobs(), 2);
         let before: Vec<f64> = state.loads.clone();
-        reinsert_medium(&inst, &t, &r, &mut state).unwrap();
+        reinsert_medium(&inst, &t, &r, &mut state, &mut Stats::default()).unwrap();
         // Lemma 3: increase <= 2*eps per machine... with clamped constants
         // we check a conservative multiple.
         let medium_top = t.removed_medium.iter().map(|&j| r.size[j.idx()]).fold(0.0f64, f64::max);

@@ -33,7 +33,7 @@
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
 use crate::pattern::PatternSet;
-use crate::report::GuessFailure;
+use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
 use bagsched_milp::{solve_milp, MilpOptions, MilpStatus, Model, Relation, VarId};
@@ -109,11 +109,14 @@ pub fn nonpriority_small_area(trans: &Transformed) -> f64 {
         .sum()
 }
 
-/// Build and solve the MILP for one guess.
+/// Build and solve the MILP for one guess. Simplex/branch-and-bound work
+/// counters are recorded into `stats` whatever the outcome, so infeasible
+/// and budget-exhausted guesses still account for their cost.
 pub fn solve_patterns(
     trans: &Transformed,
     ps: &PatternSet,
     cfg: &EptasConfig,
+    stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
     let pairs = priority_small_pairs(trans);
     let w_nonprio = nonpriority_small_area(trans);
@@ -136,10 +139,17 @@ pub fn solve_patterns(
 
     let joint = est_cols <= cfg.joint_col_budget && est_rows <= cfg.joint_row_budget;
     if joint {
-        solve_joint(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls)
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls, stats)
     } else {
-        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls)
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls, stats)
     }
+}
+
+/// Fold one MILP solve's counters into the run-wide stats.
+fn record_milp(stats: &mut Stats, res: &bagsched_milp::MilpResult) {
+    stats.simplex_pivots += res.lp_iterations as u64;
+    stats.lp_solves += res.lp_solves as u64;
+    stats.milp_nodes += res.nodes as u64;
 }
 
 fn milp_options(cfg: &EptasConfig) -> MilpOptions {
@@ -159,6 +169,7 @@ fn solve_joint(
     pairs: Vec<SmallPair>,
     w_nonprio: f64,
     prio_bags_with_smalls: &[BagId],
+    stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
@@ -237,11 +248,11 @@ fn solve_joint(
 
     // (5) per (pattern, priority bag with smalls, chi = 0).
     for &l in prio_bags_with_smalls {
-        for p in 0..np {
+        for (p, &xp) in x.iter().enumerate() {
             if ps.chi(p, l) {
                 continue;
             }
-            let mut terms: Vec<(VarId, f64)> = vec![(x[p], -1.0)];
+            let mut terms: Vec<(VarId, f64)> = vec![(xp, -1.0)];
             for (i, pair) in pairs.iter().enumerate() {
                 if pair.tbag == l {
                     if let Some(&v) = y.get(&(i, p)) {
@@ -256,6 +267,7 @@ fn solve_joint(
     }
 
     let res = solve_milp(&model, &milp_options(cfg));
+    record_milp(stats, &res);
     match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
             let xs: Vec<u32> = x.iter().map(|&v| res.x[v.0].round() as u32).collect();
@@ -288,6 +300,7 @@ fn solve_two_stage(
     pairs: Vec<SmallPair>,
     w_nonprio: f64,
     prio_bags_with_smalls: &[BagId],
+    stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
@@ -330,6 +343,7 @@ fn solve_two_stage(
     }
 
     let res = solve_milp(&model, &milp_options(cfg));
+    record_milp(stats, &res);
     let xs: Vec<u32> = match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
             x.iter().map(|&v| res.x[v.0].round() as u32).collect()
@@ -350,9 +364,9 @@ fn solve_two_stage(
         .collect();
     let mut bag_cap: HashMap<(BagId, usize), f64> = HashMap::new();
     for &l in prio_bags_with_smalls {
-        for p in 0..np {
+        for (p, &xp) in xs.iter().enumerate() {
             if !ps.chi(p, l) {
-                bag_cap.insert((l, p), xs[p] as f64);
+                bag_cap.insert((l, p), xp as f64);
             }
         }
     }
@@ -431,7 +445,7 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg);
+        let out = solve_patterns(&t, &ps, cfg, &mut Stats::default());
         (t, ps, out)
     }
 

@@ -133,11 +133,16 @@ pub fn enumerate_patterns(
         })
     });
 
-    let mut patterns: Vec<Pattern> = Vec::new();
-    let mut entries: Vec<(usize, u16)> = Vec::new();
-    let mut bag_used = vec![false; trans.tinst.num_bags()];
-    dfs(&symbols, 0, 0.0, t, &mut entries, &mut bag_used, &mut patterns, max_patterns)
-        .map_err(|()| PatternBudgetExceeded { budget: max_patterns })?;
+    let mut dfs = Dfs {
+        symbols: &symbols,
+        t,
+        budget: max_patterns,
+        entries: Vec::new(),
+        bag_used: vec![false; trans.tinst.num_bags()],
+        out: Vec::new(),
+    };
+    dfs.run(0, 0.0).map_err(|()| PatternBudgetExceeded { budget: max_patterns })?;
+    let mut patterns = dfs.out;
 
     // Normalize: the empty pattern (generated by the all-zero branch,
     // hence first) sits at index 0.
@@ -160,60 +165,63 @@ pub fn enumerate_patterns(
     Ok(PatternSet { symbols, patterns, priority_bags_used })
 }
 
-fn dfs(
-    symbols: &[Symbol],
-    idx: usize,
-    height: f64,
+/// The pattern-enumeration DFS: fixed inputs plus the mutable search
+/// state, so the recursion only threads `(idx, height)`.
+struct Dfs<'a> {
+    symbols: &'a [Symbol],
+    /// Height bound `T`.
     t: f64,
-    entries: &mut Vec<(usize, u16)>,
-    bag_used: &mut [bool],
-    out: &mut Vec<Pattern>,
+    /// Maximum number of patterns before `Err(())`.
     budget: usize,
-) -> Result<(), ()> {
-    if idx == symbols.len() {
-        if out.len() >= budget {
-            return Err(());
-        }
-        out.push(Pattern { entries: entries.clone(), height });
-        return Ok(());
-    }
-    let sym = &symbols[idx];
-    let by_height =
-        if sym.size > 1e-12 { ((t - height) / sym.size + 1e-9).floor().max(0.0) as u32 } else { 0 };
-    let max_mult = match sym.bag {
-        SlotBag::Priority(b) => {
-            if bag_used[b.idx()] {
-                0
-            } else {
-                1.min(sym.avail).min(by_height)
+    /// Current partial pattern (symbol index, multiplicity).
+    entries: Vec<(usize, u16)>,
+    /// Priority bags used along the current path (the bag-constraint).
+    bag_used: Vec<bool>,
+    /// Completed patterns.
+    out: Vec<Pattern>,
+}
+
+impl Dfs<'_> {
+    fn run(&mut self, idx: usize, height: f64) -> Result<(), ()> {
+        if idx == self.symbols.len() {
+            if self.out.len() >= self.budget {
+                return Err(());
             }
+            self.out.push(Pattern { entries: self.entries.clone(), height });
+            return Ok(());
         }
-        SlotBag::X => sym.avail.min(by_height),
-    };
-    // multiplicity 0 first, so the empty pattern is generated first.
-    dfs(symbols, idx + 1, height, t, entries, bag_used, out, budget)?;
-    for mult in 1..=max_mult {
-        entries.push((idx, mult as u16));
-        if let SlotBag::Priority(b) = sym.bag {
-            bag_used[b.idx()] = true;
+        let sym = self.symbols[idx];
+        let by_height = if sym.size > 1e-12 {
+            ((self.t - height) / sym.size + 1e-9).floor().max(0.0) as u32
+        } else {
+            0
+        };
+        let max_mult = match sym.bag {
+            SlotBag::Priority(b) => {
+                if self.bag_used[b.idx()] {
+                    0
+                } else {
+                    1.min(sym.avail).min(by_height)
+                }
+            }
+            SlotBag::X => sym.avail.min(by_height),
+        };
+        // multiplicity 0 first, so the empty pattern is generated first.
+        self.run(idx + 1, height)?;
+        for mult in 1..=max_mult {
+            self.entries.push((idx, mult as u16));
+            if let SlotBag::Priority(b) = sym.bag {
+                self.bag_used[b.idx()] = true;
+            }
+            let res = self.run(idx + 1, height + mult as f64 * sym.size);
+            self.entries.pop();
+            if let SlotBag::Priority(b) = sym.bag {
+                self.bag_used[b.idx()] = false;
+            }
+            res?;
         }
-        let res = dfs(
-            symbols,
-            idx + 1,
-            height + mult as f64 * sym.size,
-            t,
-            entries,
-            bag_used,
-            out,
-            budget,
-        );
-        entries.pop();
-        if let SlotBag::Priority(b) = sym.bag {
-            bag_used[b.idx()] = false;
-        }
-        res?;
+        Ok(())
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -44,6 +44,61 @@ impl std::fmt::Display for GuessFailure {
     }
 }
 
+/// Monotone work counters accumulated over an entire [`Eptas::solve`]
+/// call — every guess of the binary search, *including failed ones* — so
+/// that wall-clock deltas measured by the bench harness are attributable
+/// to algorithmic work rather than noise. All counters only ever grow;
+/// [`Stats::add`] merges the counters of several solves (the experiment
+/// harness sums them per table).
+///
+/// [`Eptas::solve`]: crate::Eptas::solve
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Machine patterns enumerated by the Definition-3 DFS.
+    pub patterns_enumerated: u64,
+    /// Simplex pivots across every LP relaxation solved.
+    pub simplex_pivots: u64,
+    /// LP relaxations solved by branch & bound (one per explored node).
+    pub lp_solves: u64,
+    /// Branch-and-bound nodes explored by the pattern MILP.
+    pub milp_nodes: u64,
+    /// Augmenting paths pushed by the Lemma-3 medium reinsertion flow.
+    pub flow_augmentations: u64,
+    /// Repair operations: Lemma-7 swaps + Lemma-11 origin-chain moves +
+    /// Lemma-4 filler swaps.
+    pub swap_repair_rounds: u64,
+    /// Medium jobs re-inserted by the Lemma-3 flow.
+    pub mediums_reinserted: u64,
+}
+
+impl Stats {
+    /// Accumulate another solve's counters into this one.
+    pub fn add(&mut self, other: &Stats) {
+        self.patterns_enumerated += other.patterns_enumerated;
+        self.simplex_pivots += other.simplex_pivots;
+        self.lp_solves += other.lp_solves;
+        self.milp_nodes += other.milp_nodes;
+        self.flow_augmentations += other.flow_augmentations;
+        self.swap_repair_rounds += other.swap_repair_rounds;
+        self.mediums_reinserted += other.mediums_reinserted;
+    }
+
+    /// The counters as `(name, value)` pairs, in schema order. The bench
+    /// JSON emitter and the CLI both render from this single source so the
+    /// on-disk schema cannot drift from the struct.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("patterns_enumerated", self.patterns_enumerated),
+            ("simplex_pivots", self.simplex_pivots),
+            ("lp_solves", self.lp_solves),
+            ("milp_nodes", self.milp_nodes),
+            ("flow_augmentations", self.flow_augmentations),
+            ("swap_repair_rounds", self.swap_repair_rounds),
+            ("mediums_reinserted", self.mediums_reinserted),
+        ]
+    }
+}
+
 /// Per-run diagnostics of the EPTAS, consumed by the experiment harness
 /// and the ablation benches.
 #[derive(Debug, Clone, Default)]
@@ -66,6 +121,8 @@ pub struct EptasReport {
     /// least-loaded conflict-free machine). Zero on the paper path; any
     /// positive value means a phase left a conflict behind.
     pub safety_net_moves: usize,
+    /// Aggregate work counters across every guess (failed ones included).
+    pub stats: Stats,
     /// Total wall-clock of the solve.
     pub elapsed: Duration,
 }
@@ -114,5 +171,37 @@ mod tests {
         assert_eq!(r.safety_net_moves, 0);
         assert!(!r.fell_back_to_lpt);
         assert!(r.last_success.is_none());
+        assert_eq!(r.stats, Stats::default());
+    }
+
+    #[test]
+    fn stats_add_is_fieldwise() {
+        let mut a = Stats {
+            patterns_enumerated: 1,
+            simplex_pivots: 2,
+            lp_solves: 3,
+            milp_nodes: 4,
+            flow_augmentations: 5,
+            swap_repair_rounds: 6,
+            mediums_reinserted: 7,
+        };
+        let b = a;
+        a.add(&b);
+        for ((_, doubled), (_, orig)) in a.named().iter().zip(b.named().iter()) {
+            assert_eq!(*doubled, 2 * orig);
+        }
+    }
+
+    #[test]
+    fn named_covers_every_field() {
+        // `named()` drives the bench JSON schema; a field added to Stats
+        // without a `named()` entry would silently vanish from reports.
+        // Debug-print the struct and check each field name appears.
+        let dbg = format!("{:?}", Stats::default());
+        for (name, _) in Stats::default().named() {
+            assert!(dbg.contains(name), "named() and Stats disagree on {name}");
+        }
+        let field_count = dbg.matches(':').count();
+        assert_eq!(field_count, Stats::default().named().len());
     }
 }

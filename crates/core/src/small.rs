@@ -38,6 +38,10 @@ struct Piece {
     alpha: f64,
 }
 
+/// A bag-LPT work list: `(Some(job), size)` for real jobs, `(None, h_f)`
+/// for the constructed fractional-area jobs of the Corollary-1 merge.
+type SlotList = Vec<(Option<JobId>, f64)>;
+
 /// Statistics of the small-job phases.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SmallStats {
@@ -118,8 +122,7 @@ pub fn place_priority_smalls(
     // 2. Per pattern group: Corollary-1 merge + bag-LPT.
     //    Collected slots per bag: (machine, constructed height).
     let mut slots: HashMap<BagId, Vec<usize>> = HashMap::new();
-    for p in 0..np {
-        let machines = &group[p];
+    for (p, machines) in group.iter().enumerate() {
         if machines.is_empty() {
             continue;
         }
@@ -135,7 +138,7 @@ pub fn place_priority_smalls(
 
         // Build the bag-LPT lists: (Some(job), height) for full jobs,
         // (None, hf) for constructed jobs.
-        let mut lists: Vec<(BagId, Vec<(Option<JobId>, f64)>)> = Vec::new();
+        let mut lists: Vec<(BagId, SlotList)> = Vec::new();
         for &bag in &bags {
             let full = fulls.get(&(p, bag)).cloned().unwrap_or_default();
             let frac = fracs.get(&(p, bag)).cloned().unwrap_or_default();
@@ -144,8 +147,7 @@ pub fn place_priority_smalls(
             let mf = mp.saturating_sub(full.len());
             let frac_area: f64 = frac.iter().map(|pc| pc.alpha * trans.tinst.size(pc.job)).sum();
             let hf = if mf > 0 { frac_area / mf as f64 } else { 0.0 };
-            let mut list: Vec<(Option<JobId>, f64)> =
-                full.iter().map(|&j| (Some(j), trans.tinst.size(j))).collect();
+            let mut list: SlotList = full.iter().map(|&j| (Some(j), trans.tinst.size(j))).collect();
             for _ in 0..mf {
                 list.push((None, hf));
             }
@@ -389,10 +391,17 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg).expect("feasible guess");
+        let out = solve_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
+            .expect("feasible guess");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
         let la = assign_large(&t, &ps, &out.x, &mut state);
-        let swaps = crate::swap_repair::repair_conflicts(&t, &mut state, &la.conflicts).unwrap();
+        let swaps = crate::swap_repair::repair_conflicts(
+            &t,
+            &mut state,
+            &la.conflicts,
+            &mut crate::report::Stats::default(),
+        )
+        .unwrap();
         let _ = swaps;
         place_priority_smalls(&t, &ps, &out, &la.machine_pattern, &mut state);
         place_nonpriority_smalls(&t, cfg.epsilon, &mut state);

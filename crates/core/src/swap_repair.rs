@@ -16,16 +16,19 @@
 
 use crate::assign_large::WorkState;
 use crate::classify::JobClass;
-use crate::report::GuessFailure;
+use crate::report::{GuessFailure, Stats};
 use crate::transform::Transformed;
 use bagsched_types::JobId;
 
 /// Resolve all recorded conflicts by swapping. Returns the number of
-/// swaps performed.
+/// swaps performed. Each swap is also recorded into `stats` as it
+/// happens, so work done before a [`GuessFailure::SwapRepair`] abort
+/// still shows up in the run-wide counters.
 pub fn repair_conflicts(
     trans: &Transformed,
     state: &mut WorkState,
     conflicts: &[JobId],
+    stats: &mut Stats,
 ) -> Result<usize, GuessFailure> {
     let mut swaps = 0;
     for &job in conflicts {
@@ -61,6 +64,7 @@ pub fn repair_conflicts(
                 state.place(trans, job, other_mid);
                 state.place(trans, partner, mid);
                 swaps += 1;
+                stats.swap_repair_rounds += 1;
                 done = true;
                 break 'machines;
             }
@@ -130,8 +134,10 @@ mod tests {
         let loads_before = state.loads.clone();
         assert_eq!(state.conflict_count(), 2);
 
-        let swaps = repair_conflicts(&t, &mut state, &[b1[1], b2[1]]).unwrap();
+        let mut stats = Stats::default();
+        let swaps = repair_conflicts(&t, &mut state, &[b1[1], b2[1]], &mut stats).unwrap();
         assert!(swaps >= 1);
+        assert_eq!(stats.swap_repair_rounds, swaps as u64);
         assert_eq!(state.conflict_count(), 0);
         // Same-size swaps keep every machine load unchanged.
         for (a, b) in loads_before.iter().zip(&state.loads) {
@@ -145,7 +151,7 @@ mod tests {
         let (b1, _) = large_side_jobs(&t);
         state.place(&t, b1[0], MachineId(0));
         state.place(&t, b1[1], MachineId(1)); // no actual conflict
-        let swaps = repair_conflicts(&t, &mut state, &[b1[1]]).unwrap();
+        let swaps = repair_conflicts(&t, &mut state, &[b1[1]], &mut Stats::default()).unwrap();
         assert_eq!(swaps, 0);
     }
 
@@ -157,7 +163,7 @@ mod tests {
         // equal size exists anywhere else.
         state.place(&t, b1[0], MachineId(0));
         state.place(&t, b1[1], MachineId(0));
-        let res = repair_conflicts(&t, &mut state, &[b1[1]]);
+        let res = repair_conflicts(&t, &mut state, &[b1[1]], &mut Stats::default());
         assert_eq!(res.unwrap_err(), GuessFailure::SwapRepair);
     }
 
@@ -178,7 +184,7 @@ mod tests {
         state.place(&t, b1[1], MachineId(0));
         state.place(&t, b2[0], MachineId(0));
         state.place(&t, b2[1], MachineId(1));
-        let res = repair_conflicts(&t, &mut state, &[b1[1]]);
+        let res = repair_conflicts(&t, &mut state, &[b1[1]], &mut Stats::default());
         // The only same-size partner off machine 0 is b2[1] on machine 1,
         // but bag 2 is already on machine 0 -> must fail.
         assert_eq!(res.unwrap_err(), GuessFailure::SwapRepair);

@@ -5,7 +5,7 @@
 //! (capacity = ceiling of the fractional assignment), and an edge `(l, r)`
 //! with capacity 1 exists iff machine `r` is free for bag `l`.
 
-use crate::dinic::max_flow;
+use crate::dinic::{max_flow_with_stats, FlowStats};
 use crate::graph::{EdgeId, FlowNetwork, NodeId};
 
 /// A bipartite assignment problem.
@@ -27,6 +27,8 @@ pub struct BipartiteAssignment {
     pub flows: Vec<(usize, usize, u64)>,
     /// Sum of all supplies (for completeness checks).
     pub total_supply: u64,
+    /// Work counters of the underlying max-flow computation.
+    pub stats: FlowStats,
 }
 
 impl BipartiteAssignment {
@@ -87,7 +89,7 @@ impl BipartiteProblem {
             let e = net.add_edge(NodeId(l0 + l), NodeId(r0 + r), cap);
             mid_edges.push((l, r, e));
         }
-        let total = max_flow(&mut net, NodeId(0), NodeId(sink));
+        let (total, stats) = max_flow_with_stats(&mut net, NodeId(0), NodeId(sink));
         let flows = mid_edges
             .into_iter()
             .filter_map(|(l, r, e)| {
@@ -95,7 +97,7 @@ impl BipartiteProblem {
                 (f > 0).then_some((l, r, f))
             })
             .collect();
-        BipartiteAssignment { total, flows, total_supply: self.supply.iter().sum() }
+        BipartiteAssignment { total, flows, total_supply: self.supply.iter().sum(), stats }
     }
 }
 

@@ -6,9 +6,36 @@
 
 use crate::graph::{FlowNetwork, NodeId};
 
+/// Work counters of one max-flow computation, used by the EPTAS report to
+/// attribute wall-clock to the Lemma-3 reinsertion phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Augmenting paths pushed (one per successful blocking-flow DFS).
+    pub augmenting_paths: u64,
+    /// BFS phases (level-graph rebuilds), bounded by `O(V)` for Dinic.
+    pub bfs_phases: u64,
+}
+
+impl FlowStats {
+    /// Accumulate another computation's counters into this one.
+    pub fn add(&mut self, other: &FlowStats) {
+        self.augmenting_paths += other.augmenting_paths;
+        self.bfs_phases += other.bfs_phases;
+    }
+}
+
 /// Compute the maximum `source -> sink` flow. The network retains the flow
 /// (query per-edge flow with [`FlowNetwork::flow`]).
 pub fn max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> u64 {
+    max_flow_with_stats(net, source, sink).0
+}
+
+/// [`max_flow`] plus the work counters of the computation.
+pub fn max_flow_with_stats(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+) -> (u64, FlowStats) {
     assert!(source.0 < net.num_nodes() && sink.0 < net.num_nodes(), "node out of range");
     assert_ne!(source, sink, "source and sink must differ");
     let n = net.num_nodes();
@@ -16,9 +43,11 @@ pub fn max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> u64 {
     let mut it = vec![0usize; n];
     let mut queue = Vec::with_capacity(n);
     let mut total = 0u64;
+    let mut stats = FlowStats::default();
 
     loop {
         // BFS: build level graph.
+        stats.bfs_phases += 1;
         level.iter_mut().for_each(|l| *l = -1);
         level[source.0] = 0;
         queue.clear();
@@ -45,10 +74,11 @@ pub fn max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> u64 {
             if pushed == 0 {
                 break;
             }
+            stats.augmenting_paths += 1;
             total += pushed;
         }
     }
-    total
+    (total, stats)
 }
 
 fn dfs(
@@ -115,6 +145,36 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_paths_and_phases() {
+        // Two disjoint unit paths: Dinic finds both in one BFS phase, so
+        // exactly 2 augmenting paths and 2 BFS rounds (the second proves
+        // the sink unreachable).
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b) = (NodeId(0), NodeId(1), NodeId(2));
+        let t = NodeId(3);
+        g.add_edge(s, a, 1);
+        g.add_edge(a, t, 1);
+        g.add_edge(s, b, 1);
+        g.add_edge(b, t, 1);
+        let (total, stats) = max_flow_with_stats(&mut g, s, t);
+        assert_eq!(total, 2);
+        assert_eq!(stats.augmenting_paths, 2);
+        assert_eq!(stats.bfs_phases, 2);
+        // The disconnected case still pays one BFS to discover it.
+        let mut g = FlowNetwork::new(2);
+        let (total, stats) = max_flow_with_stats(&mut g, NodeId(0), NodeId(1));
+        assert_eq!((total, stats.augmenting_paths, stats.bfs_phases), (0, 0, 1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut acc = FlowStats::default();
+        acc.add(&FlowStats { augmenting_paths: 2, bfs_phases: 3 });
+        acc.add(&FlowStats { augmenting_paths: 1, bfs_phases: 1 });
+        assert_eq!(acc, FlowStats { augmenting_paths: 3, bfs_phases: 4 });
+    }
+
+    #[test]
     fn bottleneck_path() {
         let mut g = FlowNetwork::new(4);
         g.add_edge(NodeId(0), NodeId(1), 10);
@@ -153,7 +213,7 @@ mod tests {
         let total = max_flow(&mut g, s, t);
         assert!(total > 0);
         // Net flow at every interior node must be zero.
-        let mut net_flow = vec![0i64; 6];
+        let mut net_flow = [0i64; 6];
         for &(u, v, e) in &ids {
             let f = g.flow(e) as i64;
             net_flow[u] -= f;
@@ -161,8 +221,8 @@ mod tests {
         }
         assert_eq!(net_flow[s.0], -(total as i64));
         assert_eq!(net_flow[t.0], total as i64);
-        for node in 1..5 {
-            assert_eq!(net_flow[node], 0, "conservation violated at node {node}");
+        for (node, &flow) in net_flow.iter().enumerate().take(5).skip(1) {
+            assert_eq!(flow, 0, "conservation violated at node {node}");
         }
     }
 

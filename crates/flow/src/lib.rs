@@ -18,5 +18,5 @@ pub mod dinic;
 pub mod graph;
 
 pub use bipartite::{BipartiteAssignment, BipartiteProblem};
-pub use dinic::max_flow;
+pub use dinic::{max_flow, max_flow_with_stats, FlowStats};
 pub use graph::{EdgeId, FlowNetwork, NodeId};

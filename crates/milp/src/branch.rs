@@ -68,6 +68,12 @@ pub struct MilpResult {
     pub nodes: usize,
     /// Total simplex iterations across all LP solves.
     pub lp_iterations: usize,
+    /// Number of LP relaxations solved (one per explored node).
+    pub lp_solves: usize,
+    /// Redundant rows dropped by the root presolve.
+    pub presolve_rows_dropped: usize,
+    /// Variable bounds tightened by the root presolve.
+    pub presolve_bounds_tightened: usize,
 }
 
 struct Node {
@@ -84,6 +90,7 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
     // Root presolve: tighten bounds, drop redundant rows, detect trivial
     // infeasibility. Variables are never removed, so indices are stable.
     let reduced;
+    let (presolve_rows_dropped, presolve_bounds_tightened);
     let model = match crate::presolve::presolve(model) {
         crate::presolve::PresolveStatus::Infeasible => {
             return MilpResult {
@@ -92,9 +99,14 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
                 objective: f64::INFINITY,
                 nodes: 0,
                 lp_iterations: 0,
+                lp_solves: 0,
+                presolve_rows_dropped: 0,
+                presolve_bounds_tightened: 0,
             };
         }
-        crate::presolve::PresolveStatus::Reduced { model, .. } => {
+        crate::presolve::PresolveStatus::Reduced { model, rows_dropped, bounds_tightened } => {
+            presolve_rows_dropped = rows_dropped;
+            presolve_bounds_tightened = bounds_tightened;
             reduced = model;
             &reduced
         }
@@ -105,6 +117,7 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
 
     let mut nodes = 0usize;
     let mut lp_iterations = 0usize;
+    let mut lp_solves = 0usize;
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
     let mut budget_hit = false;
 
@@ -139,6 +152,7 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
         for &(j, lb, ub) in &saved {
             work.set_bounds(VarId(j), lb, ub);
         }
+        lp_solves += 1;
         lp_iterations += lp.iterations;
 
         match lp.status {
@@ -154,6 +168,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
                         objective: f64::NEG_INFINITY,
                         nodes,
                         lp_iterations,
+                        lp_solves,
+                        presolve_rows_dropped,
+                        presolve_bounds_tightened,
                     };
                 }
                 continue;
@@ -202,6 +219,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
                         objective: obj,
                         nodes,
                         lp_iterations,
+                        lp_solves,
+                        presolve_rows_dropped,
+                        presolve_bounds_tightened,
                     };
                 }
             }
@@ -251,6 +271,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
             objective,
             nodes,
             lp_iterations,
+            lp_solves,
+            presolve_rows_dropped,
+            presolve_bounds_tightened,
         },
         None => MilpResult {
             status: if budget_hit { MilpStatus::Budget } else { MilpStatus::Infeasible },
@@ -258,6 +281,9 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
             objective: f64::INFINITY,
             nodes,
             lp_iterations,
+            lp_solves,
+            presolve_rows_dropped,
+            presolve_bounds_tightened,
         },
     }
 }
@@ -334,8 +360,8 @@ mod tests {
                 v[i][j] = m.add_int_var(a[i][j], 0.0, 1.0);
             }
         }
-        for i in 0..2 {
-            m.add_con(&[(v[i][0], 1.0), (v[i][1], 1.0)], Eq, 1.0);
+        for (i, row) in v.iter().enumerate() {
+            m.add_con(&[(row[0], 1.0), (row[1], 1.0)], Eq, 1.0);
             m.add_con(&[(v[0][i], 1.0), (v[1][i], 1.0)], Eq, 1.0);
         }
         let r = solve_milp(&m, &MilpOptions::default());

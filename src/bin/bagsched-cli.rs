@@ -113,8 +113,13 @@ fn cmd_solve(args: &[String]) -> i32 {
     }
 
     let start = Instant::now();
+    let mut eptas_stats = None;
     let schedule: Schedule = match algo {
-        "eptas" => Eptas::with_epsilon(eps).solve(&inst).expect("validated").schedule,
+        "eptas" => {
+            let r = Eptas::with_epsilon(eps).solve(&inst).expect("validated");
+            eptas_stats = Some(r.report.stats);
+            r.schedule
+        }
         "lpt" => bl::bag_aware_lpt(&inst).expect("validated"),
         "bag-lpt" => bl::bag_lpt_schedule(&inst).expect("validated"),
         "local-search" => bl::lpt_with_local_search(&inst, 5000).expect("validated").schedule,
@@ -147,6 +152,11 @@ fn cmd_solve(args: &[String]) -> i32 {
     println!("lower bnd:  {lb:.6}  (ratio <= {:.4})", ms / lb);
     println!("feasible:   {}", schedule.is_feasible(&inst));
     println!("time:       {elapsed:.2?}");
+    if let Some(stats) = eptas_stats {
+        let counters: Vec<String> =
+            stats.named().iter().map(|(name, value)| format!("{name}={value}")).collect();
+        println!("counters:   {}", counters.join(" "));
+    }
     println!("{}", io::schedule_to_json(&schedule));
     0
 }

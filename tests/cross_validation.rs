@@ -59,8 +59,9 @@ fn eptas_and_ptas_agree_on_small_instances() {
 
 #[test]
 fn all_solvers_feasible_on_adversarial_bags() {
+    type SolverFn<'a> = Box<dyn Fn() -> bagsched::types::Schedule + 'a>;
     let inst = gen::adversarial_bags(30, 5, 77);
-    let solvers: Vec<(&str, Box<dyn Fn() -> bagsched::types::Schedule>)> = vec![
+    let solvers: Vec<(&str, SolverFn)> = vec![
         ("bag_aware_lpt", Box::new(|| bag_aware_lpt(&inst).unwrap())),
         ("eptas", Box::new(|| Eptas::with_epsilon(0.5).solve(&inst).unwrap().schedule)),
         ("dw_ptas", Box::new(|| dw_ptas(&inst, &DwPtasConfig::with_epsilon(0.5)).unwrap())),

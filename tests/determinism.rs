@@ -58,6 +58,50 @@ fn repeated_solver_reuse_is_deterministic() {
     assert_eq!(report_fingerprint(&a.report), report_fingerprint(&fresh.report));
 }
 
+/// The parallel experiment runner must be invisible in the output: for a
+/// representative subset of experiments (chosen to have no wall-clock
+/// columns, the one inherently nondeterministic quantity), `--jobs 4`
+/// must produce byte-identical tables and — after redacting the
+/// `wall_secs` measurement field — byte-identical `BENCH_*.json`
+/// documents, compared to `--jobs 1`.
+#[test]
+fn parallel_runner_is_byte_identical_to_sequential() {
+    use bagsched_bench::{json, runner};
+
+    // fig1/fig3 exercise the EPTAS + transformation, lemma8 is RNG-heavy
+    // (self-contained per-cell seeding), lemma3 drives the reinsertion
+    // flow. None of their tables carry a time column.
+    let ids = ["fig1", "fig3", "lemma8", "lemma3"];
+    let seq = runner::run_experiments(&ids, true, 1, |_| ());
+    let par = runner::run_experiments(&ids, true, 4, |_| ());
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert!(
+            !a.table.has_time_column(),
+            "{}: subset must stay free of wall-clock columns",
+            a.id
+        );
+        assert_eq!(a.id, b.id, "runner must preserve input order");
+        assert_eq!(
+            a.table.render(),
+            b.table.render(),
+            "{}: table bytes differ between --jobs 1 and --jobs 4",
+            a.id
+        );
+        assert_eq!(a.stats, b.stats, "{}: counters differ across jobs", a.id);
+
+        let ja = json::redact_wall_secs(&json::BenchRecord::from_outcome(a, true).to_json());
+        let jb = json::redact_wall_secs(&json::BenchRecord::from_outcome(b, true).to_json());
+        assert_eq!(
+            ja.unwrap(),
+            jb.unwrap(),
+            "{}: BENCH json differs between --jobs 1 and --jobs 4",
+            a.id
+        );
+    }
+}
+
 #[test]
 fn different_seeds_usually_differ() {
     // Sanity check that the fingerprint is sensitive at all: different

@@ -318,8 +318,8 @@ mod tests {
 
         #[test]
         fn macro_grammar_smoke(x in 1u32..10, (a, b) in (0.0f64..1.0, 5usize..8)) {
-            prop_assert!(x >= 1 && x < 10);
-            prop_assert!(a >= 0.0 && a < 1.0, "a out of range: {}", a);
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a), "a out of range: {}", a);
             prop_assert_eq!(b.min(7), b);
             prop_assert_ne!(x, 0, "x must not be {}", 0);
         }

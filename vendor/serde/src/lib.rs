@@ -111,6 +111,18 @@ macro_rules! impl_uint {
 
 impl_uint!(u32, u64, usize);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(*self)
@@ -223,6 +235,13 @@ mod tests {
         // The largest exactly-representable in-range values still parse.
         assert_eq!(u32::from_value(&Value::Num(u32::MAX as f64)), Ok(u32::MAX));
         assert_eq!(u64::from_value(&Value::Num(2.0f64.powi(53))), Ok(1u64 << 53));
+    }
+
+    #[test]
+    fn value_serializes_to_itself() {
+        let v = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v), Ok(v));
     }
 
     #[test]
