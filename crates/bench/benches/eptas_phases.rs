@@ -4,7 +4,7 @@
 
 use bagsched_core::classify::classify;
 use bagsched_core::config::EptasConfig;
-use bagsched_core::milp_model::solve_patterns;
+use bagsched_core::milp_model::solve_with_patterns;
 use bagsched_core::pattern::enumerate_patterns;
 use bagsched_core::priority::select_priority;
 use bagsched_core::rounding::scale_and_round;
@@ -62,7 +62,9 @@ fn bench_pattern_milp(c: &mut Criterion) {
         let t = transform(&inst, &r, &cl, &p);
         let ps = enumerate_patterns(&t, 100_000).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &(&t, &ps), |b, (t, ps)| {
-            b.iter(|| black_box(solve_patterns(t, ps, &cfg, &mut bagsched_core::Stats::default())))
+            b.iter(|| {
+                black_box(solve_with_patterns(t, ps, &cfg, &mut bagsched_core::Stats::default()))
+            })
         });
     }
     group.finish();

@@ -102,9 +102,23 @@ fn main() {
         args.ids.iter().map(String::as_str).collect()
     };
 
-    eprintln!("[running {} experiment(s), quick={}, jobs={}]", ids.len(), args.quick, args.jobs);
-    let outcomes = runner::run_experiments(&ids, args.quick, args.jobs, |o| {
-        eprintln!("[{} done in {:.2}s]", o.id, o.wall_secs);
+    let ncells: usize = ids
+        .iter()
+        .map(|id| bagsched_bench::experiments::num_cells(id, args.quick).unwrap_or(1))
+        .sum();
+    eprintln!(
+        "[running {} experiment(s) as {} cell(s), quick={}, jobs={}]",
+        ids.len(),
+        ncells,
+        args.quick,
+        args.jobs
+    );
+    let outcomes = runner::run_experiments(&ids, args.quick, args.jobs, |p| {
+        if p.cells > 1 {
+            eprintln!("[{} cell {}/{} done in {:.2}s]", p.id, p.cell + 1, p.cells, p.wall_secs);
+        } else {
+            eprintln!("[{} done in {:.2}s]", p.id, p.wall_secs);
+        }
     });
 
     // Deterministic stdout: tables only, in input order.
@@ -112,7 +126,7 @@ fn main() {
         o.table.print();
     }
     let total: f64 = outcomes.iter().map(|o| o.wall_secs).sum();
-    eprintln!("[total cell time {total:.2}s across {} cells]", outcomes.len());
+    eprintln!("[total cell time {total:.2}s across {ncells} cells]");
 
     if let Some(dir) = &args.json_dir {
         if let Err(e) = write_reports(dir, &outcomes, args.quick) {

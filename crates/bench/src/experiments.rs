@@ -29,9 +29,9 @@ pub const ALL: &[&str] = &[
     "ablate-joint",
 ];
 
-/// One finished experiment: the printable table plus the aggregate work
-/// counters of every EPTAS solve it performed, so the JSON reports can
-/// attribute wall-clock to algorithmic work.
+/// One finished experiment (or experiment cell): the printable table plus
+/// the aggregate work counters of every EPTAS solve it performed, so the
+/// JSON reports can attribute wall-clock to algorithmic work.
 #[derive(Debug, Clone)]
 pub struct ExperimentRun {
     /// The rendered result table.
@@ -40,17 +40,41 @@ pub struct ExperimentRun {
     pub stats: Stats,
 }
 
-/// Dispatch by id.
-pub fn run(id: &str, quick: bool) -> Option<ExperimentRun> {
+/// How many schedulable cells an experiment splits into. Most experiments
+/// are a single cell; the two with a long serial row loop (`scaling-n`,
+/// `ablate-joint`) run one cell *per row* so the parallel runner's
+/// critical path is a single solve, not a whole table. Experiment ids —
+/// and the merged tables and JSON documents keyed on them — are
+/// unaffected by the split. `None` for unknown ids.
+pub fn num_cells(id: &str, quick: bool) -> Option<usize> {
+    match id {
+        "scaling-n" => Some(scaling_n_grid(quick).len()),
+        "ablate-joint" => Some(ablate_joint_grid(quick).len()),
+        known if ALL.contains(&known) => Some(1),
+        _ => None,
+    }
+}
+
+/// Run one cell of an experiment. Returns `None` for an unknown id *or*
+/// an out-of-range cell (uniformly — split and single-cell experiments
+/// behave the same). Cells of one experiment share headers and title and
+/// are merged back with [`merge`] in cell order.
+pub fn run_cell(id: &str, cell: usize, quick: bool) -> Option<ExperimentRun> {
+    if cell >= num_cells(id, quick)? {
+        return None;
+    }
     let mut stats = Stats::default();
     let st = &mut stats;
     let table = match id {
+        "scaling-n" => scaling_n_cell(quick, cell, st),
+        "ablate-joint" => ablate_joint_cell(quick, cell, st),
+        // Single-cell experiments: the range check above already pinned
+        // `cell` to 0.
         "fig1" => fig1(quick, st),
         "fig2" => fig2(quick, st),
         "fig3" => fig3(quick, st),
         "ratio-small" => ratio_small(quick, st),
         "ratio-large" => ratio_large(quick, st),
-        "scaling-n" => scaling_n(quick, st),
         "scaling-eps" => scaling_eps(quick, st),
         "lemma8" => lemma8(quick, st),
         "lemma3" => lemma3(quick, st),
@@ -58,10 +82,29 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentRun> {
         "heuristics" => heuristics(quick, st),
         "ablate-transform" => ablate_transform(quick, st),
         "ablate-bprime" => ablate_bprime(quick, st),
-        "ablate-joint" => ablate_joint(quick, st),
         _ => return None,
     };
     Some(ExperimentRun { table, stats })
+}
+
+/// Merge the cells of one experiment (in cell order) back into its single
+/// table: rows concatenate, counters sum.
+pub fn merge(cells: Vec<ExperimentRun>) -> ExperimentRun {
+    let mut it = cells.into_iter();
+    let mut merged = it.next().expect("an experiment has at least one cell");
+    for cell in it {
+        merged.table.rows.extend(cell.table.rows);
+        merged.stats.add(&cell.stats);
+    }
+    merged
+}
+
+/// Dispatch by id: run every cell sequentially and merge.
+pub fn run(id: &str, quick: bool) -> Option<ExperimentRun> {
+    let cells = num_cells(id, quick)?;
+    let runs: Vec<ExperimentRun> =
+        (0..cells).map(|c| run_cell(id, c, quick).expect("cell index in range")).collect();
+    Some(merge(runs))
 }
 
 /// Solve with the EPTAS and fold the run's counters into the experiment
@@ -274,33 +317,41 @@ pub fn ratio_large(quick: bool, stats: &mut Stats) -> Table {
     t
 }
 
-/// T3 — running time scaling in n at fixed eps (`poly(|I|)`).
-pub fn scaling_n(quick: bool, stats: &mut Stats) -> Table {
+/// T3 row grid: `(regime label, n/m ratio, n)` — one runner cell per row.
+/// Two regimes: loose (n/m = 20; jobs are small, group-bag-LPT dominates)
+/// and tight (n/m = 3; the pattern MILP engages).
+fn scaling_n_grid(quick: bool) -> Vec<(&'static str, usize, usize)> {
+    let ns: &[usize] =
+        if quick { &[100, 400, 1600] } else { &[100, 400, 1600, 6400, 25600, 102400] };
+    let mut grid = Vec::new();
+    for &(label, ratio, cap) in &[("loose", 20usize, usize::MAX), ("tight", 3usize, 25600usize)] {
+        for &n in ns.iter().filter(|&&n| n <= cap) {
+            grid.push((label, ratio, n));
+        }
+    }
+    grid
+}
+
+/// T3 — running time scaling in n at fixed eps (`poly(|I|)`); one row.
+pub fn scaling_n_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "T3",
         "EPTAS running time vs n (eps = 0.5, clustered sizes)",
         &["n", "m", "time", "time/n (us)", "feasible"],
     );
-    let ns: &[usize] =
-        if quick { &[100, 400, 1600] } else { &[100, 400, 1600, 6400, 25600, 102400] };
-    // Two regimes: loose (n/m = 20; jobs are small, group-bag-LPT
-    // dominates) and tight (n/m = 3; the pattern MILP engages).
-    for &(label, ratio, cap) in &[("loose", 20usize, usize::MAX), ("tight", 3usize, 25600usize)] {
-        for &n in ns.iter().filter(|&&n| n <= cap) {
-            let m = (n / ratio).max(4);
-            let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
-            let start = Instant::now();
-            let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
-            let elapsed = start.elapsed().as_secs_f64();
-            t.row(vec![
-                format!("{n} ({label})"),
-                m.to_string(),
-                fmt_secs(elapsed),
-                format!("{:.2}", elapsed * 1e6 / n as f64),
-                r.schedule.is_feasible(&inst).to_string(),
-            ]);
-        }
-    }
+    let (label, ratio, n) = scaling_n_grid(quick)[cell];
+    let m = (n / ratio).max(4);
+    let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
+    let start = Instant::now();
+    let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
+    let elapsed = start.elapsed().as_secs_f64();
+    t.row(vec![
+        format!("{n} ({label})"),
+        m.to_string(),
+        fmt_secs(elapsed),
+        format!("{:.2}", elapsed * 1e6 / n as f64),
+        r.schedule.is_feasible(&inst).to_string(),
+    ]);
     t
 }
 
@@ -391,7 +442,10 @@ pub fn lemma3(quick: bool, stats: &mut Stats) -> Table {
     );
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.priority_cap = Some(1);
-    let seeds = if quick { 3 } else { 8 };
+    // Quick mode must reach seed 3: under column-generation pricing the
+    // lower accepted guesses leave seeds 0–2 with an empty medium band,
+    // and T6 exists to exercise the Lemma-3 flow.
+    let seeds = if quick { 4 } else { 8 };
     for seed in 0..seeds {
         let inst = medium_heavy_instance(40, 13, seed as u64);
         let lb = lower_bounds(&inst).combined();
@@ -571,32 +625,42 @@ pub fn ablate_bprime(quick: bool, stats: &mut Stats) -> Table {
     t
 }
 
-/// A3 — ablation: joint (paper-faithful) MILP vs the two-stage path.
-pub fn ablate_joint(quick: bool, stats: &mut Stats) -> Table {
+/// A3 row grid: `(n, mode label, joint column budget)` — one runner cell
+/// per row, so neither MILP path's solve blocks the other experiments.
+fn ablate_joint_grid(quick: bool) -> Vec<(usize, &'static str, usize)> {
+    let ns: &[usize] = if quick { &[30] } else { &[30, 60, 120] };
+    let mut grid = Vec::new();
+    for &n in ns {
+        for (name, budget) in [("joint", usize::MAX), ("two-stage", 1)] {
+            grid.push((n, name, budget));
+        }
+    }
+    grid
+}
+
+/// A3 — ablation: joint (paper-faithful) MILP vs the two-stage path; one
+/// row.
+pub fn ablate_joint_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut t = Table::new(
         "A3",
         "Ablation: joint MILP vs two-stage x-MILP + greedy y",
         &["mode", "n", "time", "makespan/LB", "feasible"],
     );
-    let ns: &[usize] = if quick { &[30] } else { &[30, 60, 120] };
-    for &n in ns {
-        let inst = gen::clustered(n, n / 3, n / 3, 4, 10);
-        let lb = lower_bounds(&inst).combined();
-        for (name, budget) in [("joint", usize::MAX), ("two-stage", 1)] {
-            let mut cfg = EptasConfig::with_epsilon(0.5);
-            cfg.joint_col_budget = budget;
-            let start = Instant::now();
-            let r = solve(&Eptas::new(cfg), &inst, stats);
-            let elapsed = start.elapsed().as_secs_f64();
-            t.row(vec![
-                name.into(),
-                n.to_string(),
-                fmt_secs(elapsed),
-                format!("{:.3}", r.makespan / lb),
-                r.schedule.is_feasible(&inst).to_string(),
-            ]);
-        }
-    }
+    let (n, name, budget) = ablate_joint_grid(quick)[cell];
+    let inst = gen::clustered(n, n / 3, n / 3, 4, 10);
+    let lb = lower_bounds(&inst).combined();
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.joint_col_budget = budget;
+    let start = Instant::now();
+    let r = solve(&Eptas::new(cfg), &inst, stats);
+    let elapsed = start.elapsed().as_secs_f64();
+    t.row(vec![
+        name.into(),
+        n.to_string(),
+        fmt_secs(elapsed),
+        format!("{:.3}", r.makespan / lb),
+        r.schedule.is_feasible(&inst).to_string(),
+    ]);
     t
 }
 
@@ -628,6 +692,47 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run("nope", true).is_none());
+        assert!(num_cells("nope", true).is_none());
+        assert!(run_cell("nope", 0, true).is_none());
+    }
+
+    #[test]
+    fn split_experiments_expose_one_cell_per_row() {
+        // scaling-n quick: 3 loose + 3 tight rows; ablate-joint quick:
+        // 1 n x 2 modes. Everything else is a single cell, and
+        // out-of-range cells are rejected.
+        assert_eq!(num_cells("scaling-n", true), Some(6));
+        assert_eq!(num_cells("scaling-n", false), Some(11));
+        assert_eq!(num_cells("ablate-joint", true), Some(2));
+        assert_eq!(num_cells("ablate-joint", false), Some(6));
+        for &id in ALL {
+            if id != "scaling-n" && id != "ablate-joint" {
+                assert_eq!(num_cells(id, true), Some(1), "{id}");
+            }
+        }
+        assert!(run_cell("fig1", 1, true).is_none());
+        assert!(run_cell("scaling-n", 6, true).is_none(), "split ids share the None contract");
+        assert!(run_cell("ablate-joint", 2, true).is_none());
+    }
+
+    #[test]
+    fn cells_of_one_experiment_share_table_identity() {
+        // Structural check on the two cheapest scaling-n rows (loose
+        // regime, small n): each cell renders one row under identical
+        // id/title/headers, so the merged table is indistinguishable from
+        // a monolithic run.
+        let a = run_cell("scaling-n", 0, true).unwrap();
+        let b = run_cell("scaling-n", 1, true).unwrap();
+        assert_eq!(a.table.id, b.table.id);
+        assert_eq!(a.table.title, b.table.title);
+        assert_eq!(a.table.headers, b.table.headers);
+        assert_eq!(a.table.rows.len(), 1);
+        assert_eq!(b.table.rows.len(), 1);
+        let merged = merge(vec![a.clone(), b.clone()]);
+        assert_eq!(merged.table.rows.len(), 2);
+        let mut want = a.stats;
+        want.add(&b.stats);
+        assert_eq!(merged.stats, want);
     }
 
     #[test]

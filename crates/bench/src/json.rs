@@ -1,7 +1,7 @@
 //! Machine-readable perf reports (`BENCH_*.json`) and the regression
 //! comparator behind `experiments --compare`.
 //!
-//! Two document shapes share `"schema_version": 1`:
+//! Two document shapes share the current [`SCHEMA_VERSION`]:
 //!
 //! * **Per-experiment record** (`BENCH_<id>.json`): the full table
 //!   (headers + formatted rows) plus `wall_secs` and the deterministic
@@ -25,7 +25,13 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// Version stamp of every document this module emits. Bump on any
 /// breaking change to field names or meanings, and teach `--compare` to
 /// reject mismatches loudly rather than mis-reading old baselines.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the `counters` object gained the column-generation counters
+/// (`pricing_rounds`, `columns_generated`, `pricing_dfs_nodes`) and the
+/// meaning of `lp_solves` widened to include pricing master re-solves —
+/// v1 baselines would gate the new counters against nothing and the old
+/// `lp_solves` against an incomparable number, so they are rejected.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Counters as ordered `(name, value)` pairs — the JSON `"counters"`
 /// object. Emitted from [`Stats::named`], so the schema tracks the struct.
@@ -376,11 +382,14 @@ mod tests {
         let stats = Stats {
             patterns_enumerated: 10,
             simplex_pivots: 20,
-            lp_solves: 5,
+            lp_solves: 9,
             milp_nodes: 5,
             flow_augmentations: 3,
             swap_repair_rounds: 2,
             mediums_reinserted: 3,
+            pricing_rounds: 4,
+            columns_generated: 6,
+            pricing_dfs_nodes: 40,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }

@@ -2,11 +2,12 @@
 //! shared atomic work index.
 //!
 //! The design constraint is *byte-identical output regardless of
-//! `--jobs`*: every experiment cell is a pure function of `(id, quick)`
-//! (all RNG seeding is self-contained per cell — see the generators and
-//! `StdRng::seed_from_u64` uses in `experiments`), workers only race for
-//! the *claim* of a cell via `fetch_add`, and results land in
-//! per-cell slots that are read back in input order. The only fields that
+//! `--jobs`*: every experiment cell is a pure function of
+//! `(id, cell, quick)` (all RNG seeding is self-contained per cell — see
+//! the generators and `StdRng::seed_from_u64` uses in `experiments`),
+//! workers only race for the *claim* of a cell via `fetch_add`, and
+//! results land in per-cell slots that are read back in input order
+//! before cells merge back into their experiment. The only fields that
 //! vary between runs are the wall-clock measurements, which is exactly
 //! what the JSON layer knows how to redact for comparisons.
 
@@ -72,31 +73,72 @@ where
         .collect()
 }
 
+/// One finished cell, as reported to the progress callback while a run is
+/// still in flight.
+#[derive(Debug, Clone)]
+pub struct CellProgress<'a> {
+    /// Experiment id the cell belongs to.
+    pub id: &'a str,
+    /// Cell index within the experiment (0-based).
+    pub cell: usize,
+    /// Total cells of the experiment.
+    pub cells: usize,
+    /// Wall-clock of this cell in seconds.
+    pub wall_secs: f64,
+}
+
 /// Run the given experiment ids (each must be a member of
-/// [`experiments::ALL`]) in quick or full mode with `jobs` workers.
+/// [`experiments::ALL`]) in quick or full mode with `jobs` workers. The
+/// scheduling unit is the *cell* ([`experiments::num_cells`]), so a
+/// many-row experiment no longer serializes into one long critical-path
+/// item; cells merge back into one outcome per id, in input order.
 /// `progress` is invoked from worker threads as each cell finishes —
 /// callers use it for stderr progress lines; pass `|_| ()` to stay
-/// silent. The returned outcomes are in input order and, apart from
-/// `wall_secs`, independent of `jobs`.
+/// silent. Apart from `wall_secs` the outcomes are independent of `jobs`.
 pub fn run_experiments(
     ids: &[&str],
     quick: bool,
     jobs: usize,
-    progress: impl Fn(&ExperimentOutcome) + Sync,
+    progress: impl Fn(&CellProgress) + Sync,
 ) -> Vec<ExperimentOutcome> {
-    parallel_map(ids, jobs, |&id| {
+    let work: Vec<(usize, &str, usize, usize)> = ids
+        .iter()
+        .enumerate()
+        .flat_map(|(slot, &id)| {
+            let cells = experiments::num_cells(id, quick)
+                .unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+            (0..cells).map(move |cell| (slot, id, cell, cells))
+        })
+        .collect();
+    let done = parallel_map(&work, jobs, |&(_, id, cell, cells)| {
         let start = Instant::now();
-        let run =
-            experiments::run(id, quick).unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
-        let outcome = ExperimentOutcome {
-            id: id.to_string(),
-            table: run.table,
-            stats: run.stats,
-            wall_secs: start.elapsed().as_secs_f64(),
-        };
-        progress(&outcome);
-        outcome
-    })
+        let run = experiments::run_cell(id, cell, quick).expect("cell index below num_cells");
+        let wall_secs = start.elapsed().as_secs_f64();
+        progress(&CellProgress { id, cell, cells, wall_secs });
+        (run, wall_secs)
+    });
+
+    // Merge cells back per experiment. `work` is ordered by (slot, cell)
+    // and `parallel_map` preserves input order, so each slot's cells
+    // arrive contiguously and in cell order.
+    let mut per_slot: Vec<Vec<(experiments::ExperimentRun, f64)>> =
+        ids.iter().map(|_| Vec::new()).collect();
+    for (&(slot, ..), cell_run) in work.iter().zip(done) {
+        per_slot[slot].push(cell_run);
+    }
+    ids.iter()
+        .zip(per_slot)
+        .map(|(&id, cells)| {
+            let wall_secs: f64 = cells.iter().map(|c| c.1).sum();
+            let merged = experiments::merge(cells.into_iter().map(|c| c.0).collect());
+            ExperimentOutcome {
+                id: id.to_string(),
+                table: merged.table,
+                stats: merged.stats,
+                wall_secs,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -151,7 +193,7 @@ mod tests {
     fn progress_callback_sees_every_cell() {
         let seen = Mutex::new(Vec::new());
         run_experiments(&["fig1", "lemma8"], true, 2, |o| {
-            seen.lock().unwrap().push(o.id.clone());
+            seen.lock().unwrap().push(o.id.to_string());
         });
         let mut seen = seen.into_inner().unwrap();
         seen.sort();

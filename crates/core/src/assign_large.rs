@@ -216,7 +216,7 @@ mod tests {
     use super::*;
     use crate::classify::classify;
     use crate::config::EptasConfig;
-    use crate::milp_model::solve_patterns;
+    use crate::milp_model::solve_with_patterns;
     use crate::pattern::enumerate_patterns;
     use crate::priority::select_priority;
     use crate::rounding::scale_and_round;
@@ -235,7 +235,7 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
+        let out = solve_with_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
             .expect("guess feasible");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
         let la = assign_large(&t, &ps, &out.x, &mut state);

@@ -38,8 +38,35 @@ pub struct EptasConfig {
     pub joint_col_budget: usize,
     /// Row budget, analogous.
     pub joint_row_budget: usize,
+    /// Budget on `rows * cols` of the joint model. The dense-tableau
+    /// simplex pays O(rows * cols) *per pivot*, so a model inside the
+    /// row/column budgets can still be far slower than the two-stage
+    /// path; this caps the actual work estimate.
+    pub joint_cell_budget: usize,
     /// Binary-search grid ratio is `1 + epsilon * grid_factor`.
     pub grid_factor: f64,
+    /// Generate patterns by column-generation pricing against the master
+    /// LP duals instead of eager enumeration (default). Eager enumeration
+    /// remains the cross-validation oracle and the fallback when pricing
+    /// stalls.
+    pub column_generation: bool,
+    /// Pricing rounds (master LP solve + pricing DFS) per guess before
+    /// the loop declares a stall and falls back to eager enumeration.
+    pub pricing_max_rounds: usize,
+    /// DFS node budget per pricing round; exceeding it makes the round
+    /// inexact (no infeasibility proofs, possible stall).
+    pub pricing_dfs_node_budget: usize,
+    /// Skip pricing entirely when the instance has more slot symbols than
+    /// this (the master LP carries one row per symbol, and the dense
+    /// tableau stops paying for itself); the eager path then runs as
+    /// before the pricing subsystem existed.
+    pub pricing_symbol_budget: usize,
+    /// Eager-enumeration budget used to consult the oracle when the MILP
+    /// over the priced pool fails inconclusively. Kept far below
+    /// `max_patterns`: on instances where enumeration is cheap this
+    /// restores the exact pre-pricing behaviour, on tight instances the
+    /// restricted verdict stands instead of burning the full budget.
+    pub pricing_fallback_budget: usize,
 }
 
 impl EptasConfig {
@@ -55,7 +82,13 @@ impl EptasConfig {
             milp_time_limit: Duration::from_secs(20),
             joint_col_budget: 2500,
             joint_row_budget: 1200,
+            joint_cell_budget: 150_000,
             grid_factor: 0.5,
+            column_generation: true,
+            pricing_max_rounds: 400,
+            pricing_dfs_node_budget: 200_000,
+            pricing_symbol_budget: 200,
+            pricing_fallback_budget: 2000,
         }
     }
 }

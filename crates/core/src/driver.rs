@@ -15,7 +15,6 @@ use crate::classify::classify;
 use crate::config::EptasConfig;
 use crate::medium_flow::reinsert_medium;
 use crate::milp_model::solve_patterns;
-use crate::pattern::enumerate_patterns;
 use crate::priority::select_priority;
 use crate::report::{EptasReport, GuessFailure, GuessStats, Stats};
 use crate::rounding::scale_and_round;
@@ -189,13 +188,10 @@ impl Eptas {
         let priority = select_priority(inst, &rounded, &class, cfg);
         let trans = transform(inst, &rounded, &class, &priority);
 
-        let ps = enumerate_patterns(&trans, cfg.max_patterns).map_err(|e| {
-            // The DFS aborts after generating exactly `budget` patterns.
-            stats.patterns_enumerated += e.budget as u64;
-            GuessFailure::PatternBudget
-        })?;
-        stats.patterns_enumerated += ps.patterns.len() as u64;
-        let out = solve_patterns(&trans, &ps, cfg, stats)?;
+        // Pattern generation (column-generation pricing with the eager
+        // enumerator as oracle/fallback) and the MILP solve; all pattern,
+        // pricing and LP work counters are recorded inside.
+        let (ps, out) = solve_patterns(&trans, cfg, stats)?;
 
         let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
         let la = assign_large(&trans, &ps, &out.x, &mut state);
@@ -371,15 +367,42 @@ mod tests {
         let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
         let stats = &r.report.stats;
         for (name, value) in stats.named() {
+            // The seed pool can already be LP-complete, in which case the
+            // pricing loop converges without generating a single column.
+            if name == "columns_generated" {
+                continue;
+            }
             assert!(value > 0, "counter {name} stayed zero on a full-pipeline instance");
         }
-        assert!(stats.lp_solves <= stats.milp_nodes, "one LP relaxation per explored node");
+        assert!(
+            stats.lp_solves >= stats.milp_nodes,
+            "B&B contributes one LP per node; pricing master re-solves only add"
+        );
         // Per-guess stats of the winning guess are a lower bound on the
         // aggregate (failed guesses only add).
         if let Some(s) = &r.report.last_success {
             assert!(stats.patterns_enumerated >= s.patterns as u64);
             assert!(stats.simplex_pivots >= s.lp_iterations as u64);
         }
+    }
+
+    #[test]
+    fn lp_solves_diverge_from_milp_nodes_on_priced_instances() {
+        // Every pricing round re-solves the master LP without exploring a
+        // branch-and-bound node, so on an instance where the pricing loop
+        // runs at all the two counters must separate. (Before column
+        // generation the two were always equal — one LP relaxation per
+        // explored node.)
+        let inst = gen::uniform(40, 4, 12, 7);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let stats = &r.report.stats;
+        assert!(stats.pricing_rounds > 0, "instance was expected to exercise pricing");
+        assert!(
+            stats.lp_solves > stats.milp_nodes,
+            "lp_solves ({}) must exceed milp_nodes ({}) once master re-solves are counted",
+            stats.lp_solves,
+            stats.milp_nodes
+        );
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! 4. [`transform`] — §2.2: split every non-priority bag into a small-job
 //!    side (padded with *filler jobs*) and a large-job side; set aside its
 //!    medium jobs (optimum grows to `T = 1 + 2eps + eps^2`, Lemma 2).
-//! 5. [`pattern`] — Definition 3: enumerate valid machine patterns of
-//!    large/medium slots.
+//! 5. [`pattern`] + [`pricing`] — Definition 3: machine patterns of
+//!    large/medium slots, generated lazily by column-generation pricing
+//!    against the master-LP duals; eager enumeration remains the
+//!    cross-validation oracle and stall fallback.
 //! 6. [`milp_model`] — the configuration MILP (constraints (1)–(5)) with
-//!    integral pattern counts, solved by `bagsched-milp`.
+//!    integral pattern counts over the generated pool, solved by
+//!    `bagsched-milp`.
 //! 7. [`assign_large`] + [`swap_repair`] — Lemma 7: place large/medium
 //!    jobs into slots; repair non-priority conflicts by size-preserving
 //!    swaps.
@@ -46,6 +49,7 @@ pub mod driver;
 pub mod medium_flow;
 pub mod milp_model;
 pub mod pattern;
+pub mod pricing;
 pub mod priority;
 pub mod report;
 pub mod rounding;

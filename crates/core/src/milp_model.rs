@@ -29,10 +29,22 @@
 //! path solves the x-MILP with aggregate small-job cuts and then
 //! constructs `y` greedily (documented deviation; the driver reports
 //! which path ran).
+//!
+//! ## Pattern generation: pricing first, enumeration as oracle
+//!
+//! [`solve_patterns`] drives a generate→solve→price loop: the
+//! [`crate::pricing`] subsystem grows a small pattern pool by column
+//! generation against the master-LP duals, and the joint/two-stage MILP
+//! then runs on that pool. Eager [`enumerate_patterns`] remains the
+//! cross-validation oracle: it is consulted (with a reduced budget) when
+//! the MILP over the priced pool fails inconclusively, and it is the
+//! full fallback when pricing stalls or is disabled
+//! ([`EptasConfig::column_generation`]).
 
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
-use crate::pattern::PatternSet;
+use crate::pattern::{enumerate_patterns, PatternSet};
+use crate::pricing::{generate_columns, Pricing};
 use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
@@ -109,10 +121,75 @@ pub fn nonpriority_small_area(trans: &Transformed) -> f64 {
         .sum()
 }
 
-/// Build and solve the MILP for one guess. Simplex/branch-and-bound work
-/// counters are recorded into `stats` whatever the outcome, so infeasible
-/// and budget-exhausted guesses still account for their cost.
+/// Generate patterns and solve the MILP for one guess: the top entry
+/// point the driver uses.
+///
+/// With [`EptasConfig::column_generation`] on (the default) the pattern
+/// pool comes from the pricing loop; the returned [`PatternSet`] is
+/// whatever pool the successful solve ran on, so the downstream placement
+/// phases see a consistent view. Verdict soundness:
+///
+/// * pricing-proven infeasibility ([`Pricing::Infeasible`]) refutes a
+///   relaxation of the full MILP — `Err(MilpInfeasible)` is exact;
+/// * a failure of the MILP *restricted to the priced pool* is
+///   inconclusive, so the eager oracle is consulted with the (small)
+///   [`EptasConfig::pricing_fallback_budget`]; if even that budget is
+///   exceeded the restricted verdict stands as an inconclusive failure —
+///   the driver raises the guess, exactly as it does for every other
+///   budget-type failure;
+/// * a pricing stall falls back to full eager enumeration, which may
+///   fail with [`GuessFailure::PatternBudget`] as before.
 pub fn solve_patterns(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Result<(PatternSet, MilpOutcome), GuessFailure> {
+    if cfg.column_generation {
+        let symbols = crate::pattern::collect_symbols(trans);
+        match generate_columns(trans, &symbols, cfg, stats) {
+            Pricing::Infeasible => return Err(GuessFailure::MilpInfeasible),
+            Pricing::Converged(pool) => {
+                let ps = PatternSet::from_parts(symbols, pool);
+                match solve_with_patterns(trans, &ps, cfg, stats) {
+                    Ok(out) => return Ok((ps, out)),
+                    Err(restricted) => {
+                        // Inconclusive on a restricted pool: consult the
+                        // oracle if enumeration is cheap, otherwise let
+                        // the restricted verdict stand (both variants are
+                        // "raise the guess" to the driver).
+                        let budget = cfg.max_patterns.min(cfg.pricing_fallback_budget);
+                        match enumerate_patterns(trans, budget) {
+                            Ok(full) => {
+                                stats.patterns_enumerated += full.patterns.len() as u64;
+                                let out = solve_with_patterns(trans, &full, cfg, stats)?;
+                                return Ok((full, out));
+                            }
+                            Err(e) => {
+                                stats.patterns_enumerated += e.budget as u64;
+                                return Err(restricted);
+                            }
+                        }
+                    }
+                }
+            }
+            Pricing::Stalled => {} // fall through to the eager path
+        }
+    }
+    let ps = enumerate_patterns(trans, cfg.max_patterns).map_err(|e| {
+        // The DFS aborts after generating exactly `budget` patterns.
+        stats.patterns_enumerated += e.budget as u64;
+        GuessFailure::PatternBudget
+    })?;
+    stats.patterns_enumerated += ps.patterns.len() as u64;
+    let out = solve_with_patterns(trans, &ps, cfg, stats)?;
+    Ok((ps, out))
+}
+
+/// Build and solve the MILP for one guess over a *given* pattern set.
+/// Simplex/branch-and-bound work counters are recorded into `stats`
+/// whatever the outcome, so infeasible and budget-exhausted guesses still
+/// account for their cost.
+pub fn solve_with_patterns(
     trans: &Transformed,
     ps: &PatternSet,
     cfg: &EptasConfig,
@@ -137,7 +214,9 @@ pub fn solve_patterns(
     let est_cols = np + y_cols + np; // x + y + a
     let est_rows = 1 + ps.symbols.len() + pairs.len() + 1 + np + np * prio_bags_with_smalls.len();
 
-    let joint = est_cols <= cfg.joint_col_budget && est_rows <= cfg.joint_row_budget;
+    let joint = est_cols <= cfg.joint_col_budget
+        && est_rows <= cfg.joint_row_budget
+        && est_cols.saturating_mul(est_rows) <= cfg.joint_cell_budget;
     if joint {
         solve_joint(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls, stats)
     } else {
@@ -175,9 +254,14 @@ fn solve_joint(
     let np = ps.patterns.len();
     let mut model = Model::new();
 
-    // x_p: integer in [0, m]; empty pattern costs nothing.
-    let x: Vec<VarId> =
-        (0..np).map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m)).collect();
+    // x_p: integer in [0, m]; empty pattern costs nothing. The tiny
+    // index-dependent perturbation breaks the column symmetry of
+    // bag-symmetric patterns — without it the simplex stalls in degenerate
+    // pivots on the covering equalities and the B&B dive cannot reach an
+    // incumbent within budget.
+    let x: Vec<VarId> = (0..np)
+        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 + p as f64 * 1e-9 }, 0.0, m))
+        .collect();
 
     // Integral-y threshold of constraint (7): eps^{2k+11}.
     let eps = cfg.epsilon;
@@ -189,15 +273,17 @@ fn solve_joint(
         f64::INFINITY
     };
 
-    // y variables per (pair, pattern with chi = 0).
+    // y variables per (pair, pattern with chi = 0). The tiny perturbation
+    // breaks ties among symmetric (pair, pattern) columns, like for `x`.
     let mut y: HashMap<(usize, usize), VarId> = HashMap::new();
     for (i, pair) in pairs.iter().enumerate() {
         for p in 0..np {
             if !ps.chi(p, pair.tbag) {
+                let tiny = (i * np + p) as f64 * 1e-12;
                 let v = if pair.size > y_int_threshold {
-                    model.add_int_var(0.0, 0.0, pair.jobs.len() as f64)
+                    model.add_int_var(tiny, 0.0, pair.jobs.len() as f64)
                 } else {
-                    model.add_var(0.0, 0.0, pair.jobs.len() as f64)
+                    model.add_var(tiny, 0.0, pair.jobs.len() as f64)
                 };
                 y.insert((i, p), v);
             }
@@ -305,8 +391,10 @@ fn solve_two_stage(
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
-    let x: Vec<VarId> =
-        (0..np).map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 }, 0.0, m)).collect();
+    // Perturbed like the joint model: see the comment there.
+    let x: Vec<VarId> = (0..np)
+        .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 + p as f64 * 1e-9 }, 0.0, m))
+        .collect();
 
     let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
     model.add_con(&ones, Relation::Le, m);
@@ -445,7 +533,7 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg, &mut Stats::default());
+        let out = solve_with_patterns(&t, &ps, cfg, &mut Stats::default());
         (t, ps, out)
     }
 

@@ -73,6 +73,26 @@ pub struct PatternSet {
 }
 
 impl PatternSet {
+    /// Assemble a pattern set from symbols and patterns, deriving the
+    /// `chi` table. `patterns[0]` must be the empty pattern (both the
+    /// eager enumerator and the column-generation pool guarantee it).
+    pub fn from_parts(symbols: Vec<Symbol>, patterns: Vec<Pattern>) -> Self {
+        debug_assert!(patterns.first().is_some_and(Pattern::is_empty));
+        let priority_bags_used = patterns
+            .iter()
+            .map(|p| {
+                p.entries
+                    .iter()
+                    .filter_map(|&(si, _)| match symbols[si].bag {
+                        SlotBag::Priority(b) => Some(b),
+                        SlotBag::X => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        PatternSet { symbols, patterns, priority_bags_used }
+    }
+
     /// `chi_p(B_l)`: whether pattern `p` holds a slot of priority bag `l`.
     pub fn chi(&self, p: usize, l: BagId) -> bool {
         self.priority_bags_used[p].contains(&l)
@@ -86,12 +106,11 @@ pub struct PatternBudgetExceeded {
     pub budget: usize,
 }
 
-/// Enumerate all valid patterns of the transformed instance.
-pub fn enumerate_patterns(
-    trans: &Transformed,
-    max_patterns: usize,
-) -> Result<PatternSet, PatternBudgetExceeded> {
-    let t = trans.t;
+/// Collect the slot symbols of the transformed instance, in the
+/// deterministic order shared by the eager enumerator and the
+/// column-generation pricer: size descending, priority before wildcard,
+/// then bag id.
+pub fn collect_symbols(trans: &Transformed) -> Vec<Symbol> {
     let epsilon = trans.t.sqrt() - 1.0; // T = (1 + eps)^2
 
     // Collect symbol availabilities.
@@ -122,8 +141,6 @@ pub fn enumerate_patterns(
         // height bound inside the DFS, never here.
         symbols.push(Symbol { exp, size, bag: SlotBag::X, avail });
     }
-    // Deterministic order: size descending, priority before wildcard,
-    // then bag id.
     symbols.sort_by(|a, b| {
         b.size.total_cmp(&a.size).then_with(|| match (a.bag, b.bag) {
             (SlotBag::Priority(x), SlotBag::Priority(y)) => x.cmp(&y),
@@ -132,6 +149,16 @@ pub fn enumerate_patterns(
             (SlotBag::X, SlotBag::X) => std::cmp::Ordering::Equal,
         })
     });
+    symbols
+}
+
+/// Enumerate all valid patterns of the transformed instance.
+pub fn enumerate_patterns(
+    trans: &Transformed,
+    max_patterns: usize,
+) -> Result<PatternSet, PatternBudgetExceeded> {
+    let t = trans.t;
+    let symbols = collect_symbols(trans);
 
     let mut dfs = Dfs {
         symbols: &symbols,
@@ -149,20 +176,7 @@ pub fn enumerate_patterns(
     let empty_idx = patterns.iter().position(Pattern::is_empty).expect("empty pattern is valid");
     patterns.swap(0, empty_idx);
 
-    let priority_bags_used = patterns
-        .iter()
-        .map(|p| {
-            p.entries
-                .iter()
-                .filter_map(|&(si, _)| match symbols[si].bag {
-                    SlotBag::Priority(b) => Some(b),
-                    SlotBag::X => None,
-                })
-                .collect()
-        })
-        .collect();
-
-    Ok(PatternSet { symbols, patterns, priority_bags_used })
+    Ok(PatternSet::from_parts(symbols, patterns))
 }
 
 /// The pattern-enumeration DFS: fixed inputs plus the mutable search

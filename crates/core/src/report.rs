@@ -58,7 +58,9 @@ pub struct Stats {
     pub patterns_enumerated: u64,
     /// Simplex pivots across every LP relaxation solved.
     pub simplex_pivots: u64,
-    /// LP relaxations solved by branch & bound (one per explored node).
+    /// LP solves: one per branch-and-bound node *plus* one per master-LP
+    /// re-solve inside the column-generation pricing loop — which is why
+    /// this counter exceeds `milp_nodes` on priced instances.
     pub lp_solves: u64,
     /// Branch-and-bound nodes explored by the pattern MILP.
     pub milp_nodes: u64,
@@ -69,6 +71,14 @@ pub struct Stats {
     pub swap_repair_rounds: u64,
     /// Medium jobs re-inserted by the Lemma-3 flow.
     pub mediums_reinserted: u64,
+    /// Pricing rounds (master-LP solve + pricing DFS) of the
+    /// column-generation loop, terminal convergence checks included.
+    pub pricing_rounds: u64,
+    /// Pattern columns priced into the master by the pricing DFS (seed
+    /// patterns count as `patterns_enumerated`).
+    pub columns_generated: u64,
+    /// Nodes explored by the bounded-knapsack pricing DFS.
+    pub pricing_dfs_nodes: u64,
 }
 
 impl Stats {
@@ -81,12 +91,15 @@ impl Stats {
         self.flow_augmentations += other.flow_augmentations;
         self.swap_repair_rounds += other.swap_repair_rounds;
         self.mediums_reinserted += other.mediums_reinserted;
+        self.pricing_rounds += other.pricing_rounds;
+        self.columns_generated += other.columns_generated;
+        self.pricing_dfs_nodes += other.pricing_dfs_nodes;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 7] {
+    pub fn named(&self) -> [(&'static str, u64); 10] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -95,6 +108,9 @@ impl Stats {
             ("flow_augmentations", self.flow_augmentations),
             ("swap_repair_rounds", self.swap_repair_rounds),
             ("mediums_reinserted", self.mediums_reinserted),
+            ("pricing_rounds", self.pricing_rounds),
+            ("columns_generated", self.columns_generated),
+            ("pricing_dfs_nodes", self.pricing_dfs_nodes),
         ]
     }
 }
@@ -184,6 +200,9 @@ mod tests {
             flow_augmentations: 5,
             swap_repair_rounds: 6,
             mediums_reinserted: 7,
+            pricing_rounds: 8,
+            columns_generated: 9,
+            pricing_dfs_nodes: 10,
         };
         let b = a;
         a.add(&b);

@@ -372,7 +372,7 @@ mod tests {
     use crate::assign_large::{assign_large, WorkState};
     use crate::classify::classify;
     use crate::config::EptasConfig;
-    use crate::milp_model::solve_patterns;
+    use crate::milp_model::solve_with_patterns;
     use crate::pattern::enumerate_patterns;
     use crate::priority::select_priority;
     use crate::rounding::scale_and_round;
@@ -391,7 +391,7 @@ mod tests {
         let p = select_priority(&inst, &r, &c, cfg);
         let t = transform(&inst, &r, &c, &p);
         let ps = enumerate_patterns(&t, cfg.max_patterns).unwrap();
-        let out = solve_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
+        let out = solve_with_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
             .expect("feasible guess");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
         let la = assign_large(&t, &ps, &out.x, &mut state);

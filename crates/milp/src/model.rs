@@ -68,6 +68,12 @@ pub struct LpResult {
     pub objective: f64,
     /// Simplex iterations spent (both phases).
     pub iterations: usize,
+    /// Dual value (simplex multiplier) per model constraint, in
+    /// constraint order; empty unless `Optimal`. The reduced cost of any
+    /// column `a` with cost `c` is `c - sum_i duals[i] * a[i]` — the
+    /// quantity a column-generation pricing oracle minimizes. Duals of
+    /// variable-bound rows are internal and not reported.
+    pub duals: Vec<f64>,
 }
 
 impl Model {
@@ -140,6 +146,29 @@ impl Model {
         }
         coalesced.retain(|&(_, c)| c.abs() > 0.0);
         self.cons.push(Constraint { terms: coalesced, rel, rhs });
+    }
+
+    /// Append a variable (column) with objective `obj`, bounds
+    /// `[lb, ub]`, and coefficients into *existing* constraints, given as
+    /// `(constraint index, coefficient)` pairs. This is the incremental
+    /// interface column generation needs: the model — the simplex input —
+    /// is extended in place instead of being rebuilt per column.
+    pub fn add_column(&mut self, obj: f64, lb: f64, ub: f64, coeffs: &[(usize, f64)]) -> VarId {
+        let v = self.add_var(obj, lb, ub);
+        for &(r, c) in coeffs {
+            assert!(r < self.cons.len(), "constraint index {r} out of range");
+            assert!(c.is_finite(), "coefficients must be finite");
+            if c.abs() > 0.0 {
+                self.cons[r].terms.push((v.0, c));
+            }
+        }
+        v
+    }
+
+    /// Change the objective coefficient of a variable (the pricing loop
+    /// switches between a feasibility and an optimality objective).
+    pub fn set_obj(&mut self, v: VarId, obj: f64) {
+        self.vars[v.0].obj = obj;
     }
 
     /// Evaluate the objective at a point.
@@ -230,5 +259,57 @@ mod tests {
     fn rejects_infinite_lb() {
         let mut m = Model::new();
         m.add_var(0.0, f64::NEG_INFINITY, 0.0);
+    }
+
+    #[test]
+    fn add_column_matches_monolithic_model() {
+        // Build max 3x + 5y (see simplex tests) once directly and once by
+        // starting from the constraints and appending the columns: both
+        // must solve to the same optimum.
+        let mut whole = Model::new();
+        let x = whole.add_var(-3.0, 0.0, f64::INFINITY);
+        let y = whole.add_var(-5.0, 0.0, f64::INFINITY);
+        whole.add_con(&[(x, 1.0)], Relation::Le, 4.0);
+        whole.add_con(&[(y, 2.0)], Relation::Le, 12.0);
+        whole.add_con(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+
+        let mut inc = Model::new();
+        inc.add_con(&[], Relation::Le, 4.0);
+        inc.add_con(&[], Relation::Le, 12.0);
+        inc.add_con(&[], Relation::Le, 18.0);
+        inc.add_column(-3.0, 0.0, f64::INFINITY, &[(0, 1.0), (2, 3.0)]);
+        inc.add_column(-5.0, 0.0, f64::INFINITY, &[(1, 2.0), (2, 2.0)]);
+
+        let a = whole.solve_lp();
+        let b = inc.solve_lp();
+        assert_eq!(a.status, b.status);
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn add_column_drops_zero_coefficients() {
+        let mut m = Model::new();
+        m.add_con(&[], Relation::Ge, 1.0);
+        m.add_con(&[], Relation::Ge, 2.0);
+        let v = m.add_column(0.0, 0.0, 5.0, &[(0, 0.0), (1, 4.0)]);
+        assert!(m.cons[0].terms.is_empty());
+        assert_eq!(m.cons[1].terms, vec![(v.0, 4.0)]);
+    }
+
+    #[test]
+    fn set_obj_changes_the_optimum() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, 3.0);
+        assert!((m.solve_lp().x[0]).abs() < 1e-9);
+        m.set_obj(x, -1.0);
+        assert!((m.solve_lp().x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_column_rejects_bad_constraint_index() {
+        let mut m = Model::new();
+        m.add_column(0.0, 0.0, 1.0, &[(0, 1.0)]);
     }
 }

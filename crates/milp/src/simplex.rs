@@ -176,6 +176,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
                     x: vec![],
                     objective: 0.0,
                     iterations: 0,
+                    duals: vec![],
                 };
             }
             let mut coeffs = vec![0.0; n];
@@ -193,6 +194,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
                 x: vec![],
                 objective: 0.0,
                 iterations: 0,
+                duals: vec![],
             };
         }
         return LpResult {
@@ -200,6 +202,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
             x: lbs,
             objective: obj_offset,
             iterations: 0,
+            duals: vec![],
         };
     }
 
@@ -220,6 +223,15 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
     let mut next_slack = n;
     let mut next_art = n + num_slacks;
     let art_start = n + num_slacks;
+    // Where to read each model constraint's dual off the final objective
+    // row: `(column, multiplier)` such that `y_r = multiplier * obj[col]`.
+    // A slack/surplus column of row `r` is `±sign * e_r`, an artificial is
+    // `e_r`, and the stored row is `sign` times the original one; solving
+    // `obj[col] = 0 - lambda_r * a_col` for the simplex multiplier and
+    // mapping back through the sign normalization gives the multipliers
+    // below.
+    let ncons = model.cons.len();
+    let mut dual_src: Vec<(usize, f64)> = Vec::with_capacity(ncons);
     for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
         let neg = *rhs < 0.0;
         let sign = if neg { -1.0 } else { 1.0 };
@@ -242,14 +254,25 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
             }
             Relation::Eq => None,
         };
-        match slack_coef {
-            Some((s, coef)) if coef > 0.0 => t.basis[r] = s,
+        let art_col = match slack_coef {
+            Some((s, coef)) if coef > 0.0 => {
+                t.basis[r] = s;
+                None
+            }
             _ => {
                 let a = next_art;
                 next_art += 1;
                 *t.at_mut(r, a) = 1.0;
                 t.basis[r] = a;
+                Some(a)
             }
+        };
+        if r < ncons {
+            dual_src.push(match (rel, slack_coef) {
+                (Relation::Le, Some((s, _))) => (s, -1.0),
+                (Relation::Ge, Some((s, _))) => (s, 1.0),
+                _ => (art_col.expect("Eq rows always get an artificial"), -sign),
+            });
         }
     }
     let num_arts = next_art - art_start;
@@ -274,7 +297,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         }
         let status = t.optimize(|_| true, iter_limit, &mut iterations);
         if status == LpStatus::IterLimit {
-            return LpResult { status, x: vec![], objective: 0.0, iterations };
+            return LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] };
         }
         let phase1_obj = -t.obj[cols_upper];
         if phase1_obj > 1e-6 {
@@ -283,6 +306,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
                 x: vec![],
                 objective: 0.0,
                 iterations,
+                duals: vec![],
             };
         }
         // Drive remaining artificials out of the basis.
@@ -318,7 +342,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
     }
     let status = t.optimize(|c| c < art_start, iter_limit, &mut iterations);
     if status != LpStatus::Optimal {
-        return LpResult { status, x: vec![], objective: 0.0, iterations };
+        return LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] };
     }
 
     // Extract solution.
@@ -330,7 +354,8 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         }
     }
     let objective = model.objective_value(&x);
-    LpResult { status: LpStatus::Optimal, x, objective, iterations }
+    let duals = dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
+    LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }
 }
 
 #[cfg(test)]
@@ -472,6 +497,69 @@ mod tests {
         assert_eq!(r.status, LpStatus::Optimal);
         // Optimal: x11=10, x21=5, x22=15 => 10 + 15 + 15 = 40.
         assert_close(r.objective, 40.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_le_rows() {
+        // Same LP as `textbook_max_problem`. At optimality y·b must equal
+        // the primal objective, and every dual of a `<=` row in a
+        // minimization is nonpositive (raising the rhs relaxes the
+        // feasible set, which can only lower the optimum).
+        let mut m = Model::new();
+        let x = m.add_var(-3.0, 0.0, f64::INFINITY);
+        let y = m.add_var(-5.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Le, 4.0);
+        m.add_con(&[(y, 2.0)], Le, 12.0);
+        m.add_con(&[(x, 3.0), (y, 2.0)], Le, 18.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_eq!(r.duals.len(), 3);
+        let dual_obj: f64 = r.duals.iter().zip([4.0, 12.0, 18.0]).map(|(d, b)| d * b).sum();
+        assert_close(dual_obj, r.objective);
+        for &d in &r.duals {
+            assert!(d <= 1e-9, "Le dual must be nonpositive, got {d}");
+        }
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_eq_and_ge_rows() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2 => optimum 10.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        let y = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Eq, 10.0);
+        m.add_con(&[(x, 1.0)], Ge, 3.0);
+        m.add_con(&[(y, 1.0)], Ge, 2.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        let dual_obj: f64 = r.duals.iter().zip([10.0, 3.0, 2.0]).map(|(d, b)| d * b).sum();
+        assert_close(dual_obj, 10.0);
+    }
+
+    #[test]
+    fn duals_price_every_column_nonnegative_at_optimality() {
+        // Transportation LP (all-equality rows). At optimality the reduced
+        // cost c_j - y·A_j of every column is >= 0, and ~0 for columns
+        // that are strictly positive in the solution — exactly the
+        // invariant a pricing oracle relies on.
+        let mut m = Model::new();
+        let costs = [1.0, 2.0, 3.0, 1.0];
+        let vars: Vec<_> = costs.iter().map(|&c| m.add_var(c, 0.0, f64::INFINITY)).collect();
+        m.add_con(&[(vars[0], 1.0), (vars[1], 1.0)], Eq, 10.0);
+        m.add_con(&[(vars[2], 1.0), (vars[3], 1.0)], Eq, 20.0);
+        m.add_con(&[(vars[0], 1.0), (vars[2], 1.0)], Eq, 15.0);
+        m.add_con(&[(vars[1], 1.0), (vars[3], 1.0)], Eq, 15.0);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Column j participates in its supply row and its demand row.
+        let rows_of = [[0usize, 2], [0, 3], [1, 2], [1, 3]];
+        for (j, rows) in rows_of.iter().enumerate() {
+            let rc = costs[j] - rows.iter().map(|&i| r.duals[i]).sum::<f64>();
+            assert!(rc >= -1e-6, "column {j}: negative reduced cost {rc} at optimality");
+            if r.x[j] > 1e-6 {
+                assert!(rc.abs() <= 1e-6, "basic column {j}: reduced cost {rc} != 0");
+            }
+        }
     }
 
     proptest::proptest! {

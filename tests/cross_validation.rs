@@ -2,8 +2,61 @@
 //! branch-and-bound optimum, the PTAS baseline, and the heuristics.
 
 use bagsched::baselines::{bag_aware_lpt, dw_ptas, exact_makespan, DwPtasConfig};
-use bagsched::eptas::Eptas;
+use bagsched::eptas::{Eptas, EptasConfig};
 use bagsched::types::{gen, validate_schedule};
+
+/// Column generation vs the eager-enumeration oracle, across every
+/// seeded small/medium generator family.
+///
+/// The quantity pattern enumeration is an oracle *for* is the per-guess
+/// feasibility verdict, and hence the guess the binary search accepts:
+/// that must agree within 1e-9 whenever both paths conclusively accept
+/// one (the priced path may additionally accept guesses the eager path
+/// gives up on — it is strictly more capable, never less). The realized
+/// schedules may legitimately differ — the configuration MILP returns
+/// *any* feasible configuration, and different pattern pools select
+/// different ones — so the end-to-end makespan is gated directionally:
+/// pricing never loses to enumeration, and both stay feasible and inside
+/// the proven `1 + 3*eps` envelope of their accepted guess.
+#[test]
+fn column_generation_cross_validates_against_enumeration_oracle() {
+    let eps = 0.5;
+    for family in gen::Family::ALL {
+        for &(n, m) in &[(12usize, 3usize), (24, 4)] {
+            for seed in 0..3 {
+                let inst = family.generate(n, m, seed);
+                let cg = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+                let mut cfg = EptasConfig::with_epsilon(eps);
+                cfg.column_generation = false;
+                let eager = Eptas::new(cfg).solve(&inst).unwrap();
+
+                let tag = format!("{} n={n} m={m} seed={seed}", family.name());
+                validate_schedule(&inst, &cg.schedule).unwrap_or_else(|e| panic!("{tag}: {e}"));
+                validate_schedule(&inst, &eager.schedule).unwrap_or_else(|e| panic!("{tag}: {e}"));
+                if let (Some(gc), Some(ge)) = (cg.report.chosen_guess, eager.report.chosen_guess) {
+                    assert!(
+                        gc <= ge + 1e-9,
+                        "{tag}: priced path accepted a worse guess ({gc} > {ge})"
+                    );
+                }
+                assert!(
+                    cg.makespan <= eager.makespan + 1e-9,
+                    "{tag}: pricing lost to the enumeration oracle ({} > {})",
+                    cg.makespan,
+                    eager.makespan
+                );
+                for (name, r) in [("cg", &cg), ("eager", &eager)] {
+                    if let Some(guess) = r.report.chosen_guess {
+                        assert!(
+                            r.makespan <= guess * (1.0 + 3.0 * eps) + 1e-9,
+                            "{tag}: {name} left the approximation envelope"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
 
 #[test]
 fn eptas_within_bound_of_true_optimum() {

@@ -142,6 +142,9 @@ fn smaller_epsilon_never_hurts_much() {
 #[test]
 fn pattern_budget_falls_back_to_lpt() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
+    // Column generation does not consume the enumeration budget (it would
+    // simply solve this instance); disable it to pin the eager fallback.
+    cfg.column_generation = false;
     cfg.max_patterns = 1; // only the empty pattern fits: every guess fails
     let inst = gen::uniform(20, 3, 8, 1);
     let r = Eptas::new(cfg).solve(&inst).unwrap();
@@ -166,8 +169,10 @@ fn milp_budget_falls_back_to_lpt() {
 fn failures_carry_the_guess_value() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.max_patterns = 1;
+    cfg.column_generation = false; // force the eager PatternBudget path
     let inst = gen::uniform(15, 3, 6, 3);
     let r = Eptas::new(cfg).solve(&inst).unwrap();
+    assert!(!r.report.failures.is_empty(), "budget of 1 must fail every guess");
     for (guess, failure) in &r.report.failures {
         assert!(*guess > 0.0);
         assert_eq!(*failure, bagsched::eptas::report::GuessFailure::PatternBudget);

@@ -1,0 +1,78 @@
+//! Regression guard for the pattern-budget cliff (ROADMAP, resolved by
+//! the column-generation pricing subsystem).
+//!
+//! Before pricing landed, tight clustered instances (n/m = 3, many
+//! near-equal priority bags) exhausted the pattern-enumeration budget on
+//! *every* makespan guess: each guess burned the full budget, failed with
+//! `PatternBudget`, and the solver silently degraded to the LPT schedule.
+//! The pricing loop solves the same configuration LP with orders of
+//! magnitude fewer patterns, so these instances now take the paper path.
+
+use bagsched::eptas::report::GuessFailure;
+use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::types::{gen, validate_schedule};
+
+/// The witness family: tight clustered instances (n/m = 3) whose
+/// symmetric priority bags blow up eager enumeration.
+fn tight_clustered(n: usize) -> bagsched::types::Instance {
+    gen::clustered(n, n / 3, n / 3, 5, 2)
+}
+
+#[test]
+fn tight_clustered_no_longer_falls_back_to_lpt() {
+    let inst = tight_clustered(60);
+
+    // The old path (pricing disabled): every guess dies on PatternBudget
+    // and the LPT fallback engages. This pins the *reason* the pricing
+    // subsystem exists; if enumeration ever stops blowing its budget
+    // here, the witness instance must be re-tightened.
+    let mut eager_cfg = EptasConfig::with_epsilon(0.5);
+    eager_cfg.column_generation = false;
+    let eager = Eptas::new(eager_cfg).solve(&inst).unwrap();
+    assert!(eager.report.fell_back_to_lpt, "witness instance no longer trips the budget");
+    assert!(
+        eager.report.failures.iter().any(|(_, f)| *f == GuessFailure::PatternBudget),
+        "witness instance must fail via PatternBudget on the eager path"
+    );
+
+    // The priced path: solves on the paper path, no budget failure, no
+    // LPT fallback, and a strictly better schedule.
+    let cg = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    validate_schedule(&inst, &cg.schedule).unwrap();
+    assert!(!cg.report.fell_back_to_lpt, "pricing path must not fall back to LPT");
+    assert!(
+        cg.report.failures.iter().all(|(_, f)| *f != GuessFailure::PatternBudget),
+        "no guess may fail with PatternBudget under pricing: {:?}",
+        cg.report.failures
+    );
+    assert!(
+        cg.makespan <= eager.makespan + 1e-9,
+        "pricing path lost to the LPT fallback: {} > {}",
+        cg.makespan,
+        eager.makespan
+    );
+}
+
+#[test]
+fn tight_clustered_pattern_work_is_an_order_of_magnitude_below_the_budget() {
+    // Acceptance gate: on the tight clustered family the *total* pattern
+    // work per guess — seed/enumerated patterns plus priced columns —
+    // must sit at least 10x below the old per-guess enumeration budget
+    // that `EptasConfig::max_patterns` encodes (20k per guess, i.e. the
+    // measured 40k per failed guess pair the PR-2 perf reports exposed).
+    let inst = tight_clustered(60);
+    let cfg = EptasConfig::with_epsilon(0.5);
+    let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+    let stats = &r.report.stats;
+    let per_guess = (stats.patterns_enumerated + stats.columns_generated)
+        / (r.report.guesses_tried as u64).max(1);
+    assert!(
+        per_guess * 10 <= cfg.max_patterns as u64,
+        "pattern work per guess {per_guess} is not 10x below the {} budget",
+        cfg.max_patterns
+    );
+    // The pricing loop must actually have run (this is not the gated or
+    // fallback regime).
+    assert!(stats.pricing_rounds > 0);
+    assert!(stats.columns_generated > 0);
+}
