@@ -31,7 +31,14 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// meaning of `lp_solves` widened to include pricing master re-solves —
 /// v1 baselines would gate the new counters against nothing and the old
 /// `lp_solves` against an incomparable number, so they are rejected.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: three aggregation/warm-start counters joined (`bag_classes`,
+/// `symbols_after_aggregation`, `warm_start_pivots_saved`), and
+/// `simplex_pivots`/`lp_solves` shifted meaning again (warm-started
+/// master re-solves pivot far less; the class-aggregated path re-solves
+/// the master for pool pruning). v2 baselines are rejected for the same
+/// reason v1 ones were.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Counters as ordered `(name, value)` pairs — the JSON `"counters"`
 /// object. Emitted from [`Stats::named`], so the schema tracks the struct.
@@ -346,6 +353,12 @@ pub fn compare(current: &Baseline, baseline: &Baseline, threshold: f64) -> Compa
             let Some((_, base_val)) = base.counters.iter().find(|(n, _)| n == name) else {
                 continue;
             };
+            // Savings estimates are inverted: growth means the
+            // optimization got *better* (warm starts skipping more
+            // pivots), never that the solver works harder.
+            if name == "warm_start_pivots_saved" {
+                continue;
+            }
             // Counters are deterministic; growth past the threshold is
             // algorithmic work inflation, not noise.
             if *cur_val as f64 > (*base_val).max(1) as f64 * threshold {
@@ -390,6 +403,9 @@ mod tests {
             pricing_rounds: 4,
             columns_generated: 6,
             pricing_dfs_nodes: 40,
+            bag_classes: 2,
+            symbols_after_aggregation: 5,
+            warm_start_pivots_saved: 7,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }
@@ -488,6 +504,23 @@ mod tests {
         // Counter *shrink* (an optimization) passes.
         let cur = baseline_of(&[("fig1", 1.0, 10)]);
         assert_eq!(compare(&cur, &base, 3.0).exit_code(), 0);
+    }
+
+    #[test]
+    fn compare_never_flags_savings_counter_growth() {
+        // warm_start_pivots_saved growing means warm starts got better;
+        // the gate must not read that as work inflation.
+        let entry = |saved: u64| Baseline {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            experiments: vec![BaselineEntry {
+                id: "fig1".into(),
+                wall_secs: 1.0,
+                counters: vec![("warm_start_pivots_saved".into(), saved)],
+            }],
+        };
+        let c = compare(&entry(100_000), &entry(10), 3.0);
+        assert_eq!(c.exit_code(), 0, "{:?}", c.regressions);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Bag classes: grouping interchangeable priority bags (the unlock for
+//! large tight instances, ROADMAP "class-level aggregation").
+//!
+//! Two priority bags of the transformed instance whose jobs have
+//! identical `(rounded size, job class) -> count` profiles are fully
+//! interchangeable: renaming one to the other maps any feasible schedule
+//! to a feasible schedule of the same makespan. The pattern/master/MILP
+//! stack can therefore key slot symbols, covering rows and the pricing
+//! item space on `(size, bag class)` instead of `(size, bag)` — on tight
+//! clustered instances this collapses hundreds of per-bag symbols to the
+//! handful of distinct cluster profiles. [`crate::declass`] maps
+//! class-level solutions back to concrete bags before the placement
+//! phases run, so everything downstream of the MILP is untouched.
+//!
+//! Non-priority bags are never classed — their large jobs already share
+//! the wildcard `B_x` symbols, which is a coarser aggregation.
+
+use crate::classify::JobClass;
+use crate::transform::Transformed;
+use bagsched_types::BagId;
+
+/// The partition of the transformed instance's priority bags into
+/// interchangeability classes.
+#[derive(Debug, Clone)]
+pub struct BagClasses {
+    /// Class index per transformed bag (`None` for non-priority bags).
+    pub class_of: Vec<Option<usize>>,
+    /// Members per class, ascending bag id; `members[c][0]` is the
+    /// class *representative* that keys the aggregated slot symbols.
+    pub members: Vec<Vec<BagId>>,
+}
+
+impl BagClasses {
+    /// Compute the classes by full-profile grouping: the profile of a bag
+    /// is the multiset of `(rounded exponent, job class)` over *all* its
+    /// jobs (large, medium and small alike — anything less than full
+    /// identity would break interchangeability for the small-job phases).
+    pub fn compute(trans: &Transformed) -> Self {
+        let groups = trans.tinst.group_bags_by_profile(|j| {
+            let code = match trans.tclass[j.idx()] {
+                JobClass::Large => 0u8,
+                JobClass::Medium => 1,
+                JobClass::Small => 2,
+            };
+            (trans.texp[j.idx()], code)
+        });
+        let mut class_of = vec![None; trans.tinst.num_bags()];
+        let mut members = Vec::new();
+        for group in groups {
+            let prio: Vec<BagId> =
+                group.into_iter().filter(|b| trans.is_priority_tbag[b.idx()]).collect();
+            if prio.is_empty() {
+                continue;
+            }
+            for &b in &prio {
+                class_of[b.idx()] = Some(members.len());
+            }
+            members.push(prio);
+        }
+        BagClasses { class_of, members }
+    }
+
+    /// The degenerate partition: one class per priority bag. Class-keyed
+    /// code run with singletons reproduces the per-bag semantics exactly
+    /// ([`crate::config::EptasConfig::class_aggregation`] `= false`).
+    pub fn singletons(trans: &Transformed) -> Self {
+        let mut class_of = vec![None; trans.tinst.num_bags()];
+        let mut members = Vec::new();
+        for (b, slot) in class_of.iter_mut().enumerate() {
+            if trans.is_priority_tbag[b] {
+                *slot = Some(members.len());
+                members.push(vec![BagId(b as u32)]);
+            }
+        }
+        BagClasses { class_of, members }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of bags in class `c`.
+    pub fn size(&self, c: usize) -> usize {
+        self.members[c].len()
+    }
+
+    /// The representative bag that keys class `c`'s slot symbols.
+    pub fn rep(&self, c: usize) -> BagId {
+        self.members[c][0]
+    }
+
+    /// Class of a transformed bag (`None` for non-priority bags).
+    pub fn of(&self, b: BagId) -> Option<usize> {
+        self.class_of[b.idx()]
+    }
+
+    /// Whether every class is a singleton (then aggregation is the
+    /// identity and the per-bag fast paths apply).
+    pub fn all_singletons(&self) -> bool {
+        self.members.iter().all(|m| m.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::config::EptasConfig;
+    use crate::priority::select_priority;
+    use crate::rounding::scale_and_round;
+    use crate::transform::transform;
+    use bagsched_types::Instance;
+
+    fn transformed(jobs: &[(f64, u32)], m: usize, eps: f64) -> Transformed {
+        let inst = Instance::new(jobs, m);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let r = scale_and_round(&sizes, 1.0, eps).unwrap();
+        let c = classify(&r, m);
+        let cfg = EptasConfig::with_epsilon(eps);
+        let p = select_priority(&inst, &r, &c, &cfg);
+        transform(&inst, &r, &c, &p)
+    }
+
+    #[test]
+    fn identical_profiles_share_a_class() {
+        // Bags 0, 1, 2 each hold one 0.9-job; bag 3 holds two of them —
+        // a different profile, hence its own class.
+        let t = transformed(&[(0.9, 0), (0.9, 1), (0.9, 2), (0.9, 3), (0.9, 3)], 4, 0.5);
+        let c = BagClasses::compute(&t);
+        assert_eq!(c.num_classes(), 2);
+        assert_eq!(c.members[0], vec![BagId(0), BagId(1), BagId(2)]);
+        assert_eq!(c.size(0), 3);
+        assert_eq!(c.rep(0), BagId(0));
+        assert_eq!(c.of(BagId(1)), Some(0));
+        assert_eq!(c.of(BagId(3)), Some(1));
+        assert!(!c.all_singletons());
+    }
+
+    #[test]
+    fn profile_is_a_multiset_over_all_jobs() {
+        // Bags 0 and 1 both hold {0.9, 0.9}; bag 2 holds a single 0.9 —
+        // distinct class despite sharing the size.
+        let t = transformed(&[(0.9, 0), (0.9, 0), (0.9, 1), (0.9, 1), (0.9, 2)], 5, 0.5);
+        let c = BagClasses::compute(&t);
+        assert_eq!(c.of(BagId(0)), c.of(BagId(1)));
+        assert_ne!(c.of(BagId(0)), c.of(BagId(2)));
+    }
+
+    #[test]
+    fn small_jobs_split_otherwise_equal_bags() {
+        // Bags 0 and 1 share the large profile but bag 1 carries a small
+        // job: full-profile identity must separate them.
+        let t = transformed(&[(0.9, 0), (0.9, 1), (0.01, 1)], 3, 0.5);
+        let c = BagClasses::compute(&t);
+        assert_ne!(c.of(BagId(0)), c.of(BagId(1)));
+    }
+
+    #[test]
+    fn singletons_cover_exactly_the_priority_bags() {
+        let t = transformed(&[(0.9, 0), (0.9, 1), (0.9, 2)], 3, 0.5);
+        let s = BagClasses::singletons(&t);
+        assert!(s.all_singletons());
+        let prio = t.is_priority_tbag.iter().filter(|&&p| p).count();
+        assert_eq!(s.num_classes(), prio);
+        for c in 0..s.num_classes() {
+            assert_eq!(s.of(s.rep(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn non_priority_bags_are_never_classed() {
+        // Force a non-priority bag via a cap of 1.
+        let inst = Instance::new(&[(0.9, 0), (0.9, 0), (0.9, 1), (0.01, 1)], 4);
+        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+        let r = scale_and_round(&sizes, 1.0, 0.5).unwrap();
+        let cl = classify(&r, 4);
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.priority_cap = Some(1);
+        let p = select_priority(&inst, &r, &cl, &cfg);
+        let t = transform(&inst, &r, &cl, &p);
+        let c = BagClasses::compute(&t);
+        for b in 0..t.tinst.num_bags() {
+            assert_eq!(
+                c.of(BagId(b as u32)).is_some(),
+                t.is_priority_tbag[b],
+                "bag {b}: classed iff priority"
+            );
+        }
+    }
+}

@@ -56,11 +56,40 @@ pub struct EptasConfig {
     /// DFS node budget per pricing round; exceeding it makes the round
     /// inexact (no infeasibility proofs, possible stall).
     pub pricing_dfs_node_budget: usize,
-    /// Skip pricing entirely when the instance has more slot symbols than
-    /// this (the master LP carries one row per symbol, and the dense
-    /// tableau stops paying for itself); the eager path then runs as
-    /// before the pricing subsystem existed.
+    /// Safety-valve on the pricing master's size. Two gates read it:
+    /// instances whose *per-bag* symbol count exceeds it switch to the
+    /// class-aggregated path ([`EptasConfig::class_aggregation`]), whose
+    /// own master is gated on the number of **bag classes** (groups of
+    /// priority bags with identical size→count profiles,
+    /// [`crate::classes::BagClasses`]) against the same budget — past
+    /// that, pricing is skipped and the eager path runs as before the
+    /// pricing subsystem existed. Class keying is what keeps instances
+    /// whose per-bag symbol count is in the thousands (n=1600 tight
+    /// clustered: 1061 symbols, 118 classes) far below the ceiling, as
+    /// long as their bags cluster into few profiles.
     pub pricing_symbol_budget: usize,
+    /// Key pattern slot symbols, master rows, MILP covering constraints
+    /// and the pricing item space on `(size, bag class)` instead of
+    /// `(size, bag)` (default on). This is the *scale* path: it engages
+    /// exactly when the instance's priority bags exceed
+    /// [`EptasConfig::pricing_symbol_budget`] — where per-bag pricing is
+    /// impossible and the pre-aggregation pipeline degraded to eager
+    /// enumeration — and aggregated solutions are mapped back to
+    /// concrete bags by [`crate::declass`] before the placement phases.
+    /// Below the budget the per-bag path runs unchanged; off = never
+    /// aggregate.
+    pub class_aggregation: bool,
+    /// Warm-start master-LP re-solves inside the pricing loop from the
+    /// previous optimal basis instead of a cold two-phase solve
+    /// (default). Per-round pivot work then scales with the newly priced
+    /// columns rather than the whole tableau.
+    pub warm_start: bool,
+    /// Pools larger than this are pruned to the master's optimal support
+    /// (plus the empty pattern and the singleton seeds) before the
+    /// restricted MILP runs: every unused column widens the dense
+    /// tableau of *every* branch-and-bound node LP. Small pools pass
+    /// through untouched.
+    pub pricing_pool_cap: usize,
     /// Eager-enumeration budget used to consult the oracle when the MILP
     /// over the priced pool fails inconclusively. Kept far below
     /// `max_patterns`: on instances where enumeration is cheap this
@@ -89,6 +118,9 @@ impl EptasConfig {
             pricing_dfs_node_budget: 200_000,
             pricing_symbol_budget: 200,
             pricing_fallback_budget: 2000,
+            class_aggregation: true,
+            warm_start: true,
+            pricing_pool_cap: 600,
         }
     }
 }

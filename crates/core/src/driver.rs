@@ -368,8 +368,18 @@ mod tests {
         let stats = &r.report.stats;
         for (name, value) in stats.named() {
             // The seed pool can already be LP-complete, in which case the
-            // pricing loop converges without generating a single column.
-            if name == "columns_generated" {
+            // pricing loop converges without generating a single column;
+            // the aggregation/warm-start counters stay zero when the
+            // accepted guess has no priority bags at all (everything
+            // small) — the clustered test below covers them.
+            let may_be_zero = matches!(
+                name,
+                "columns_generated"
+                    | "bag_classes"
+                    | "symbols_after_aggregation"
+                    | "warm_start_pivots_saved"
+            );
+            if may_be_zero {
                 continue;
             }
             assert!(value > 0, "counter {name} stayed zero on a full-pipeline instance");
@@ -403,6 +413,24 @@ mod tests {
             stats.lp_solves,
             stats.milp_nodes
         );
+    }
+
+    #[test]
+    fn aggregation_counters_populate_on_clustered_instances() {
+        // Tight clustered instances have priority bags at every real
+        // guess, so the class/aggregation counters must be live, and the
+        // pricing loop runs enough master re-solves for the warm-start
+        // saving estimate to be positive.
+        let inst = gen::clustered(60, 20, 20, 5, 2);
+        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let stats = &r.report.stats;
+        assert!(stats.bag_classes > 0, "no bag classes counted");
+        assert!(stats.symbols_after_aggregation > 0, "no aggregated symbols counted");
+        assert!(
+            stats.bag_classes <= stats.symbols_after_aggregation,
+            "a class contributes at least one symbol"
+        );
+        assert!(stats.warm_start_pivots_saved > 0, "warm starts saved no pivots");
     }
 
     #[test]

@@ -43,8 +43,10 @@
 //! that was needed; tests pin it to zero on the paper path).
 
 pub mod assign_large;
+pub mod classes;
 pub mod classify;
 pub mod config;
+pub mod declass;
 pub mod driver;
 pub mod medium_flow;
 pub mod milp_model;

@@ -15,9 +15,13 @@
 //!
 //! Constraints (paper numbering):
 //! * (1) `sum_p x_p <= m`;
-//! * (2) per slot symbol: `sum_p x_p * mult_p(symbol) = avail` (the paper
-//!   writes `>=`; equality is equally valid — an optimal schedule uses
-//!   each job exactly once — and prunes the search);
+//! * (2) per slot symbol: `sum_p x_p * mult_p(symbol) = avail` on the
+//!   per-bag path (the paper writes `>=`; equality is equally valid — an
+//!   optimal schedule uses each job exactly once — and prunes the
+//!   search). The class-aggregated path uses the paper's `>=` instead,
+//!   because class multiplicities make every up-dive of the
+//!   branch-and-bound overshoot an equality; [`crate::declass`] trims
+//!   the surplus slots afterwards;
 //! * (3) per priority small pair: `sum_p y = count`, plus the aggregate
 //!   `sum_p a_p = total non-priority small area`;
 //! * (4) per pattern: `sum y * size + a_p <= x_p * (T - height(p))`;
@@ -41,9 +45,10 @@
 //! full fallback when pricing stalls or is disabled
 //! ([`EptasConfig::column_generation`]).
 
+use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
-use crate::pattern::{enumerate_patterns, PatternSet};
+use crate::pattern::{collect_symbols_classed, enumerate_patterns, PatternSet, SlotBag};
 use crate::pricing::{generate_columns, Pricing};
 use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
@@ -82,8 +87,17 @@ pub struct MilpOutcome {
     pub lp_iterations: usize,
 }
 
-/// Collect the priority small pairs of the transformed instance.
+/// Collect the priority small pairs of the transformed instance, one per
+/// concrete `(priority bag, size)`.
 pub fn priority_small_pairs(trans: &Transformed) -> Vec<SmallPair> {
+    priority_small_pairs_classed(trans, &BagClasses::singletons(trans))
+}
+
+/// Priority small pairs keyed on `(bag class, size)`: the pair's `tbag`
+/// is the class representative and its jobs are the union over all
+/// member bags (identical profiles guarantee identical small multisets).
+/// Singleton classes reproduce [`priority_small_pairs`] exactly.
+pub fn priority_small_pairs_classed(trans: &Transformed, classes: &BagClasses) -> Vec<SmallPair> {
     let epsilon = trans.t.sqrt() - 1.0;
     let mut map: HashMap<(BagId, SizeExp), Vec<JobId>> = HashMap::new();
     for j in 0..trans.tinst.num_jobs() {
@@ -92,7 +106,8 @@ pub fn priority_small_pairs(trans: &Transformed) -> Vec<SmallPair> {
         }
         let tbag = trans.tinst.bag_of(JobId(j as u32));
         if trans.is_priority_tbag[tbag.idx()] {
-            map.entry((tbag, trans.texp[j])).or_default().push(JobId(j as u32));
+            let rep = classes.rep(classes.of(tbag).expect("priority bags are classed"));
+            map.entry((rep, trans.texp[j])).or_default().push(JobId(j as u32));
         }
     }
     let mut pairs: Vec<SmallPair> = map
@@ -130,7 +145,15 @@ pub fn nonpriority_small_area(trans: &Transformed) -> f64 {
 /// phases see a consistent view. Verdict soundness:
 ///
 /// * pricing-proven infeasibility ([`Pricing::Infeasible`]) refutes a
-///   relaxation of the full MILP — `Err(MilpInfeasible)` is exact;
+///   relaxation of the full MILP — `Err(MilpInfeasible)` is exact, on
+///   the class-aggregated master too (aggregation only relaxes);
+/// * with [`EptasConfig::class_aggregation`], instances whose *per-bag
+///   slot symbols* exceed [`EptasConfig::pricing_symbol_budget`] — where
+///   the per-bag master is too large and the pre-aggregation pipeline
+///   degraded to eager enumeration — first run the whole pricing/MILP
+///   stack keyed on bag classes and [`crate::declass`] the solution; any
+///   failure of that attempt falls back to the per-bag path below, so
+///   aggregation never worsens a verdict;
 /// * a failure of the MILP *restricted to the priced pool* is
 ///   inconclusive, so the eager oracle is consulted with the (small)
 ///   [`EptasConfig::pricing_fallback_budget`]; if even that budget is
@@ -145,12 +168,34 @@ pub fn solve_patterns(
     stats: &mut Stats,
 ) -> Result<(PatternSet, MilpOutcome), GuessFailure> {
     if cfg.column_generation {
-        let symbols = crate::pattern::collect_symbols(trans);
-        match generate_columns(trans, &symbols, cfg, stats) {
+        // Class aggregation is the *scale* path: it engages exactly when
+        // the per-bag master would be over the symbol budget — i.e. when
+        // the pre-PR pipeline skipped pricing and degraded to eager
+        // enumeration (budget-fail + LPT on tight instances). Below the
+        // ceiling the per-bag path is proven, fast, and byte-for-byte
+        // deterministic, so nothing changes there.
+        let singles = BagClasses::singletons(trans);
+        let symbols = collect_symbols_classed(trans, &singles);
+        if cfg.class_aggregation && symbols.len() > cfg.pricing_symbol_budget {
+            let classes = BagClasses::compute(trans);
+            if !classes.all_singletons() {
+                // A `None` (unrealizable or stalled at class level)
+                // retries this guess on the per-bag path below — which,
+                // above the budget, degrades to eager enumeration,
+                // exactly the pre-aggregation behaviour.
+                if let Some(resolved) = solve_patterns_aggregated(trans, &classes, cfg, stats) {
+                    return resolved;
+                }
+            }
+        }
+        let classes = singles;
+        stats.bag_classes += classes.num_classes() as u64;
+        stats.symbols_after_aggregation += symbols.len() as u64;
+        match generate_columns(trans, &symbols, &classes, cfg, stats) {
             Pricing::Infeasible => return Err(GuessFailure::MilpInfeasible),
             Pricing::Converged(pool) => {
                 let ps = PatternSet::from_parts(symbols, pool);
-                match solve_with_patterns(trans, &ps, cfg, stats) {
+                match solve_with_patterns_classed(trans, &ps, &classes, cfg, stats) {
                     Ok(out) => return Ok((ps, out)),
                     Err(restricted) => {
                         // Inconclusive on a restricted pool: consult the
@@ -185,6 +230,36 @@ pub fn solve_patterns(
     Ok((ps, out))
 }
 
+/// The class-aggregated attempt: pricing and the MILP keyed on `(size,
+/// bag class)`, de-classed to concrete bags on success.
+///
+/// Returns `Some` only for verdicts that are *final*: a de-classed
+/// solution, or a pricing infeasibility proof (exact — every per-bag
+/// pattern multiset maps to a class-level one, so the aggregated master
+/// is a relaxation). `None` means the class level could not settle the
+/// guess — pricing stalled, the restricted MILP failed, or the concrete
+/// small-job split failed — and the caller retries per-bag, where the
+/// joint model and the eager oracle are available.
+fn solve_patterns_aggregated(
+    trans: &Transformed,
+    classes: &BagClasses,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Option<Result<(PatternSet, MilpOutcome), GuessFailure>> {
+    stats.bag_classes += classes.num_classes() as u64;
+    let symbols = collect_symbols_classed(trans, classes);
+    stats.symbols_after_aggregation += symbols.len() as u64;
+    match generate_columns(trans, &symbols, classes, cfg, stats) {
+        Pricing::Infeasible => Some(Err(GuessFailure::MilpInfeasible)),
+        Pricing::Stalled => None,
+        Pricing::Converged(pool) => {
+            let ps = PatternSet::from_parts(symbols, pool);
+            let out = solve_with_patterns_classed(trans, &ps, classes, cfg, stats).ok()?;
+            crate::declass::declass(trans, classes, &ps, &out).ok().map(Ok)
+        }
+    }
+}
+
 /// Build and solve the MILP for one guess over a *given* pattern set.
 /// Simplex/branch-and-bound work counters are recorded into `stats`
 /// whatever the outcome, so infeasible and budget-exhausted guesses still
@@ -195,32 +270,104 @@ pub fn solve_with_patterns(
     cfg: &EptasConfig,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
-    let pairs = priority_small_pairs(trans);
+    solve_with_patterns_classed(trans, ps, &BagClasses::singletons(trans), cfg, stats)
+}
+
+/// Per-pattern slot counts per bag class: `table[p][c]` is how many slots
+/// of class `c` pattern `p` holds (summed over sizes). The class-keyed
+/// generalization of `chi`: with singleton classes the entries are 0/1
+/// and `table[p][c] == 1` iff `chi_p(rep_c)`.
+pub(crate) fn class_mult_table(ps: &PatternSet, classes: &BagClasses) -> Vec<Vec<u32>> {
+    ps.patterns
+        .iter()
+        .map(|pat| {
+            let mut mult = vec![0u32; classes.num_classes()];
+            for &(si, count) in &pat.entries {
+                if let SlotBag::Priority(rep) = ps.symbols[si].bag {
+                    mult[classes.of(rep).expect("symbol reps are classed")] += count as u32;
+                }
+            }
+            mult
+        })
+        .collect()
+}
+
+/// [`solve_with_patterns`] generalized to class-keyed pattern sets: the
+/// covering rows of the MILP run over whatever symbols `ps` carries, and
+/// the small-job constraints (3)–(5) run per `(class, size)` with the
+/// per-pattern free capacity `|C| - mult_C(p)` replacing the boolean
+/// `chi` exclusion. Singleton classes reproduce the per-bag model
+/// term for term.
+pub(crate) fn solve_with_patterns_classed(
+    trans: &Transformed,
+    ps: &PatternSet,
+    classes: &BagClasses,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Result<MilpOutcome, GuessFailure> {
+    let pairs = priority_small_pairs_classed(trans, classes);
     let w_nonprio = nonpriority_small_area(trans);
+    let class_mult = class_mult_table(ps, classes);
 
     // Estimate the joint model size.
     let np = ps.patterns.len();
-    let y_cols: usize =
-        pairs.iter().map(|pair| (0..np).filter(|&p| !ps.chi(p, pair.tbag)).count()).sum();
-    let prio_bags_with_smalls: Vec<BagId> = {
+    let y_cols: usize = pairs
+        .iter()
+        .map(|pair| {
+            let c = classes.of(pair.tbag).expect("pair reps are classed");
+            let cap = classes.size(c) as u32;
+            (0..np).filter(|&p| class_mult[p][c] < cap).count()
+        })
+        .sum();
+    let classes_with_smalls: Vec<usize> = {
         let mut seen = Vec::new();
         for pair in &pairs {
-            if !seen.contains(&pair.tbag) {
-                seen.push(pair.tbag);
+            let c = classes.of(pair.tbag).expect("pair reps are classed");
+            if !seen.contains(&c) {
+                seen.push(c);
             }
         }
         seen
     };
     let est_cols = np + y_cols + np; // x + y + a
-    let est_rows = 1 + ps.symbols.len() + pairs.len() + 1 + np + np * prio_bags_with_smalls.len();
+    let est_rows = 1 + ps.symbols.len() + pairs.len() + 1 + np + np * classes_with_smalls.len();
 
     let joint = est_cols <= cfg.joint_col_budget
         && est_rows <= cfg.joint_row_budget
         && est_cols.saturating_mul(est_rows) <= cfg.joint_cell_budget;
+    // The per-bag path keeps the equality covering (2) — it prunes the
+    // search and downstream consumes counts exactly. The aggregated path
+    // uses the paper's original `>=`: with class multiplicities the
+    // branch-and-bound dive constantly overshoots an equality when it
+    // rounds up, turning every up-child infeasible; under `>=` dives
+    // land, and [`crate::declass`] trims the surplus slots (a sub-multiset
+    // of a pattern is itself a valid pattern).
+    let covering = if classes.all_singletons() { Relation::Eq } else { Relation::Ge };
+    let ctx =
+        ClassCtx { classes, class_mult: &class_mult, with_smalls: &classes_with_smalls, covering };
     if joint {
-        solve_joint(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls, stats)
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats)
     } else {
-        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &prio_bags_with_smalls, stats)
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats)
+    }
+}
+
+/// The class context threaded through the MILP builders.
+pub(crate) struct ClassCtx<'a> {
+    pub classes: &'a BagClasses,
+    /// `[pattern][class]` slot counts (see [`class_mult_table`]).
+    pub class_mult: &'a [Vec<u32>],
+    /// Classes that own priority small jobs, in pair order.
+    pub with_smalls: &'a [usize],
+    /// Relation of the covering rows (2): `Eq` per-bag, `Ge` aggregated.
+    pub covering: Relation,
+}
+
+impl ClassCtx<'_> {
+    /// Per-machine capacity pattern `p` leaves for small jobs of class
+    /// `c`: member bags without a large slot on the machine.
+    fn free_cap(&self, p: usize, c: usize) -> u32 {
+        (self.classes.size(c) as u32).saturating_sub(self.class_mult[p][c])
     }
 }
 
@@ -240,14 +387,18 @@ fn milp_options(cfg: &EptasConfig) -> MilpOptions {
     }
 }
 
-/// The paper-faithful joint model.
+/// The paper-faithful joint model, class-keyed: constraint (5) becomes
+/// `sum_s y_{(C,s),p} <= (|C| - mult_C(p)) * x_p` — each machine of
+/// pattern `p` has `|C| - mult_C(p)` member bags without a large slot,
+/// and the bag-constraint allows one small job per such bag. Singleton
+/// classes recover the paper's boolean `chi` form exactly.
 fn solve_joint(
     trans: &Transformed,
     ps: &PatternSet,
     cfg: &EptasConfig,
     pairs: Vec<SmallPair>,
     w_nonprio: f64,
-    prio_bags_with_smalls: &[BagId],
+    ctx: &ClassCtx<'_>,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
@@ -273,12 +424,14 @@ fn solve_joint(
         f64::INFINITY
     };
 
-    // y variables per (pair, pattern with chi = 0). The tiny perturbation
-    // breaks ties among symmetric (pair, pattern) columns, like for `x`.
+    // y variables per (pair, pattern with free class capacity). The tiny
+    // perturbation breaks ties among symmetric (pair, pattern) columns,
+    // like for `x`.
     let mut y: HashMap<(usize, usize), VarId> = HashMap::new();
     for (i, pair) in pairs.iter().enumerate() {
+        let c = ctx.classes.of(pair.tbag).expect("pair reps are classed");
         for p in 0..np {
-            if !ps.chi(p, pair.tbag) {
+            if ctx.free_cap(p, c) > 0 {
                 let tiny = (i * np + p) as f64 * 1e-12;
                 let v = if pair.size > y_int_threshold {
                     model.add_int_var(tiny, 0.0, pair.jobs.len() as f64)
@@ -305,7 +458,7 @@ fn solve_joint(
                 terms.push((x[p], mult as f64));
             }
         }
-        model.add_con(&terms, Relation::Eq, sym.avail as f64);
+        model.add_con(&terms, ctx.covering, sym.avail as f64);
     }
 
     // (3) per pair.
@@ -332,15 +485,18 @@ fn solve_joint(
         model.add_con(&terms, Relation::Le, 0.0);
     }
 
-    // (5) per (pattern, priority bag with smalls, chi = 0).
-    for &l in prio_bags_with_smalls {
+    // (5) per (pattern, class with smalls): small jobs of the class are
+    // capped by the member bags without a large slot on the machine.
+    for &c in ctx.with_smalls {
+        let rep = ctx.classes.rep(c);
         for (p, &xp) in x.iter().enumerate() {
-            if ps.chi(p, l) {
+            let free = ctx.free_cap(p, c);
+            if free == 0 {
                 continue;
             }
-            let mut terms: Vec<(VarId, f64)> = vec![(xp, -1.0)];
+            let mut terms: Vec<(VarId, f64)> = vec![(xp, -(free as f64))];
             for (i, pair) in pairs.iter().enumerate() {
-                if pair.tbag == l {
+                if pair.tbag == rep {
                     if let Some(&v) = y.get(&(i, p)) {
                         terms.push((v, 1.0));
                     }
@@ -385,7 +541,7 @@ fn solve_two_stage(
     cfg: &EptasConfig,
     pairs: Vec<SmallPair>,
     w_nonprio: f64,
-    prio_bags_with_smalls: &[BagId],
+    ctx: &ClassCtx<'_>,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
@@ -405,7 +561,7 @@ fn solve_two_stage(
                 terms.push((x[p], mult as f64));
             }
         }
-        model.add_con(&terms, Relation::Eq, sym.avail as f64);
+        model.add_con(&terms, ctx.covering, sym.avail as f64);
     }
 
     // Aggregate area cut: all small jobs must fit above the patterns.
@@ -414,17 +570,21 @@ fn solve_two_stage(
         ps.patterns.iter().enumerate().map(|(p, pat)| (x[p], trans.t - pat.height)).collect();
     model.add_con(&area_terms, Relation::Ge, w_prio + w_nonprio);
 
-    // Per priority bag: count and area cuts over chi = 0 patterns.
-    for &l in prio_bags_with_smalls {
+    // Per class with smalls: count and area cuts over the free member
+    // capacity (singleton classes: chi = 0 patterns with weight 1).
+    for &c in ctx.with_smalls {
+        let rep = ctx.classes.rep(c);
         let count: f64 =
-            pairs.iter().filter(|pr| pr.tbag == l).map(|pr| pr.jobs.len() as f64).sum();
+            pairs.iter().filter(|pr| pr.tbag == rep).map(|pr| pr.jobs.len() as f64).sum();
         let area: f64 =
-            pairs.iter().filter(|pr| pr.tbag == l).map(|pr| pr.size * pr.jobs.len() as f64).sum();
-        let count_terms: Vec<(VarId, f64)> =
-            (0..np).filter(|&p| !ps.chi(p, l)).map(|p| (x[p], 1.0)).collect();
+            pairs.iter().filter(|pr| pr.tbag == rep).map(|pr| pr.size * pr.jobs.len() as f64).sum();
+        let count_terms: Vec<(VarId, f64)> = (0..np)
+            .filter(|&p| ctx.free_cap(p, c) > 0)
+            .map(|p| (x[p], ctx.free_cap(p, c) as f64))
+            .collect();
         model.add_con(&count_terms, Relation::Ge, count);
         let area_terms: Vec<(VarId, f64)> = (0..np)
-            .filter(|&p| !ps.chi(p, l))
+            .filter(|&p| ctx.free_cap(p, c) > 0)
             .map(|p| (x[p], trans.t - ps.patterns[p].height))
             .collect();
         model.add_con(&area_terms, Relation::Ge, area);
@@ -440,57 +600,7 @@ fn solve_two_stage(
         MilpStatus::Budget | MilpStatus::Unbounded => return Err(GuessFailure::MilpBudget),
     };
 
-    // Greedy fractional y: big pieces first, onto the pattern with the
-    // most free area per machine, respecting the per-(pattern, bag) count
-    // cap x_p and the area budgets; non-priority area w_nonprio must
-    // still fit afterwards.
-    let mut area_left: Vec<f64> = ps
-        .patterns
-        .iter()
-        .enumerate()
-        .map(|(p, pat)| xs[p] as f64 * (trans.t - pat.height))
-        .collect();
-    let mut bag_cap: HashMap<(BagId, usize), f64> = HashMap::new();
-    for &l in prio_bags_with_smalls {
-        for (p, &xp) in xs.iter().enumerate() {
-            if !ps.chi(p, l) {
-                bag_cap.insert((l, p), xp as f64);
-            }
-        }
-    }
-    let mut y: HashMap<(usize, usize), f64> = HashMap::new();
-    for (i, pair) in pairs.iter().enumerate() {
-        let mut remaining = pair.jobs.len() as f64;
-        while remaining > 1e-9 {
-            // Pattern with maximal free area per machine among those with
-            // cap and area left.
-            let best = (0..np)
-                .filter(|&p| xs[p] > 0 && !ps.chi(p, pair.tbag))
-                .filter(|&p| bag_cap.get(&(pair.tbag, p)).copied().unwrap_or(0.0) > 1e-9)
-                .filter(|&p| area_left[p] > 1e-9)
-                .max_by(|&a, &b| {
-                    (area_left[a] / xs[a] as f64).total_cmp(&(area_left[b] / xs[b] as f64))
-                });
-            let Some(p) = best else {
-                return Err(GuessFailure::SmallPlacement);
-            };
-            let cap = bag_cap[&(pair.tbag, p)];
-            let by_area = area_left[p] / pair.size;
-            let take = remaining.min(cap).min(by_area);
-            if take <= 1e-9 {
-                return Err(GuessFailure::SmallPlacement);
-            }
-            *y.entry((i, p)).or_insert(0.0) += take;
-            area_left[p] -= take * pair.size;
-            *bag_cap.get_mut(&(pair.tbag, p)).unwrap() -= take;
-            remaining -= take;
-        }
-    }
-    let total_area_left: f64 = area_left.iter().sum();
-    if total_area_left + 1e-6 < w_nonprio {
-        return Err(GuessFailure::SmallPlacement);
-    }
-
+    let y = greedy_small_y(trans, ps, &xs, &pairs, w_nonprio, ctx)?;
     Ok(MilpOutcome {
         x: xs,
         y,
@@ -499,6 +609,72 @@ fn solve_two_stage(
         nodes: res.nodes,
         lp_iterations: res.lp_iterations,
     })
+}
+
+/// Greedy fractional y over a solved `x`: big pieces first, onto the
+/// pattern with the most free area per machine, respecting the
+/// per-(pattern, class) count cap `free_cap * x_p` and the area budgets;
+/// non-priority area `w_nonprio` must still fit afterwards. Shared by the
+/// two-stage path and the de-classer (which re-realizes the small jobs on
+/// the concrete patterns).
+pub(crate) fn greedy_small_y(
+    trans: &Transformed,
+    ps: &PatternSet,
+    xs: &[u32],
+    pairs: &[SmallPair],
+    w_nonprio: f64,
+    ctx: &ClassCtx<'_>,
+) -> Result<HashMap<(usize, usize), f64>, GuessFailure> {
+    let np = ps.patterns.len();
+    let mut area_left: Vec<f64> = ps
+        .patterns
+        .iter()
+        .enumerate()
+        .map(|(p, pat)| xs[p] as f64 * (trans.t - pat.height))
+        .collect();
+    let mut class_cap: HashMap<(usize, usize), f64> = HashMap::new();
+    for &c in ctx.with_smalls {
+        for (p, &xp) in xs.iter().enumerate() {
+            let free = ctx.free_cap(p, c);
+            if free > 0 {
+                class_cap.insert((c, p), free as f64 * xp as f64);
+            }
+        }
+    }
+    let mut y: HashMap<(usize, usize), f64> = HashMap::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let c = ctx.classes.of(pair.tbag).expect("pair reps are classed");
+        let mut remaining = pair.jobs.len() as f64;
+        while remaining > 1e-9 {
+            // Pattern with maximal free area per machine among those with
+            // cap and area left.
+            let best = (0..np)
+                .filter(|&p| xs[p] > 0 && ctx.free_cap(p, c) > 0)
+                .filter(|&p| class_cap.get(&(c, p)).copied().unwrap_or(0.0) > 1e-9)
+                .filter(|&p| area_left[p] > 1e-9)
+                .max_by(|&a, &b| {
+                    (area_left[a] / xs[a] as f64).total_cmp(&(area_left[b] / xs[b] as f64))
+                });
+            let Some(p) = best else {
+                return Err(GuessFailure::SmallPlacement);
+            };
+            let cap = class_cap[&(c, p)];
+            let by_area = area_left[p] / pair.size;
+            let take = remaining.min(cap).min(by_area);
+            if take <= 1e-9 {
+                return Err(GuessFailure::SmallPlacement);
+            }
+            *y.entry((i, p)).or_insert(0.0) += take;
+            area_left[p] -= take * pair.size;
+            *class_cap.get_mut(&(c, p)).unwrap() -= take;
+            remaining -= take;
+        }
+    }
+    let total_area_left: f64 = area_left.iter().sum();
+    if total_area_left + 1e-6 < w_nonprio {
+        return Err(GuessFailure::SmallPlacement);
+    }
+    Ok(y)
 }
 
 /// Recover `eps^{k+1}` from the transformed instance's job classes.

@@ -12,6 +12,7 @@
 //! which keeps the pattern space tied to the instance rather than the
 //! paper's worst-case bound. The enumeration budget is explicit.
 
+use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
@@ -19,6 +20,14 @@ use bagsched_types::BagId;
 use std::collections::HashMap;
 
 /// The bag component of a slot: a concrete priority bag or the wildcard.
+///
+/// Under class-level aggregation ([`collect_symbols_classed`]) the
+/// `Priority` variant carries the *representative* bag of an
+/// interchangeability class; the per-pattern multiplicity of such a
+/// symbol is then capped by the class size rather than 1, and
+/// [`crate::declass`] maps slots back to concrete member bags after the
+/// MILP. With singleton classes (the per-bag path) the representative is
+/// the bag itself and nothing changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotBag {
     /// A priority bag of the transformed instance.
@@ -106,14 +115,25 @@ pub struct PatternBudgetExceeded {
     pub budget: usize,
 }
 
-/// Collect the slot symbols of the transformed instance, in the
+/// Collect the per-bag slot symbols of the transformed instance, in the
 /// deterministic order shared by the eager enumerator and the
 /// column-generation pricer: size descending, priority before wildcard,
-/// then bag id.
+/// then bag id. Equivalent to [`collect_symbols_classed`] with singleton
+/// classes.
 pub fn collect_symbols(trans: &Transformed) -> Vec<Symbol> {
+    collect_symbols_classed(trans, &BagClasses::singletons(trans))
+}
+
+/// Collect slot symbols keyed on `(size, bag class)`: one symbol per
+/// (rounded size, interchangeability class) pair, carrying the class
+/// *representative* bag and the summed availability of all members. With
+/// singleton classes this is exactly the per-bag symbol set; with real
+/// classes it collapses the symbol count — and with it the master-LP
+/// covering rows — to the number of distinct profiles.
+pub fn collect_symbols_classed(trans: &Transformed, classes: &BagClasses) -> Vec<Symbol> {
     let epsilon = trans.t.sqrt() - 1.0; // T = (1 + eps)^2
 
-    // Collect symbol availabilities.
+    // Collect symbol availabilities, priority bags keyed by class rep.
     let mut prio: HashMap<(SizeExp, BagId), u32> = HashMap::new();
     let mut wild: HashMap<SizeExp, u32> = HashMap::new();
     for (j, &class) in trans.tclass.iter().enumerate() {
@@ -123,7 +143,8 @@ pub fn collect_symbols(trans: &Transformed) -> Vec<Symbol> {
         let tbag = trans.tinst.bag_of(bagsched_types::JobId(j as u32));
         let exp = trans.texp[j];
         if trans.is_priority_tbag[tbag.idx()] {
-            *prio.entry((exp, tbag)).or_insert(0) += 1;
+            let rep = classes.rep(classes.of(tbag).expect("priority bags are classed"));
+            *prio.entry((exp, rep)).or_insert(0) += 1;
         } else {
             *wild.entry(exp).or_insert(0) += 1;
         }

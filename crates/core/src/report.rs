@@ -79,6 +79,19 @@ pub struct Stats {
     pub columns_generated: u64,
     /// Nodes explored by the bounded-knapsack pricing DFS.
     pub pricing_dfs_nodes: u64,
+    /// Bag classes (identical-profile groups of priority bags) the
+    /// pricing stack was keyed on, summed over guesses. Equals the
+    /// priority-bag count when class aggregation is off.
+    pub bag_classes: u64,
+    /// Slot symbols after class aggregation — the master-LP covering
+    /// rows actually carried — summed over guesses. The per-bag symbol
+    /// count of the same instance is what the pre-aggregation master
+    /// would have carried.
+    pub symbols_after_aggregation: u64,
+    /// Estimated pivots the warm-started master re-solves skipped: per
+    /// warm re-solve, the last cold solve's pivot count minus the warm
+    /// pivot count (floored at zero).
+    pub warm_start_pivots_saved: u64,
 }
 
 impl Stats {
@@ -94,12 +107,15 @@ impl Stats {
         self.pricing_rounds += other.pricing_rounds;
         self.columns_generated += other.columns_generated;
         self.pricing_dfs_nodes += other.pricing_dfs_nodes;
+        self.bag_classes += other.bag_classes;
+        self.symbols_after_aggregation += other.symbols_after_aggregation;
+        self.warm_start_pivots_saved += other.warm_start_pivots_saved;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 10] {
+    pub fn named(&self) -> [(&'static str, u64); 13] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -111,6 +127,9 @@ impl Stats {
             ("pricing_rounds", self.pricing_rounds),
             ("columns_generated", self.columns_generated),
             ("pricing_dfs_nodes", self.pricing_dfs_nodes),
+            ("bag_classes", self.bag_classes),
+            ("symbols_after_aggregation", self.symbols_after_aggregation),
+            ("warm_start_pivots_saved", self.warm_start_pivots_saved),
         ]
     }
 }
@@ -203,6 +222,9 @@ mod tests {
             pricing_rounds: 8,
             columns_generated: 9,
             pricing_dfs_nodes: 10,
+            bag_classes: 11,
+            symbols_after_aggregation: 12,
+            warm_start_pivots_saved: 13,
         };
         let b = a;
         a.add(&b);

@@ -26,6 +26,7 @@ pub mod simplex;
 pub use branch::{solve_milp, MilpOptions, MilpResult, MilpStatus};
 pub use model::{LpResult, LpStatus, Model, Relation, VarId};
 pub use presolve::{presolve, PresolveStatus};
+pub use simplex::WarmState;
 
 /// Numerical tolerance used for reduced costs, pivots, integrality and
 /// constraint satisfaction throughout the solver.

@@ -206,6 +206,26 @@ impl Model {
     pub fn solve_lp(&self) -> LpResult {
         simplex::solve(self, simplex::default_iter_limit(self))
     }
+
+    /// Solve the LP relaxation, reusing (and refreshing) a warm-start
+    /// state across solves. With `Some` state from a previous optimal
+    /// solve of this model — possibly extended by [`Model::add_column`]
+    /// and/or re-weighted by [`Model::set_obj`] since — the re-solve
+    /// continues from the previous basis and skips phase 1 entirely.
+    /// Returns the result and whether the warm path was taken; on the
+    /// cold path the state is replaced (or cleared when the solve did not
+    /// reach optimality).
+    pub fn solve_lp_with(&self, warm: &mut Option<simplex::WarmState>) -> (LpResult, bool) {
+        let limit = simplex::default_iter_limit(self);
+        if let Some(state) = warm.as_mut() {
+            if let Some(res) = simplex::resolve(self, limit, state) {
+                return (res, true);
+            }
+        }
+        let (res, state) = simplex::solve_with_state(self, limit);
+        *warm = state;
+        (res, false)
+    }
 }
 
 #[cfg(test)]

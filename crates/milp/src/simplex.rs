@@ -1,4 +1,5 @@
-//! Two-phase primal simplex on a dense tableau.
+//! Two-phase primal simplex on a dense tableau, with warm-started
+//! re-solves for column generation.
 //!
 //! Scope: the pattern MILP relaxations the EPTAS generates are dense-ish
 //! and small (hundreds of rows/columns), so a dense tableau is both simple
@@ -11,6 +12,18 @@
 //! minimizes the artificial sum (infeasible iff positive), phase 2 the
 //! shifted objective. Dantzig pricing with a switch to Bland's rule after
 //! a degeneracy threshold guards against cycling.
+//!
+//! **Warm starts** ([`WarmState`], [`resolve`]): an optimal solve can
+//! return its final tableau. After the caller appends columns
+//! ([`Model::add_column`]) and/or changes objective coefficients, the old
+//! basis is still primal feasible, so the re-solve skips phase 1 entirely
+//! and continues phase 2 from the previous optimum: pivot work scales
+//! with the new columns instead of the whole tableau. New columns are
+//! mapped into the basis via the implicit `B^-1` that the initial
+//! identity columns (slack/artificial) carry through every pivot. Any
+//! structural change the warm path cannot absorb — changed bounds, new
+//! constraints, non-`[0, inf)` bounds on appended variables — is detected
+//! and falls back to a cold solve.
 
 use crate::model::{LpResult, LpStatus, Model, Relation};
 use crate::TOL;
@@ -23,6 +36,7 @@ pub fn default_iter_limit(model: &Model) -> usize {
     (500 * (model.num_vars() + model.num_cons()) + 2000).min(60_000)
 }
 
+#[derive(Debug, Clone)]
 struct Tableau {
     /// Row-major `(rows) x (cols + 1)`; last column is the RHS.
     a: Vec<f64>,
@@ -112,14 +126,22 @@ impl Tableau {
         iter_limit: usize,
         iterations: &mut usize,
     ) -> LpStatus {
-        let bland_after = iter_limit / 2;
-        let mut local_iter = 0usize;
+        // Dantzig pricing stalls on massively degenerate tableaus (ties
+        // upon ties re-enter the same columns without moving the
+        // objective). Switch to Bland's rule — guaranteed finite — once
+        // the objective has not improved for a streak proportional to
+        // the row count, not half the global budget: a single stalled
+        // solve must cost O(rows) wasted pivots, not tens of thousands.
+        let stall_limit = 10 * self.rows + 50;
+        let mut stalled = 0usize;
+        let mut bland = false;
+        let mut last_obj = -self.obj[self.cols];
         loop {
             if *iterations >= iter_limit {
                 return LpStatus::IterLimit;
             }
             // Entering column.
-            let entering = if local_iter < bland_after {
+            let entering = if !bland {
                 // Dantzig: most negative reduced cost.
                 let mut best: Option<(f64, usize)> = None;
                 for c in 0..self.cols {
@@ -144,13 +166,57 @@ impl Tableau {
             };
             self.pivot(prow, pcol);
             *iterations += 1;
-            local_iter += 1;
+            let obj = -self.obj[self.cols];
+            if obj < last_obj - TOL {
+                // Real progress: resume Dantzig (Bland crawls). Each
+                // strict improvement is final, so the alternation still
+                // terminates.
+                last_obj = obj;
+                stalled = 0;
+                bland = false;
+            } else {
+                stalled += 1;
+                if stalled >= stall_limit {
+                    bland = true;
+                }
+            }
         }
     }
 }
 
+/// The reusable outcome of an optimal solve: the final tableau plus the
+/// bookkeeping needed to graft new columns onto it. Opaque to callers;
+/// obtain one from [`solve_with_state`] and feed it to [`resolve`].
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    t: Tableau,
+    /// Per row: the column that held the initial identity basis (its
+    /// current tableau column is the matching column of `B^-1`).
+    init_col: Vec<usize>,
+    /// Per model-constraint row: the sign normalization applied at build.
+    row_sign: Vec<f64>,
+    /// Where to read each constraint's dual off the objective row.
+    dual_src: Vec<(usize, f64)>,
+    /// Artificial column range `[art_start, art_end)` (never re-enters).
+    art_start: usize,
+    art_end: usize,
+    /// Tableau column -> model variable (None for slack/artificial).
+    var_of_col: Vec<Option<usize>>,
+    /// Bounds snapshot of every variable seen so far; a mismatch on
+    /// re-solve means the warm basis is stale.
+    bounds: Vec<(f64, f64)>,
+    num_cons: usize,
+}
+
 /// Solve the LP relaxation of `model` (integrality ignored).
 pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
+    solve_with_state(model, iter_limit).0
+}
+
+/// Like [`solve`], additionally returning a [`WarmState`] when the solve
+/// reached optimality (and the model has at least one row — trivial
+/// models have no tableau to reuse).
+pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<WarmState>) {
     let n = model.num_vars();
     let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let obj_offset: f64 = model.vars.iter().map(|v| v.obj * v.lb).sum();
@@ -171,13 +237,16 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         if v.ub.is_finite() {
             let range = v.ub - v.lb;
             if range < -TOL {
-                return LpResult {
-                    status: LpStatus::Infeasible,
-                    x: vec![],
-                    objective: 0.0,
-                    iterations: 0,
-                    duals: vec![],
-                };
+                return (
+                    LpResult {
+                        status: LpStatus::Infeasible,
+                        x: vec![],
+                        objective: 0.0,
+                        iterations: 0,
+                        duals: vec![],
+                    },
+                    None,
+                );
             }
             let mut coeffs = vec![0.0; n];
             coeffs[j] = 1.0;
@@ -189,21 +258,27 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         // No constraints at all: optimum sits at the lower bounds unless
         // some cost is negative (then x_j -> +inf is improving).
         if model.vars.iter().any(|v| v.obj < -TOL) {
-            return LpResult {
-                status: LpStatus::Unbounded,
-                x: vec![],
-                objective: 0.0,
+            return (
+                LpResult {
+                    status: LpStatus::Unbounded,
+                    x: vec![],
+                    objective: 0.0,
+                    iterations: 0,
+                    duals: vec![],
+                },
+                None,
+            );
+        }
+        return (
+            LpResult {
+                status: LpStatus::Optimal,
+                x: lbs,
+                objective: obj_offset,
                 iterations: 0,
                 duals: vec![],
-            };
-        }
-        return LpResult {
-            status: LpStatus::Optimal,
-            x: lbs,
-            objective: obj_offset,
-            iterations: 0,
-            duals: vec![],
-        };
+            },
+            None,
+        );
     }
 
     let m = rows.len();
@@ -232,9 +307,17 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
     // below.
     let ncons = model.cons.len();
     let mut dual_src: Vec<(usize, f64)> = Vec::with_capacity(ncons);
+    // Per row: the column holding the initial identity basis, and (for
+    // model-constraint rows) the sign normalization — both needed to graft
+    // new columns onto a warm tableau later.
+    let mut init_col: Vec<usize> = Vec::with_capacity(m);
+    let mut row_sign: Vec<f64> = Vec::with_capacity(ncons);
     for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
         let neg = *rhs < 0.0;
         let sign = if neg { -1.0 } else { 1.0 };
+        if r < ncons {
+            row_sign.push(sign);
+        }
         for (j, &c) in coeffs.iter().enumerate() {
             *t.at_mut(r, j) = sign * c;
         }
@@ -267,6 +350,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
                 Some(a)
             }
         };
+        init_col.push(t.basis[r]);
         if r < ncons {
             dual_src.push(match (rel, slack_coef) {
                 (Relation::Le, Some((s, _))) => (s, -1.0),
@@ -297,17 +381,23 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
         }
         let status = t.optimize(|_| true, iter_limit, &mut iterations);
         if status == LpStatus::IterLimit {
-            return LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] };
+            return (
+                LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] },
+                None,
+            );
         }
         let phase1_obj = -t.obj[cols_upper];
         if phase1_obj > 1e-6 {
-            return LpResult {
-                status: LpStatus::Infeasible,
-                x: vec![],
-                objective: 0.0,
-                iterations,
-                duals: vec![],
-            };
+            return (
+                LpResult {
+                    status: LpStatus::Infeasible,
+                    x: vec![],
+                    objective: 0.0,
+                    iterations,
+                    duals: vec![],
+                },
+                None,
+            );
         }
         // Drive remaining artificials out of the basis.
         for r in 0..m {
@@ -342,7 +432,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
     }
     let status = t.optimize(|c| c < art_start, iter_limit, &mut iterations);
     if status != LpStatus::Optimal {
-        return LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] };
+        return (LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] }, None);
     }
 
     // Extract solution.
@@ -355,7 +445,132 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
     }
     let objective = model.objective_value(&x);
     let duals = dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
-    LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }
+    let var_of_col = (0..cols_upper).map(|c| (c < n).then_some(c)).collect();
+    let state = WarmState {
+        t,
+        init_col,
+        row_sign,
+        dual_src,
+        art_start,
+        // Unused artificial slots in [next_art, cols_upper) are all-zero
+        // columns; keeping them inside the excluded range means they can
+        // never enter on a warm re-solve either.
+        art_end: cols_upper,
+        var_of_col,
+        bounds: model.vars.iter().map(|v| (v.lb, v.ub)).collect(),
+        num_cons: ncons,
+    };
+    (LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }, Some(state))
+}
+
+/// Warm re-solve: continue phase 2 from a previous optimal basis after
+/// the caller appended columns and/or changed objective coefficients.
+///
+/// Returns `None` — leaving `state` untouched — when the model changed in
+/// a way the warm basis cannot absorb: different constraint count,
+/// changed bounds on previously-seen variables, or appended variables
+/// whose bounds are not `[0, inf)`. The caller then falls back to a cold
+/// [`solve_with_state`].
+pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Option<LpResult> {
+    if model.cons.len() != state.num_cons {
+        return None;
+    }
+    let n_old = state.bounds.len();
+    let n_new = model.num_vars();
+    if n_new < n_old {
+        return None;
+    }
+    for (v, &(lb, ub)) in model.vars.iter().zip(&state.bounds) {
+        if v.lb != lb || v.ub != ub {
+            return None;
+        }
+    }
+    if model.vars[n_old..].iter().any(|v| v.lb != 0.0 || v.ub != f64::INFINITY) {
+        return None;
+    }
+
+    // ---- Graft the new columns onto the tableau. ----
+    let k = n_new - n_old;
+    if k > 0 {
+        // Signed raw coefficients per new variable over constraint rows
+        // (appended variables never add bound rows: ub is infinite).
+        let mut raw: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+        for (r, con) in model.cons.iter().enumerate() {
+            for &(j, c) in &con.terms {
+                if j >= n_old {
+                    raw[j - n_old].push((r, state.row_sign[r] * c));
+                }
+            }
+        }
+        let t = &mut state.t;
+        let (old_cols, new_cols) = (t.cols, t.cols + k);
+        let (old_width, new_width) = (old_cols + 1, new_cols + 1);
+        let mut a = vec![0.0; t.rows * new_width];
+        for r in 0..t.rows {
+            a[r * new_width..r * new_width + old_cols]
+                .copy_from_slice(&t.a[r * old_width..r * old_width + old_cols]);
+            a[r * new_width + new_cols] = t.a[r * old_width + old_cols];
+        }
+        // Transformed column = B^-1 * (signed raw column); column r of
+        // B^-1 is the current tableau column of row r's initial basis.
+        for (vi, coeffs) in raw.iter().enumerate() {
+            let col = old_cols + vi;
+            for &(r, c) in coeffs {
+                if c == 0.0 {
+                    continue;
+                }
+                let bc = state.init_col[r];
+                for i in 0..t.rows {
+                    a[i * new_width + col] += c * t.a[i * old_width + bc];
+                }
+            }
+        }
+        t.a = a;
+        t.cols = new_cols;
+        for vi in 0..k {
+            state.var_of_col.push(Some(n_old + vi));
+        }
+        state.bounds.extend(model.vars[n_old..].iter().map(|v| (v.lb, v.ub)));
+    }
+
+    // ---- Rebuild the objective row against the current basis. ----
+    let t = &mut state.t;
+    let width = t.cols + 1;
+    t.obj = vec![0.0; width];
+    for (col, vo) in state.var_of_col.iter().enumerate() {
+        if let Some(v) = *vo {
+            t.obj[col] = model.vars[v].obj;
+        }
+    }
+    for r in 0..t.rows {
+        let b = t.basis[r];
+        let cost = t.obj[b];
+        if cost.abs() > 1e-12 {
+            let r_off = r * width;
+            for c in 0..width {
+                t.obj[c] -= cost * t.a[r_off + c];
+            }
+            t.obj[b] = 0.0;
+        }
+    }
+
+    // ---- Phase 2 from the (still primal-feasible) previous basis. ----
+    let mut iterations = 0usize;
+    let (art_start, art_end) = (state.art_start, state.art_end);
+    let status = t.optimize(|c| c < art_start || c >= art_end, iter_limit, &mut iterations);
+    if status != LpStatus::Optimal {
+        return Some(LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] });
+    }
+    let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let mut x = lbs.clone();
+    for r in 0..t.rows {
+        if let Some(v) = state.var_of_col[t.basis[r]] {
+            x[v] = lbs[v] + t.rhs(r).max(0.0);
+        }
+    }
+    let objective = model.objective_value(&x);
+    let duals = state.dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
+    Some(LpResult { status: LpStatus::Optimal, x, objective, iterations, duals })
 }
 
 #[cfg(test)]
@@ -560,6 +775,161 @@ mod tests {
                 assert!(rc.abs() <= 1e-6, "basic column {j}: reduced cost {rc} != 0");
             }
         }
+    }
+
+    /// A tiny deterministic PRNG (xorshift64*) so the warm-start sweep
+    /// does not depend on the proptest shim's sampling strategy.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            let unit = (self.0 >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+        fn next_usize(&mut self, lo: usize, hi: usize) -> usize {
+            self.next_f64(lo as f64, hi as f64 + 1.0).floor().min(hi as f64) as usize
+        }
+    }
+
+    /// Build a random feasible covering-style LP: minimize c x subject to
+    /// a few `>=` rows and a capacity `<=` row, all satisfiable.
+    fn random_master(rng: &mut Lcg, n: usize, rows: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<_> =
+            (0..n).map(|_| m.add_var(rng.next_f64(0.1, 2.0), 0.0, f64::INFINITY)).collect();
+        for _ in 0..rows {
+            let mut terms = Vec::new();
+            for &v in &vars {
+                if rng.next_f64(0.0, 1.0) < 0.7 {
+                    terms.push((v, rng.next_f64(0.2, 1.5)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            m.add_con(&terms, Ge, rng.next_f64(0.5, 3.0));
+        }
+        let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_con(&all, Le, 100.0);
+        m
+    }
+
+    /// The warm-start contract: after `add_column`, a warm re-solve must
+    /// reach the same objective as a cold solve of the extended model, to
+    /// 1e-9, across a seeded sweep of random masters.
+    #[test]
+    fn warm_resolve_matches_cold_after_add_column() {
+        for seed in 1..=20u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+            let n = rng.next_usize(3, 7);
+            let rows = rng.next_usize(2, 5);
+            let mut m = random_master(&mut rng, n, rows);
+            let mut warm = None;
+            let (first, was_warm) = m.solve_lp_with(&mut warm);
+            assert!(!was_warm);
+            if first.status != LpStatus::Optimal {
+                continue; // rare unbounded/degenerate draw: nothing to compare
+            }
+            // Append a few columns, re-solving warm after each batch.
+            for round in 0..3 {
+                let ncols = rng.next_usize(1, 3);
+                for _ in 0..ncols {
+                    let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                    for r in 0..m.num_cons() {
+                        if rng.next_f64(0.0, 1.0) < 0.8 {
+                            coeffs.push((r, rng.next_f64(0.1, 1.5)));
+                        }
+                    }
+                    m.add_column(rng.next_f64(0.05, 1.0), 0.0, f64::INFINITY, &coeffs);
+                }
+                let (w, was_warm) = m.solve_lp_with(&mut warm);
+                assert!(was_warm, "seed {seed} round {round}: warm path not taken");
+                let c = m.solve_lp();
+                assert_eq!(w.status, c.status, "seed {seed} round {round}");
+                if w.status == LpStatus::Optimal {
+                    assert!(
+                        (w.objective - c.objective).abs() < 1e-9,
+                        "seed {seed} round {round}: warm {} vs cold {}",
+                        w.objective,
+                        c.objective
+                    );
+                    assert!(m.is_feasible_point(&w.x, 1e-6), "seed {seed}: warm point infeasible");
+                    // Duals must price every column nonnegatively, like a
+                    // cold optimum (the pricing loop relies on them).
+                    for (j, v) in m.vars.iter().enumerate() {
+                        let coef_sum: f64 = m
+                            .cons
+                            .iter()
+                            .zip(&w.duals)
+                            .map(|(con, &y)| {
+                                con.terms
+                                    .iter()
+                                    .filter(|&&(var, _)| var == j)
+                                    .map(|&(_, c)| c * y)
+                                    .sum::<f64>()
+                            })
+                            .sum();
+                        assert!(
+                            v.obj - coef_sum >= -1e-6,
+                            "seed {seed}: column {j} prices negative under warm duals"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_resolve_survives_objective_change() {
+        // set_obj between solves is a legitimate warm restart (the basis
+        // stays primal feasible); the re-solve must track the new optimum.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        let y = m.add_var(2.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Ge, 4.0);
+        let mut warm = None;
+        let (r, _) = m.solve_lp_with(&mut warm);
+        assert_close(r.objective, 4.0); // all on x
+        m.set_obj(x, 3.0);
+        let (r, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(was_warm);
+        assert_close(r.objective, 8.0); // all on y
+    }
+
+    #[test]
+    fn warm_state_rejects_bound_changes() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Ge, 2.0);
+        let mut warm = None;
+        let _ = m.solve_lp_with(&mut warm);
+        assert!(warm.is_some());
+        m.set_bounds(x, 0.0, 1.5); // stale basis: must fall back cold
+        let (r, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(!was_warm);
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_state_rejects_new_constraints_and_bounded_columns() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Ge, 2.0);
+        let mut warm = None;
+        let _ = m.solve_lp_with(&mut warm);
+        let mut with_row = m.clone();
+        with_row.add_con(&[(x, 1.0)], Le, 10.0);
+        let mut warm2 = warm.clone();
+        let (_, was_warm) = with_row.solve_lp_with(&mut warm2);
+        assert!(!was_warm, "row count change must force a cold solve");
+        // A finite-ub appended column needs a bound row: cold path.
+        m.add_column(0.5, 0.0, 3.0, &[(0, 1.0)]);
+        let (r, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(!was_warm);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 1.0); // cover the >= 2 with the cheap column
     }
 
     proptest::proptest! {
