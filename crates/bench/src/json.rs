@@ -38,7 +38,24 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// master re-solves pivot far less; the class-aggregated path re-solves
 /// the master for pool pruning). v2 baselines are rejected for the same
 /// reason v1 ones were.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the branch-and-price counters joined (`dual_pivots`,
+/// `node_warm_starts`, `tree_columns_generated`), and
+/// `simplex_pivots`/`lp_solves`/`milp_nodes` shifted meaning once more —
+/// node LPs warm-start from the parent basis (far fewer pivots per node)
+/// and in-tree pricing re-solves node LPs after grafting columns. v3
+/// baselines are rejected for the same reason earlier ones were.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Counters whose *growth* reports an optimization engaging harder, not
+/// the solver working harder; the `--compare` gate never flags them.
+/// `warm_start_pivots_saved` grows when master warm starts skip more
+/// pivots, `node_warm_starts` when more node LPs start from the parent
+/// basis instead of cold, and `dual_pivots` is the substitution cost
+/// that rides along with every extra warm start (the total work those
+/// pivots replace is already gated through `simplex_pivots`).
+pub const SAVINGS_COUNTERS: [&str; 3] =
+    ["warm_start_pivots_saved", "node_warm_starts", "dual_pivots"];
 
 /// Counters as ordered `(name, value)` pairs — the JSON `"counters"`
 /// object. Emitted from [`Stats::named`], so the schema tracks the struct.
@@ -355,8 +372,9 @@ pub fn compare(current: &Baseline, baseline: &Baseline, threshold: f64) -> Compa
             };
             // Savings estimates are inverted: growth means the
             // optimization got *better* (warm starts skipping more
-            // pivots), never that the solver works harder.
-            if name == "warm_start_pivots_saved" {
+            // pivots, more nodes warm-started), never that the solver
+            // works harder.
+            if SAVINGS_COUNTERS.contains(&name.as_str()) {
                 continue;
             }
             // Counters are deterministic; growth past the threshold is
@@ -406,6 +424,9 @@ mod tests {
             bag_classes: 2,
             symbols_after_aggregation: 5,
             warm_start_pivots_saved: 7,
+            dual_pivots: 8,
+            node_warm_starts: 4,
+            tree_columns_generated: 1,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }
@@ -508,19 +529,21 @@ mod tests {
 
     #[test]
     fn compare_never_flags_savings_counter_growth() {
-        // warm_start_pivots_saved growing means warm starts got better;
-        // the gate must not read that as work inflation.
-        let entry = |saved: u64| Baseline {
-            schema_version: SCHEMA_VERSION,
-            quick: true,
-            experiments: vec![BaselineEntry {
-                id: "fig1".into(),
-                wall_secs: 1.0,
-                counters: vec![("warm_start_pivots_saved".into(), saved)],
-            }],
-        };
-        let c = compare(&entry(100_000), &entry(10), 3.0);
-        assert_eq!(c.exit_code(), 0, "{:?}", c.regressions);
+        // A savings-style counter growing means the optimization got
+        // better; the gate must not read that as work inflation.
+        for name in SAVINGS_COUNTERS {
+            let entry = |saved: u64| Baseline {
+                schema_version: SCHEMA_VERSION,
+                quick: true,
+                experiments: vec![BaselineEntry {
+                    id: "fig1".into(),
+                    wall_secs: 1.0,
+                    counters: vec![(name.into(), saved)],
+                }],
+            };
+            let c = compare(&entry(100_000), &entry(10), 3.0);
+            assert_eq!(c.exit_code(), 0, "{name}: {:?}", c.regressions);
+        }
     }
 
     #[test]

@@ -96,6 +96,39 @@ pub struct EptasConfig {
     /// restores the exact pre-pricing behaviour, on tight instances the
     /// restricted verdict stands instead of burning the full budget.
     pub pricing_fallback_budget: usize,
+    /// Warm-start branch-and-bound *node* LPs from the parent basis via
+    /// the dual simplex (default on): a branching bound change leaves the
+    /// parent basis dual feasible, so the child re-optimizes in a few
+    /// dual pivots instead of a cold phase-1/phase-2 solve. Falls back to
+    /// a cold solve per node on numerical singularity or a bound shape
+    /// the warm tableau cannot encode. Off = every node solves cold
+    /// (pre-PR-5 behaviour).
+    pub dual_simplex: bool,
+    /// Generate pattern columns *inside* the branch-and-bound tree
+    /// (default on): at fractional node LPs of the restricted MILP the
+    /// knapsack pricing DFS re-runs against the node duals, and improving
+    /// patterns are grafted into the tree as new integer columns. Rescues
+    /// dives that fail only because the root pool is missing a column.
+    /// Only engages on MILPs over a priced pool (the eager/oracle path is
+    /// never tree-priced).
+    pub tree_pricing: bool,
+    /// Total in-tree pricing rounds (one knapsack DFS each) per MILP
+    /// solve; bounds the extra work tree pricing may add to a solve.
+    pub tree_pricing_round_cap: usize,
+    /// Round cap of the pricing loop's *enrichment* phase (phase B) on
+    /// **wide** masters — those carrying more structural columns than
+    /// [`EptasConfig::pricing_symbol_budget`] when enrichment starts.
+    /// The pool is feasibility-complete at that point, so every extra
+    /// round trades a marginal pool improvement for a permanently wider
+    /// dense master tableau — the classic column-generation tailing-off,
+    /// measured at >90% of the n=1600 tight cell before the cap existed
+    /// (the master objective keeps improving by dust-sized amounts right
+    /// up to `pricing_max_rounds`). A short enrichment is safe because a
+    /// column the integral search turns out to miss is priced *in the
+    /// branch-and-bound tree* on demand ([`EptasConfig::tree_pricing`])
+    /// instead of speculatively at the root. Narrow masters, where a
+    /// round is cheap, enrich to natural convergence as before.
+    pub pricing_enrich_rounds: usize,
 }
 
 impl EptasConfig {
@@ -121,6 +154,10 @@ impl EptasConfig {
             class_aggregation: true,
             warm_start: true,
             pricing_pool_cap: 600,
+            dual_simplex: true,
+            tree_pricing: true,
+            tree_pricing_round_cap: 16,
+            pricing_enrich_rounds: 8,
         }
     }
 }

@@ -372,12 +372,20 @@ mod tests {
             // the aggregation/warm-start counters stay zero when the
             // accepted guess has no priority bags at all (everything
             // small) — the clustered test below covers them.
+            // The branch-and-price trio is conditional too: dual pivots /
+            // node warm starts need a node LP that actually re-optimizes
+            // (a dive of all-optimal-at-parent-basis children pivots
+            // zero times), and tree columns only appear when a node dive
+            // was missing a column.
             let may_be_zero = matches!(
                 name,
                 "columns_generated"
                     | "bag_classes"
                     | "symbols_after_aggregation"
                     | "warm_start_pivots_saved"
+                    | "dual_pivots"
+                    | "node_warm_starts"
+                    | "tree_columns_generated"
             );
             if may_be_zero {
                 continue;

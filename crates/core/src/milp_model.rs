@@ -48,12 +48,12 @@
 use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
-use crate::pattern::{collect_symbols_classed, enumerate_patterns, PatternSet, SlotBag};
-use crate::pricing::{generate_columns, Pricing};
+use crate::pattern::{collect_symbols_classed, enumerate_patterns, Pattern, PatternSet};
+use crate::pricing::{generate_columns, MilpRow, Pricing, TreePriceDriver};
 use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
-use bagsched_milp::{solve_milp, MilpOptions, MilpStatus, Model, Relation, VarId};
+use bagsched_milp::{solve_milp_with, MilpOptions, MilpResult, MilpStatus, Model, Relation, VarId};
 use bagsched_types::{BagId, JobId};
 use std::collections::HashMap;
 
@@ -73,7 +73,9 @@ pub struct SmallPair {
 /// Solution of the MILP phase.
 #[derive(Debug, Clone)]
 pub struct MilpOutcome {
-    /// Machines per pattern (integral).
+    /// Machines per pattern (integral), indexed over the solved pool —
+    /// including any tree-priced patterns appended at its tail (the
+    /// extended [`PatternSet`] returned alongside by the solve).
     pub x: Vec<u32>,
     /// Fractional job counts per `(pair index, pattern index)`.
     pub y: HashMap<(usize, usize), f64>,
@@ -195,8 +197,8 @@ pub fn solve_patterns(
             Pricing::Infeasible => return Err(GuessFailure::MilpInfeasible),
             Pricing::Converged(pool) => {
                 let ps = PatternSet::from_parts(symbols, pool);
-                match solve_with_patterns_classed(trans, &ps, &classes, cfg, stats) {
-                    Ok(out) => return Ok((ps, out)),
+                match solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing) {
+                    Ok((out, ext)) => return Ok((ext.unwrap_or(ps), out)),
                     Err(restricted) => {
                         // Inconclusive on a restricted pool: consult the
                         // oracle if enumeration is cheap, otherwise let
@@ -254,10 +256,21 @@ fn solve_patterns_aggregated(
         Pricing::Stalled => None,
         Pricing::Converged(pool) => {
             let ps = PatternSet::from_parts(symbols, pool);
-            let out = solve_with_patterns_classed(trans, &ps, classes, cfg, stats).ok()?;
+            let (out, ext) =
+                solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing).ok()?;
+            let ps = ext.unwrap_or(ps);
             crate::declass::declass(trans, classes, &ps, &out).ok().map(Ok)
         }
     }
+}
+
+/// The one place pattern sets grow a tree-priced tail: patterns append in
+/// column order, the `chi` table is rebuilt. Built once per tree-priced
+/// solve and handed up to the caller alongside the outcome.
+fn extend_patterns(ps: PatternSet, extra: &[Pattern]) -> PatternSet {
+    let mut patterns = ps.patterns;
+    patterns.extend(extra.iter().cloned());
+    PatternSet::from_parts(ps.symbols, patterns)
 }
 
 /// Build and solve the MILP for one guess over a *given* pattern set.
@@ -278,18 +291,7 @@ pub fn solve_with_patterns(
 /// generalization of `chi`: with singleton classes the entries are 0/1
 /// and `table[p][c] == 1` iff `chi_p(rep_c)`.
 pub(crate) fn class_mult_table(ps: &PatternSet, classes: &BagClasses) -> Vec<Vec<u32>> {
-    ps.patterns
-        .iter()
-        .map(|pat| {
-            let mut mult = vec![0u32; classes.num_classes()];
-            for &(si, count) in &pat.entries {
-                if let SlotBag::Priority(rep) = ps.symbols[si].bag {
-                    mult[classes.of(rep).expect("symbol reps are classed")] += count as u32;
-                }
-            }
-            mult
-        })
-        .collect()
+    ps.patterns.iter().map(|pat| pat.class_multiplicities(&ps.symbols, classes)).collect()
 }
 
 /// [`solve_with_patterns`] generalized to class-keyed pattern sets: the
@@ -297,7 +299,9 @@ pub(crate) fn class_mult_table(ps: &PatternSet, classes: &BagClasses) -> Vec<Vec
 /// the small-job constraints (3)–(5) run per `(class, size)` with the
 /// per-pattern free capacity `|C| - mult_C(p)` replacing the boolean
 /// `chi` exclusion. Singleton classes reproduce the per-bag model
-/// term for term.
+/// term for term. Tree pricing is off on this entry point (it is the
+/// oracle/cross-validation surface); the priced-pool path goes through
+/// [`solve_restricted`].
 pub(crate) fn solve_with_patterns_classed(
     trans: &Transformed,
     ps: &PatternSet,
@@ -305,6 +309,25 @@ pub(crate) fn solve_with_patterns_classed(
     cfg: &EptasConfig,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
+    solve_restricted(trans, ps, classes, cfg, stats, false).map(|(out, _)| out)
+}
+
+/// The restricted configuration MILP over a (priced or enumerated) pool,
+/// optionally with in-tree pricing (`tree`): fractional node LPs of the
+/// branch-and-bound then consult the knapsack pricing DFS against the
+/// node duals and graft improving patterns as new integer columns (see
+/// [`TreePriceDriver`]). Only the priced-pool path enables it — eager
+/// pools are already complete by construction. When tree columns were
+/// generated the second return value carries the extended pattern set
+/// (`x`'s index space), built exactly once.
+fn solve_restricted(
+    trans: &Transformed,
+    ps: &PatternSet,
+    classes: &BagClasses,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+    tree: bool,
+) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
     let pairs = priority_small_pairs_classed(trans, classes);
     let w_nonprio = nonpriority_small_area(trans);
     let class_mult = class_mult_table(ps, classes);
@@ -346,9 +369,9 @@ pub(crate) fn solve_with_patterns_classed(
     let ctx =
         ClassCtx { classes, class_mult: &class_mult, with_smalls: &classes_with_smalls, covering };
     if joint {
-        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats)
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree)
     } else {
-        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats)
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree)
     }
 }
 
@@ -376,6 +399,9 @@ fn record_milp(stats: &mut Stats, res: &bagsched_milp::MilpResult) {
     stats.simplex_pivots += res.lp_iterations as u64;
     stats.lp_solves += res.lp_solves as u64;
     stats.milp_nodes += res.nodes as u64;
+    stats.dual_pivots += res.dual_pivots as u64;
+    stats.node_warm_starts += res.node_warm_starts as u64;
+    stats.tree_columns_generated += res.tree_columns as u64;
 }
 
 fn milp_options(cfg: &EptasConfig) -> MilpOptions {
@@ -384,6 +410,33 @@ fn milp_options(cfg: &EptasConfig) -> MilpOptions {
         time_limit: cfg.milp_time_limit,
         int_tol: 1e-6,
         first_solution: true,
+        dual_simplex: cfg.dual_simplex,
+        price_after_nodes: 32,
+    }
+}
+
+/// Run the restricted MILP, with the in-tree pricer attached when `tree`
+/// is set. Returns the raw result plus the tree-priced patterns and their
+/// solution values (the tail of the extended `x` index space).
+fn run_milp(
+    model: &Model,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+    tree: Option<TreePriceDriver<'_>>,
+) -> (MilpResult, Vec<Pattern>, Vec<u32>) {
+    match tree {
+        Some(mut driver) => {
+            let res = solve_milp_with(model, &milp_options(cfg), Some(&mut driver));
+            stats.add(&driver.stats);
+            let tree_x = match res.status {
+                MilpStatus::Optimal | MilpStatus::Feasible => {
+                    driver.new_vars.iter().map(|&v| res.x[v.0].round() as u32).collect()
+                }
+                _ => Vec::new(),
+            };
+            (res, driver.new_patterns, tree_x)
+        }
+        None => (solve_milp_with(model, &milp_options(cfg), None), Vec::new(), Vec::new()),
     }
 }
 
@@ -392,6 +445,12 @@ fn milp_options(cfg: &EptasConfig) -> MilpOptions {
 /// pattern `p` has `|C| - mult_C(p)` member bags without a large slot,
 /// and the bag-constraint allows one small job per such bag. Singleton
 /// classes recover the paper's boolean `chi` form exactly.
+///
+/// Tree-priced columns participate only in rows (1) and (2): they carry
+/// no `y`/`a` variables, so no small jobs are modelled on them — a sound
+/// restriction (their machines simply stay small-free in the MILP's
+/// view).
+#[allow(clippy::too_many_arguments)]
 fn solve_joint(
     trans: &Transformed,
     ps: &PatternSet,
@@ -400,7 +459,8 @@ fn solve_joint(
     w_nonprio: f64,
     ctx: &ClassCtx<'_>,
     stats: &mut Stats,
-) -> Result<MilpOutcome, GuessFailure> {
+    tree: bool,
+) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
@@ -446,9 +506,13 @@ fn solve_joint(
     // a_p variables.
     let a: Vec<VarId> = (0..np).map(|_| model.add_var(0.0, 0.0, f64::INFINITY)).collect();
 
+    // Row layout for the in-tree pricer, recorded as the rows are built.
+    let mut rows: Vec<MilpRow> = Vec::new();
+
     // (1)
     let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
     model.add_con(&ones, Relation::Le, m);
+    rows.push(MilpRow::Machine);
 
     // (2) per symbol.
     for (si, sym) in ps.symbols.iter().enumerate() {
@@ -459,6 +523,7 @@ fn solve_joint(
             }
         }
         model.add_con(&terms, ctx.covering, sym.avail as f64);
+        rows.push(MilpRow::Symbol(si));
     }
 
     // (3) per pair.
@@ -466,11 +531,13 @@ fn solve_joint(
         let terms: Vec<(VarId, f64)> =
             (0..np).filter_map(|p| y.get(&(i, p)).map(|&v| (v, 1.0))).collect();
         model.add_con(&terms, Relation::Eq, pair.jobs.len() as f64);
+        rows.push(MilpRow::Other);
     }
     // (3') aggregate non-priority area.
     if w_nonprio > 0.0 {
         let terms: Vec<(VarId, f64)> = a.iter().map(|&v| (v, 1.0)).collect();
         model.add_con(&terms, Relation::Eq, w_nonprio);
+        rows.push(MilpRow::Other);
     }
 
     // (4) per pattern.
@@ -483,6 +550,7 @@ fn solve_joint(
             }
         }
         model.add_con(&terms, Relation::Le, 0.0);
+        rows.push(MilpRow::Other);
     }
 
     // (5) per (pattern, class with smalls): small jobs of the class are
@@ -504,15 +572,19 @@ fn solve_joint(
             }
             if terms.len() > 1 {
                 model.add_con(&terms, Relation::Le, 0.0);
+                rows.push(MilpRow::Other);
             }
         }
     }
 
-    let res = solve_milp(&model, &milp_options(cfg));
+    let driver = tree
+        .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
+    let (res, tree_patterns, tree_x) = run_milp(&model, cfg, stats, driver);
     record_milp(stats, &res);
     match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
-            let xs: Vec<u32> = x.iter().map(|&v| res.x[v.0].round() as u32).collect();
+            let mut xs: Vec<u32> = x.iter().map(|&v| res.x[v.0].round() as u32).collect();
+            xs.extend(tree_x);
             let ys: HashMap<(usize, usize), f64> = y
                 .into_iter()
                 .filter_map(|(key, v)| {
@@ -520,14 +592,19 @@ fn solve_joint(
                     (val > 1e-9).then_some((key, val))
                 })
                 .collect();
-            Ok(MilpOutcome {
-                x: xs,
-                y: ys,
-                pairs,
-                joint: true,
-                nodes: res.nodes,
-                lp_iterations: res.lp_iterations,
-            })
+            let ext =
+                (!tree_patterns.is_empty()).then(|| extend_patterns(ps.clone(), &tree_patterns));
+            Ok((
+                MilpOutcome {
+                    x: xs,
+                    y: ys,
+                    pairs,
+                    joint: true,
+                    nodes: res.nodes,
+                    lp_iterations: res.lp_iterations,
+                },
+                ext,
+            ))
         }
         MilpStatus::Infeasible => Err(GuessFailure::MilpInfeasible),
         MilpStatus::Budget | MilpStatus::Unbounded => Err(GuessFailure::MilpBudget),
@@ -535,6 +612,11 @@ fn solve_joint(
 }
 
 /// Two-stage path: x-MILP with aggregate cuts, then greedy fractional y.
+///
+/// This model is all-`x` rows, so tree-priced columns participate fully
+/// (coverings, area cut, per-class cuts): small jobs *can* be realized on
+/// their machines — the greedy `y` runs over the extended pattern set.
+#[allow(clippy::too_many_arguments)]
 fn solve_two_stage(
     trans: &Transformed,
     ps: &PatternSet,
@@ -543,10 +625,12 @@ fn solve_two_stage(
     w_nonprio: f64,
     ctx: &ClassCtx<'_>,
     stats: &mut Stats,
-) -> Result<MilpOutcome, GuessFailure> {
+    tree: bool,
+) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
+    let mut rows: Vec<MilpRow> = Vec::new();
     // Perturbed like the joint model: see the comment there.
     let x: Vec<VarId> = (0..np)
         .map(|p| model.add_int_var(if p == 0 { 0.0 } else { 1.0 + p as f64 * 1e-9 }, 0.0, m))
@@ -554,6 +638,7 @@ fn solve_two_stage(
 
     let ones: Vec<(VarId, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
     model.add_con(&ones, Relation::Le, m);
+    rows.push(MilpRow::Machine);
     for (si, sym) in ps.symbols.iter().enumerate() {
         let mut terms = Vec::new();
         for (p, pat) in ps.patterns.iter().enumerate() {
@@ -562,6 +647,7 @@ fn solve_two_stage(
             }
         }
         model.add_con(&terms, ctx.covering, sym.avail as f64);
+        rows.push(MilpRow::Symbol(si));
     }
 
     // Aggregate area cut: all small jobs must fit above the patterns.
@@ -569,6 +655,7 @@ fn solve_two_stage(
     let area_terms: Vec<(VarId, f64)> =
         ps.patterns.iter().enumerate().map(|(p, pat)| (x[p], trans.t - pat.height)).collect();
     model.add_con(&area_terms, Relation::Ge, w_prio + w_nonprio);
+    rows.push(MilpRow::AreaCut);
 
     // Per class with smalls: count and area cuts over the free member
     // capacity (singleton classes: chi = 0 patterns with weight 1).
@@ -583,32 +670,57 @@ fn solve_two_stage(
             .map(|p| (x[p], ctx.free_cap(p, c) as f64))
             .collect();
         model.add_con(&count_terms, Relation::Ge, count);
+        rows.push(MilpRow::ClassCount(c));
         let area_terms: Vec<(VarId, f64)> = (0..np)
             .filter(|&p| ctx.free_cap(p, c) > 0)
             .map(|p| (x[p], trans.t - ps.patterns[p].height))
             .collect();
         model.add_con(&area_terms, Relation::Ge, area);
+        rows.push(MilpRow::ClassArea(c));
     }
 
-    let res = solve_milp(&model, &milp_options(cfg));
+    let driver = tree
+        .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
+    let (res, tree_patterns, tree_x) = run_milp(&model, cfg, stats, driver);
     record_milp(stats, &res);
     let xs: Vec<u32> = match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
-            x.iter().map(|&v| res.x[v.0].round() as u32).collect()
+            let mut xs: Vec<u32> = x.iter().map(|&v| res.x[v.0].round() as u32).collect();
+            xs.extend(tree_x);
+            xs
         }
         MilpStatus::Infeasible => return Err(GuessFailure::MilpInfeasible),
         MilpStatus::Budget | MilpStatus::Unbounded => return Err(GuessFailure::MilpBudget),
     };
 
-    let y = greedy_small_y(trans, ps, &xs, &pairs, w_nonprio, ctx)?;
-    Ok(MilpOutcome {
-        x: xs,
-        y,
-        pairs,
-        joint: false,
-        nodes: res.nodes,
-        lp_iterations: res.lp_iterations,
-    })
+    // The greedy `y` must see the same index space as `xs`: extend the
+    // pattern set (and the per-pattern class table) with the tree
+    // columns, once — the same extended set rides up to the caller.
+    let ext = (!tree_patterns.is_empty()).then(|| extend_patterns(ps.clone(), &tree_patterns));
+    let y = match &ext {
+        None => greedy_small_y(trans, ps, &xs, &pairs, w_nonprio, ctx)?,
+        Some(ext) => {
+            let class_mult = class_mult_table(ext, ctx.classes);
+            let ext_ctx = ClassCtx {
+                classes: ctx.classes,
+                class_mult: &class_mult,
+                with_smalls: ctx.with_smalls,
+                covering: ctx.covering,
+            };
+            greedy_small_y(trans, ext, &xs, &pairs, w_nonprio, &ext_ctx)?
+        }
+    };
+    Ok((
+        MilpOutcome {
+            x: xs,
+            y,
+            pairs,
+            joint: false,
+            nodes: res.nodes,
+            lp_iterations: res.lp_iterations,
+        },
+        ext,
+    ))
 }
 
 /// Greedy fractional y over a solved `x`: big pieces first, onto the

@@ -68,6 +68,24 @@ impl Pattern {
     pub fn num_slots(&self) -> usize {
         self.entries.iter().map(|&(_, c)| c as usize).sum()
     }
+
+    /// Per-class slot counts of this pattern, summed over sizes — the
+    /// `mult_C(p)` of the class-aggregated MILP. The single home of the
+    /// rule; the MILP builders' `class_mult_table` and the in-tree
+    /// pricer's free-capacity coefficients both derive from it.
+    pub(crate) fn class_multiplicities(
+        &self,
+        symbols: &[Symbol],
+        classes: &BagClasses,
+    ) -> Vec<u32> {
+        let mut mult = vec![0u32; classes.num_classes()];
+        for &(si, count) in &self.entries {
+            if let SlotBag::Priority(rep) = symbols[si].bag {
+                mult[classes.of(rep).expect("symbol reps are classed")] += count as u32;
+            }
+        }
+        mult
+    }
 }
 
 /// The enumerated pattern universe for one transformed instance.

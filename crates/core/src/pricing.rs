@@ -72,7 +72,7 @@ const WARM_REFRESH_EVERY: usize = 32;
 
 /// Canonical identity of a pattern: its sorted `(symbol, multiplicity)`
 /// entries.
-type PatternKey = Vec<(usize, u16)>;
+pub(crate) type PatternKey = Vec<(usize, u16)>;
 
 /// The master-LP solver state threaded through the pricing rounds: the
 /// warm-start basis plus the pivot count of the last cold solve (the
@@ -239,14 +239,32 @@ pub fn generate_columns(
     // Every exit below happens right after a master solve of the final,
     // unmodified model, so the last LP doubles as the pruning input.
     let final_lp;
+    // On *wide* masters enrichment is capped, not run to convergence:
+    // late rounds trade dust-sized master improvements for ever-wider
+    // dense tableaus (each admitted column raises the per-pivot cost of
+    // every later re-solve — the classic column-generation tailing-off,
+    // measured at >90% of the n=1600 tight cell when enrichment ran to
+    // `pricing_max_rounds`). The pool is feasibility-complete either
+    // way, and a column the integral search turns out to miss is priced
+    // *in the tree* ([`TreePriceDriver`]) instead of speculatively at
+    // the root. Narrow masters — where a round costs microseconds and a
+    // leaner pool can push the downstream MILP onto a worse path (a
+    // smaller pool flips the joint/two-stage size estimate) — enrich to
+    // natural convergence exactly as before the cap existed.
+    let enrich_capped = cols.len() > cfg.pricing_symbol_budget;
+    let mut enrich_rounds = 0usize;
     loop {
         let lp = master.solve(&model, cfg, stats);
-        if lp.status != LpStatus::Optimal || rounds >= cfg.pricing_max_rounds {
-            // The pool is already feasibility-complete; stalling in the
-            // optimality phase only stops the enrichment.
+        if lp.status != LpStatus::Optimal
+            || rounds >= cfg.pricing_max_rounds
+            || (enrich_capped && enrich_rounds >= cfg.pricing_enrich_rounds)
+        {
+            // Stopping the optimality phase early is always safe; it
+            // only bounds the enrichment.
             final_lp = lp;
             break;
         }
+        enrich_rounds += 1;
         rounds += 1;
         stats.pricing_rounds += 1;
         let (cands, _) = price(&px, &lp.duals, 1.0, cfg, stats, &keys);
@@ -369,6 +387,157 @@ fn seed_pool(trans: &Transformed, symbols: &[Symbol], classes: &BagClasses) -> V
         }
     }
     pool
+}
+
+/// What a row of the restricted configuration MILP means to a *new*
+/// pattern column — the layout map the in-tree pricer uses to build
+/// column coefficients and to read the master-row duals off a node LP.
+/// Rows a new pure-`x` column does not touch (the joint model's per-pair,
+/// per-pattern and `chi` rows) are [`MilpRow::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MilpRow {
+    /// Constraint (1): the machine-count cap; coefficient 1.
+    Machine,
+    /// Covering row of symbol `s`; coefficient = the pattern's
+    /// multiplicity of `s`.
+    Symbol(usize),
+    /// An aggregate small-area cut; coefficient `T - height`.
+    AreaCut,
+    /// Two-stage per-class small-count cut; coefficient = the pattern's
+    /// free capacity for the class (member bags without a large slot).
+    ClassCount(usize),
+    /// Two-stage per-class small-area cut; coefficient `T - height` when
+    /// the pattern has free capacity for the class, else absent.
+    ClassArea(usize),
+    /// A row new pattern columns never touch.
+    Other,
+}
+
+/// The branch-and-price driver: prices pattern columns *inside* the
+/// branch-and-bound tree of the restricted MILP.
+///
+/// The root pool converges against the master LP's duals, but the
+/// integral search explores bound combinations under which different
+/// columns matter; a dive can fail only because the pool is missing a
+/// pattern the node LP would price in immediately. This driver implements
+/// [`bagsched_milp::TreePricer`]: at fractional optimal nodes it re-runs
+/// the bounded-knapsack pricing DFS against the *node* duals (machine
+/// row, covering rows, area cut — the two-stage class cuts are not
+/// modelled in the knapsack profit and make priced columns conservative
+/// estimates, which is sound: a non-improving column is dead weight, not
+/// an error) and appends improving patterns as integer columns, which the
+/// B&B grafts onto the warm node basis. The round cap
+/// ([`EptasConfig::tree_pricing_round_cap`]) bounds the total extra work
+/// per MILP solve.
+pub(crate) struct TreePriceDriver<'a> {
+    symbols: &'a [Symbol],
+    classes: &'a BagClasses,
+    /// Height bound `T`.
+    t: f64,
+    cfg: &'a EptasConfig,
+    /// Per model row: what a new pattern column contributes there.
+    rows: Vec<MilpRow>,
+    /// Pool + already-priced pattern keys (dedup).
+    keys: HashSet<PatternKey>,
+    /// Patterns appended to the model, in column order.
+    pub new_patterns: Vec<Pattern>,
+    /// The model variables of `new_patterns`, in the same order.
+    pub new_vars: Vec<VarId>,
+    rounds_left: usize,
+    /// Local counter accumulation (pricing DFS nodes), merged into the
+    /// run stats by the caller after the MILP solve.
+    pub stats: Stats,
+    /// Continues the x-column objective perturbation (`1 + i * 1e-9`)
+    /// past the root pool so priced columns stay symmetry-broken.
+    next_obj_index: usize,
+}
+
+impl<'a> TreePriceDriver<'a> {
+    pub(crate) fn new(
+        symbols: &'a [Symbol],
+        classes: &'a BagClasses,
+        t: f64,
+        cfg: &'a EptasConfig,
+        rows: Vec<MilpRow>,
+        pool: &[Pattern],
+    ) -> Self {
+        TreePriceDriver {
+            symbols,
+            classes,
+            t,
+            cfg,
+            rows,
+            keys: pool.iter().map(|p| p.entries.clone()).collect(),
+            new_patterns: Vec::new(),
+            new_vars: Vec::new(),
+            rounds_left: cfg.tree_pricing_round_cap,
+            stats: Stats::default(),
+            next_obj_index: pool.len(),
+        }
+    }
+}
+
+impl bagsched_milp::TreePricer for TreePriceDriver<'_> {
+    fn price(&mut self, model: &mut Model, lp: &LpResult) -> Vec<VarId> {
+        if self.rounds_left == 0 || lp.duals.len() < self.rows.len() {
+            return vec![];
+        }
+        self.rounds_left -= 1;
+        // Master-row duals in the layout the knapsack DFS expects:
+        // `[machine, symbols..., area]`.
+        let mut duals = vec![0.0; self.symbols.len() + 2];
+        for (r, kind) in self.rows.iter().enumerate() {
+            match *kind {
+                MilpRow::Machine => duals[0] = lp.duals[r],
+                MilpRow::Symbol(s) => duals[1 + s] = lp.duals[r],
+                MilpRow::AreaCut => duals[self.symbols.len() + 1] = lp.duals[r],
+                _ => {}
+            }
+        }
+        let px = PriceCtx { symbols: self.symbols, classes: self.classes, t: self.t };
+        // New x-columns cost ~1 in the restricted MILP.
+        let (cands, _) = price(&px, &duals, 1.0, self.cfg, &mut self.stats, &self.keys);
+        let mut added = Vec::with_capacity(cands.len());
+        for pat in cands {
+            // Free member-bag capacity per class (`|C| - mult_C(p)`),
+            // from the same rule the MILP builders use.
+            let class_mult = pat.class_multiplicities(self.symbols, self.classes);
+            let free_cap = |c: usize| (self.classes.size(c) as u32).saturating_sub(class_mult[c]);
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for (r, kind) in self.rows.iter().enumerate() {
+                let coef = match *kind {
+                    MilpRow::Machine => 1.0,
+                    MilpRow::Symbol(s) => pat
+                        .entries
+                        .iter()
+                        .find(|&&(si, _)| si == s)
+                        .map_or(0.0, |&(_, mult)| mult as f64),
+                    MilpRow::AreaCut => self.t - pat.height,
+                    MilpRow::ClassCount(c) => free_cap(c) as f64,
+                    MilpRow::ClassArea(c) => {
+                        if free_cap(c) > 0 {
+                            self.t - pat.height
+                        } else {
+                            0.0
+                        }
+                    }
+                    MilpRow::Other => 0.0,
+                };
+                if coef != 0.0 {
+                    coeffs.push((r, coef));
+                }
+            }
+            let obj = 1.0 + self.next_obj_index as f64 * 1e-9;
+            self.next_obj_index += 1;
+            let v = model.add_column(obj, 0.0, f64::INFINITY, &coeffs);
+            model.set_integer(v, true);
+            self.keys.insert(pat.entries.clone());
+            self.new_patterns.push(pat);
+            self.new_vars.push(v);
+            added.push(v);
+        }
+        added
+    }
 }
 
 /// One pricing-DFS item: a symbol with positive effective value under the

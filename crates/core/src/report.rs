@@ -92,6 +92,19 @@ pub struct Stats {
     /// warm re-solve, the last cold solve's pivot count minus the warm
     /// pivot count (floored at zero).
     pub warm_start_pivots_saved: u64,
+    /// Dual-simplex pivots spent re-optimizing warm branch-and-bound
+    /// node LPs (a subset of `simplex_pivots`): the actual cost of the
+    /// branching bound changes, paid instead of cold node solves.
+    pub dual_pivots: u64,
+    /// Branch-and-bound node LPs that started from the parent basis via
+    /// the dual engine instead of a cold phase-1/phase-2 solve. A
+    /// savings-style counter: growth means warm starts engage more, and
+    /// the bench growth gate exempts it.
+    pub node_warm_starts: u64,
+    /// Pattern columns priced *inside* the branch-and-bound tree against
+    /// node duals and grafted into the restricted MILP (distinct from
+    /// `columns_generated`, which counts root master-LP pricing).
+    pub tree_columns_generated: u64,
 }
 
 impl Stats {
@@ -110,12 +123,15 @@ impl Stats {
         self.bag_classes += other.bag_classes;
         self.symbols_after_aggregation += other.symbols_after_aggregation;
         self.warm_start_pivots_saved += other.warm_start_pivots_saved;
+        self.dual_pivots += other.dual_pivots;
+        self.node_warm_starts += other.node_warm_starts;
+        self.tree_columns_generated += other.tree_columns_generated;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 13] {
+    pub fn named(&self) -> [(&'static str, u64); 16] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -130,6 +146,9 @@ impl Stats {
             ("bag_classes", self.bag_classes),
             ("symbols_after_aggregation", self.symbols_after_aggregation),
             ("warm_start_pivots_saved", self.warm_start_pivots_saved),
+            ("dual_pivots", self.dual_pivots),
+            ("node_warm_starts", self.node_warm_starts),
+            ("tree_columns_generated", self.tree_columns_generated),
         ]
     }
 }
@@ -225,6 +244,9 @@ mod tests {
             bag_classes: 11,
             symbols_after_aggregation: 12,
             warm_start_pivots_saved: 13,
+            dual_pivots: 14,
+            node_warm_starts: 15,
+            tree_columns_generated: 16,
         };
         let b = a;
         a.add(&b);

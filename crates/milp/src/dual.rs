@@ -1,0 +1,533 @@
+//! Bounded-variable dual simplex: re-optimize a warm basis after
+//! branching bound changes.
+//!
+//! A branch-and-bound child differs from its parent by exactly one
+//! variable bound. The parent's optimal basis stays *dual* feasible under
+//! that change (reduced costs do not involve the right-hand side), so the
+//! child LP does not need a cold phase-1/phase-2 solve: translate the
+//! bound change into right-hand-side deltas, push them through the
+//! implicit `B^-1` the tableau carries, and run dual simplex pivots until
+//! primal feasibility is restored. Pivot work then scales with how much
+//! the bound change actually disturbed the optimum — usually a handful of
+//! pivots — instead of with the whole tableau.
+//!
+//! Representation: the primal tableau ([`crate::simplex`]) keeps variable
+//! bounds as shifted variables (`x' = x - lb`) plus explicit
+//! `x' <= ub - lb` rows. Both kinds of bound change are RHS edits:
+//!
+//! * raising `lb` by `d` shifts every constraint row's RHS by `-c_j * d`
+//!   and the variable's own bound row by `-d`;
+//! * lowering `ub` by `d` shifts only the bound row, by `-d`.
+//!
+//! The new tableau RHS is `old + B^-1 * delta_b`, and column `r` of
+//! `B^-1` is the current tableau column of row `r`'s initial basis — the
+//! same device the warm column graft uses.
+//!
+//! The entering column is chosen by a **Harris-style two-pass ratio
+//! test**: pass one finds the minimum dual ratio within a small
+//! tolerance, pass two picks the numerically largest pivot element among
+//! the near-ties. A candidate set whose best pivot element is still tiny
+//! means the basis is effectively singular for this change; the engine
+//! reports that by returning `None` and the caller falls back to a cold
+//! solve. An infeasible row with no eligible entering column is a proof
+//! of primal infeasibility (the usual dual-simplex certificate).
+
+use crate::model::{LpResult, LpStatus, Model};
+use crate::simplex::{self, WarmState};
+use crate::TOL;
+
+/// A row is primal-infeasible when its RHS is below `-FEAS_TOL`.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Pivot elements smaller than this are numerically unusable; a dual
+/// step forced onto one aborts to the cold path instead of dividing by
+/// noise.
+const PIV_TOL: f64 = 1e-7;
+
+/// Candidacy threshold for entering columns: coefficients in
+/// `(-PIV_TOL, -CAND_TOL]` are considered present (so infeasibility is
+/// not declared over roundoff dust) but unusable as pivots.
+const CAND_TOL: f64 = 1e-9;
+
+/// Outcome of a warm dual re-optimization.
+#[derive(Debug, Clone)]
+pub struct DualOutcome {
+    /// The re-solve result (`iterations` counts dual pivots *and* the
+    /// primal clean-up pivots).
+    pub lp: LpResult,
+    /// Dual-simplex pivots alone — the work the bound change cost.
+    pub dual_pivots: usize,
+}
+
+/// Re-optimize `model` from a previous optimal basis after variable-bound
+/// changes (and/or appended `[0, inf)` columns / objective edits).
+///
+/// Returns `None` — leaving `state` in an unspecified but unused-able
+/// state only on the singular path; callers must treat `None` as "discard
+/// the state and solve cold" — when the change cannot be absorbed:
+/// different constraint count, a finite upper bound imposed on a variable
+/// that never had a bound row, a bound *relaxation* to infinity, an
+/// appended column with non-`[0, inf)` bounds, or a numerically singular
+/// dual step.
+pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Option<DualOutcome> {
+    if model.cons.len() != state.num_cons {
+        return None;
+    }
+    // Collect bound deltas against the snapshot *before* grafting new
+    // columns (grafted columns enter with their model bounds, delta-free).
+    let n_old = state.bounds.len();
+    if model.num_vars() < n_old {
+        return None;
+    }
+    let mut changed: Vec<(usize, f64, f64)> = Vec::new(); // (var, d_lb, old->new ub delta on the bound row)
+    for (j, (v, &(lb_old, ub_old))) in model.vars.iter().zip(&state.bounds).enumerate() {
+        if v.lb == lb_old && v.ub == ub_old {
+            continue;
+        }
+        if v.ub < v.lb - TOL {
+            // Crossed bounds: trivially infeasible, no pivots needed.
+            return Some(DualOutcome {
+                lp: LpResult {
+                    status: LpStatus::Infeasible,
+                    x: vec![],
+                    objective: 0.0,
+                    iterations: 0,
+                    duals: vec![],
+                },
+                dual_pivots: 0,
+            });
+        }
+        let d_lb = v.lb - lb_old;
+        let d_range = match (ub_old.is_finite(), v.ub.is_finite()) {
+            (true, true) => (v.ub - v.lb) - (ub_old - lb_old),
+            (false, false) => 0.0,
+            // A newly finite ub needs a bound row the tableau does not
+            // have; relaxing a finite ub to infinity would need to delete
+            // one. Neither is a branching move: cold path.
+            _ => return None,
+        };
+        if v.ub.is_finite() && state.bound_row_of_var.get(j).copied().flatten().is_none() {
+            return None;
+        }
+        changed.push((j, d_lb, d_range));
+    }
+
+    if !simplex::graft_columns(model, state) {
+        return None;
+    }
+
+    // ---- Translate bound deltas into per-row RHS deltas. ----
+    if !changed.is_empty() {
+        let mut delta_b = vec![0.0f64; state.t.rows];
+        for ((con, &sign), delta) in model.cons.iter().zip(&state.row_sign).zip(&mut delta_b) {
+            for &(j, c) in &con.terms {
+                if let Some(&(_, d_lb, _)) = changed.iter().find(|&&(v, _, _)| v == j) {
+                    if d_lb != 0.0 {
+                        *delta -= sign * c * d_lb;
+                    }
+                }
+            }
+        }
+        for &(j, _, d_range) in &changed {
+            if d_range != 0.0 {
+                let br = state.bound_row_of_var[j].expect("checked above");
+                // Bound rows are built with nonnegative RHS: sign = +1.
+                delta_b[br] += d_range;
+            }
+        }
+        // New RHS = old RHS + B^-1 * delta_b; column r of B^-1 is the
+        // tableau column of row r's initial identity basis.
+        for (r, &d) in delta_b.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let bc = state.init_col[r];
+            for i in 0..state.t.rows {
+                let coef = state.t.at(i, bc);
+                if coef != 0.0 {
+                    *state.t.rhs_mut(i) += d * coef;
+                }
+            }
+        }
+        for &(j, _, _) in &changed {
+            state.bounds[j] = (model.vars[j].lb, model.vars[j].ub);
+        }
+    }
+
+    // A pure bound change leaves the reduced-cost row valid (pivots
+    // maintain it and RHS edits never touch it); only grafted columns or
+    // cost edits force the O(rows*cols) rebuild.
+    if simplex::obj_dirty(model, state) {
+        simplex::rebuild_obj(model, state);
+    }
+
+    // ---- Dual simplex: pivot primal infeasibility away. ----
+    let (art_start, art_end) = (state.art_start, state.art_end);
+    let allowed = |c: usize| c < art_start || c >= art_end;
+    let t = &mut state.t;
+    let mut iterations = 0usize;
+    let mut dual_pivots = 0usize;
+    // Degenerate dual pivots (ratio 0) can cycle like primal ones; after
+    // a stall streak switch to a Bland-style rule (smallest-index row and
+    // column), which is finite.
+    let stall_limit = 10 * t.rows + 50;
+    let mut stalled = 0usize;
+    let mut bland = false;
+    let mut last_infeas = f64::INFINITY;
+    // Rows whose residual infeasibility is tolerance-dust with no usable
+    // entering column: skipped rather than declared infeasible.
+    let mut tolerated: Vec<bool> = vec![false; t.rows];
+    loop {
+        if iterations >= iter_limit {
+            return Some(DualOutcome {
+                lp: LpResult {
+                    status: LpStatus::IterLimit,
+                    x: vec![],
+                    objective: 0.0,
+                    iterations,
+                    duals: vec![],
+                },
+                dual_pivots,
+            });
+        }
+        // Leaving row: most negative RHS (Bland: smallest basis index).
+        let mut leave: Option<(f64, usize, usize)> = None; // (rhs, basis, row)
+        for (r, _) in tolerated.iter().enumerate().filter(|&(_, &skip)| !skip) {
+            let rhs = t.rhs(r);
+            if rhs < -FEAS_TOL {
+                let key = if bland { (t.basis[r] as f64, 0, r) } else { (rhs, t.basis[r], r) };
+                match leave {
+                    Some((kr, kb, _)) if (kr, kb) <= (key.0, key.1) => {}
+                    _ => leave = Some(key),
+                }
+            }
+        }
+        let Some((_, _, prow)) = leave else { break };
+
+        // Entering column, Harris-style: pass 1 finds the minimum dual
+        // ratio |rc / a| over usable candidates; pass 2 takes the largest
+        // pivot element among ratios within a slack of the minimum.
+        let mut has_candidate = false;
+        let mut min_ratio = f64::INFINITY;
+        for c in 0..t.cols {
+            if !allowed(c) {
+                continue;
+            }
+            let a = t.at(prow, c);
+            if a < -CAND_TOL {
+                has_candidate = true;
+                if a <= -PIV_TOL {
+                    let ratio = t.obj[c].max(0.0) / -a;
+                    if ratio < min_ratio {
+                        min_ratio = ratio;
+                    }
+                }
+            }
+        }
+        if !has_candidate {
+            let rhs = t.rhs(prow);
+            if rhs < -1e-6 {
+                // Nonnegative combination of nonnegative variables equals
+                // a negative number: primal infeasible, certified.
+                return Some(DualOutcome {
+                    lp: LpResult {
+                        status: LpStatus::Infeasible,
+                        x: vec![],
+                        objective: 0.0,
+                        iterations,
+                        duals: vec![],
+                    },
+                    dual_pivots,
+                });
+            }
+            // Dust-sized residual with nothing to pivot on: tolerate.
+            tolerated[prow] = true;
+            continue;
+        }
+        if min_ratio.is_infinite() {
+            // Candidates exist but every usable pivot element is tiny:
+            // numerically singular step, let the caller refactorize.
+            return None;
+        }
+        let slack = min_ratio + 1e-9;
+        let mut pcol: Option<(f64, usize)> = None; // (|a|, col); Bland: smallest col
+        for c in 0..t.cols {
+            if !allowed(c) {
+                continue;
+            }
+            let a = t.at(prow, c);
+            if a <= -PIV_TOL && t.obj[c].max(0.0) / -a <= slack {
+                if bland {
+                    pcol = Some((a.abs(), c));
+                    break;
+                }
+                match pcol {
+                    Some((mag, _)) if mag >= a.abs() => {}
+                    _ => pcol = Some((a.abs(), c)),
+                }
+            }
+        }
+        let (_, pcol) = pcol.expect("min_ratio finite implies a usable candidate");
+        t.pivot(prow, pcol);
+        iterations += 1;
+        dual_pivots += 1;
+        // A pivot can re-disturb rows previously written off as dust.
+        tolerated.iter_mut().for_each(|v| *v = false);
+        let infeas: f64 = (0..t.rows).map(|r| (-t.rhs(r)).max(0.0)).sum();
+        if infeas < last_infeas - TOL {
+            last_infeas = infeas;
+            stalled = 0;
+            bland = false;
+        } else {
+            stalled += 1;
+            if stalled >= stall_limit {
+                bland = true;
+            }
+        }
+    }
+
+    // ---- Primal clean-up: objective edits or grafted columns may have
+    // left dual-infeasible (negative reduced cost) columns. ----
+    let status = t.optimize(allowed, iter_limit, &mut iterations);
+    if status != LpStatus::Optimal {
+        return Some(DualOutcome {
+            lp: LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] },
+            dual_pivots,
+        });
+    }
+    Some(DualOutcome { lp: simplex::extract_optimal(model, state, iterations), dual_pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation::*};
+    use crate::simplex::solve_with_state;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    fn warm_of(m: &Model) -> WarmState {
+        let (lp, state) = solve_with_state(m, 10_000);
+        assert_eq!(lp.status, LpStatus::Optimal);
+        state.expect("optimal solves return a state")
+    }
+
+    #[test]
+    fn ub_tightening_matches_cold() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; optimum (2, 6).
+        // Branch "y <= 4": new optimum x = 10/3, y = 4, z = -30.
+        let mut m = Model::new();
+        let x = m.add_var(-3.0, 0.0, 10.0);
+        let y = m.add_var(-5.0, 0.0, 10.0);
+        m.add_con(&[(x, 1.0)], Le, 4.0);
+        m.add_con(&[(y, 2.0)], Le, 12.0);
+        m.add_con(&[(x, 3.0), (y, 2.0)], Le, 18.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(y, 0.0, 4.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("bound row exists: warm path");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        let cold = m.solve_lp();
+        assert_close(out.lp.objective, cold.objective);
+        assert_close(out.lp.x[1], 4.0);
+        assert!(out.dual_pivots >= 1, "tightening past the optimum must pivot");
+    }
+
+    #[test]
+    fn lb_raising_matches_cold() {
+        // Same LP; branch "x >= 3": optimum x = 3, y = 4.5, z = -31.5.
+        let mut m = Model::new();
+        let x = m.add_var(-3.0, 0.0, 10.0);
+        let y = m.add_var(-5.0, 0.0, 10.0);
+        m.add_con(&[(x, 1.0)], Le, 4.0);
+        m.add_con(&[(y, 2.0)], Le, 12.0);
+        m.add_con(&[(x, 3.0), (y, 2.0)], Le, 18.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 3.0, 10.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        let cold = m.solve_lp();
+        assert_close(out.lp.objective, cold.objective);
+        assert_close(out.lp.x[0], 3.0);
+    }
+
+    #[test]
+    fn unchanged_bounds_are_a_no_op_resolve() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, 5.0);
+        m.add_con(&[(x, 1.0)], Ge, 2.0);
+        let mut state = warm_of(&m);
+        let out = reoptimize(&m, 10_000, &mut state).expect("no change absorbs trivially");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        assert_close(out.lp.objective, 2.0);
+        assert_eq!(out.dual_pivots, 0, "nothing moved, nothing to pivot");
+    }
+
+    #[test]
+    fn infeasible_branch_detected_without_cold_solve() {
+        // x >= 3 against x <= 2 (via constraint): dual simplex must
+        // certify infeasibility from the warm basis.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, 10.0);
+        m.add_con(&[(x, 1.0)], Le, 2.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 3.0, 10.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        assert_eq!(out.lp.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn crossed_bounds_infeasible_immediately() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, 10.0);
+        m.add_con(&[(x, 1.0)], Le, 8.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 6.0, 2.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("crossed bounds short-circuit");
+        assert_eq!(out.lp.status, LpStatus::Infeasible);
+        assert_eq!(out.dual_pivots, 0);
+    }
+
+    #[test]
+    fn newly_finite_ub_rejected() {
+        // The variable never had a bound row: the tableau cannot encode
+        // the new ub, so the engine must hand back to the cold path.
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0)], Le, 9.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 0.0, 4.0);
+        assert!(reoptimize(&m, 10_000, &mut state).is_none());
+    }
+
+    #[test]
+    fn lb_raise_on_unbounded_var_is_absorbed() {
+        // No bound row needed for a pure lb raise.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, f64::INFINITY);
+        let y = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Ge, 4.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 3.0, f64::INFINITY);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        assert_close(out.lp.objective, 4.0);
+        assert!(out.lp.x[0] >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn bound_change_then_columns_then_more_bounds() {
+        // The B&B + tree-pricing lifecycle: branch, graft a column, branch
+        // again — one WarmState absorbs the whole sequence.
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 0.0, 10.0);
+        let y = m.add_var(2.0, 0.0, 10.0);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Ge, 6.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(x, 0.0, 2.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        assert_close(out.lp.objective, 2.0 + 2.0 * 4.0); // x=2, y=4
+                                                         // A cheaper column arrives (cost 0.5, covers the row): the whole
+                                                         // demand moves onto it.
+        m.add_column(0.5, 0.0, f64::INFINITY, &[(0, 1.0)]);
+        let out = reoptimize(&m, 10_000, &mut state).expect("graft + primal clean-up");
+        assert_close(out.lp.objective, 0.5 * 6.0);
+        // And a further branch on x.
+        m.set_bounds(x, 1.0, 2.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        let cold = m.solve_lp();
+        assert_close(out.lp.objective, cold.objective);
+    }
+
+    #[test]
+    fn duals_usable_for_pricing_after_reoptimize() {
+        // Covering LP: after a bound change the re-optimized duals must
+        // still price every column nonnegatively (pricing relies on it).
+        let mut m = Model::new();
+        let a = m.add_var(1.0, 0.0, 10.0);
+        let b = m.add_var(1.5, 0.0, 10.0);
+        m.add_con(&[(a, 1.0), (b, 2.0)], Ge, 8.0);
+        m.add_con(&[(a, 1.0)], Le, 6.0);
+        let mut state = warm_of(&m);
+        m.set_bounds(a, 0.0, 3.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        for (j, v) in [(0, 1.0), (1, 1.5)] {
+            let coef_sum: f64 = m
+                .cons
+                .iter()
+                .zip(&out.lp.duals)
+                .map(|(con, &y)| {
+                    con.terms.iter().filter(|&&(var, _)| var == j).map(|&(_, c)| c * y).sum::<f64>()
+                })
+                .sum();
+            assert!(v - coef_sum >= -1e-6, "column {j} prices negative after reoptimize");
+        }
+    }
+
+    /// Seeded sweep: random bounded LPs, random bound tightenings — the
+    /// warm dual re-solve must agree with a cold solve on status and
+    /// objective every time.
+    #[test]
+    fn random_bound_changes_match_cold() {
+        struct Rng(u64);
+        impl Rng {
+            fn f(&mut self, lo: f64, hi: f64) -> f64 {
+                self.0 ^= self.0 << 13;
+                self.0 ^= self.0 >> 7;
+                self.0 ^= self.0 << 17;
+                lo + (self.0 >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+            }
+            fn u(&mut self, lo: usize, hi: usize) -> usize {
+                self.f(lo as f64, hi as f64 + 1.0).floor().min(hi as f64) as usize
+            }
+        }
+        for seed in 1..=40u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+            let n = rng.u(3, 6);
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n).map(|_| m.add_var(rng.f(-1.0, 2.0), 0.0, 10.0)).collect();
+            for _ in 0..rng.u(2, 5) {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, rng.f(0.1, 1.5))).collect();
+                m.add_con(&terms, if rng.f(0.0, 1.0) < 0.5 { Ge } else { Le }, rng.f(1.0, 12.0));
+            }
+            let (lp, state) = solve_with_state(&m, 10_000);
+            if lp.status != LpStatus::Optimal {
+                continue;
+            }
+            let mut state = state.unwrap();
+            for round in 0..4 {
+                // Tighten a random bound the way branching would.
+                let j = rng.u(0, n - 1);
+                let (lb, ub) = m.bounds(vars[j]);
+                if rng.f(0.0, 1.0) < 0.5 {
+                    m.set_bounds(vars[j], lb, (lb + rng.f(0.0, ub - lb)).min(ub));
+                } else {
+                    m.set_bounds(vars[j], (ub - rng.f(0.0, ub - lb)).max(lb), ub);
+                }
+                let Some(out) = reoptimize(&m, 10_000, &mut state) else {
+                    break; // singular step: cold fallback, nothing to check
+                };
+                let cold = m.solve_lp();
+                assert_eq!(
+                    out.lp.status, cold.status,
+                    "seed {seed} round {round}: warm status diverged"
+                );
+                if cold.status != LpStatus::Optimal {
+                    break; // state is spent once the LP went infeasible
+                }
+                assert!(
+                    (out.lp.objective - cold.objective).abs() < 1e-6,
+                    "seed {seed} round {round}: warm {} vs cold {}",
+                    out.lp.objective,
+                    cold.objective
+                );
+                assert!(
+                    m.is_feasible_point(&out.lp.x, 1e-5),
+                    "seed {seed} round {round}: warm point infeasible"
+                );
+            }
+        }
+    }
+}

@@ -9,9 +9,13 @@
 //!
 //! * [`Model`] — a small modelling layer (variables with bounds and
 //!   integrality, linear constraints, minimization objective),
-//! * [`simplex`] — a dense-tableau two-phase primal simplex solver,
+//! * [`simplex`] — a dense-tableau two-phase primal simplex solver with
+//!   warm-started re-solves for column generation,
+//! * [`dual`] — a dual-simplex engine that re-optimizes a warm basis
+//!   after variable-bound changes (the branch-and-bound child-node case),
 //! * [`branch`] — depth-first branch & bound on the LP relaxation, with
-//!   node/iteration budgets and incumbent tracking,
+//!   node/iteration budgets, incumbent tracking, parent-basis node warm
+//!   starts, and an optional in-tree pricing hook ([`TreePricer`]),
 //! * [`presolve`] — root-node bound tightening and redundancy
 //!   elimination (singleton rows, activity analysis).
 //!
@@ -19,11 +23,13 @@
 //! are explicit and exhausting one is reported, never silent.
 
 pub mod branch;
+pub mod dual;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
 
-pub use branch::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use branch::{solve_milp, solve_milp_with, MilpOptions, MilpResult, MilpStatus, TreePricer};
+pub use dual::DualOutcome;
 pub use model::{LpResult, LpStatus, Model, Relation, VarId};
 pub use presolve::{presolve, PresolveStatus};
 pub use simplex::WarmState;

@@ -37,20 +37,20 @@ pub fn default_iter_limit(model: &Model) -> usize {
 }
 
 #[derive(Debug, Clone)]
-struct Tableau {
+pub(crate) struct Tableau {
     /// Row-major `(rows) x (cols + 1)`; last column is the RHS.
-    a: Vec<f64>,
-    rows: usize,
-    cols: usize,
+    pub(crate) a: Vec<f64>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
     /// Basic variable (column index) of each row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Objective row: reduced costs (length `cols`), last entry = objective value (negated z).
-    obj: Vec<f64>,
+    pub(crate) obj: Vec<f64>,
 }
 
 impl Tableau {
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
         self.a[r * (self.cols + 1) + c]
     }
 
@@ -60,12 +60,18 @@ impl Tableau {
     }
 
     #[inline]
-    fn rhs(&self, r: usize) -> f64 {
+    pub(crate) fn rhs(&self, r: usize) -> f64 {
         self.at(r, self.cols)
     }
 
+    #[inline]
+    pub(crate) fn rhs_mut(&mut self, r: usize) -> &mut f64 {
+        let cols = self.cols;
+        self.at_mut(r, cols)
+    }
+
     /// Gauss–Jordan pivot on `(prow, pcol)`.
-    fn pivot(&mut self, prow: usize, pcol: usize) {
+    pub(crate) fn pivot(&mut self, prow: usize, pcol: usize) {
         let width = self.cols + 1;
         let pval = self.at(prow, pcol);
         debug_assert!(pval.abs() > TOL, "pivot element too small: {pval}");
@@ -120,7 +126,7 @@ impl Tableau {
 
     /// One optimization run on the current objective row.
     /// Only columns `c` with `allowed(c)` may enter.
-    fn optimize(
+    pub(crate) fn optimize(
         &mut self,
         allowed: impl Fn(usize) -> bool,
         iter_limit: usize,
@@ -189,23 +195,33 @@ impl Tableau {
 /// obtain one from [`solve_with_state`] and feed it to [`resolve`].
 #[derive(Debug, Clone)]
 pub struct WarmState {
-    t: Tableau,
+    pub(crate) t: Tableau,
     /// Per row: the column that held the initial identity basis (its
     /// current tableau column is the matching column of `B^-1`).
-    init_col: Vec<usize>,
+    pub(crate) init_col: Vec<usize>,
     /// Per model-constraint row: the sign normalization applied at build.
-    row_sign: Vec<f64>,
+    pub(crate) row_sign: Vec<f64>,
     /// Where to read each constraint's dual off the objective row.
-    dual_src: Vec<(usize, f64)>,
+    pub(crate) dual_src: Vec<(usize, f64)>,
     /// Artificial column range `[art_start, art_end)` (never re-enters).
-    art_start: usize,
-    art_end: usize,
+    pub(crate) art_start: usize,
+    pub(crate) art_end: usize,
     /// Tableau column -> model variable (None for slack/artificial).
-    var_of_col: Vec<Option<usize>>,
+    pub(crate) var_of_col: Vec<Option<usize>>,
     /// Bounds snapshot of every variable seen so far; a mismatch on
-    /// re-solve means the warm basis is stale.
-    bounds: Vec<(f64, f64)>,
-    num_cons: usize,
+    /// re-solve means the warm basis is stale (the dual engine absorbs
+    /// the mismatch instead — see [`crate::dual::reoptimize`]).
+    pub(crate) bounds: Vec<(f64, f64)>,
+    /// Per variable seen at build time: the tableau row carrying its
+    /// `x' <= ub - lb` bound row, if the variable had a finite upper
+    /// bound. The dual engine edits these rows in place when branching
+    /// tightens bounds. Appended columns (always `[0, inf)`) get `None`.
+    pub(crate) bound_row_of_var: Vec<Option<usize>>,
+    /// Objective-coefficient snapshot matching the current objective row;
+    /// re-solves skip the O(rows*cols) objective rebuild when neither
+    /// columns nor costs changed (the pure bound-change B&B child case).
+    pub(crate) costs: Vec<f64>,
+    pub(crate) num_cons: usize,
 }
 
 /// Solve the LP relaxation of `model` (integrality ignored).
@@ -233,6 +249,7 @@ pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<W
         }
         rows.push((coeffs, con.rel, con.rhs - shift));
     }
+    let mut bound_row_of_var: Vec<Option<usize>> = vec![None; n];
     for (j, v) in model.vars.iter().enumerate() {
         if v.ub.is_finite() {
             let range = v.ub - v.lb;
@@ -250,6 +267,7 @@ pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<W
             }
             let mut coeffs = vec![0.0; n];
             coeffs[j] = 1.0;
+            bound_row_of_var[j] = Some(rows.len());
             rows.push((coeffs, Relation::Le, range.max(0.0)));
         }
     }
@@ -458,6 +476,8 @@ pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<W
         art_end: cols_upper,
         var_of_col,
         bounds: model.vars.iter().map(|v| (v.lb, v.ub)).collect(),
+        bound_row_of_var,
+        costs: model.vars.iter().map(|v| v.obj).collect(),
         num_cons: ncons,
     };
     (LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }, Some(state))
@@ -475,21 +495,41 @@ pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Optio
     if model.cons.len() != state.num_cons {
         return None;
     }
-    let n_old = state.bounds.len();
-    let n_new = model.num_vars();
-    if n_new < n_old {
-        return None;
-    }
     for (v, &(lb, ub)) in model.vars.iter().zip(&state.bounds) {
         if v.lb != lb || v.ub != ub {
             return None;
         }
     }
-    if model.vars[n_old..].iter().any(|v| v.lb != 0.0 || v.ub != f64::INFINITY) {
+    if !graft_columns(model, state) {
         return None;
     }
+    if obj_dirty(model, state) {
+        rebuild_obj(model, state);
+    }
 
-    // ---- Graft the new columns onto the tableau. ----
+    // ---- Phase 2 from the (still primal-feasible) previous basis. ----
+    let mut iterations = 0usize;
+    let (art_start, art_end) = (state.art_start, state.art_end);
+    let status = state.t.optimize(|c| c < art_start || c >= art_end, iter_limit, &mut iterations);
+    if status != LpStatus::Optimal {
+        return Some(LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] });
+    }
+    Some(extract_optimal(model, state, iterations))
+}
+
+/// Append the model's new columns (relative to the state's snapshot) onto
+/// the warm tableau via the implicit `B^-1`. Returns `false` — leaving the
+/// state untouched — when a column cannot be grafted (its bounds are not
+/// `[0, inf)`, which would need a fresh bound row) or the model shrank.
+pub(crate) fn graft_columns(model: &Model, state: &mut WarmState) -> bool {
+    let n_old = state.bounds.len();
+    let n_new = model.num_vars();
+    if n_new < n_old {
+        return false;
+    }
+    if model.vars[n_old..].iter().any(|v| v.lb != 0.0 || v.ub != f64::INFINITY) {
+        return false;
+    }
     let k = n_new - n_old;
     if k > 0 {
         // Signed raw coefficients per new variable over constraint rows
@@ -529,11 +569,27 @@ pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Optio
         t.cols = new_cols;
         for vi in 0..k {
             state.var_of_col.push(Some(n_old + vi));
+            state.bound_row_of_var.push(None);
         }
         state.bounds.extend(model.vars[n_old..].iter().map(|v| (v.lb, v.ub)));
     }
+    true
+}
 
-    // ---- Rebuild the objective row against the current basis. ----
+/// Whether the warm tableau's objective row no longer reflects the
+/// model: columns were grafted (the row is short) or objective
+/// coefficients changed since the snapshot. A pure bound-change re-solve
+/// — the branch-and-bound child case — is clean and skips the
+/// O(rows*cols) rebuild; Gauss–Jordan pivots keep the row valid.
+pub(crate) fn obj_dirty(model: &Model, state: &WarmState) -> bool {
+    state.t.obj.len() != state.t.cols + 1
+        || model.num_vars() != state.costs.len()
+        || model.vars.iter().zip(&state.costs).any(|(v, &c)| v.obj != c)
+}
+
+/// Rebuild the tableau's objective row from the model's current costs
+/// against the current basis (reduced costs of basic variables zeroed).
+pub(crate) fn rebuild_obj(model: &Model, state: &mut WarmState) {
     let t = &mut state.t;
     let width = t.cols + 1;
     t.obj = vec![0.0; width];
@@ -553,14 +609,12 @@ pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Optio
             t.obj[b] = 0.0;
         }
     }
+    state.costs = model.vars.iter().map(|v| v.obj).collect();
+}
 
-    // ---- Phase 2 from the (still primal-feasible) previous basis. ----
-    let mut iterations = 0usize;
-    let (art_start, art_end) = (state.art_start, state.art_end);
-    let status = t.optimize(|c| c < art_start || c >= art_end, iter_limit, &mut iterations);
-    if status != LpStatus::Optimal {
-        return Some(LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] });
-    }
+/// Read the optimal solution and duals off a converged warm tableau.
+pub(crate) fn extract_optimal(model: &Model, state: &WarmState, iterations: usize) -> LpResult {
+    let t = &state.t;
     let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let mut x = lbs.clone();
     for r in 0..t.rows {
@@ -570,7 +624,7 @@ pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Optio
     }
     let objective = model.objective_value(&x);
     let duals = state.dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
-    Some(LpResult { status: LpStatus::Optimal, x, objective, iterations, duals })
+    LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }
 }
 
 #[cfg(test)]

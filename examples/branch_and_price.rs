@@ -1,0 +1,85 @@
+//! Branch-and-price in action: dual-simplex node warm starts and
+//! node-level column generation on a tight clustered instance.
+//!
+//! ```sh
+//! cargo run --release --example branch_and_price
+//! ```
+//!
+//! The tight clustered family (n/m = 3, symmetric priority bags) is the
+//! workload the whole pricing stack was built for. This example runs it
+//! at a scale where all three PR-5 subsystems engage and reads the story
+//! off the counters:
+//!
+//! * `node_warm_starts` / `dual_pivots` — branch-and-bound child LPs
+//!   re-optimized from the parent basis by the dual simplex instead of
+//!   cold phase-1/phase-2 solves;
+//! * `tree_columns_generated` — patterns priced *inside* the tree: the
+//!   root pool converged against the master duals, but the integral dive
+//!   struggled, so the knapsack pricing DFS re-ran against the node
+//!   duals and grafted the missing columns onto the warm basis;
+//! * the warm-vs-cold comparison at the end shows the contract: the work
+//!   changes, the answers do not.
+
+use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::types::{gen, validate_schedule};
+use std::time::Instant;
+
+fn main() {
+    // ---- 1. A scale cell where in-tree pricing engages. ----
+    let n = 1200;
+    let m = n / 3;
+    println!("solving tight clustered n={n}/m={m} (release defaults)...");
+    let inst = gen::clustered(n, m, m, 5, 2);
+    let start = Instant::now();
+    let r = Eptas::with_epsilon(0.5).solve(&inst).expect("valid instance");
+    let elapsed = start.elapsed();
+    validate_schedule(&inst, &r.schedule).expect("schedule must validate");
+
+    let s = &r.report.stats;
+    println!("  makespan            {:.4}  (lower bound {:.4})", r.makespan, r.report.lower_bound);
+    println!("  elapsed             {elapsed:.2?}");
+    println!("  milp_nodes          {}", s.milp_nodes);
+    println!(
+        "  node_warm_starts    {}  <- node LPs started from the parent basis",
+        s.node_warm_starts
+    );
+    println!("  dual_pivots         {}  <- what the branching bound changes cost", s.dual_pivots);
+    println!("  simplex_pivots      {}  (total, all LPs)", s.simplex_pivots);
+    println!(
+        "  tree_columns        {}  <- patterns priced inside the B&B tree",
+        s.tree_columns_generated
+    );
+    println!("  root columns        {}  (master-LP pricing at the root)", s.columns_generated);
+    // Both mechanisms are emergent (warm starts need re-optimizing nodes,
+    // tree pricing a struggling dive), so report engagement rather than
+    // asserting it — tuning or hardware changes must not panic the demo.
+    if s.node_warm_starts == 0 {
+        println!("  (node warm starts did not engage on this run — every node solved cold)");
+    }
+    if s.tree_columns_generated == 0 {
+        println!("  (in-tree pricing did not engage on this run — no dive struggled)");
+    }
+
+    // ---- 2. The warm == cold contract on a small witness. ----
+    println!();
+    println!("warm vs cold node LPs on clustered(60, 20, ...):");
+    let small = gen::clustered(60, 20, 20, 5, 2);
+    let mut results = Vec::new();
+    for dual in [true, false] {
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.dual_simplex = dual;
+        let r = Eptas::new(cfg).solve(&small).expect("valid instance");
+        let milp_pivots = r.report.last_success.as_ref().map(|g| g.lp_iterations).unwrap_or(0);
+        println!(
+            "  dual_simplex={dual:<5}  makespan={:.6}  restricted-MILP pivots={milp_pivots}",
+            r.makespan
+        );
+        results.push((r.makespan, milp_pivots));
+    }
+    let (warm, cold) = (results[0], results[1]);
+    assert_eq!(warm.0, cold.0, "warm starting must not change the makespan");
+    println!(
+        "  same makespan, {:.1}x fewer restricted-MILP pivots warm",
+        cold.1 as f64 / warm.1.max(1) as f64
+    );
+}

@@ -1,0 +1,84 @@
+//! Regression pins for the branch-and-bound node warm starts (PR-5
+//! tentpole): child-node LPs re-optimize from the parent basis via the
+//! dual simplex instead of cold phase-1/phase-2 solves.
+//!
+//! Two claims are pinned:
+//!
+//! 1. **Work:** on the tight clustered witness the dual engine must cut
+//!    the simplex+dual pivot total of the restricted MILP by a wide
+//!    margin (measured ~2.7x on the winning guess, ~14x against the
+//!    PR-4 enriched-pool baseline; the pin asserts ≥2x so scheduler and
+//!    pool-composition noise cannot flake it), and the run-wide pivot
+//!    total must drop too.
+//! 2. **Semantics:** warm-starting changes the work, not the answers —
+//!    verdicts and makespans must be byte-identical to the cold-node
+//!    path across a seeded sweep of every generator family.
+
+use bagsched::eptas::{Eptas, EptasConfig, EptasResult};
+use bagsched::types::gen;
+
+fn run(inst: &bagsched::types::Instance, dual: bool) -> EptasResult {
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.dual_simplex = dual;
+    Eptas::new(cfg).solve(inst).unwrap()
+}
+
+#[test]
+fn node_warm_starts_cut_restricted_milp_pivots() {
+    let inst = gen::clustered(60, 20, 20, 5, 2);
+    let warm = run(&inst, true);
+    let cold = run(&inst, false);
+    assert!(!warm.report.fell_back_to_lpt, "witness instance must take the priced path");
+
+    // The dual engine must actually engage...
+    let ws = &warm.report.stats;
+    assert!(ws.node_warm_starts > 0, "no node LP warm-started");
+    assert!(ws.dual_pivots > 0, "the dual engine never pivoted");
+    assert_eq!(cold.report.stats.node_warm_starts, 0, "cold runs must not warm-start");
+    assert_eq!(cold.report.stats.dual_pivots, 0, "cold runs must not dual-pivot");
+
+    // ...and pay off: the restricted MILP of the winning guess (simplex +
+    // dual pivots combined) at least halves, and the run-wide total drops.
+    let wi = warm.report.last_success.as_ref().expect("warm run succeeded").lp_iterations;
+    let ci = cold.report.last_success.as_ref().expect("cold run succeeded").lp_iterations;
+    assert!(2 * wi <= ci, "restricted-MILP pivots {wi} (warm) not at least 2x below {ci} (cold)");
+    assert!(
+        ws.simplex_pivots < cold.report.stats.simplex_pivots,
+        "total pivots {} (warm) not below {} (cold)",
+        ws.simplex_pivots,
+        cold.report.stats.simplex_pivots
+    );
+}
+
+/// Warm == cold, semantically: across every generator family and a
+/// seeded sweep, the two paths must reach identical verdicts (LPT
+/// fallback or not, same accepted guess) and byte-identical makespans.
+/// The MILP objective perturbations make every node-LP optimum unique,
+/// so the warm re-solve lands on the same vertex as the cold solve and
+/// the search trees coincide.
+#[test]
+fn warm_and_cold_node_paths_agree_across_families() {
+    for family in gen::Family::ALL {
+        for seed in [5u64, 17] {
+            let inst = family.generate(24, 3, seed);
+            let warm = run(&inst, true);
+            let cold = run(&inst, false);
+            let name = family.name();
+            assert_eq!(
+                warm.report.fell_back_to_lpt, cold.report.fell_back_to_lpt,
+                "{name}/{seed}: verdict diverged"
+            );
+            assert_eq!(
+                warm.report.chosen_guess, cold.report.chosen_guess,
+                "{name}/{seed}: accepted guess diverged"
+            );
+            assert_eq!(
+                warm.makespan.to_bits(),
+                cold.makespan.to_bits(),
+                "{name}/{seed}: makespan diverged ({} vs {})",
+                warm.makespan,
+                cold.makespan
+            );
+        }
+    }
+}
