@@ -45,7 +45,16 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// node LPs warm-start from the parent basis (far fewer pivots per node)
 /// and in-tree pricing re-solves node LPs after grafting columns. v3
 /// baselines are rejected for the same reason earlier ones were.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: the sparse-revised-simplex counters joined
+/// (`basis_refactorizations`, `eta_updates`), the master column
+/// lifecycle counters (`columns_purged`, `columns_readmitted`), and the
+/// strict `lpt_fallbacks` correctness counter. `simplex_pivots` shifted
+/// meaning once more: the dense tableau was replaced by a factorized
+/// basis with eta updates, and purged-then-readmitted columns change the
+/// pivot sequence. v4 baselines are rejected for the same reason earlier
+/// ones were.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Counters whose *growth* reports an optimization engaging harder, not
 /// the solver working harder; the `--compare` gate never flags them.
@@ -56,6 +65,13 @@ pub const SCHEMA_VERSION: u64 = 4;
 /// pivots replace is already gated through `simplex_pivots`).
 pub const SAVINGS_COUNTERS: [&str; 3] =
     ["warm_start_pivots_saved", "node_warm_starts", "dual_pivots"];
+
+/// Counters where *any* growth over the baseline fails the gate, with no
+/// threshold headroom. `lpt_fallbacks` counts guesses where the MILP
+/// path collapsed to the LPT heuristic — a silent quality degradation
+/// that wall-clock and work counters cannot see (LPT is *fast*), so a
+/// single extra fallback is a real regression, not noise.
+pub const STRICT_COUNTERS: [&str; 1] = ["lpt_fallbacks"];
 
 /// Counters as ordered `(name, value)` pairs — the JSON `"counters"`
 /// object. Emitted from [`Stats::named`], so the schema tracks the struct.
@@ -377,6 +393,18 @@ pub fn compare(current: &Baseline, baseline: &Baseline, threshold: f64) -> Compa
             if SAVINGS_COUNTERS.contains(&name.as_str()) {
                 continue;
             }
+            // Strict counters tolerate zero growth: they flag correctness
+            // degradations (e.g. silent LPT fallbacks), not work volume.
+            if STRICT_COUNTERS.contains(&name.as_str()) {
+                if cur_val > base_val {
+                    verdict = "FALL";
+                    cmp.regressions.push(format!(
+                        "{}: strict counter {name} {} vs baseline {} (any growth fails)",
+                        cur.id, cur_val, base_val
+                    ));
+                }
+                continue;
+            }
             // Counters are deterministic; growth past the threshold is
             // algorithmic work inflation, not noise.
             if *cur_val as f64 > (*base_val).max(1) as f64 * threshold {
@@ -427,6 +455,11 @@ mod tests {
             dual_pivots: 8,
             node_warm_starts: 4,
             tree_columns_generated: 1,
+            basis_refactorizations: 2,
+            eta_updates: 15,
+            columns_purged: 3,
+            columns_readmitted: 1,
+            lpt_fallbacks: 0,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }
@@ -544,6 +577,26 @@ mod tests {
             let c = compare(&entry(100_000), &entry(10), 3.0);
             assert_eq!(c.exit_code(), 0, "{name}: {:?}", c.regressions);
         }
+    }
+
+    #[test]
+    fn compare_fails_strict_counter_on_any_growth() {
+        let entry = |falls: u64| Baseline {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            experiments: vec![BaselineEntry {
+                id: "fig1".into(),
+                wall_secs: 1.0,
+                counters: vec![("lpt_fallbacks".into(), falls)],
+            }],
+        };
+        // +1 fallback fails even though it is far under the 3x threshold.
+        let c = compare(&entry(1), &entry(0), 3.0);
+        assert_eq!(c.exit_code(), 3);
+        assert!(c.regressions[0].contains("lpt_fallbacks"), "{}", c.regressions[0]);
+        // Equal or shrinking fallback counts pass.
+        assert_eq!(compare(&entry(2), &entry(2), 3.0).exit_code(), 0);
+        assert_eq!(compare(&entry(0), &entry(2), 3.0).exit_code(), 0);
     }
 
     #[test]

@@ -10,17 +10,17 @@ use bagsched_core::{Eptas, EptasConfig};
 use bagsched_types::{gen, validate_schedule};
 use std::time::Instant;
 
-/// Optimized CI runs this under ~3s — the PR-5 node warm starts plus the
-/// enrichment cap cut the cell from ~4.5s to ~0.16s measured, so 3s
+/// Optimized CI runs this under ~1s — the PR-6 factorized basis cut the
+/// cell to ~0.08s measured (from ~0.16s on the dense tableau), so 1s
 /// leaves an order of magnitude of headroom for slower CI machines while
-/// still catching a regression to the PR-4 cold-node cost. Unoptimized
-/// tier-1 runs get a proportionally looser ceiling so the guard still
-/// catches order-of-magnitude regressions.
+/// still catching a regression to even the PR-5 dense-tableau cost.
+/// Unoptimized tier-1 runs get a proportionally looser ceiling so the
+/// guard still catches order-of-magnitude regressions.
 fn ceiling_secs() -> f64 {
     if cfg!(debug_assertions) {
         120.0
     } else {
-        3.0
+        1.0
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::classify::JobClass;
 use crate::pattern::{PatternSet, SlotBag};
+use crate::report::GuessFailure;
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
 use bagsched_types::{BagId, JobId, MachineId};
@@ -104,12 +105,18 @@ pub struct LargeAssignment {
 /// Expand the pattern multiplicities into per-machine patterns and place
 /// all large/medium jobs into their slots. Returns the updated state and
 /// the conflicts wildcard placement could not avoid.
+///
+/// Constraint (2) of a *correct* MILP solution guarantees the slot
+/// demands match the job pools exactly; a solution that drifted (a
+/// tolerance artifact, a declassing miss) surfaces here as a mismatch.
+/// That is a per-guess failure — [`GuessFailure::LargePlacement`] sends
+/// the driver to its next guess — never a panic.
 pub fn assign_large(
     trans: &Transformed,
     ps: &PatternSet,
     x: &[u32],
     state: &mut WorkState,
-) -> LargeAssignment {
+) -> Result<LargeAssignment, GuessFailure> {
     let m = trans.tinst.num_machines();
 
     // Per-machine pattern list: non-empty patterns first, padded with the
@@ -123,7 +130,9 @@ pub fn assign_large(
             machine_pattern.push(p);
         }
     }
-    assert!(machine_pattern.len() <= m, "MILP used more machines than exist");
+    if machine_pattern.len() > m || x.len() > ps.patterns.len() {
+        return Err(GuessFailure::LargePlacement);
+    }
     machine_pattern.resize(m, 0);
 
     // Job pools.
@@ -152,10 +161,9 @@ pub fn assign_large(
             let sym = &ps.symbols[si];
             if let SlotBag::Priority(bag) = sym.bag {
                 for _ in 0..mult {
-                    let pool = prio_pool
-                        .get_mut(&(bag, sym.exp))
-                        .expect("constraint (2) guarantees availability");
-                    let job = pool.pop().expect("constraint (2) matched counts exactly");
+                    let Some(job) = prio_pool.get_mut(&(bag, sym.exp)).and_then(Vec::pop) else {
+                        return Err(GuessFailure::LargePlacement);
+                    };
                     state.place(trans, job, mid);
                     origin.insert(job, mid);
                 }
@@ -172,8 +180,9 @@ pub fn assign_large(
                 continue;
             }
             for _ in 0..mult {
-                let pools =
-                    wild_pool.get_mut(&sym.exp).expect("constraint (2) guarantees availability");
+                let Some(pools) = wild_pool.get_mut(&sym.exp) else {
+                    return Err(GuessFailure::LargePlacement);
+                };
                 // Non-conflicting bag with the most remaining jobs; if all
                 // conflict, the fullest bag overall (conflict recorded).
                 let pick_free = pools
@@ -184,16 +193,20 @@ pub fn assign_large(
                 let (bag, conflicted) = match pick_free {
                     Some(bag) => (bag, false),
                     None => {
-                        let bag = pools
+                        let fullest = pools
                             .iter()
                             .filter(|(_, jobs)| !jobs.is_empty())
                             .max_by_key(|(bag, jobs)| (jobs.len(), std::cmp::Reverse(bag.0)))
-                            .map(|(bag, _)| *bag)
-                            .expect("constraint (2) matched counts exactly");
+                            .map(|(bag, _)| *bag);
+                        let Some(bag) = fullest else {
+                            return Err(GuessFailure::LargePlacement);
+                        };
                         (bag, true)
                     }
                 };
-                let job = pools.get_mut(&bag).unwrap().pop().unwrap();
+                let Some(job) = pools.get_mut(&bag).and_then(Vec::pop) else {
+                    return Err(GuessFailure::LargePlacement);
+                };
                 state.place(trans, job, mid);
                 if conflicted {
                     conflicts.push(job);
@@ -202,13 +215,16 @@ pub fn assign_large(
         }
     }
 
-    debug_assert!(
-        prio_pool.values().all(Vec::is_empty)
-            && wild_pool.values().all(|m| m.values().all(Vec::is_empty)),
-        "constraint (2) should have consumed every pool"
-    );
+    // Leftover jobs mean the slots under-covered the pools: the later
+    // phases would ship a schedule with unplaced large jobs. Same
+    // per-guess failure as a pool running dry above.
+    if prio_pool.values().any(|p| !p.is_empty())
+        || wild_pool.values().any(|m| m.values().any(|p| !p.is_empty()))
+    {
+        return Err(GuessFailure::LargePlacement);
+    }
 
-    LargeAssignment { machine_pattern, origin, conflicts }
+    Ok(LargeAssignment { machine_pattern, origin, conflicts })
 }
 
 #[cfg(test)]
@@ -238,7 +254,7 @@ mod tests {
         let out = solve_with_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
             .expect("guess feasible");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
-        let la = assign_large(&t, &ps, &out.x, &mut state);
+        let la = assign_large(&t, &ps, &out.x, &mut state).expect("placement feasible");
         (t, ps, out, state, la)
     }
 

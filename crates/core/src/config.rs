@@ -129,6 +129,19 @@ pub struct EptasConfig {
     /// instead of speculatively at the root. Narrow masters, where a
     /// round is cheap, enrich to natural convergence as before.
     pub pricing_enrich_rounds: usize,
+    /// Reduced-cost threshold of the master column lifecycle: a nonbasic
+    /// pattern column whose reduced cost stays above this for
+    /// `PURGE_PATIENCE` consecutive feasibility-master re-solves is
+    /// physically removed from the master model (its pattern and key
+    /// stay in the pool, so the re-admission guard and the dedup set
+    /// still see it; it is re-admitted the moment it prices negative
+    /// under later duals). `f64::INFINITY` disables purging.
+    pub column_purge_threshold: f64,
+    /// Pivots between basis refactorizations of the revised simplex
+    /// (threaded to every LP/MILP model the pipeline builds). Smaller
+    /// keeps the eta file shorter — cheaper FTRAN/BTRAN per pivot — at
+    /// the cost of more frequent rebuilds.
+    pub refactor_interval: usize,
 }
 
 impl EptasConfig {
@@ -158,6 +171,8 @@ impl EptasConfig {
             tree_pricing: true,
             tree_pricing_round_cap: 16,
             pricing_enrich_rounds: 8,
+            column_purge_threshold: 0.1,
+            refactor_interval: 32,
         }
     }
 }

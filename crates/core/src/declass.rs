@@ -77,7 +77,12 @@ pub fn declass(
         }
     }
     for (s, sym) in ps.symbols.iter().enumerate() {
-        assert!(covered[s] >= sym.avail as u64, "MILP under-covered symbol {s}");
+        // An under-covering `x` (a tolerance artifact of the aggregated
+        // MILP) is a per-guess failure, not a panic: the caller retries
+        // the guess on the per-bag path.
+        if covered[s] < sym.avail as u64 {
+            return Err(GuessFailure::LargePlacement);
+        }
         let mut surplus = covered[s] - sym.avail as u64;
         for entries in machine_syms.iter_mut().rev() {
             if surplus == 0 {
@@ -92,7 +97,9 @@ pub fn declass(
                 }
             }
         }
-        assert_eq!(surplus, 0, "symbol {s}: surplus left after trimming every machine");
+        if surplus != 0 {
+            return Err(GuessFailure::LargePlacement);
+        }
     }
 
     // ---- 2b. Per class: collect slot instances per machine. ----
@@ -102,13 +109,16 @@ pub fn declass(
     for (mi, entries) in machine_syms.iter().enumerate() {
         for &(si, mult) in entries {
             if let SlotBag::Priority(rep) = ps.symbols[si].bag {
-                let c = classes.of(rep).expect("symbol reps are classed");
+                let Some(c) = classes.of(rep) else {
+                    return Err(GuessFailure::LargePlacement);
+                };
                 if slots[c].last().map(|&(m, _)| m) != Some(mi) {
                     slots[c].push((mi, Vec::new()));
                 }
-                let exps = &mut slots[c].last_mut().expect("just pushed").1;
-                for _ in 0..mult {
-                    exps.push(ps.symbols[si].exp);
+                if let Some((_, exps)) = slots[c].last_mut() {
+                    for _ in 0..mult {
+                        exps.push(ps.symbols[si].exp);
+                    }
                 }
             }
         }
@@ -123,7 +133,12 @@ pub fn declass(
             continue;
         }
         let k = classes.size(c);
-        let colors = color_class(class_slots, k);
+        let Some(colors) = color_class(class_slots, k) else {
+            // A machine carrying more slots of one class than the class
+            // has members: the coloring premise is violated, the guess is
+            // unplaceable as de-classed.
+            return Err(GuessFailure::LargePlacement);
+        };
         for ((mi, exps), cols) in class_slots.iter().zip(&colors) {
             for (&exp, &col) in exps.iter().zip(cols) {
                 assigned[*mi].push((exp, classes.members[c][col]));
@@ -145,12 +160,16 @@ pub fn declass(
         let mut entries: Vec<(usize, u16)> = Vec::new();
         for &(si, mult) in agg_entries {
             if ps.symbols[si].bag == SlotBag::X {
-                let cs = sym_index[&(ps.symbols[si].exp, SlotBag::X)];
+                let Some(&cs) = sym_index.get(&(ps.symbols[si].exp, SlotBag::X)) else {
+                    return Err(GuessFailure::LargePlacement);
+                };
                 entries.push((cs, mult));
             }
         }
         for &(exp, bag) in &assigned[mi] {
-            let cs = sym_index[&(exp, SlotBag::Priority(bag))];
+            let Some(&cs) = sym_index.get(&(exp, SlotBag::Priority(bag))) else {
+                return Err(GuessFailure::LargePlacement);
+            };
             entries.push((cs, 1));
         }
         entries.sort_unstable();
@@ -228,8 +247,10 @@ pub fn declass(
 
 /// Proper `k`-edge-coloring of the machine × size-subnode multigraph of
 /// one class (see the module docs): returns, parallel to the input, the
-/// member-bag index per slot.
-fn color_class(machine_slots: &[(usize, Vec<SizeExp>)], k: usize) -> Vec<Vec<usize>> {
+/// member-bag index per slot — `None` when a machine's class degree
+/// exceeds `k` (the coloring premise; callers treat it as a per-guess
+/// failure).
+fn color_class(machine_slots: &[(usize, Vec<SizeExp>)], k: usize) -> Option<Vec<Vec<usize>>> {
     // Build edges: subnodes chunk each size's slot instances (in machine
     // order) into groups of exactly k.
     struct Edge {
@@ -265,8 +286,8 @@ fn color_class(machine_slots: &[(usize, Vec<SizeExp>)], k: usize) -> Vec<Vec<usi
     let mut vc = vec![vec![NONE; k]; num_subnodes];
     for e in 0..edges.len() {
         let (u, v) = (edges[e].machine, edges[e].subnode);
-        let fu = (0..k).find(|&c| uc[u][c] == NONE).expect("machine degree exceeds class size");
-        let fv = (0..k).find(|&c| vc[v][c] == NONE).expect("subnode degree exceeds k");
+        let fu = (0..k).find(|&c| uc[u][c] == NONE)?;
+        let fv = (0..k).find(|&c| vc[v][c] == NONE)?;
         if let Some(c) = (0..k).find(|&c| uc[u][c] == NONE && vc[v][c] == NONE) {
             edges[e].color = c;
             uc[u][c] = e;
@@ -311,7 +332,12 @@ fn color_class(machine_slots: &[(usize, Vec<SizeExp>)], k: usize) -> Vec<Vec<usi
         vc[v][alpha] = e;
     }
 
-    edge_slots.into_iter().map(|ids| ids.into_iter().map(|e| edges[e].color).collect()).collect()
+    Some(
+        edge_slots
+            .into_iter()
+            .map(|ids| ids.into_iter().map(|e| edges[e].color).collect())
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -339,7 +365,7 @@ mod tests {
     /// per machine all bags distinct; per (size, bag) totals exactly the
     /// slot count divided by k.
     fn check_coloring(machine_slots: &[(usize, Vec<SizeExp>)], k: usize) {
-        let colors = color_class(machine_slots, k);
+        let colors = color_class(machine_slots, k).expect("premises hold: colorable");
         let mut per_bag_exp: HashMap<(usize, SizeExp), usize> = HashMap::new();
         let mut total_per_exp: HashMap<SizeExp, usize> = HashMap::new();
         for ((_, exps), cols) in machine_slots.iter().zip(&colors) {

@@ -87,12 +87,17 @@ pub fn reinsert_medium(
         if !solution.is_complete() {
             continue;
         }
-        // Materialize: pop concrete jobs per (bag, machine).
+        // Materialize: pop concrete jobs per (bag, machine). A flow that
+        // over-draws a bag's supply (it cannot under the network built
+        // above, but a mismatch must not abort the whole run) fails the
+        // guess instead of panicking — the driver falls back per guess.
         let mut out = Vec::with_capacity(trans.removed_medium.len());
         let mut pools: HashMap<usize, Vec<JobId>> = per_bag.clone();
         for (bi, i, amount) in solution.flows {
             debug_assert_eq!(amount, 1);
-            let job = pools.get_mut(&bags[bi]).unwrap().pop().expect("supply matched");
+            let Some(job) = pools.get_mut(&bags[bi]).and_then(Vec::pop) else {
+                return Err(GuessFailure::MediumFlow);
+            };
             out.push((job, MachineId(i as u32)));
             state.loads[i] += rounded.size[job.idx()];
         }

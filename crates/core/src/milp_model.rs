@@ -402,6 +402,8 @@ fn record_milp(stats: &mut Stats, res: &bagsched_milp::MilpResult) {
     stats.dual_pivots += res.dual_pivots as u64;
     stats.node_warm_starts += res.node_warm_starts as u64;
     stats.tree_columns_generated += res.tree_columns as u64;
+    stats.basis_refactorizations += res.basis_refactorizations as u64;
+    stats.eta_updates += res.eta_updates as u64;
 }
 
 fn milp_options(cfg: &EptasConfig) -> MilpOptions {
@@ -464,6 +466,7 @@ fn solve_joint(
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
+    model.set_refactor_interval(cfg.refactor_interval);
 
     // x_p: integer in [0, m]; empty pattern costs nothing. The tiny
     // index-dependent perturbation breaks the column symmetry of
@@ -630,6 +633,7 @@ fn solve_two_stage(
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
+    model.set_refactor_interval(cfg.refactor_interval);
     let mut rows: Vec<MilpRow> = Vec::new();
     // Perturbed like the joint model: see the comment there.
     let x: Vec<VarId> = (0..np)

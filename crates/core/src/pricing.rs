@@ -67,8 +67,14 @@ pub enum Pricing {
 const COLS_PER_ROUND: usize = 4;
 
 /// Warm-started master re-solves accumulate floating-point drift in the
-/// reused tableau; a periodic cold refactorization bounds it.
+/// reused basis; a periodic cold refresh bounds it (the revised engine
+/// additionally refactorizes every [`EptasConfig::refactor_interval`]
+/// pivots *within* a solve).
 const WARM_REFRESH_EVERY: usize = 32;
+
+/// Consecutive feasibility-master re-solves a nonbasic column must price
+/// above [`EptasConfig::column_purge_threshold`] before it is purged.
+const PURGE_PATIENCE: u32 = 3;
 
 /// Canonical identity of a pattern: its sorted `(symbol, multiplicity)`
 /// entries.
@@ -104,6 +110,8 @@ impl Master {
         if !cfg.warm_start {
             let lp = model.solve_lp();
             stats.simplex_pivots += lp.iterations as u64;
+            stats.basis_refactorizations += lp.refactorizations as u64;
+            stats.eta_updates += lp.eta_updates as u64;
             return lp;
         }
         self.solves_since_refresh += 1;
@@ -113,6 +121,8 @@ impl Master {
         }
         let (lp, was_warm) = model.solve_lp_with(&mut self.warm);
         stats.simplex_pivots += lp.iterations as u64;
+        stats.basis_refactorizations += lp.refactorizations as u64;
+        stats.eta_updates += lp.eta_updates as u64;
         if was_warm {
             // A cold re-solve would have paid roughly what the last cold
             // solve of this master did; the warm basis skips most of it.
@@ -167,6 +177,7 @@ pub fn generate_columns(
     // `Model::add_column`; the model is never rebuilt.
     let area_row = symbols.len() + 1;
     let mut model = Model::new();
+    model.set_refactor_interval(cfg.refactor_interval);
     let z_machines = model.add_var(1.0, 0.0, f64::INFINITY);
     let z_area = model.add_var(1.0, 0.0, f64::INFINITY);
     model.add_con(&[(z_machines, -1.0)], Relation::Le, m);
@@ -174,10 +185,16 @@ pub fn generate_columns(
         model.add_con(&[], Relation::Eq, sym.avail as f64);
     }
     model.add_con(&[(z_area, 1.0)], Relation::Ge, small_area);
-    let mut cols: Vec<VarId> = Vec::with_capacity(pool.len());
+    // Master column lifecycle: `cols[i]` is pattern `i`'s current model
+    // variable, `None` while purged (the pattern itself never leaves the
+    // pool or the dedup key set, so pricing cannot re-propose it and the
+    // re-admission guard can bring it back). `streak[i]` counts the
+    // consecutive re-solves it spent nonbasic above the purge threshold.
+    let mut cols: Vec<Option<VarId>> = Vec::with_capacity(pool.len());
     for pat in &pool {
-        cols.push(add_pattern_column(&mut model, pat, area_row, t, 0.0));
+        cols.push(Some(add_pattern_column(&mut model, pat, area_row, t, 0.0)));
     }
+    let mut streak: Vec<u32> = vec![0; pool.len()];
 
     let mut rounds = 0usize;
     let mut master = Master::new();
@@ -185,7 +202,31 @@ pub fn generate_columns(
 
     // ---- Phase A: feasibility (minimize the overflow). ----
     loop {
-        let lp = master.solve(&model, cfg, stats);
+        let mut lp = master.solve(&model, cfg, stats);
+        // Re-admission guard: a purged column that prices negative under
+        // the new duals would make this optimum under-informed (the purge
+        // is a restriction, not a relaxation). Re-admit and re-solve to a
+        // fixpoint, so every optimum acted on below — the overflow test,
+        // the purge decision, the pricing round — is optimal over the
+        // *full* pool, exactly as if no column had ever been purged.
+        while lp.status == LpStatus::Optimal {
+            let mut readmitted = false;
+            for i in 0..pool.len() {
+                if cols[i].is_some() {
+                    continue;
+                }
+                if pattern_rc(&pool[i], &lp.duals, area_row, t, 0.0) < -1e-7 {
+                    cols[i] = Some(add_pattern_column(&mut model, &pool[i], area_row, t, 0.0));
+                    streak[i] = 0;
+                    stats.columns_readmitted += 1;
+                    readmitted = true;
+                }
+            }
+            if !readmitted {
+                break;
+            }
+            lp = master.solve(&model, cfg, stats);
+        }
         if lp.status != LpStatus::Optimal {
             // The overflow variables make the master feasible and the
             // objective nonnegative; anything else is numerical distress.
@@ -197,6 +238,50 @@ pub fn generate_columns(
         }
         if rounds >= cfg.pricing_max_rounds {
             return Pricing::Stalled;
+        }
+        // Purge decision: a nonbasic column priced above the threshold for
+        // PURGE_PATIENCE consecutive re-solves is physically removed from
+        // the master (pattern and key stay pooled; the guard above
+        // re-admits it if it ever prices negative again). The empty
+        // pattern and the singleton seeds are exempt — they are the
+        // structural-feasibility floor the final pruning also preserves.
+        if cfg.column_purge_threshold.is_finite() {
+            let mut victims: Vec<VarId> = Vec::new();
+            let mut victim_idx: Vec<usize> = Vec::new();
+            for i in 0..pool.len() {
+                let Some(v) = cols[i] else { continue };
+                if pool[i].is_empty() || pool[i].num_slots() == 1 {
+                    continue;
+                }
+                let rc = pattern_rc(&pool[i], &lp.duals, area_row, t, 0.0);
+                if lp.x[v.0] <= 1e-9 && rc > cfg.column_purge_threshold {
+                    streak[i] += 1;
+                    if streak[i] >= PURGE_PATIENCE {
+                        victims.push(v);
+                        victim_idx.push(i);
+                    }
+                } else {
+                    streak[i] = 0;
+                }
+            }
+            if !victims.is_empty()
+                && bagsched_milp::purge_columns(&mut model, master.warm.as_mut(), &victims)
+            {
+                stats.columns_purged += victims.len() as u64;
+                for &i in &victim_idx {
+                    cols[i] = None;
+                }
+                // Surviving variables shift down past the purged ones.
+                for c in cols.iter_mut().flatten() {
+                    c.0 -= victims.iter().filter(|w| w.0 < c.0).count();
+                }
+            }
+            // Reset the victims' streaks either way: on a refused purge
+            // (a degenerate basic victim) retrying next solve is fine,
+            // but hot-looping on the same set every solve is not.
+            for &i in &victim_idx {
+                streak[i] = 0;
+            }
         }
         rounds += 1;
         stats.pricing_rounds += 1;
@@ -218,20 +303,31 @@ pub fn generate_columns(
         }
         for pat in cands {
             keys.insert(pat.entries.clone());
-            cols.push(add_pattern_column(&mut model, &pat, area_row, t, 0.0));
+            cols.push(Some(add_pattern_column(&mut model, &pat, area_row, t, 0.0)));
+            streak.push(0);
             pool.push(pat);
             stats.columns_generated += 1;
         }
     }
 
     // ---- Phase B: minimize machines used to enrich the pool. ----
+    // The overflow variables pin to zero and the pattern columns take the
+    // machine-count objective. The mutation is by `VarId`, so it applies
+    // to the purge-compacted model exactly as to an untouched one, and
+    // columns purged in phase A stay out — the phase-B re-admission
+    // guard brings any of them back the moment it prices negative under
+    // the new objective's duals. Streaks reset: a reduced cost under the
+    // feasibility objective says nothing about the machine-count one.
     model.set_bounds(z_machines, 0.0, 0.0);
     model.set_bounds(z_area, 0.0, 0.0);
     model.set_obj(z_machines, 0.0);
     model.set_obj(z_area, 0.0);
-    for (i, &v) in cols.iter().enumerate() {
-        model.set_obj(v, if pool[i].is_empty() { 0.0 } else { 1.0 });
+    for (i, c) in cols.iter().enumerate() {
+        if let Some(v) = c {
+            model.set_obj(*v, if pool[i].is_empty() { 0.0 } else { 1.0 });
+        }
     }
+    streak.iter_mut().for_each(|s| *s = 0);
     // The bound flip on the overflow variables invalidates the warm
     // basis (their bound rows change shape); phase B cold-starts once and
     // then warm-starts its own re-solves.
@@ -251,10 +347,32 @@ pub fn generate_columns(
     // leaner pool can push the downstream MILP onto a worse path (a
     // smaller pool flips the joint/two-stage size estimate) — enrich to
     // natural convergence exactly as before the cap existed.
-    let enrich_capped = cols.len() > cfg.pricing_symbol_budget;
+    let enrich_capped = pool.len() > cfg.pricing_symbol_budget;
     let mut enrich_rounds = 0usize;
     loop {
-        let lp = master.solve(&model, cfg, stats);
+        let mut lp = master.solve(&model, cfg, stats);
+        // Same re-admission guard as phase A, against the machine-count
+        // objective (purged columns are never the empty seed, so their
+        // coefficient is 1). Every exit from this loop — and hence the
+        // pruning below — therefore sees a full-pool optimum.
+        while lp.status == LpStatus::Optimal {
+            let mut readmitted = false;
+            for i in 0..pool.len() {
+                if cols[i].is_some() {
+                    continue;
+                }
+                if pattern_rc(&pool[i], &lp.duals, area_row, t, 1.0) < -1e-7 {
+                    cols[i] = Some(add_pattern_column(&mut model, &pool[i], area_row, t, 1.0));
+                    streak[i] = 0;
+                    stats.columns_readmitted += 1;
+                    readmitted = true;
+                }
+            }
+            if !readmitted {
+                break;
+            }
+            lp = master.solve(&model, cfg, stats);
+        }
         if lp.status != LpStatus::Optimal
             || rounds >= cfg.pricing_max_rounds
             || (enrich_capped && enrich_rounds >= cfg.pricing_enrich_rounds)
@@ -272,9 +390,49 @@ pub fn generate_columns(
             final_lp = lp;
             break;
         }
+        // Purge decision, mirroring phase A against the machine-count
+        // objective. Deliberately *after* the exits above: purging remaps
+        // surviving `VarId`s, so it must never sit between computing an
+        // optimum and exiting with it (`final_lp.x` is indexed by the
+        // live column ids).
+        if cfg.column_purge_threshold.is_finite() {
+            let mut victims: Vec<VarId> = Vec::new();
+            let mut victim_idx: Vec<usize> = Vec::new();
+            for i in 0..pool.len() {
+                let Some(v) = cols[i] else { continue };
+                if pool[i].is_empty() || pool[i].num_slots() == 1 {
+                    continue;
+                }
+                let rc = pattern_rc(&pool[i], &lp.duals, area_row, t, 1.0);
+                if lp.x[v.0] <= 1e-9 && rc > cfg.column_purge_threshold {
+                    streak[i] += 1;
+                    if streak[i] >= PURGE_PATIENCE {
+                        victims.push(v);
+                        victim_idx.push(i);
+                    }
+                } else {
+                    streak[i] = 0;
+                }
+            }
+            if !victims.is_empty()
+                && bagsched_milp::purge_columns(&mut model, master.warm.as_mut(), &victims)
+            {
+                stats.columns_purged += victims.len() as u64;
+                for &i in &victim_idx {
+                    cols[i] = None;
+                }
+                for c in cols.iter_mut().flatten() {
+                    c.0 -= victims.iter().filter(|w| w.0 < c.0).count();
+                }
+            }
+            for &i in &victim_idx {
+                streak[i] = 0;
+            }
+        }
         for pat in cands {
             keys.insert(pat.entries.clone());
-            cols.push(add_pattern_column(&mut model, &pat, area_row, t, 1.0));
+            cols.push(Some(add_pattern_column(&mut model, &pat, area_row, t, 1.0)));
+            streak.push(0);
             pool.push(pat);
             stats.columns_generated += 1;
         }
@@ -288,15 +446,31 @@ pub fn generate_columns(
     // the singleton seeds (structural feasibility); drop the rest. Small
     // pools are passed through untouched — pre-aggregation behaviour.
     if pool.len() > cfg.pricing_pool_cap && final_lp.status == LpStatus::Optimal {
+        // A column still purged at exit is nonbasic by construction (the
+        // guard would have re-admitted a useful one), so it falls to the
+        // same support filter as an in-model column at zero.
         let pruned: Vec<Pattern> = pool
             .iter()
             .zip(&cols)
-            .filter(|&(pat, &v)| pat.is_empty() || pat.num_slots() == 1 || final_lp.x[v.0] > 1e-9)
+            .filter(|&(pat, c)| {
+                pat.is_empty() || pat.num_slots() == 1 || c.is_some_and(|v| final_lp.x[v.0] > 1e-9)
+            })
             .map(|(pat, _)| pat.clone())
             .collect();
         return Pricing::Converged(pruned);
     }
     Pricing::Converged(pool)
+}
+
+/// Reduced cost of `pat`'s master column (objective coefficient `obj`)
+/// under row duals laid out `[machine, symbols..., area]` — the mirror of
+/// [`add_pattern_column`], used by the column lifecycle.
+fn pattern_rc(pat: &Pattern, duals: &[f64], area_row: usize, t: f64, obj: f64) -> f64 {
+    let mut rc = obj - duals[0] - duals[area_row] * (t - pat.height);
+    for &(s, mult) in &pat.entries {
+        rc -= duals[1 + s] * mult as f64;
+    }
+    rc
 }
 
 /// Append one pattern column to the master: coefficient 1 in the machine

@@ -27,6 +27,10 @@ pub enum GuessFailure {
     /// The Lemma-3 flow could not place all medium jobs (inconclusive
     /// outside the paper's parameter regime).
     MediumFlow,
+    /// The large-slot placement found a bag/supply mismatch between the
+    /// de-classed MILP solution and the transformed instance
+    /// (inconclusive; formerly a process-aborting panic).
+    LargePlacement,
 }
 
 impl std::fmt::Display for GuessFailure {
@@ -39,6 +43,7 @@ impl std::fmt::Display for GuessFailure {
             GuessFailure::SmallPlacement => "two-stage small-job placement failed",
             GuessFailure::SwapRepair => "large-job swap repair found no partner",
             GuessFailure::MediumFlow => "medium-job reinsertion flow incomplete",
+            GuessFailure::LargePlacement => "large-slot placement hit a bag/supply mismatch",
         };
         f.write_str(s)
     }
@@ -105,6 +110,25 @@ pub struct Stats {
     /// node duals and grafted into the restricted MILP (distinct from
     /// `columns_generated`, which counts root master-LP pricing).
     pub tree_columns_generated: u64,
+    /// Basis refactorizations of the revised simplex: eta-file rebuilds
+    /// from the sparse basis columns (every `refactor_interval` pivots).
+    pub basis_refactorizations: u64,
+    /// Eta updates of the revised simplex: factorized basis changes, one
+    /// per pivot between refactorizations.
+    pub eta_updates: u64,
+    /// Master columns physically purged from the model (nonbasic with
+    /// reduced cost above the purge threshold for `PURGE_PATIENCE`
+    /// consecutive re-solves).
+    pub columns_purged: u64,
+    /// Purged columns re-admitted because they priced negative under
+    /// later master duals. A savings-style counter like
+    /// `node_warm_starts`: growth means the lifecycle guard engages.
+    pub columns_readmitted: u64,
+    /// Solves that returned the LPT fallback schedule because every
+    /// makespan guess failed. An *assertion* counter: the gate tolerates
+    /// zero growth — any regression to the fallback on a previously
+    /// solved cell is a failure, not noise.
+    pub lpt_fallbacks: u64,
 }
 
 impl Stats {
@@ -126,12 +150,17 @@ impl Stats {
         self.dual_pivots += other.dual_pivots;
         self.node_warm_starts += other.node_warm_starts;
         self.tree_columns_generated += other.tree_columns_generated;
+        self.basis_refactorizations += other.basis_refactorizations;
+        self.eta_updates += other.eta_updates;
+        self.columns_purged += other.columns_purged;
+        self.columns_readmitted += other.columns_readmitted;
+        self.lpt_fallbacks += other.lpt_fallbacks;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 16] {
+    pub fn named(&self) -> [(&'static str, u64); 21] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -149,6 +178,11 @@ impl Stats {
             ("dual_pivots", self.dual_pivots),
             ("node_warm_starts", self.node_warm_starts),
             ("tree_columns_generated", self.tree_columns_generated),
+            ("basis_refactorizations", self.basis_refactorizations),
+            ("eta_updates", self.eta_updates),
+            ("columns_purged", self.columns_purged),
+            ("columns_readmitted", self.columns_readmitted),
+            ("lpt_fallbacks", self.lpt_fallbacks),
         ]
     }
 }
@@ -247,6 +281,11 @@ mod tests {
             dual_pivots: 14,
             node_warm_starts: 15,
             tree_columns_generated: 16,
+            basis_refactorizations: 17,
+            eta_updates: 18,
+            columns_purged: 19,
+            columns_readmitted: 20,
+            lpt_fallbacks: 21,
         };
         let b = a;
         a.add(&b);

@@ -325,7 +325,13 @@ pub fn repair_priority_conflicts(
 
     for js in conflicted {
         let bag = trans.tinst.bag_of(js);
-        let here = state.machine_of[js.idx()].expect("conflicted job is placed");
+        // Conflicted jobs were collected off machine_jobs, so they are
+        // placed; if the state drifted, record a chain failure (the
+        // driver's safety net re-checks feasibility) instead of panicking.
+        let Some(here) = state.machine_of[js.idx()] else {
+            stats.chain_failures += 1;
+            continue;
+        };
         if state.bag_on(here, bag) <= 1 {
             continue; // earlier move already fixed it
         }
@@ -394,7 +400,7 @@ mod tests {
         let out = solve_with_patterns(&t, &ps, cfg, &mut crate::report::Stats::default())
             .expect("feasible guess");
         let mut state = WorkState::new(t.tinst.num_jobs(), m);
-        let la = assign_large(&t, &ps, &out.x, &mut state);
+        let la = assign_large(&t, &ps, &out.x, &mut state).expect("placement feasible");
         let swaps = crate::swap_repair::repair_conflicts(
             &t,
             &mut state,

@@ -33,7 +33,11 @@ pub fn repair_conflicts(
     let mut swaps = 0;
     for &job in conflicts {
         let bag = trans.tinst.bag_of(job);
-        let mid = state.machine_of[job.idx()].expect("conflicted job is placed");
+        // A conflict entry for an unplaced job means the placement state
+        // drifted; fail the guess rather than abort the process.
+        let Some(mid) = state.machine_of[job.idx()] else {
+            return Err(GuessFailure::SwapRepair);
+        };
         if state.bag_on(mid, bag) <= 1 {
             continue; // an earlier swap already cleared this machine
         }

@@ -12,6 +12,7 @@
 //! yields a feasible schedule for the original instance.
 
 use crate::assign_large::WorkState;
+use crate::report::GuessFailure;
 use crate::transform::Transformed;
 use bagsched_types::{Instance, JobId, MachineId, Schedule};
 use std::collections::HashMap;
@@ -21,13 +22,16 @@ use std::collections::HashMap;
 /// filler swaps performed.
 ///
 /// `medium_assign` carries the Lemma-3 placements of the set-aside
-/// medium jobs.
+/// medium jobs. The Lemma-4 counting argument guarantees a free filler
+/// for every conflict at paper constants; a state that violates it
+/// (possible under forced non-paper configurations) fails the guess
+/// instead of panicking.
 pub fn undo_transform(
     inst: &Instance,
     trans: &Transformed,
     state: &WorkState,
     medium_assign: &[(JobId, MachineId)],
-) -> (Schedule, usize) {
+) -> Result<(Schedule, usize), GuessFailure> {
     let m = inst.num_machines();
 
     // Working machine per original job.
@@ -87,11 +91,14 @@ pub fn undo_transform(
         }
         // Conflict: find a filler of bag l on a machine free of bag l's
         // large/medium jobs.
-        let pool = fillers.get_mut(&l).expect("Lemma 4: fillers exist for every ml job");
-        let pick = pool
-            .iter()
-            .position(|fm| !ml_here.get(&(fm.0, l)).copied().unwrap_or(false))
-            .expect("Lemma 4 counting argument: a free filler exists");
+        let Some(pool) = fillers.get_mut(&l) else {
+            return Err(GuessFailure::SwapRepair);
+        };
+        let Some(pick) =
+            pool.iter().position(|fm| !ml_here.get(&(fm.0, l)).copied().unwrap_or(false))
+        else {
+            return Err(GuessFailure::SwapRepair);
+        };
         let target = pool[pick];
         // Swap: the real small job moves to the filler's machine; the
         // filler conceptually moves here (and will be dropped).
@@ -100,9 +107,16 @@ pub fn undo_transform(
         swaps += 1;
     }
 
-    let assignment: Vec<MachineId> =
-        machine.into_iter().map(|mo| mo.expect("every original job must be placed")).collect();
-    (Schedule::from_assignment(assignment, m), swaps)
+    let mut assignment: Vec<MachineId> = Vec::with_capacity(machine.len());
+    for mo in machine {
+        // An unplaced original job means an upstream phase dropped one;
+        // the guess fails and the driver falls back.
+        let Some(mid) = mo else {
+            return Err(GuessFailure::LargePlacement);
+        };
+        assignment.push(mid);
+    }
+    Ok((Schedule::from_assignment(assignment, m), swaps))
 }
 
 #[cfg(test)]
@@ -152,7 +166,7 @@ mod tests {
         state.place(&t, tjob_of(&t, 3), MachineId(0)); // bag 1 small
         state.place(&t, tjob_of(&t, 4), MachineId(1)); // bag 1 small
         state.place(&t, filler_of(&t, 2), MachineId(2)); // filler next to its large: fine
-        let (sched, swaps) = undo_transform(&inst, &t, &state, &[]);
+        let (sched, swaps) = undo_transform(&inst, &t, &state, &[]).unwrap();
         assert_eq!(swaps, 0);
         assert!(sched.is_feasible(&inst));
         assert_eq!(sched.machine_of(JobId(3)), MachineId(0));
@@ -168,7 +182,7 @@ mod tests {
         state.place(&t, tjob_of(&t, 3), MachineId(2)); // bag 1 small on m2: conflict in I
         state.place(&t, tjob_of(&t, 4), MachineId(1));
         state.place(&t, filler_of(&t, 2), MachineId(0)); // filler on free machine
-        let (sched, swaps) = undo_transform(&inst, &t, &state, &[]);
+        let (sched, swaps) = undo_transform(&inst, &t, &state, &[]).unwrap();
         assert_eq!(swaps, 1);
         assert!(sched.is_feasible(&inst));
         // The small job took the filler's machine.
@@ -198,15 +212,15 @@ mod tests {
         state.place(&t, filler_of(&t, 2), MachineId(1));
         // Pretend job 4 were a medium assigned externally: it is mapped
         // here, so just verify pass-through of an empty medium list.
-        let (sched, _) = undo_transform(&inst, &t, &state, &[]);
+        let (sched, _) = undo_transform(&inst, &t, &state, &[]).unwrap();
         assert_eq!(sched.num_jobs(), inst.num_jobs());
     }
 
     #[test]
-    #[should_panic(expected = "every original job must be placed")]
-    fn unplaced_job_panics() {
+    fn unplaced_job_fails_guess() {
         let (inst, t) = fixture();
         let state = WorkState::new(t.tinst.num_jobs(), 3);
-        undo_transform(&inst, &t, &state, &[]);
+        let res = undo_transform(&inst, &t, &state, &[]);
+        assert_eq!(res.unwrap_err(), GuessFailure::LargePlacement);
     }
 }

@@ -135,11 +135,16 @@ pub struct MilpResult {
     pub node_warm_starts: usize,
     /// Columns appended by the in-tree pricer.
     pub tree_columns: usize,
+    /// Basis refactorizations across all accepted LP solves.
+    pub basis_refactorizations: usize,
+    /// Eta updates (factorized pivots) across all accepted LP solves.
+    pub eta_updates: usize,
 }
 
-/// Tableaus up to this many cells (`rows * (cols + 1)`) are shared with
-/// both children; larger ones ride only with the dive child, so the
-/// stack never holds more than O(1) large tableaus.
+/// Warm bases up to this weight (stored nonzeros plus per-row vectors,
+/// see [`WarmState::weight`]) are shared with both children; larger ones
+/// ride only with the dive child, so the stack never holds more than
+/// O(1) large bases.
 const SHARE_CELL_BUDGET: usize = 250_000;
 
 struct Node {
@@ -199,6 +204,8 @@ pub fn solve_milp_with(
         dual_pivots: 0,
         node_warm_starts: 0,
         tree_columns: 0,
+        basis_refactorizations: 0,
+        eta_updates: 0,
     };
     // Root presolve: tighten bounds, drop redundant rows, detect trivial
     // infeasibility. Variables are never removed, so indices are stable.
@@ -232,6 +239,8 @@ pub fn solve_milp_with(
     let mut dual_pivots = 0usize;
     let mut node_warm_starts = 0usize;
     let mut tree_columns = 0usize;
+    let mut basis_refactorizations = 0usize;
+    let mut eta_updates = 0usize;
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
     let mut budget_hit = false;
     let mut unbounded_root = false;
@@ -307,6 +316,8 @@ pub fn solve_milp_with(
             });
             lp_solves += 1;
             lp_iterations += lp.iterations;
+            basis_refactorizations += lp.refactorizations;
+            eta_updates += lp.eta_updates;
 
             loop {
                 match lp.status {
@@ -391,6 +402,8 @@ pub fn solve_milp_with(
                         });
                         lp_solves += 1;
                         lp_iterations += lp.iterations;
+                        basis_refactorizations += lp.refactorizations;
+                        eta_updates += lp.eta_updates;
                         continue; // statuses and branching var re-derived
                     }
                 }
@@ -450,8 +463,7 @@ pub fn solve_milp_with(
         // small, only the dive child when it is large (the sibling then
         // re-solves cold on backtrack, trading pivots for memory).
         let rc = state.map(|boxed| Rc::new(*boxed));
-        let share_both =
-            rc.as_ref().is_some_and(|s| s.t.rows * (s.t.cols + 1) <= SHARE_CELL_BUDGET);
+        let share_both = rc.as_ref().is_some_and(|s| s.weight() <= SHARE_CELL_BUDGET);
         let (warm_dive, warm_other) = if share_both { (rc.clone(), rc) } else { (rc, None) };
 
         let dive_down = v - floor <= 0.5;
@@ -489,6 +501,8 @@ pub fn solve_milp_with(
             dual_pivots,
             node_warm_starts,
             tree_columns,
+            basis_refactorizations,
+            eta_updates,
         };
     }
     match incumbent {
@@ -517,6 +531,8 @@ pub fn solve_milp_with(
                 dual_pivots,
                 node_warm_starts,
                 tree_columns,
+                basis_refactorizations,
+                eta_updates,
             }
         }
         None => MilpResult {
@@ -531,6 +547,8 @@ pub fn solve_milp_with(
             dual_pivots,
             node_warm_starts,
             tree_columns,
+            basis_refactorizations,
+            eta_updates,
         },
     }
 }

@@ -1,17 +1,17 @@
-//! Bounded-variable dual simplex: re-optimize a warm basis after
-//! branching bound changes.
+//! Bounded-variable dual simplex on the factorized basis: re-optimize a
+//! warm basis after branching bound changes.
 //!
 //! A branch-and-bound child differs from its parent by exactly one
 //! variable bound. The parent's optimal basis stays *dual* feasible under
 //! that change (reduced costs do not involve the right-hand side), so the
 //! child LP does not need a cold phase-1/phase-2 solve: translate the
 //! bound change into right-hand-side deltas, push them through the
-//! implicit `B^-1` the tableau carries, and run dual simplex pivots until
+//! basis factorization (`xb = B^-1 b`), and run dual simplex pivots until
 //! primal feasibility is restored. Pivot work then scales with how much
 //! the bound change actually disturbed the optimum — usually a handful of
-//! pivots — instead of with the whole tableau.
+//! pivots — instead of with the whole constraint matrix.
 //!
-//! Representation: the primal tableau ([`crate::simplex`]) keeps variable
+//! Representation: the primal engine ([`crate::simplex`]) keeps variable
 //! bounds as shifted variables (`x' = x - lb`) plus explicit
 //! `x' <= ub - lb` rows. Both kinds of bound change are RHS edits:
 //!
@@ -19,21 +19,21 @@
 //!   and the variable's own bound row by `-d`;
 //! * lowering `ub` by `d` shifts only the bound row, by `-d`.
 //!
-//! The new tableau RHS is `old + B^-1 * delta_b`, and column `r` of
-//! `B^-1` is the current tableau column of row `r`'s initial basis — the
-//! same device the warm column graft uses.
-//!
-//! The entering column is chosen by a **Harris-style two-pass ratio
-//! test**: pass one finds the minimum dual ratio within a small
-//! tolerance, pass two picks the numerically largest pivot element among
-//! the near-ties. A candidate set whose best pivot element is still tiny
-//! means the basis is effectively singular for this change; the engine
-//! reports that by returning `None` and the caller falls back to a cold
-//! solve. An infeasible row with no eligible entering column is a proof
-//! of primal infeasibility (the usual dual-simplex certificate).
+//! The deltas are applied to the stored normalized RHS `b0` and the basic
+//! solution is refreshed with one FTRAN. Per dual pivot: the leaving row
+//! is the most primal-infeasible basic, its inverse row `rho = B^-T e_r`
+//! prices every nonbasic column's pivot element `alpha_j = rho . a_j` in
+//! one sparse pass, and the entering column is chosen by a **Harris-style
+//! two-pass ratio test**: pass one finds the minimum dual ratio within a
+//! small tolerance, pass two picks the numerically largest pivot element
+//! among the near-ties. A candidate set whose best pivot element is still
+//! tiny means the basis is effectively singular for this change; the
+//! engine reports that by returning `None` and the caller falls back to a
+//! cold solve. An infeasible row with no eligible entering column is a
+//! proof of primal infeasibility (the usual dual-simplex certificate).
 
 use crate::model::{LpResult, LpStatus, Model};
-use crate::simplex::{self, WarmState};
+use crate::simplex::{self, Core, WarmState};
 use crate::TOL;
 
 /// A row is primal-infeasible when its RHS is below `-FEAS_TOL`.
@@ -79,7 +79,7 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
     if model.num_vars() < n_old {
         return None;
     }
-    let mut changed: Vec<(usize, f64, f64)> = Vec::new(); // (var, d_lb, old->new ub delta on the bound row)
+    let mut changed: Vec<(usize, f64, f64)> = Vec::new(); // (var, d_lb, bound-row rhs delta)
     for (j, (v, &(lb_old, ub_old))) in model.vars.iter().zip(&state.bounds).enumerate() {
         if v.lb == lb_old && v.ub == ub_old {
             continue;
@@ -87,13 +87,7 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
         if v.ub < v.lb - TOL {
             // Crossed bounds: trivially infeasible, no pivots needed.
             return Some(DualOutcome {
-                lp: LpResult {
-                    status: LpStatus::Infeasible,
-                    x: vec![],
-                    objective: 0.0,
-                    iterations: 0,
-                    duals: vec![],
-                },
+                lp: simplex::lp_fail(LpStatus::Infeasible, 0),
                 dual_pivots: 0,
             });
         }
@@ -101,7 +95,7 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
         let d_range = match (ub_old.is_finite(), v.ub.is_finite()) {
             (true, true) => (v.ub - v.lb) - (ub_old - lb_old),
             (false, false) => 0.0,
-            // A newly finite ub needs a bound row the tableau does not
+            // A newly finite ub needs a bound row the basis does not
             // have; relaxing a finite ub to infinity would need to delete
             // one. Neither is a branching move: cold path.
             _ => return None,
@@ -115,87 +109,79 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
     if !simplex::graft_columns(model, state) {
         return None;
     }
+    let (rf0, eu0) = state.counters();
 
-    // ---- Translate bound deltas into per-row RHS deltas. ----
+    // ---- Translate bound deltas into RHS deltas on `b0` and refresh
+    // the basic solution with one FTRAN. ----
     if !changed.is_empty() {
-        let mut delta_b = vec![0.0f64; state.t.rows];
-        for ((con, &sign), delta) in model.cons.iter().zip(&state.row_sign).zip(&mut delta_b) {
-            for &(j, c) in &con.terms {
-                if let Some(&(_, d_lb, _)) = changed.iter().find(|&&(v, _, _)| v == j) {
-                    if d_lb != 0.0 {
-                        *delta -= sign * c * d_lb;
-                    }
+        for &(j, d_lb, d_range) in &changed {
+            if d_lb != 0.0 {
+                for &(r, c) in &model.col_terms[j] {
+                    state.c.b0[r] -= state.row_sign[r] * c * d_lb;
                 }
             }
-        }
-        for &(j, _, d_range) in &changed {
             if d_range != 0.0 {
                 let br = state.bound_row_of_var[j].expect("checked above");
                 // Bound rows are built with nonnegative RHS: sign = +1.
-                delta_b[br] += d_range;
+                state.c.b0[br] += d_range;
             }
         }
-        // New RHS = old RHS + B^-1 * delta_b; column r of B^-1 is the
-        // tableau column of row r's initial identity basis.
-        for (r, &d) in delta_b.iter().enumerate() {
-            if d == 0.0 {
-                continue;
-            }
-            let bc = state.init_col[r];
-            for i in 0..state.t.rows {
-                let coef = state.t.at(i, bc);
-                if coef != 0.0 {
-                    *state.t.rhs_mut(i) += d * coef;
-                }
-            }
-        }
+        state.c.xb.copy_from_slice(&state.c.b0);
+        state.c.factor.ftran(&mut state.c.xb);
         for &(j, _, _) in &changed {
             state.bounds[j] = (model.vars[j].lb, model.vars[j].ub);
         }
     }
 
-    // A pure bound change leaves the reduced-cost row valid (pivots
-    // maintain it and RHS edits never touch it); only grafted columns or
-    // cost edits force the O(rows*cols) rebuild.
-    if simplex::obj_dirty(model, state) {
-        simplex::rebuild_obj(model, state);
+    // Costs are rebuilt from the model each call (objective edits and
+    // grafted columns are picked up without dirty-tracking).
+    let mut costs = vec![0.0; state.c.ncols()];
+    for (col, vo) in state.var_of_col.iter().enumerate() {
+        if let Some(v) = *vo {
+            costs[col] = model.vars[v].obj;
+        }
     }
 
     // ---- Dual simplex: pivot primal infeasibility away. ----
     let (art_start, art_end) = (state.art_start, state.art_end);
     let allowed = |c: usize| c < art_start || c >= art_end;
-    let t = &mut state.t;
     let mut iterations = 0usize;
     let mut dual_pivots = 0usize;
     // Degenerate dual pivots (ratio 0) can cycle like primal ones; after
     // a stall streak switch to a Bland-style rule (smallest-index row and
     // column), which is finite.
-    let stall_limit = 10 * t.rows + 50;
+    let stall_limit = 10 * state.c.rows + 50;
     let mut stalled = 0usize;
     let mut bland = false;
     let mut last_infeas = f64::INFINITY;
     // Rows whose residual infeasibility is tolerance-dust with no usable
     // entering column: skipped rather than declared infeasible.
-    let mut tolerated: Vec<bool> = vec![false; t.rows];
+    let mut tolerated: Vec<bool> = vec![false; state.c.rows];
+    let mut rho: Vec<f64> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    let mut w: Vec<f64> = Vec::new();
+    let fail = |status: LpStatus, iterations: usize, dual_pivots: usize, st: &WarmState| {
+        let (rf1, eu1) = st.counters();
+        Some(DualOutcome {
+            lp: LpResult {
+                refactorizations: (rf1 - rf0) as usize,
+                eta_updates: (eu1 - eu0) as usize,
+                ..simplex::lp_fail(status, iterations)
+            },
+            dual_pivots,
+        })
+    };
     loop {
         if iterations >= iter_limit {
-            return Some(DualOutcome {
-                lp: LpResult {
-                    status: LpStatus::IterLimit,
-                    x: vec![],
-                    objective: 0.0,
-                    iterations,
-                    duals: vec![],
-                },
-                dual_pivots,
-            });
+            return fail(LpStatus::IterLimit, iterations, dual_pivots, state);
         }
         // Leaving row: most negative RHS (Bland: smallest basis index).
-        let mut leave: Option<(f64, usize, usize)> = None; // (rhs, basis, row)
+        let mut leave: Option<(f64, usize, usize)> = None; // (key, basis, row)
         for (r, _) in tolerated.iter().enumerate().filter(|&(_, &skip)| !skip) {
-            let rhs = t.rhs(r);
+            let rhs = state.c.xb[r];
             if rhs < -FEAS_TOL {
-                let key = if bland { (t.basis[r] as f64, 0, r) } else { (rhs, t.basis[r], r) };
+                let b = state.c.basis[r];
+                let key = if bland { (b as f64, 0, r) } else { (rhs, b, r) };
                 match leave {
                     Some((kr, kb, _)) if (kr, kb) <= (key.0, key.1) => {}
                     _ => leave = Some(key),
@@ -204,41 +190,36 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
         }
         let Some((_, _, prow)) = leave else { break };
 
-        // Entering column, Harris-style: pass 1 finds the minimum dual
-        // ratio |rc / a| over usable candidates; pass 2 takes the largest
-        // pivot element among ratios within a slack of the minimum.
+        // One BTRAN pair prices the whole row: `alpha_j = rho . a_j` is
+        // the pivot element, `costs_j - y . a_j` the reduced cost.
+        state.c.btran_unit(prow, &mut rho);
+        state.c.btran_costs(&costs, &mut y);
         let mut has_candidate = false;
         let mut min_ratio = f64::INFINITY;
-        for c in 0..t.cols {
-            if !allowed(c) {
+        // (col, |alpha|, ratio) for every usable candidate of this row.
+        let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+        for (j, col) in state.c.cols.iter().enumerate() {
+            if state.c.in_basis[j] || !allowed(j) {
                 continue;
             }
-            let a = t.at(prow, c);
-            if a < -CAND_TOL {
+            let alpha = Core::dot(col, &rho);
+            if alpha < -CAND_TOL {
                 has_candidate = true;
-                if a <= -PIV_TOL {
-                    let ratio = t.obj[c].max(0.0) / -a;
+                if alpha <= -PIV_TOL {
+                    let rc = costs[j] - Core::dot(col, &y);
+                    let ratio = rc.max(0.0) / -alpha;
                     if ratio < min_ratio {
                         min_ratio = ratio;
                     }
+                    cands.push((j, -alpha, ratio));
                 }
             }
         }
         if !has_candidate {
-            let rhs = t.rhs(prow);
-            if rhs < -1e-6 {
+            if state.c.xb[prow] < -1e-6 {
                 // Nonnegative combination of nonnegative variables equals
                 // a negative number: primal infeasible, certified.
-                return Some(DualOutcome {
-                    lp: LpResult {
-                        status: LpStatus::Infeasible,
-                        x: vec![],
-                        objective: 0.0,
-                        iterations,
-                        duals: vec![],
-                    },
-                    dual_pivots,
-                });
+                return fail(LpStatus::Infeasible, iterations, dual_pivots, state);
             }
             // Dust-sized residual with nothing to pivot on: tolerate.
             tolerated[prow] = true;
@@ -250,30 +231,27 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
             return None;
         }
         let slack = min_ratio + 1e-9;
-        let mut pcol: Option<(f64, usize)> = None; // (|a|, col); Bland: smallest col
-        for c in 0..t.cols {
-            if !allowed(c) {
-                continue;
-            }
-            let a = t.at(prow, c);
-            if a <= -PIV_TOL && t.obj[c].max(0.0) / -a <= slack {
+        let mut pcol: Option<(f64, usize)> = None; // (|alpha|, col); Bland: smallest col
+        for &(j, mag, ratio) in &cands {
+            if ratio <= slack {
                 if bland {
-                    pcol = Some((a.abs(), c));
+                    pcol = Some((mag, j));
                     break;
                 }
                 match pcol {
-                    Some((mag, _)) if mag >= a.abs() => {}
-                    _ => pcol = Some((a.abs(), c)),
+                    Some((m, _)) if m >= mag => {}
+                    _ => pcol = Some((mag, j)),
                 }
             }
         }
         let (_, pcol) = pcol.expect("min_ratio finite implies a usable candidate");
-        t.pivot(prow, pcol);
+        state.c.ftran_col(pcol, &mut w);
+        state.c.pivot(prow, pcol, &w);
         iterations += 1;
         dual_pivots += 1;
         // A pivot can re-disturb rows previously written off as dust.
         tolerated.iter_mut().for_each(|v| *v = false);
-        let infeas: f64 = (0..t.rows).map(|r| (-t.rhs(r)).max(0.0)).sum();
+        let infeas: f64 = state.c.xb.iter().map(|&x| (-x).max(0.0)).sum();
         if infeas < last_infeas - TOL {
             last_infeas = infeas;
             stalled = 0;
@@ -288,20 +266,27 @@ pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Op
 
     // ---- Primal clean-up: objective edits or grafted columns may have
     // left dual-infeasible (negative reduced cost) columns. ----
-    let status = t.optimize(allowed, iter_limit, &mut iterations);
+    let status = state.c.optimize(&costs, allowed, iter_limit, &mut iterations);
     if status != LpStatus::Optimal {
-        return Some(DualOutcome {
-            lp: LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] },
-            dual_pivots,
-        });
+        return fail(status, iterations, dual_pivots, state);
     }
-    Some(DualOutcome { lp: simplex::extract_optimal(model, state, iterations), dual_pivots })
+    let (rf1, eu1) = state.counters();
+    Some(DualOutcome {
+        lp: simplex::extract_optimal(
+            model,
+            state,
+            iterations,
+            (rf1 - rf0) as usize,
+            (eu1 - eu0) as usize,
+        ),
+        dual_pivots,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Model, Relation::*};
+    use crate::model::{Model, Relation::*, VarId};
     use crate::simplex::solve_with_state;
 
     fn assert_close(a: f64, b: f64) {
@@ -391,7 +376,7 @@ mod tests {
 
     #[test]
     fn newly_finite_ub_rejected() {
-        // The variable never had a bound row: the tableau cannot encode
+        // The variable never had a bound row: the basis cannot encode
         // the new ub, so the engine must hand back to the cold path.
         let mut m = Model::new();
         let x = m.add_var(-1.0, 0.0, f64::INFINITY);
@@ -464,6 +449,42 @@ mod tests {
                 .sum();
             assert!(v - coef_sum >= -1e-6, "column {j} prices negative after reoptimize");
         }
+    }
+
+    /// Regression for the purge/branch interaction: purging a column
+    /// *below* a bounded variable shifts the variable's index, and the
+    /// compacted `bound_row_of_var` must follow it — otherwise the next
+    /// branching bound change lands on the wrong (or no) bound row.
+    #[test]
+    fn purge_then_reoptimize_keeps_bound_rows_mapped() {
+        let mut m = Model::new();
+        // An expensive never-basic column deliberately placed below the
+        // bounded variables so a purge shifts their indices.
+        let junk = m.add_var(9.0, 0.0, f64::INFINITY);
+        let x = m.add_var(-3.0, 0.0, 10.0);
+        let y = m.add_var(-5.0, 0.0, 10.0);
+        m.add_con(&[(junk, 1.0), (x, 1.0)], Le, 4.0);
+        m.add_con(&[(y, 2.0)], Le, 12.0);
+        m.add_con(&[(x, 3.0), (y, 2.0)], Le, 18.0);
+        let mut state = warm_of(&m);
+        assert!(crate::simplex::purge_columns(&mut m, Some(&mut state), &[junk]));
+        assert_eq!(m.num_vars(), 2);
+        // Branch on (shifted) y: its bound row must still be the one the
+        // builder created for it.
+        let y2 = VarId(y.0 - 1);
+        m.set_bounds(y2, 0.0, 4.0);
+        let out =
+            reoptimize(&m, 10_000, &mut state).expect("bound rows must stay mapped after purge");
+        assert_eq!(out.lp.status, LpStatus::Optimal);
+        let cold = m.solve_lp();
+        assert_close(out.lp.objective, cold.objective);
+        assert_close(out.lp.x[y2.0], 4.0);
+        // And branch on (shifted) x too, for good measure.
+        let x2 = VarId(x.0 - 1);
+        m.set_bounds(x2, 1.0, 3.0);
+        let out = reoptimize(&m, 10_000, &mut state).expect("warm path");
+        let cold = m.solve_lp();
+        assert_close(out.lp.objective, cold.objective);
     }
 
     /// Seeded sweep: random bounded LPs, random bound tightenings — the

@@ -8,9 +8,14 @@
 //! implements the substrate from scratch:
 //!
 //! * [`Model`] — a small modelling layer (variables with bounds and
-//!   integrality, linear constraints, minimization objective),
-//! * [`simplex`] — a dense-tableau two-phase primal simplex solver with
-//!   warm-started re-solves for column generation,
+//!   integrality, linear constraints, minimization objective) with sparse
+//!   column storage,
+//! * [`simplex`] — a sparse *revised* two-phase primal simplex: the basis
+//!   is held as an eta-file factorization with
+//!   Forrest–Tomlin-style updates per pivot and periodic
+//!   refactorization, warm-started re-solves for column generation, and
+//!   physical column removal ([`purge_columns`]) for master-pool
+//!   lifecycle management,
 //! * [`dual`] — a dual-simplex engine that re-optimizes a warm basis
 //!   after variable-bound changes (the branch-and-bound child-node case),
 //! * [`branch`] — depth-first branch & bound on the LP relaxation, with
@@ -24,6 +29,7 @@
 
 pub mod branch;
 pub mod dual;
+pub(crate) mod factor;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
@@ -32,7 +38,7 @@ pub use branch::{solve_milp, solve_milp_with, MilpOptions, MilpResult, MilpStatu
 pub use dual::DualOutcome;
 pub use model::{LpResult, LpStatus, Model, Relation, VarId};
 pub use presolve::{presolve, PresolveStatus};
-pub use simplex::WarmState;
+pub use simplex::{purge_columns, WarmState};
 
 /// Numerical tolerance used for reduced costs, pivots, integrality and
 /// constraint satisfaction throughout the solver.

@@ -39,10 +39,23 @@ pub(crate) struct Constraint {
 }
 
 /// A linear (mixed-integer) minimization problem.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Model {
     pub(crate) vars: Vec<VarDef>,
     pub(crate) cons: Vec<Constraint>,
+    /// Column-major mirror of the constraint matrix: `col_terms[j]` lists
+    /// `(constraint index, coefficient)` for variable `j`. Maintained by
+    /// every mutator so the revised simplex can price and graft columns
+    /// without scanning rows.
+    pub(crate) col_terms: Vec<Vec<(usize, f64)>>,
+    /// Pivots between basis refactorizations in the revised simplex.
+    pub(crate) refactor_interval: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model { vars: Vec::new(), cons: Vec::new(), col_terms: Vec::new(), refactor_interval: 32 }
+    }
 }
 
 /// Outcome status of an LP solve.
@@ -74,6 +87,10 @@ pub struct LpResult {
     /// quantity a column-generation pricing oracle minimizes. Duals of
     /// variable-bound rows are internal and not reported.
     pub duals: Vec<f64>,
+    /// Basis refactorizations performed during this solve.
+    pub refactorizations: usize,
+    /// Eta updates (factorized pivots) appended during this solve.
+    pub eta_updates: usize,
 }
 
 impl Model {
@@ -88,6 +105,7 @@ impl Model {
         assert!(lb.is_finite(), "lower bounds must be finite");
         assert!(!ub.is_nan() && ub >= lb - TOL, "need lb <= ub, got [{lb}, {ub}]");
         self.vars.push(VarDef { obj, lb, ub, integer: false });
+        self.col_terms.push(Vec::new());
         VarId(self.vars.len() - 1)
     }
 
@@ -145,6 +163,10 @@ impl Model {
             }
         }
         coalesced.retain(|&(_, c)| c.abs() > 0.0);
+        let row = self.cons.len();
+        for &(j, c) in &coalesced {
+            self.col_terms[j].push((row, c));
+        }
         self.cons.push(Constraint { terms: coalesced, rel, rhs });
     }
 
@@ -160,9 +182,31 @@ impl Model {
             assert!(c.is_finite(), "coefficients must be finite");
             if c.abs() > 0.0 {
                 self.cons[r].terms.push((v.0, c));
+                self.col_terms[v.0].push((r, c));
             }
         }
         v
+    }
+
+    /// Set the number of pivots between basis refactorizations in the
+    /// revised simplex (default 32). Smaller keeps the eta file shorter
+    /// (cheaper FTRAN/BTRAN) at the cost of more rebuilds.
+    pub fn set_refactor_interval(&mut self, interval: usize) {
+        self.refactor_interval = interval.max(1);
+    }
+
+    /// Rebuild the column-major mirror from the rows. Presolve edits
+    /// `cons` wholesale (dropping and renumbering rows) and calls this
+    /// once at the end instead of patching the mirror per edit.
+    pub(crate) fn rebuild_col_terms(&mut self) {
+        for col in &mut self.col_terms {
+            col.clear();
+        }
+        for (r, con) in self.cons.iter().enumerate() {
+            for &(j, c) in &con.terms {
+                self.col_terms[j].push((r, c));
+            }
+        }
     }
 
     /// Change the objective coefficient of a variable (the pricing loop

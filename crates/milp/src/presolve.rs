@@ -157,6 +157,9 @@ pub fn presolve(model: &Model) -> PresolveStatus {
         }
     }
 
+    // Rows were dropped and renumbered above: refresh the column-major
+    // mirror the revised simplex builds from.
+    m.rebuild_col_terms();
     PresolveStatus::Reduced { model: m, rows_dropped, bounds_tightened }
 }
 

@@ -1,9 +1,16 @@
-//! Two-phase primal simplex on a dense tableau, with warm-started
-//! re-solves for column generation.
+//! Two-phase primal simplex — *sparse revised* implementation — with
+//! warm-started re-solves for column generation.
 //!
-//! Scope: the pattern MILP relaxations the EPTAS generates are dense-ish
-//! and small (hundreds of rows/columns), so a dense tableau is both simple
-//! and fast enough; sparse revised simplex would be over-engineering here.
+//! The basis is never inverted explicitly: an eta-file factorization
+//! ([`crate::factor::Factor`]) carries `B^-1` as a product of per-pivot
+//! eta matrices, rebuilt from the sparse basis columns every
+//! [`Model::set_refactor_interval`] pivots. Per iteration the engine
+//! computes the simplex multipliers `y = B^-T c_B` (BTRAN), prices the
+//! sparse nonbasic columns against them, transforms the entering column
+//! `w = B^-1 a_j` (FTRAN), runs the ratio test on `w`, and appends one
+//! eta — pivot work scales with the column nonzeros and the basis
+//! dimension, not with `rows x columns` like the dense tableau this
+//! replaced.
 //!
 //! Method: variables are shifted to `x' = x - lb >= 0`; finite upper
 //! bounds become explicit `x' <= ub - lb` rows. Inequalities get slack /
@@ -11,168 +18,234 @@
 //! without a natural slack basis get artificial variables. Phase 1
 //! minimizes the artificial sum (infeasible iff positive), phase 2 the
 //! shifted objective. Dantzig pricing with a switch to Bland's rule after
-//! a degeneracy threshold guards against cycling.
+//! a degeneracy threshold guards against cycling. Duals are read off the
+//! factorization: `y = B^-T c_B`, mapped back through the row-sign
+//! normalization.
 //!
 //! **Warm starts** ([`WarmState`], [`resolve`]): an optimal solve can
-//! return its final tableau. After the caller appends columns
+//! return its final basis. After the caller appends columns
 //! ([`Model::add_column`]) and/or changes objective coefficients, the old
 //! basis is still primal feasible, so the re-solve skips phase 1 entirely
-//! and continues phase 2 from the previous optimum: pivot work scales
-//! with the new columns instead of the whole tableau. New columns are
-//! mapped into the basis via the implicit `B^-1` that the initial
-//! identity columns (slack/artificial) carry through every pivot. Any
-//! structural change the warm path cannot absorb — changed bounds, new
-//! constraints, non-`[0, inf)` bounds on appended variables — is detected
-//! and falls back to a cold solve.
+//! and continues phase 2 from the previous optimum. Appending a column is
+//! O(column nonzeros) — the factorization is untouched. Any structural
+//! change the warm path cannot absorb — changed bounds, new constraints,
+//! non-`[0, inf)` bounds on appended variables — is detected and falls
+//! back to a cold solve.
+//!
+//! **Column lifecycle** ([`purge_columns`]): a column-generation master
+//! accumulates columns forever; nonbasic columns can be physically
+//! removed again without invalidating the warm basis. The purge compacts
+//! the model and the warm state coherently (column store, basis indices,
+//! variable maps); the factorization and basic solution are untouched
+//! because a nonbasic column never participates in either.
 
-use crate::model::{LpResult, LpStatus, Model, Relation};
+use crate::factor::Factor;
+use crate::model::{LpResult, LpStatus, Model, Relation, VarId};
 use crate::TOL;
 
 /// A generous iteration budget scaled to model size.
 pub fn default_iter_limit(model: &Model) -> usize {
     // Simplex converges in O(rows) iterations in practice; the hard cap
-    // keeps a single degenerate solve on a large dense tableau from
-    // dominating the branch-and-bound wall clock.
+    // keeps a single degenerate solve on a large model from dominating
+    // the branch-and-bound wall clock.
     (500 * (model.num_vars() + model.num_cons()) + 2000).min(60_000)
 }
 
+/// The revised-simplex working state: sparse columns over the normalized
+/// rows, the basis with its eta-file factorization, and the current
+/// basic solution.
 #[derive(Debug, Clone)]
-pub(crate) struct Tableau {
-    /// Row-major `(rows) x (cols + 1)`; last column is the RHS.
-    pub(crate) a: Vec<f64>,
+pub(crate) struct Core {
+    /// Sparse matrix columns over normalized rows: `cols[j]` lists
+    /// `(row, coefficient)` after sign normalization.
+    pub(crate) cols: Vec<Vec<(usize, f64)>>,
     pub(crate) rows: usize,
-    pub(crate) cols: usize,
-    /// Basic variable (column index) of each row.
+    /// Basic column of each (pivot) row.
     pub(crate) basis: Vec<usize>,
-    /// Objective row: reduced costs (length `cols`), last entry = objective value (negated z).
-    pub(crate) obj: Vec<f64>,
+    /// Whether each column is currently basic.
+    pub(crate) in_basis: Vec<bool>,
+    /// Values of the basic variables by row: `xb = B^-1 b0`.
+    pub(crate) xb: Vec<f64>,
+    /// Current normalized RHS (bound-change deltas are applied here, so
+    /// `xb` is always recoverable as `B^-1 b0`).
+    pub(crate) b0: Vec<f64>,
+    pub(crate) factor: Factor,
+    /// Pivot count between factorization rebuilds.
+    pub(crate) refactor_interval: usize,
 }
 
-impl Tableau {
+impl Core {
     #[inline]
-    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
-        self.a[r * (self.cols + 1) + c]
+    pub(crate) fn ncols(&self) -> usize {
+        self.cols.len()
     }
 
     #[inline]
-    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
-        &mut self.a[r * (self.cols + 1) + c]
+    pub(crate) fn dot(col: &[(usize, f64)], y: &[f64]) -> f64 {
+        col.iter().map(|&(r, c)| c * y[r]).sum()
     }
 
-    #[inline]
-    pub(crate) fn rhs(&self, r: usize) -> f64 {
-        self.at(r, self.cols)
-    }
-
-    #[inline]
-    pub(crate) fn rhs_mut(&mut self, r: usize) -> &mut f64 {
-        let cols = self.cols;
-        self.at_mut(r, cols)
-    }
-
-    /// Gauss–Jordan pivot on `(prow, pcol)`.
-    pub(crate) fn pivot(&mut self, prow: usize, pcol: usize) {
-        let width = self.cols + 1;
-        let pval = self.at(prow, pcol);
-        debug_assert!(pval.abs() > TOL, "pivot element too small: {pval}");
-        let inv = 1.0 / pval;
-        let prow_off = prow * width;
-        for c in 0..width {
-            self.a[prow_off + c] *= inv;
+    /// `w = B^-1 a_j` into the provided scratch vector.
+    pub(crate) fn ftran_col(&self, j: usize, w: &mut Vec<f64>) {
+        w.clear();
+        w.resize(self.rows, 0.0);
+        for &(r, c) in &self.cols[j] {
+            w[r] = c;
         }
-        self.a[prow_off + pcol] = 1.0;
-        for r in 0..self.rows {
-            if r == prow {
-                continue;
-            }
-            let factor = self.at(r, pcol);
-            if factor.abs() <= 1e-12 {
-                continue;
-            }
-            let r_off = r * width;
-            for c in 0..width {
-                self.a[r_off + c] -= factor * self.a[prow_off + c];
-            }
-            self.a[r_off + pcol] = 0.0;
-        }
-        let factor = self.obj[pcol];
-        if factor.abs() > 1e-12 {
-            for c in 0..width {
-                self.obj[c] -= factor * self.a[prow_off + c];
-            }
-            self.obj[pcol] = 0.0;
-        }
-        self.basis[prow] = pcol;
+        self.factor.ftran(w);
     }
 
-    /// Ratio test: leaving row for entering column `pcol`, or `None` if the
-    /// column is unbounded. Ties break toward the smallest basis index
-    /// (lexicographic-ish, helps against cycling).
-    fn ratio_test(&self, pcol: usize) -> Option<usize> {
-        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
-        for r in 0..self.rows {
-            let a = self.at(r, pcol);
+    /// `y = B^-T c_B` into the provided scratch vector.
+    pub(crate) fn btran_costs(&self, costs: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.resize(self.rows, 0.0);
+        for (yr, &b) in y.iter_mut().zip(&self.basis) {
+            *yr = costs[b];
+        }
+        self.factor.btran(y);
+    }
+
+    /// `rho = B^-T e_r` into the provided scratch vector.
+    pub(crate) fn btran_unit(&self, r: usize, rho: &mut Vec<f64>) {
+        rho.clear();
+        rho.resize(self.rows, 0.0);
+        rho[r] = 1.0;
+        self.factor.btran(rho);
+    }
+
+    fn objective(&self, costs: &[f64]) -> f64 {
+        self.basis.iter().zip(&self.xb).map(|(&b, &x)| costs[b] * x).sum()
+    }
+
+    /// Basis change: column `j` (transformed column `w`) enters at pivot
+    /// row `prow`. Updates `xb`, appends the pivot eta, and triggers a
+    /// refactorization when the file has grown past the interval.
+    pub(crate) fn pivot(&mut self, prow: usize, j: usize, w: &[f64]) {
+        let theta = self.xb[prow] / w[prow];
+        if theta != 0.0 {
+            for (xi, &wi) in self.xb.iter_mut().zip(w) {
+                if wi != 0.0 {
+                    *xi -= theta * wi;
+                }
+            }
+        }
+        self.xb[prow] = theta;
+        self.in_basis[self.basis[prow]] = false;
+        self.in_basis[j] = true;
+        self.basis[prow] = j;
+        self.factor.update(w, prow);
+        if self.factor.updates_since_refactor() >= self.refactor_interval {
+            self.refactor();
+        }
+    }
+
+    /// Rebuild the factorization off the current basis columns and
+    /// recompute `xb` from `b0`. A (numerically) singular rebuild keeps
+    /// the old — still valid — eta file.
+    pub(crate) fn refactor(&mut self) {
+        if self.factor.refactor(&self.cols, &mut self.basis) {
+            self.xb.copy_from_slice(&self.b0);
+            self.factor.ftran(&mut self.xb);
+        }
+    }
+
+    /// Ratio test: leaving row for the transformed entering column `w`,
+    /// or `None` if the column is unbounded. Two passes, Harris-style:
+    /// the first finds the tightest ratio, the second picks — among the
+    /// rows within a tolerance whisker of it — the *largest* pivot
+    /// element. A bare min-ratio rule is free to pivot on an element
+    /// barely above `TOL`, and the `1/a` in that eta factor amplifies
+    /// roundoff by up to `1/TOL` until the factorized answers diverge
+    /// from the model; on massively degenerate bases the solve then
+    /// cycles numerically — "progress" each refactorization reverts.
+    /// Ties on the pivot size break toward the smallest basis variable
+    /// index, keeping the choice deterministic (and Bland-flavored).
+    /// A slightly negative `xb` (roundoff on a degenerate row) clamps to
+    /// a zero ratio rather than proposing a negative step.
+    fn ratio_test(&self, w: &[f64]) -> Option<usize> {
+        let mut theta = f64::INFINITY;
+        for (r, &a) in w.iter().enumerate() {
             if a > TOL {
-                let ratio = self.rhs(r) / a;
-                let key = (ratio, self.basis[r]);
-                match best {
-                    Some((br, bb, _)) if (br, bb) <= key => {}
-                    _ => best = Some((ratio, self.basis[r], r)),
+                theta = theta.min(self.xb[r].max(0.0) / a);
+            }
+        }
+        if theta.is_infinite() {
+            return None;
+        }
+        let cutoff = theta + 1e-9 * (1.0 + theta);
+        let mut best: Option<(f64, usize, usize)> = None; // (pivot, basis var, row)
+        for (r, &a) in w.iter().enumerate() {
+            if a > TOL && self.xb[r].max(0.0) / a <= cutoff {
+                let better = match best {
+                    Some((ba, bb, _)) => a > ba || (a == ba && self.basis[r] < bb),
+                    None => true,
+                };
+                if better {
+                    best = Some((a, self.basis[r], r));
                 }
             }
         }
         best.map(|(_, _, r)| r)
     }
 
-    /// One optimization run on the current objective row.
-    /// Only columns `c` with `allowed(c)` may enter.
+    /// One optimization run under the given cost vector. Only nonbasic
+    /// columns `c` with `allowed(c)` may enter.
     pub(crate) fn optimize(
         &mut self,
+        costs: &[f64],
         allowed: impl Fn(usize) -> bool,
         iter_limit: usize,
         iterations: &mut usize,
     ) -> LpStatus {
-        // Dantzig pricing stalls on massively degenerate tableaus (ties
-        // upon ties re-enter the same columns without moving the
-        // objective). Switch to Bland's rule — guaranteed finite — once
-        // the objective has not improved for a streak proportional to
-        // the row count, not half the global budget: a single stalled
-        // solve must cost O(rows) wasted pivots, not tens of thousands.
+        // Dantzig pricing stalls on massively degenerate bases (ties upon
+        // ties re-enter the same columns without moving the objective).
+        // Switch to Bland's rule — guaranteed finite — once the objective
+        // has not improved for a streak proportional to the row count.
         let stall_limit = 10 * self.rows + 50;
         let mut stalled = 0usize;
         let mut bland = false;
-        let mut last_obj = -self.obj[self.cols];
+        let mut last_obj = self.objective(costs);
+        let mut y: Vec<f64> = Vec::new();
+        let mut w: Vec<f64> = Vec::new();
         loop {
             if *iterations >= iter_limit {
                 return LpStatus::IterLimit;
             }
-            // Entering column.
-            let entering = if !bland {
-                // Dantzig: most negative reduced cost.
-                let mut best: Option<(f64, usize)> = None;
-                for c in 0..self.cols {
-                    let rc = self.obj[c];
-                    if rc < -TOL && allowed(c) {
-                        match best {
-                            Some((b, _)) if b <= rc => {}
-                            _ => best = Some((rc, c)),
-                        }
+            self.btran_costs(costs, &mut y);
+            // Entering column: reduced cost `c_j - y . a_j` below -TOL.
+            let mut entering: Option<usize> = None;
+            if bland {
+                // Bland: smallest index with negative reduced cost.
+                for (j, col) in self.cols.iter().enumerate() {
+                    if !self.in_basis[j] && allowed(j) && costs[j] - Self::dot(col, &y) < -TOL {
+                        entering = Some(j);
+                        break;
                     }
                 }
-                best.map(|(_, c)| c)
             } else {
-                // Bland: smallest index with negative reduced cost.
-                (0..self.cols).find(|&c| self.obj[c] < -TOL && allowed(c))
-            };
+                // Dantzig: most negative reduced cost (earliest on ties).
+                let mut best = -TOL;
+                for (j, col) in self.cols.iter().enumerate() {
+                    if self.in_basis[j] || !allowed(j) {
+                        continue;
+                    }
+                    let rc = costs[j] - Self::dot(col, &y);
+                    if rc < best {
+                        best = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
             let Some(pcol) = entering else {
                 return LpStatus::Optimal;
             };
-            let Some(prow) = self.ratio_test(pcol) else {
+            self.ftran_col(pcol, &mut w);
+            let Some(prow) = self.ratio_test(&w) else {
                 return LpStatus::Unbounded;
             };
-            self.pivot(prow, pcol);
+            self.pivot(prow, pcol, &w);
             *iterations += 1;
-            let obj = -self.obj[self.cols];
+            let obj = self.objective(costs);
             if obj < last_obj - TOL {
                 // Real progress: resume Dantzig (Bland crawls). Each
                 // strict improvement is final, so the alternation still
@@ -190,38 +263,60 @@ impl Tableau {
     }
 }
 
-/// The reusable outcome of an optimal solve: the final tableau plus the
-/// bookkeeping needed to graft new columns onto it. Opaque to callers;
-/// obtain one from [`solve_with_state`] and feed it to [`resolve`].
+/// The reusable outcome of an optimal solve: the factorized basis plus
+/// the bookkeeping needed to graft new columns onto it. Opaque to
+/// callers; obtain one from [`solve_with_state`] and feed it to
+/// [`resolve`].
 #[derive(Debug, Clone)]
 pub struct WarmState {
-    pub(crate) t: Tableau,
-    /// Per row: the column that held the initial identity basis (its
-    /// current tableau column is the matching column of `B^-1`).
-    pub(crate) init_col: Vec<usize>,
-    /// Per model-constraint row: the sign normalization applied at build.
+    pub(crate) c: Core,
+    /// Per model-constraint row: the sign normalization applied at build
+    /// (bound rows always have nonnegative RHS and sign `+1`).
     pub(crate) row_sign: Vec<f64>,
-    /// Where to read each constraint's dual off the objective row.
-    pub(crate) dual_src: Vec<(usize, f64)>,
     /// Artificial column range `[art_start, art_end)` (never re-enters).
     pub(crate) art_start: usize,
     pub(crate) art_end: usize,
-    /// Tableau column -> model variable (None for slack/artificial).
+    /// Column -> model variable (None for slack/artificial).
     pub(crate) var_of_col: Vec<Option<usize>>,
     /// Bounds snapshot of every variable seen so far; a mismatch on
     /// re-solve means the warm basis is stale (the dual engine absorbs
     /// the mismatch instead — see [`crate::dual::reoptimize`]).
     pub(crate) bounds: Vec<(f64, f64)>,
-    /// Per variable seen at build time: the tableau row carrying its
+    /// Per variable seen at build time: the row carrying its
     /// `x' <= ub - lb` bound row, if the variable had a finite upper
-    /// bound. The dual engine edits these rows in place when branching
+    /// bound. The dual engine edits these rows' RHS when branching
     /// tightens bounds. Appended columns (always `[0, inf)`) get `None`.
     pub(crate) bound_row_of_var: Vec<Option<usize>>,
-    /// Objective-coefficient snapshot matching the current objective row;
-    /// re-solves skip the O(rows*cols) objective rebuild when neither
-    /// columns nor costs changed (the pure bound-change B&B child case).
-    pub(crate) costs: Vec<f64>,
     pub(crate) num_cons: usize,
+}
+
+impl WarmState {
+    /// Memory-weight proxy (stored nonzeros plus per-row vectors), the
+    /// sparse replacement for the dense tableau's `rows * cols` cell
+    /// count. Branch & bound uses it to decide whether a node basis is
+    /// cheap enough to share with both children.
+    pub(crate) fn weight(&self) -> usize {
+        let col_nnz: usize = self.c.cols.iter().map(|c| c.len()).sum();
+        col_nnz + self.c.factor.nnz() + 6 * self.c.rows
+    }
+
+    /// Counter snapshot `(refactorizations, eta_updates)` for computing
+    /// per-solve deltas.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.c.factor.refactorizations, self.c.factor.eta_updates)
+    }
+}
+
+pub(crate) fn lp_fail(status: LpStatus, iterations: usize) -> LpResult {
+    LpResult {
+        status,
+        x: vec![],
+        objective: 0.0,
+        iterations,
+        duals: vec![],
+        refactorizations: 0,
+        eta_updates: 0,
+    }
 }
 
 /// Solve the LP relaxation of `model` (integrality ignored).
@@ -231,61 +326,39 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
 
 /// Like [`solve`], additionally returning a [`WarmState`] when the solve
 /// reached optimality (and the model has at least one row — trivial
-/// models have no tableau to reuse).
+/// models have no basis to reuse).
 pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<WarmState>) {
     let n = model.num_vars();
     let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let obj_offset: f64 = model.vars.iter().map(|v| v.obj * v.lb).sum();
+    let ncons = model.cons.len();
 
-    // Assemble rows over shifted variables. Each row: (dense coeffs over
-    // structural vars, relation, rhs).
-    let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+    // Shifted RHS per row; rows are model constraints then bound rows.
+    let mut rhs: Vec<f64> = Vec::with_capacity(ncons);
+    let mut rel: Vec<Relation> = Vec::with_capacity(ncons);
     for con in &model.cons {
-        let mut coeffs = vec![0.0; n];
-        let mut shift = 0.0;
-        for &(j, c) in &con.terms {
-            coeffs[j] += c;
-            shift += c * lbs[j];
-        }
-        rows.push((coeffs, con.rel, con.rhs - shift));
+        let shift: f64 = con.terms.iter().map(|&(j, c)| c * lbs[j]).sum();
+        rhs.push(con.rhs - shift);
+        rel.push(con.rel);
     }
     let mut bound_row_of_var: Vec<Option<usize>> = vec![None; n];
     for (j, v) in model.vars.iter().enumerate() {
         if v.ub.is_finite() {
             let range = v.ub - v.lb;
             if range < -TOL {
-                return (
-                    LpResult {
-                        status: LpStatus::Infeasible,
-                        x: vec![],
-                        objective: 0.0,
-                        iterations: 0,
-                        duals: vec![],
-                    },
-                    None,
-                );
+                return (lp_fail(LpStatus::Infeasible, 0), None);
             }
-            let mut coeffs = vec![0.0; n];
-            coeffs[j] = 1.0;
-            bound_row_of_var[j] = Some(rows.len());
-            rows.push((coeffs, Relation::Le, range.max(0.0)));
+            bound_row_of_var[j] = Some(rhs.len());
+            rhs.push(range.max(0.0));
+            rel.push(Relation::Le);
         }
     }
 
-    if rows.is_empty() {
+    if rhs.is_empty() {
         // No constraints at all: optimum sits at the lower bounds unless
         // some cost is negative (then x_j -> +inf is improving).
         if model.vars.iter().any(|v| v.obj < -TOL) {
-            return (
-                LpResult {
-                    status: LpStatus::Unbounded,
-                    x: vec![],
-                    objective: 0.0,
-                    iterations: 0,
-                    duals: vec![],
-                },
-                None,
-            );
+            return (lp_fail(LpStatus::Unbounded, 0), None);
         }
         return (
             LpResult {
@@ -294,193 +367,157 @@ pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<W
                 objective: obj_offset,
                 iterations: 0,
                 duals: vec![],
+                refactorizations: 0,
+                eta_updates: 0,
             },
             None,
         );
     }
 
-    let m = rows.len();
-    // Column layout: structural (n) | slacks (one per inequality) | artificials.
-    let num_slacks = rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
-    // Worst case every row needs an artificial.
-    let cols_upper = n + num_slacks + m;
-    let width = cols_upper + 1;
-    let mut t = Tableau {
-        a: vec![0.0; m * width],
-        rows: m,
-        cols: cols_upper,
-        basis: vec![usize::MAX; m],
-        obj: vec![0.0; width],
-    };
+    let m = rhs.len();
+    let sign: Vec<f64> = rhs.iter().map(|&r| if r < 0.0 { -1.0 } else { 1.0 }).collect();
+    let b0: Vec<f64> = rhs.iter().zip(&sign).map(|(&r, &s)| s * r).collect();
+    let row_sign: Vec<f64> = sign[..ncons].to_vec();
 
-    let mut next_slack = n;
-    let mut next_art = n + num_slacks;
+    // Column layout: structural (n) | slacks | artificials. A row's slack
+    // coefficient is `+-sign`; rows whose slack coefficient is not `+1`
+    // (surplus rows, equalities, sign-flipped rows) get an artificial.
+    let num_slacks = rel.iter().filter(|&&r| r != Relation::Eq).count();
     let art_start = n + num_slacks;
-    // Where to read each model constraint's dual off the final objective
-    // row: `(column, multiplier)` such that `y_r = multiplier * obj[col]`.
-    // A slack/surplus column of row `r` is `±sign * e_r`, an artificial is
-    // `e_r`, and the stored row is `sign` times the original one; solving
-    // `obj[col] = 0 - lambda_r * a_col` for the simplex multiplier and
-    // mapping back through the sign normalization gives the multipliers
-    // below.
-    let ncons = model.cons.len();
-    let mut dual_src: Vec<(usize, f64)> = Vec::with_capacity(ncons);
-    // Per row: the column holding the initial identity basis, and (for
-    // model-constraint rows) the sign normalization — both needed to graft
-    // new columns onto a warm tableau later.
-    let mut init_col: Vec<usize> = Vec::with_capacity(m);
-    let mut row_sign: Vec<f64> = Vec::with_capacity(ncons);
-    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
-        let neg = *rhs < 0.0;
-        let sign = if neg { -1.0 } else { 1.0 };
-        if r < ncons {
-            row_sign.push(sign);
+    let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(art_start);
+    for (terms, &bound_row) in model.col_terms[..n].iter().zip(&bound_row_of_var) {
+        let mut col: Vec<(usize, f64)> = terms.iter().map(|&(r, c)| (r, sign[r] * c)).collect();
+        if let Some(br) = bound_row {
+            col.push((br, 1.0));
         }
-        for (j, &c) in coeffs.iter().enumerate() {
-            *t.at_mut(r, j) = sign * c;
-        }
-        *t.at_mut(r, cols_upper) = sign * rhs;
-        let slack_coef = match rel {
+        cols.push(col);
+    }
+    cols.resize(art_start, Vec::new());
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut art_of_row: Vec<Option<usize>> = vec![None; m];
+    for (r, &rl) in rel.iter().enumerate() {
+        let slack_coef = match rl {
             Relation::Le => {
                 let s = next_slack;
                 next_slack += 1;
-                *t.at_mut(r, s) = sign;
-                Some((s, sign))
+                cols[s] = vec![(r, sign[r])];
+                Some((s, sign[r]))
             }
             Relation::Ge => {
                 let s = next_slack;
                 next_slack += 1;
-                *t.at_mut(r, s) = -sign;
-                Some((s, -sign))
+                cols[s] = vec![(r, -sign[r])];
+                Some((s, -sign[r]))
             }
             Relation::Eq => None,
         };
-        let art_col = match slack_coef {
-            Some((s, coef)) if coef > 0.0 => {
-                t.basis[r] = s;
-                None
-            }
+        match slack_coef {
+            Some((s, coef)) if coef > 0.0 => basis[r] = s,
             _ => {
-                let a = next_art;
-                next_art += 1;
-                *t.at_mut(r, a) = 1.0;
-                t.basis[r] = a;
-                Some(a)
+                let a = cols.len();
+                cols.push(vec![(r, 1.0)]);
+                basis[r] = a;
+                art_of_row[r] = Some(a);
             }
-        };
-        init_col.push(t.basis[r]);
-        if r < ncons {
-            dual_src.push(match (rel, slack_coef) {
-                (Relation::Le, Some((s, _))) => (s, -1.0),
-                (Relation::Ge, Some((s, _))) => (s, 1.0),
-                _ => (art_col.expect("Eq rows always get an artificial"), -sign),
-            });
         }
     }
-    let num_arts = next_art - art_start;
+    let art_end = cols.len();
+    let num_arts = art_end - art_start;
+
+    let mut in_basis = vec![false; art_end];
+    for &b in &basis {
+        in_basis[b] = true;
+    }
+    let mut core = Core {
+        cols,
+        rows: m,
+        basis,
+        in_basis,
+        xb: b0.clone(),
+        b0,
+        factor: Factor::identity(),
+        refactor_interval: model.refactor_interval,
+    };
 
     let mut iterations = 0usize;
+    let counters = |c: &Core| (c.factor.refactorizations as usize, c.factor.eta_updates as usize);
 
     // ---- Phase 1: minimize the sum of artificials. ----
     if num_arts > 0 {
-        // obj row = -(sum of rows whose basis is artificial), expressing
-        // reduced costs of cost-1 artificial basics.
-        for r in 0..m {
-            if t.basis[r] >= art_start {
-                let r_off = r * width;
-                for c in 0..width {
-                    t.obj[c] -= t.a[r_off + c];
-                }
-            }
-        }
-        // Artificial columns have cost 1.
-        for c in art_start..next_art {
-            t.obj[c] += 1.0;
-        }
-        let status = t.optimize(|_| true, iter_limit, &mut iterations);
+        let mut costs1 = vec![0.0; art_end];
+        costs1[art_start..art_end].iter_mut().for_each(|c| *c = 1.0);
+        let status = core.optimize(&costs1, |_| true, iter_limit, &mut iterations);
         if status == LpStatus::IterLimit {
+            let (rf, eu) = counters(&core);
             return (
-                LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] },
+                LpResult { refactorizations: rf, eta_updates: eu, ..lp_fail(status, iterations) },
                 None,
             );
         }
-        let phase1_obj = -t.obj[cols_upper];
+        let phase1_obj = core.objective(&costs1);
         if phase1_obj > 1e-6 {
+            let (rf, eu) = counters(&core);
             return (
                 LpResult {
-                    status: LpStatus::Infeasible,
-                    x: vec![],
-                    objective: 0.0,
-                    iterations,
-                    duals: vec![],
+                    refactorizations: rf,
+                    eta_updates: eu,
+                    ..lp_fail(LpStatus::Infeasible, iterations)
                 },
                 None,
             );
         }
-        // Drive remaining artificials out of the basis.
-        for r in 0..m {
-            if t.basis[r] >= art_start {
-                if let Some(pcol) = (0..art_start).find(|&c| t.at(r, c).abs() > 1e-6) {
-                    t.pivot(r, pcol);
-                    iterations += 1;
-                }
-                // If no structural pivot exists the row is redundant
-                // (all-zero); the artificial stays basic at value ~0 and we
-                // simply never let artificials re-enter in phase 2.
+        // Drive remaining artificials out of the basis. Iterate by
+        // artificial column, not by row: a triggered refactorization may
+        // permute the basis-to-row assignment mid-loop.
+        let art_basics: Vec<usize> =
+            core.basis.iter().copied().filter(|&b| b >= art_start).collect();
+        let mut rho: Vec<f64> = Vec::new();
+        let mut w: Vec<f64> = Vec::new();
+        for a in art_basics {
+            let Some(r) = core.basis.iter().position(|&b| b == a) else { continue };
+            core.btran_unit(r, &mut rho);
+            let pivot_col = (0..art_start)
+                .find(|&j| !core.in_basis[j] && Core::dot(&core.cols[j], &rho).abs() > 1e-6);
+            if let Some(j) = pivot_col {
+                core.ftran_col(j, &mut w);
+                core.pivot(r, j, &w);
+                iterations += 1;
             }
+            // If no structural pivot exists the row is redundant
+            // (all-zero); the artificial stays basic at value ~0 and we
+            // simply never let artificials re-enter in phase 2.
         }
     }
 
     // ---- Phase 2: minimize the real objective. ----
-    t.obj.iter_mut().for_each(|v| *v = 0.0);
+    let mut costs2 = vec![0.0; core.ncols()];
     for (j, v) in model.vars.iter().enumerate() {
-        t.obj[j] = v.obj;
+        costs2[j] = v.obj;
     }
-    // Make reduced costs of basic variables zero.
-    for r in 0..m {
-        let b = t.basis[r];
-        let cost = t.obj[b];
-        if cost.abs() > 1e-12 {
-            let r_off = r * width;
-            for c in 0..width {
-                t.obj[c] -= cost * t.a[r_off + c];
-            }
-            t.obj[b] = 0.0;
-        }
-    }
-    let status = t.optimize(|c| c < art_start, iter_limit, &mut iterations);
+    let status = core.optimize(&costs2, |c| c < art_start, iter_limit, &mut iterations);
     if status != LpStatus::Optimal {
-        return (LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] }, None);
+        let (rf, eu) = counters(&core);
+        return (
+            LpResult { refactorizations: rf, eta_updates: eu, ..lp_fail(status, iterations) },
+            None,
+        );
     }
 
-    // Extract solution.
-    let mut x = lbs.clone();
-    for r in 0..m {
-        let b = t.basis[r];
-        if b < n {
-            x[b] = lbs[b] + t.rhs(r).max(0.0);
-        }
-    }
-    let objective = model.objective_value(&x);
-    let duals = dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
-    let var_of_col = (0..cols_upper).map(|c| (c < n).then_some(c)).collect();
+    let var_of_col = (0..core.ncols()).map(|c| (c < n).then_some(c)).collect();
     let state = WarmState {
-        t,
-        init_col,
+        c: core,
         row_sign,
-        dual_src,
         art_start,
-        // Unused artificial slots in [next_art, cols_upper) are all-zero
-        // columns; keeping them inside the excluded range means they can
-        // never enter on a warm re-solve either.
-        art_end: cols_upper,
+        art_end,
         var_of_col,
         bounds: model.vars.iter().map(|v| (v.lb, v.ub)).collect(),
         bound_row_of_var,
-        costs: model.vars.iter().map(|v| v.obj).collect(),
         num_cons: ncons,
     };
-    (LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }, Some(state))
+    let (rf, eu) = state.counters();
+    let res = extract_optimal(model, &state, iterations, rf as usize, eu as usize);
+    (res, Some(state))
 }
 
 /// Warm re-solve: continue phase 2 from a previous optimal basis after
@@ -503,24 +540,39 @@ pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Optio
     if !graft_columns(model, state) {
         return None;
     }
-    if obj_dirty(model, state) {
-        rebuild_obj(model, state);
-    }
+    let (rf0, eu0) = state.counters();
 
     // ---- Phase 2 from the (still primal-feasible) previous basis. ----
+    // Costs are rebuilt from the model each call, so objective edits are
+    // picked up without any dirty-tracking.
+    let mut costs = vec![0.0; state.c.ncols()];
+    for (col, vo) in state.var_of_col.iter().enumerate() {
+        if let Some(v) = *vo {
+            costs[col] = model.vars[v].obj;
+        }
+    }
     let mut iterations = 0usize;
     let (art_start, art_end) = (state.art_start, state.art_end);
-    let status = state.t.optimize(|c| c < art_start || c >= art_end, iter_limit, &mut iterations);
+    let status =
+        state.c.optimize(&costs, |c| c < art_start || c >= art_end, iter_limit, &mut iterations);
+    let (rf1, eu1) = state.counters();
+    let (rf, eu) = ((rf1 - rf0) as usize, (eu1 - eu0) as usize);
     if status != LpStatus::Optimal {
-        return Some(LpResult { status, x: vec![], objective: 0.0, iterations, duals: vec![] });
+        return Some(LpResult {
+            refactorizations: rf,
+            eta_updates: eu,
+            ..lp_fail(status, iterations)
+        });
     }
-    Some(extract_optimal(model, state, iterations))
+    Some(extract_optimal(model, state, iterations, rf, eu))
 }
 
 /// Append the model's new columns (relative to the state's snapshot) onto
-/// the warm tableau via the implicit `B^-1`. Returns `false` — leaving the
-/// state untouched — when a column cannot be grafted (its bounds are not
-/// `[0, inf)`, which would need a fresh bound row) or the model shrank.
+/// the warm state. Returns `false` — leaving the state untouched — when a
+/// column cannot be grafted (its bounds are not `[0, inf)`, which would
+/// need a fresh bound row) or the model shrank. Unlike the dense tableau
+/// this is O(column nonzeros): the factorization does not change when a
+/// nonbasic column appears.
 pub(crate) fn graft_columns(model: &Model, state: &mut WarmState) -> bool {
     let n_old = state.bounds.len();
     let n_new = model.num_vars();
@@ -530,101 +582,154 @@ pub(crate) fn graft_columns(model: &Model, state: &mut WarmState) -> bool {
     if model.vars[n_old..].iter().any(|v| v.lb != 0.0 || v.ub != f64::INFINITY) {
         return false;
     }
-    let k = n_new - n_old;
-    if k > 0 {
-        // Signed raw coefficients per new variable over constraint rows
-        // (appended variables never add bound rows: ub is infinite).
-        let mut raw: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
-        for (r, con) in model.cons.iter().enumerate() {
-            for &(j, c) in &con.terms {
-                if j >= n_old {
-                    raw[j - n_old].push((r, state.row_sign[r] * c));
-                }
-            }
-        }
-        let t = &mut state.t;
-        let (old_cols, new_cols) = (t.cols, t.cols + k);
-        let (old_width, new_width) = (old_cols + 1, new_cols + 1);
-        let mut a = vec![0.0; t.rows * new_width];
-        for r in 0..t.rows {
-            a[r * new_width..r * new_width + old_cols]
-                .copy_from_slice(&t.a[r * old_width..r * old_width + old_cols]);
-            a[r * new_width + new_cols] = t.a[r * old_width + old_cols];
-        }
-        // Transformed column = B^-1 * (signed raw column); column r of
-        // B^-1 is the current tableau column of row r's initial basis.
-        for (vi, coeffs) in raw.iter().enumerate() {
-            let col = old_cols + vi;
-            for &(r, c) in coeffs {
-                if c == 0.0 {
-                    continue;
-                }
-                let bc = state.init_col[r];
-                for i in 0..t.rows {
-                    a[i * new_width + col] += c * t.a[i * old_width + bc];
-                }
-            }
-        }
-        t.a = a;
-        t.cols = new_cols;
-        for vi in 0..k {
-            state.var_of_col.push(Some(n_old + vi));
-            state.bound_row_of_var.push(None);
-        }
-        state.bounds.extend(model.vars[n_old..].iter().map(|v| (v.lb, v.ub)));
+    for j in n_old..n_new {
+        let col: Vec<(usize, f64)> =
+            model.col_terms[j].iter().map(|&(r, c)| (r, state.row_sign[r] * c)).collect();
+        state.c.cols.push(col);
+        state.c.in_basis.push(false);
+        state.var_of_col.push(Some(j));
+        state.bound_row_of_var.push(None);
+        state.bounds.push((0.0, f64::INFINITY));
     }
     true
 }
 
-/// Whether the warm tableau's objective row no longer reflects the
-/// model: columns were grafted (the row is short) or objective
-/// coefficients changed since the snapshot. A pure bound-change re-solve
-/// — the branch-and-bound child case — is clean and skips the
-/// O(rows*cols) rebuild; Gauss–Jordan pivots keep the row valid.
-pub(crate) fn obj_dirty(model: &Model, state: &WarmState) -> bool {
-    state.t.obj.len() != state.t.cols + 1
-        || model.num_vars() != state.costs.len()
-        || model.vars.iter().zip(&state.costs).any(|(v, &c)| v.obj != c)
-}
-
-/// Rebuild the tableau's objective row from the model's current costs
-/// against the current basis (reduced costs of basic variables zeroed).
-pub(crate) fn rebuild_obj(model: &Model, state: &mut WarmState) {
-    let t = &mut state.t;
-    let width = t.cols + 1;
-    t.obj = vec![0.0; width];
-    for (col, vo) in state.var_of_col.iter().enumerate() {
-        if let Some(v) = *vo {
-            t.obj[col] = model.vars[v].obj;
-        }
-    }
-    for r in 0..t.rows {
-        let b = t.basis[r];
-        let cost = t.obj[b];
-        if cost.abs() > 1e-12 {
-            let r_off = r * width;
-            for c in 0..width {
-                t.obj[c] -= cost * t.a[r_off + c];
-            }
-            t.obj[b] = 0.0;
-        }
-    }
-    state.costs = model.vars.iter().map(|v| v.obj).collect();
-}
-
-/// Read the optimal solution and duals off a converged warm tableau.
-pub(crate) fn extract_optimal(model: &Model, state: &WarmState, iterations: usize) -> LpResult {
-    let t = &state.t;
+/// Read the optimal solution and duals off a converged warm basis.
+pub(crate) fn extract_optimal(
+    model: &Model,
+    state: &WarmState,
+    iterations: usize,
+    refactorizations: usize,
+    eta_updates: usize,
+) -> LpResult {
+    let c = &state.c;
     let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let mut x = lbs.clone();
-    for r in 0..t.rows {
-        if let Some(v) = state.var_of_col[t.basis[r]] {
-            x[v] = lbs[v] + t.rhs(r).max(0.0);
+    for (r, &b) in c.basis.iter().enumerate() {
+        if let Some(v) = state.var_of_col[b] {
+            x[v] = lbs[v] + c.xb[r].max(0.0);
         }
     }
     let objective = model.objective_value(&x);
-    let duals = state.dual_src.iter().map(|&(col, mult)| mult * t.obj[col]).collect();
-    LpResult { status: LpStatus::Optimal, x, objective, iterations, duals }
+    // Simplex multipliers y = B^-T c_B; the model dual of constraint i is
+    // y_i mapped back through the sign normalization.
+    let mut y = vec![0.0; c.rows];
+    for (yr, &b) in y.iter_mut().zip(&c.basis) {
+        if let Some(v) = state.var_of_col[b] {
+            *yr = model.vars[v].obj;
+        }
+    }
+    c.factor.btran(&mut y);
+    let duals = state.row_sign.iter().zip(&y).map(|(&s, &yi)| s * yi).collect();
+    LpResult {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        iterations,
+        duals,
+        refactorizations,
+        eta_updates,
+    }
+}
+
+/// Physically remove nonbasic columns from a model and (when present) its
+/// warm state, keeping both coherent: the column store, basis indices,
+/// artificial range, and variable maps are compacted; the factorization
+/// and the basic solution are untouched because a nonbasic column
+/// participates in neither.
+///
+/// Returns `false` — mutating nothing — when a victim is currently basic,
+/// owns a bound row (finite upper bound), or the model and state are out
+/// of sync; the caller should then skip the purge (or drop the warm state
+/// first). Variable indices above a purged column shift down; the caller
+/// owns remapping any [`VarId`]s it holds (`new = old - #purged below`).
+pub fn purge_columns(model: &mut Model, warm: Option<&mut WarmState>, victims: &[VarId]) -> bool {
+    if victims.is_empty() {
+        return true;
+    }
+    let n = model.num_vars();
+    let mut kill_var = vec![false; n];
+    for v in victims {
+        if v.0 >= n || kill_var[v.0] {
+            return false;
+        }
+        kill_var[v.0] = true;
+    }
+    if let Some(state) = &warm {
+        if state.bounds.len() != n {
+            return false; // ungrafted columns outstanding: not synced
+        }
+        for (col, vo) in state.var_of_col.iter().enumerate() {
+            if let Some(v) = *vo {
+                if kill_var[v] && (state.c.in_basis[col] || state.bound_row_of_var[v].is_some()) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    // ---- Model compaction. ----
+    let mut new_var = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for (j, &kill) in kill_var.iter().enumerate() {
+        if !kill {
+            new_var[j] = next;
+            next += 1;
+        }
+    }
+    let mut keep = kill_var.iter().map(|&k| !k);
+    model.vars.retain(|_| keep.next().unwrap());
+    let mut keep = kill_var.iter().map(|&k| !k);
+    model.col_terms.retain(|_| keep.next().unwrap());
+    for con in &mut model.cons {
+        con.terms.retain_mut(|(j, _)| {
+            if kill_var[*j] {
+                false
+            } else {
+                *j = new_var[*j];
+                true
+            }
+        });
+    }
+
+    // ---- Warm-state compaction. ----
+    let Some(state) = warm else { return true };
+    let ncols = state.c.ncols();
+    let mut kill_col = vec![false; ncols];
+    for (col, vo) in state.var_of_col.iter().enumerate() {
+        if vo.is_some_and(|v| kill_var[v]) {
+            kill_col[col] = true;
+        }
+    }
+    let mut new_col = vec![usize::MAX; ncols];
+    let mut next = 0usize;
+    for (c, &kill) in kill_col.iter().enumerate() {
+        if !kill {
+            new_col[c] = next;
+            next += 1;
+        }
+    }
+    let mut keep = kill_col.iter().map(|&k| !k);
+    state.c.cols.retain(|_| keep.next().unwrap());
+    let mut keep = kill_col.iter().map(|&k| !k);
+    state.c.in_basis.retain(|_| keep.next().unwrap());
+    for b in &mut state.c.basis {
+        *b = new_col[*b];
+    }
+    // Both range ends may equal the old column count (no artificials /
+    // no grafted columns): compact each by the purged columns below it.
+    state.art_start -= kill_col[..state.art_start].iter().filter(|&&k| k).count();
+    state.art_end -= kill_col[..state.art_end].iter().filter(|&&k| k).count();
+    let mut keep = kill_col.iter().map(|&k| !k);
+    state.var_of_col.retain(|_| keep.next().unwrap());
+    for v in state.var_of_col.iter_mut().flatten() {
+        *v = new_var[*v];
+    }
+    let mut keep = kill_var.iter().map(|&k| !k);
+    state.bounds.retain(|_| keep.next().unwrap());
+    let mut keep = kill_var.iter().map(|&k| !k);
+    state.bound_row_of_var.retain(|_| keep.next().unwrap());
+    true
 }
 
 #[cfg(test)]
@@ -831,6 +936,27 @@ mod tests {
         }
     }
 
+    #[test]
+    fn refactorization_counters_populate_on_long_solves() {
+        // A model big enough to force more pivots than the refactor
+        // interval; with the interval forced to 4, at least one
+        // refactorization and many eta updates must be reported.
+        let mut m = Model::new();
+        let n = 14;
+        let vars: Vec<_> =
+            (0..n).map(|j| m.add_var(-((j % 5 + 1) as f64) - j as f64 * 1e-3, 0.0, 3.0)).collect();
+        for k in 0..6 {
+            let terms: Vec<_> =
+                vars.iter().enumerate().map(|(j, &v)| (v, ((j + k) % 4 + 1) as f64)).collect();
+            m.add_con(&terms, Le, 15.0 + k as f64);
+        }
+        m.set_refactor_interval(4);
+        let r = m.solve_lp();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!(r.eta_updates > 0, "no eta updates recorded");
+        assert!(r.refactorizations > 0, "interval 4 never triggered a refactorization");
+    }
+
     /// A tiny deterministic PRNG (xorshift64*) so the warm-start sweep
     /// does not depend on the proptest shim's sampling strategy.
     struct Lcg(u64);
@@ -984,6 +1110,303 @@ mod tests {
         assert!(!was_warm);
         assert_eq!(r.status, LpStatus::Optimal);
         assert_close(r.objective, 1.0); // cover the >= 2 with the cheap column
+    }
+
+    #[test]
+    fn purge_compacts_model_and_warm_state() {
+        // Build a master, graft columns, purge a nonbasic one, and keep
+        // re-solving warm: objectives must keep matching cold solves of
+        // the compacted model.
+        let mut m = Model::new();
+        let a = m.add_var(1.0, 0.0, f64::INFINITY);
+        let b = m.add_var(1.5, 0.0, f64::INFINITY);
+        m.add_con(&[(a, 1.0), (b, 1.0)], Ge, 4.0);
+        m.add_con(&[(a, 1.0)], Le, 3.0);
+        let mut warm = None;
+        let (r, _) = m.solve_lp_with(&mut warm);
+        assert_eq!(r.status, LpStatus::Optimal);
+        // An expensive column that will never be basic.
+        let junk = m.add_column(9.0, 0.0, f64::INFINITY, &[(0, 1.0)]);
+        let (r, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(was_warm);
+        assert_close(r.x[junk.0], 0.0);
+        let before = m.num_vars();
+        assert!(purge_columns(&mut m, warm.as_mut(), &[junk]));
+        assert_eq!(m.num_vars(), before - 1);
+        let (r2, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(was_warm, "purge must keep the warm state usable");
+        assert_close(r2.objective, r.objective);
+        let cold = m.solve_lp();
+        assert_close(r2.objective, cold.objective);
+        // And the purged state still grafts fresh columns.
+        m.add_column(0.25, 0.0, f64::INFINITY, &[(0, 1.0)]);
+        let (r3, was_warm) = m.solve_lp_with(&mut warm);
+        assert!(was_warm);
+        assert_close(r3.objective, 0.25 * 4.0);
+    }
+
+    #[test]
+    fn purge_refuses_basic_columns_and_bound_rows() {
+        let mut m = Model::new();
+        let a = m.add_var(1.0, 0.0, f64::INFINITY);
+        m.add_con(&[(a, 1.0)], Ge, 2.0);
+        let mut warm = None;
+        let _ = m.solve_lp_with(&mut warm);
+        // `a` is basic (it carries the covering): refuse.
+        assert!(!purge_columns(&mut m, warm.as_mut(), &[a]));
+        assert_eq!(m.num_vars(), 1);
+        // A bounded variable owns a bound row: refuse even when nonbasic.
+        let mut m2 = Model::new();
+        let p = m2.add_var(1.0, 0.0, f64::INFINITY);
+        let q = m2.add_var(2.0, 0.0, 5.0);
+        m2.add_con(&[(p, 1.0), (q, 1.0)], Ge, 2.0);
+        let mut warm2 = None;
+        let _ = m2.solve_lp_with(&mut warm2);
+        assert!(!purge_columns(&mut m2, warm2.as_mut(), &[q]));
+        // Out-of-range and duplicate victims are rejected too.
+        assert!(!purge_columns(&mut m2, warm2.as_mut(), &[VarId(99)]));
+        assert!(!purge_columns(&mut m2, warm2.as_mut(), &[p, p]));
+    }
+
+    /// A compact dense two-phase simplex, kept as a test oracle for the
+    /// sparse revised engine (satellite 4(a)). Solve-only: no warm
+    /// starts, no duals — just the optimal objective.
+    mod dense_oracle {
+        use crate::model::{LpStatus, Model, Relation};
+        use crate::TOL;
+
+        pub fn solve(model: &Model) -> (LpStatus, f64) {
+            let n = model.num_vars();
+            let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+            let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+            for con in &model.cons {
+                let mut coeffs = vec![0.0; n];
+                let mut shift = 0.0;
+                for &(j, c) in &con.terms {
+                    coeffs[j] += c;
+                    shift += c * lbs[j];
+                }
+                rows.push((coeffs, con.rel, con.rhs - shift));
+            }
+            for (j, v) in model.vars.iter().enumerate() {
+                if v.ub.is_finite() {
+                    let range = v.ub - v.lb;
+                    if range < -TOL {
+                        return (LpStatus::Infeasible, 0.0);
+                    }
+                    let mut coeffs = vec![0.0; n];
+                    coeffs[j] = 1.0;
+                    rows.push((coeffs, Relation::Le, range.max(0.0)));
+                }
+            }
+            if rows.is_empty() {
+                if model.vars.iter().any(|v| v.obj < -TOL) {
+                    return (LpStatus::Unbounded, 0.0);
+                }
+                let obj = model.vars.iter().map(|v| v.obj * v.lb).sum();
+                return (LpStatus::Optimal, obj);
+            }
+            let m = rows.len();
+            let num_slacks = rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+            let cols = n + num_slacks + m;
+            let width = cols + 1;
+            let mut a = vec![0.0; m * width];
+            let mut basis = vec![usize::MAX; m];
+            let mut obj = vec![0.0; width];
+            let art_start = n + num_slacks;
+            let mut next_slack = n;
+            let mut next_art = art_start;
+            for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+                let sign = if *rhs < 0.0 { -1.0 } else { 1.0 };
+                for (j, &c) in coeffs.iter().enumerate() {
+                    a[r * width + j] = sign * c;
+                }
+                a[r * width + cols] = sign * rhs;
+                let slack = match rel {
+                    Relation::Le => {
+                        let s = next_slack;
+                        next_slack += 1;
+                        a[r * width + s] = sign;
+                        Some((s, sign))
+                    }
+                    Relation::Ge => {
+                        let s = next_slack;
+                        next_slack += 1;
+                        a[r * width + s] = -sign;
+                        Some((s, -sign))
+                    }
+                    Relation::Eq => None,
+                };
+                match slack {
+                    Some((s, coef)) if coef > 0.0 => basis[r] = s,
+                    _ => {
+                        let art = next_art;
+                        next_art += 1;
+                        a[r * width + art] = 1.0;
+                        basis[r] = art;
+                    }
+                }
+            }
+            let pivot = |a: &mut Vec<f64>,
+                         obj: &mut Vec<f64>,
+                         basis: &mut Vec<usize>,
+                         prow: usize,
+                         pcol: usize| {
+                let inv = 1.0 / a[prow * width + pcol];
+                for c in 0..width {
+                    a[prow * width + c] *= inv;
+                }
+                for r in 0..m {
+                    if r == prow {
+                        continue;
+                    }
+                    let f = a[r * width + pcol];
+                    if f.abs() > 1e-12 {
+                        for c in 0..width {
+                            a[r * width + c] -= f * a[prow * width + c];
+                        }
+                    }
+                }
+                let f = obj[pcol];
+                if f.abs() > 1e-12 {
+                    for c in 0..width {
+                        obj[c] -= f * a[prow * width + c];
+                    }
+                }
+                basis[prow] = pcol;
+            };
+            let optimize = |a: &mut Vec<f64>,
+                            obj: &mut Vec<f64>,
+                            basis: &mut Vec<usize>,
+                            hi: usize|
+             -> LpStatus {
+                for _ in 0..20_000 {
+                    // Bland's rule throughout: slow but cycle-free — it is
+                    // only an oracle.
+                    let Some(pcol) = (0..hi).find(|&c| obj[c] < -TOL) else {
+                        return LpStatus::Optimal;
+                    };
+                    let mut best: Option<(f64, usize)> = None;
+                    for r in 0..m {
+                        let v = a[r * width + pcol];
+                        if v > TOL {
+                            let ratio = a[r * width + cols] / v;
+                            match best {
+                                Some((br, _)) if br <= ratio => {}
+                                _ => best = Some((ratio, r)),
+                            }
+                        }
+                    }
+                    let Some((_, prow)) = best else { return LpStatus::Unbounded };
+                    pivot(a, obj, basis, prow, pcol);
+                }
+                LpStatus::IterLimit
+            };
+            if next_art > art_start {
+                for r in 0..m {
+                    if basis[r] >= art_start {
+                        for c in 0..width {
+                            obj[c] -= a[r * width + c];
+                        }
+                    }
+                }
+                for o in &mut obj[art_start..next_art] {
+                    *o += 1.0;
+                }
+                let st = optimize(&mut a, &mut obj, &mut basis, cols);
+                if st != LpStatus::Optimal || -obj[cols] > 1e-6 {
+                    return (LpStatus::Infeasible, 0.0);
+                }
+                for r in 0..m {
+                    if basis[r] >= art_start {
+                        if let Some(pcol) = (0..art_start).find(|&c| a[r * width + c].abs() > 1e-6)
+                        {
+                            pivot(&mut a, &mut obj, &mut basis, r, pcol);
+                        }
+                    }
+                }
+            }
+            obj.iter_mut().for_each(|v| *v = 0.0);
+            for (j, v) in model.vars.iter().enumerate() {
+                obj[j] = v.obj;
+            }
+            for r in 0..m {
+                let b = basis[r];
+                let cost = obj[b];
+                if cost.abs() > 1e-12 {
+                    for c in 0..width {
+                        obj[c] -= cost * a[r * width + c];
+                    }
+                    obj[b] = 0.0;
+                }
+            }
+            let st = optimize(&mut a, &mut obj, &mut basis, art_start);
+            if st != LpStatus::Optimal {
+                return (st, 0.0);
+            }
+            let mut x = lbs.clone();
+            for r in 0..m {
+                if basis[r] < n {
+                    x[basis[r]] = lbs[basis[r]] + a[r * width + cols].max(0.0);
+                }
+            }
+            (LpStatus::Optimal, model.objective_value(&x))
+        }
+    }
+
+    /// Satellite 4(a): the sparse revised engine must agree with the
+    /// dense oracle on status and objective over a seeded sweep of
+    /// `add_column` extensions and bound changes.
+    #[test]
+    fn revised_matches_dense_oracle_over_column_and_bound_sweeps() {
+        for seed in 1..=30u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0xA24BAED4963EE407) | 1);
+            let n = rng.next_usize(3, 6);
+            let rows = rng.next_usize(2, 5);
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n)
+                .map(|_| m.add_var(rng.next_f64(-1.0, 2.0), 0.0, rng.next_f64(2.0, 10.0)))
+                .collect();
+            for _ in 0..rows {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, rng.next_f64(0.1, 1.5))).collect();
+                let r = if rng.next_f64(0.0, 1.0) < 0.5 { Ge } else { Le };
+                m.add_con(&terms, r, rng.next_f64(1.0, 10.0));
+            }
+            for round in 0..4 {
+                // Alternate: append a column, then tighten a bound.
+                if round % 2 == 0 {
+                    let coeffs: Vec<(usize, f64)> =
+                        (0..m.num_cons()).map(|r| (r, rng.next_f64(0.1, 1.2))).collect();
+                    m.add_column(rng.next_f64(-0.5, 1.0), 0.0, f64::INFINITY, &coeffs);
+                } else {
+                    let j = rng.next_usize(0, n - 1);
+                    let (lb, ub) = m.bounds(vars[j]);
+                    if ub.is_finite() {
+                        let mid = lb + rng.next_f64(0.0, ub - lb);
+                        if rng.next_f64(0.0, 1.0) < 0.5 {
+                            m.set_bounds(vars[j], lb, mid);
+                        } else {
+                            m.set_bounds(vars[j], mid, ub);
+                        }
+                    }
+                }
+                let r = m.solve_lp();
+                let (ost, oobj) = dense_oracle::solve(&m);
+                assert_eq!(r.status, ost, "seed {seed} round {round}: status diverged");
+                if ost == LpStatus::Optimal {
+                    assert!(
+                        (r.objective - oobj).abs() < 1e-6,
+                        "seed {seed} round {round}: revised {} vs dense {}",
+                        r.objective,
+                        oobj
+                    );
+                    assert!(
+                        m.is_feasible_point(&r.x, 1e-5),
+                        "seed {seed} round {round}: revised point infeasible"
+                    );
+                }
+            }
+        }
     }
 
     proptest::proptest! {
