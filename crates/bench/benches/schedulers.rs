@@ -2,7 +2,7 @@
 //! PTAS baseline on the workload families.
 
 use bagsched_baselines::{bag_aware_lpt, bag_lpt_schedule, dw_ptas, DwPtasConfig};
-use bagsched_core::Eptas;
+use bagsched_core::Solver;
 use bagsched_types::gen;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -27,7 +27,7 @@ fn bench_eptas(c: &mut Criterion) {
     for &n in &[50usize, 200, 1000] {
         let inst = gen::clustered(n, (n / 15).max(4), n / 3, 4, 2);
         group.bench_with_input(BenchmarkId::new("eps_0.5", n), &inst, |b, inst| {
-            b.iter(|| black_box(Eptas::with_epsilon(0.5).solve(inst).unwrap()))
+            b.iter(|| black_box(Solver::with_epsilon(0.5).solve_instance(inst).unwrap()))
         });
     }
     group.finish();

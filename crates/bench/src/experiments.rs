@@ -6,7 +6,7 @@ use bagsched_baselines::{
     bag_aware_lpt, bag_lpt_assign, bag_lpt_schedule, dw_ptas, exact_makespan, lpt,
     lpt_with_local_search, random_fit, DwPtasConfig,
 };
-use bagsched_core::{Eptas, EptasConfig, EptasResult, Stats};
+use bagsched_core::{EptasConfig, EptasResult, Solver, Stats};
 use bagsched_types::lowerbound::lower_bounds;
 use bagsched_types::{gen, Instance, JobId, MachineId, Schedule};
 use std::time::Instant;
@@ -28,6 +28,7 @@ pub const ALL: &[&str] = &[
     "ablate-transform",
     "ablate-bprime",
     "ablate-joint",
+    "cache-replay",
 ];
 
 /// One finished experiment (or experiment cell): the printable table plus
@@ -37,7 +38,7 @@ pub const ALL: &[&str] = &[
 pub struct ExperimentRun {
     /// The rendered result table.
     pub table: Table,
-    /// Summed [`Stats`] across all `Eptas::solve` calls of the experiment.
+    /// Summed [`Stats`] across all solver calls of the experiment.
     pub stats: Stats,
 }
 
@@ -85,6 +86,7 @@ pub fn run_cell(id: &str, cell: usize, quick: bool) -> Option<ExperimentRun> {
         "heuristics" => heuristics(quick, st),
         "ablate-transform" => ablate_transform(quick, st),
         "ablate-bprime" => ablate_bprime(quick, st),
+        "cache-replay" => cache_replay(quick, st),
         _ => return None,
     };
     Some(ExperimentRun { table, stats })
@@ -113,8 +115,8 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentRun> {
 /// Solve with the EPTAS and fold the run's counters into the experiment
 /// accumulator. Every experiment routes its solves through here so no
 /// work escapes the report.
-fn solve(solver: &Eptas, inst: &Instance, stats: &mut Stats) -> EptasResult {
-    let r = solver.solve(inst).expect("experiment instances are feasible");
+fn solve(solver: &Solver, inst: &Instance, stats: &mut Stats) -> EptasResult {
+    let r = solver.solve_instance(inst).expect("experiment instances are feasible");
     stats.add(&r.report.stats);
     r
 }
@@ -170,7 +172,7 @@ pub fn fig1(quick: bool, stats: &mut Stats) -> Table {
         let inst = gen::fig1_gadget(m);
         let naive = fig1_naive(&inst).makespan(&inst);
         let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
-        let eptas = solve(&Eptas::with_epsilon(0.4), &inst, stats).makespan;
+        let eptas = solve(&Solver::with_epsilon(0.4), &inst, stats).makespan;
         t.row(vec![
             m.to_string(),
             format!("{naive:.3}"),
@@ -197,7 +199,7 @@ pub fn fig2(quick: bool, stats: &mut Stats) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(36, 4, seed);
-            let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
+            let r = solve(&Solver::new(cfg.clone()), &inst, stats);
             let (fillers, mediums) = r
                 .report
                 .last_success
@@ -234,7 +236,7 @@ pub fn fig3(quick: bool, stats: &mut Stats) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(32, 4, 100 + seed);
-            let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
+            let r = solve(&Solver::new(cfg.clone()), &inst, stats);
             let (fillers, swaps) = r
                 .report
                 .last_success
@@ -270,7 +272,7 @@ pub fn ratio_small(quick: bool, stats: &mut Stats) -> Table {
                 let inst = family.generate(11, 3, seed);
                 let opt = exact_makespan(&inst, 50_000_000).unwrap();
                 assert!(opt.proven_optimal);
-                let e = solve(&Eptas::with_epsilon(eps), &inst, stats).makespan;
+                let e = solve(&Solver::with_epsilon(eps), &inst, stats).makespan;
                 let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
                 let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
                 r_eptas.push(e / opt.makespan);
@@ -305,7 +307,7 @@ pub fn ratio_large(quick: bool, stats: &mut Stats) -> Table {
             let inst = family.generate(n, m, 1);
             let lb = lower_bounds(&inst).combined();
             let start = Instant::now();
-            let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
+            let r = solve(&Solver::with_epsilon(0.5), &inst, stats);
             let elapsed = start.elapsed().as_secs_f64();
             let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
             t.row(vec![
@@ -350,7 +352,7 @@ pub fn scaling_n_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let m = (n / ratio).max(4);
     let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
     let start = Instant::now();
-    let r = solve(&Eptas::with_epsilon(0.5), &inst, stats);
+    let r = solve(&Solver::with_epsilon(0.5), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         format!("{n} ({label})"),
@@ -393,7 +395,7 @@ pub fn scaling_cold_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.dual_simplex = false;
     let start = Instant::now();
-    let r = solve(&Eptas::new(cfg), &inst, stats);
+    let r = solve(&Solver::new(cfg), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         n.to_string(),
@@ -420,7 +422,7 @@ pub fn scaling_eps(quick: bool, stats: &mut Stats) -> Table {
         if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
     for &eps in epsilons {
         let start = Instant::now();
-        let r = solve(&Eptas::with_epsilon(eps), &inst, stats);
+        let r = solve(&Solver::with_epsilon(eps), &inst, stats);
         let te = start.elapsed().as_secs_f64();
         let start = Instant::now();
         let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap();
@@ -500,7 +502,7 @@ pub fn lemma3(quick: bool, stats: &mut Stats) -> Table {
     for seed in 0..seeds {
         let inst = medium_heavy_instance(40, 13, seed as u64);
         let lb = lower_bounds(&inst).combined();
-        let r = solve(&Eptas::new(cfg.clone()), &inst, stats);
+        let r = solve(&Solver::new(cfg.clone()), &inst, stats);
         let mediums = r.report.last_success.as_ref().map_or(0, |s| s.medium_reinserted);
         t.row(vec![
             seed.to_string(),
@@ -546,7 +548,7 @@ pub fn lemma7(quick: bool, stats: &mut Stats) -> Table {
     for &cap in caps {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
-        let r = solve(&Eptas::new(cfg), &inst, stats);
+        let r = solve(&Solver::new(cfg), &inst, stats);
         let (pb, swaps) = r
             .report
             .last_success
@@ -594,7 +596,7 @@ pub fn heuristics(quick: bool, stats: &mut Stats) -> Table {
             acc[2].push(bag_lpt_schedule(&inst).unwrap().makespan(&inst) / lb);
             acc[3].push(bag_aware_lpt(&inst).unwrap().makespan(&inst) / lb);
             acc[4].push(lpt_with_local_search(&inst, 2000).unwrap().makespan / lb);
-            acc[5].push(solve(&Eptas::with_epsilon(0.5), &inst, stats).makespan / lb);
+            acc[5].push(solve(&Solver::with_epsilon(0.5), &inst, stats).makespan / lb);
         }
         let means: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
         // Winner among the feasible schedulers (index 1..): lowest ratio.
@@ -629,7 +631,7 @@ pub fn ablate_transform(quick: bool, stats: &mut Stats) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = solve(&Eptas::new(cfg), &inst, stats);
+        let r = solve(&Solver::new(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);
         t.row(vec![
@@ -661,7 +663,7 @@ pub fn ablate_bprime(quick: bool, stats: &mut Stats) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = solve(&Eptas::new(cfg), &inst, stats);
+        let r = solve(&Solver::new(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let (pb, patterns) =
             r.report.last_success.as_ref().map(|s| (s.priority_bags, s.patterns)).unwrap_or((0, 0));
@@ -703,7 +705,7 @@ pub fn ablate_joint_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.joint_col_budget = budget;
     let start = Instant::now();
-    let r = solve(&Eptas::new(cfg), &inst, stats);
+    let r = solve(&Solver::new(cfg), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         name.into(),
@@ -712,6 +714,38 @@ pub fn ablate_joint_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
         format!("{:.3}", r.makespan / lb),
         r.schedule.is_feasible(&inst).to_string(),
     ]);
+    t
+}
+
+/// C1 — solver-state cache replay: every shape is solved twice through
+/// one cached [`Solver`]; the second solve must replay the cached guess
+/// and pattern pool (work counters collapse to zero) and reproduce the
+/// cold schedule bit-for-bit. This is the experiment that populates the
+/// `cache_hits`/`cache_misses` counters in the BENCH documents, so the
+/// `--compare` gate watches the replay path too.
+pub fn cache_replay(quick: bool, stats: &mut Stats) -> Table {
+    let mut t = Table::new(
+        "C1",
+        "Solver-state cache: cold solve vs replay (eps = 0.5, n = 40, m = 4)",
+        &["shape", "cold patterns", "warm patterns", "cold pricing", "hit", "identical"],
+    );
+    let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 8);
+    let shapes = if quick { 2 } else { 5 };
+    for seed in 0..shapes {
+        let inst = gen::uniform(40, 4, 12, 500 + seed);
+        let cold = solve(&solver, &inst, stats);
+        let warm = solve(&solver, &inst, stats);
+        let identical = warm.schedule.assignment() == cold.schedule.assignment()
+            && warm.makespan.to_bits() == cold.makespan.to_bits();
+        t.row(vec![
+            seed.to_string(),
+            cold.report.stats.patterns_enumerated.to_string(),
+            warm.report.stats.patterns_enumerated.to_string(),
+            cold.report.stats.pricing_rounds.to_string(),
+            warm.report.replayed.to_string(),
+            identical.to_string(),
+        ]);
+    }
     t
 }
 
@@ -735,6 +769,18 @@ mod tests {
         assert!(a.stats.flow_augmentations > 0, "lemma3 ran no reinsertion flow");
         let b = run("lemma3", true).unwrap();
         assert_eq!(a.stats, b.stats, "experiment counters must be deterministic");
+    }
+
+    #[test]
+    fn cache_replay_hits_once_per_shape() {
+        let r = run("cache-replay", true).unwrap();
+        assert!(r.stats.cache_hits >= 1, "warm solves must replay");
+        assert_eq!(r.stats.cache_hits, r.stats.cache_misses, "one cold + one warm per shape");
+        assert_eq!(r.stats.cache_evictions, 0, "capacity 8 never evicts in quick mode");
+        for row in &r.table.rows {
+            assert_eq!(row[4], "true", "warm solve did not hit: {row:?}");
+            assert_eq!(row[5], "true", "replay diverged from cold solve: {row:?}");
+        }
     }
 
     // The full sweep of every experiment id lives in

@@ -54,7 +54,15 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// basis with eta updates, and purged-then-readmitted columns change the
 /// pivot sequence. v4 baselines are rejected for the same reason earlier
 /// ones were.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: the solver-state cache counters joined (`cache_hits`,
+/// `cache_misses`, `cache_evictions`), emitted by the session
+/// [`bagsched_core::Solver`] when built with a cache. A hit replays the
+/// cached guess and pattern pool, so `patterns_enumerated` /
+/// `pricing_rounds` / `lp_solves` drop to near-zero on repeat solves —
+/// a v5 baseline recorded before the cache existed would gate those
+/// counters against incomparably larger numbers, so it is rejected.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Counters whose *growth* reports an optimization engaging harder, not
 /// the solver working harder; the `--compare` gate never flags them.
@@ -63,8 +71,10 @@ pub const SCHEMA_VERSION: u64 = 5;
 /// basis instead of cold, and `dual_pivots` is the substitution cost
 /// that rides along with every extra warm start (the total work those
 /// pivots replace is already gated through `simplex_pivots`).
-pub const SAVINGS_COUNTERS: [&str; 3] =
-    ["warm_start_pivots_saved", "node_warm_starts", "dual_pivots"];
+/// `cache_hits` grows when more solves replay cached solver state — the
+/// avoided search is gated through `patterns_enumerated` and friends.
+pub const SAVINGS_COUNTERS: [&str; 4] =
+    ["warm_start_pivots_saved", "node_warm_starts", "dual_pivots", "cache_hits"];
 
 /// Counters where *any* growth over the baseline fails the gate, with no
 /// threshold headroom. `lpt_fallbacks` counts guesses where the MILP
@@ -460,6 +470,9 @@ mod tests {
             columns_purged: 3,
             columns_readmitted: 1,
             lpt_fallbacks: 0,
+            cache_hits: 22,
+            cache_misses: 23,
+            cache_evictions: 24,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }

@@ -14,7 +14,7 @@
 //! Debug builds skip the ceiling (opt-level 1 is ~10x slower) but still
 //! run the cell and the fallback assertions.
 
-use bagsched_core::{Eptas, EptasConfig};
+use bagsched_core::{EptasConfig, Solver};
 use bagsched_types::{gen, validate_schedule};
 use std::time::Instant;
 
@@ -27,7 +27,7 @@ fn n1600_tight_solves_via_milp_under_the_ceiling() {
     let inst = gen::clustered(1600, 533, 533, 5, 2);
     let cfg = EptasConfig::with_epsilon(0.5);
     let start = Instant::now();
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     let elapsed = start.elapsed().as_secs_f64();
 
     validate_schedule(&inst, &r.schedule).unwrap();

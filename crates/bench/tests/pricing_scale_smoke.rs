@@ -6,7 +6,7 @@
 //! fallback to LPT would also pass a naive wall-clock check, so the
 //! solver path is asserted explicitly.
 
-use bagsched_core::{Eptas, EptasConfig};
+use bagsched_core::{EptasConfig, Solver};
 use bagsched_types::{gen, validate_schedule};
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ fn n400_tight_clustered_solves_via_pricing_under_the_ceiling() {
     let inst = gen::clustered(400, 133, 133, 5, 2);
     let cfg = EptasConfig::with_epsilon(0.5);
     let start = Instant::now();
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     let elapsed = start.elapsed().as_secs_f64();
 
     validate_schedule(&inst, &r.schedule).unwrap();

@@ -9,16 +9,24 @@
 //! returned schedule is always feasible: a final safety net (counted in
 //! the report, zero on the paper path) would repair any residual
 //! conflict.
+//!
+//! The driver is session-aware: [`solve_session_inner`] optionally takes
+//! a [`SolverState`] captured by a previous run on the same rounded
+//! instance shape and *replays* it — the cached winning guess is retried
+//! first with the cached pattern pool and warm basis, and only on a seed
+//! mismatch does the full binary search run cold. [`crate::Solver`] owns
+//! the state cache; the deprecated [`Eptas`] facade always solves cold.
 
 use crate::assign_large::{assign_large, WorkState};
 use crate::classify::classify;
 use crate::config::EptasConfig;
 use crate::medium_flow::reinsert_medium;
-use crate::milp_model::solve_patterns;
+use crate::milp_model::{PatternSolve, ReplaySeed};
 use crate::priority::select_priority;
 use crate::report::{EptasReport, GuessFailure, GuessStats, Stats};
 use crate::rounding::scale_and_round;
 use crate::small::{place_nonpriority_smalls, place_priority_smalls, repair_priority_conflicts};
+use crate::solver::SolverState;
 use crate::swap_repair::repair_conflicts;
 use crate::transform::transform;
 use crate::undo::undo_transform;
@@ -56,12 +64,15 @@ pub struct EptasResult {
     pub report: EptasReport,
 }
 
-/// The EPTAS of Grage, Jansen and Klein.
+/// One-shot facade over the session API, kept for source compatibility.
+#[deprecated(note = "use `Solver`: `Solver::with_epsilon(eps).solve_instance(&inst)` replaces \
+            `Eptas::with_epsilon(eps).solve(&inst)` and adds solver-state caching")]
 #[derive(Debug, Clone)]
 pub struct Eptas {
     cfg: EptasConfig,
 }
 
+#[allow(deprecated)]
 impl Eptas {
     /// Create a solver with the given configuration.
     pub fn new(cfg: EptasConfig) -> Self {
@@ -78,37 +89,73 @@ impl Eptas {
         &self.cfg
     }
 
-    /// Compute a `(1 + O(eps))`-approximate feasible schedule.
+    /// Compute a `(1 + O(eps))`-approximate feasible schedule (cold; no
+    /// state is cached or replayed).
     pub fn solve(&self, inst: &Instance) -> Result<EptasResult, EptasError> {
-        let start = Instant::now();
-        validate_instance(inst).map_err(EptasError::Infeasible)?;
-        let mut report = EptasReport::default();
+        solve_session_inner(&self.cfg, inst, None).map(|(result, _)| result)
+    }
+}
 
-        if inst.num_jobs() == 0 {
-            report.elapsed = start.elapsed();
-            return Ok(EptasResult {
-                schedule: Schedule::unassigned(0, inst.num_machines().max(1)),
-                makespan: 0.0,
-                report,
-            });
+/// The shared driver behind [`crate::Solver`] and the deprecated
+/// [`Eptas`] facade. Returns the result plus, when the pipeline (not an
+/// LPT shortcut/fallback) produced the schedule, a [`SolverState`] that
+/// replays this solve on the next structurally identical request.
+pub(crate) fn solve_session_inner(
+    cfg: &EptasConfig,
+    inst: &Instance,
+    replay: Option<&SolverState>,
+) -> Result<(EptasResult, Option<SolverState>), EptasError> {
+    let start = Instant::now();
+    validate_instance(inst).map_err(EptasError::Infeasible)?;
+    let mut report = EptasReport::default();
+
+    if inst.num_jobs() == 0 {
+        report.elapsed = start.elapsed();
+        let result = EptasResult {
+            schedule: Schedule::unassigned(0, inst.num_machines().max(1)),
+            makespan: 0.0,
+            report,
+        };
+        return Ok((result, None));
+    }
+
+    let lb = lower_bounds(inst).combined();
+    let ub_sched = greedy_upper_bound(inst);
+    let ub = ub_sched.makespan(inst);
+    report.lower_bound = lb;
+    report.lpt_upper_bound = ub;
+
+    // LPT already optimal (or within rounding): done. No pipeline ran, so
+    // there is nothing to cache.
+    if ub <= lb * (1.0 + 1e-9) {
+        report.chosen_guess = Some(ub);
+        report.elapsed = start.elapsed();
+        let result = EptasResult { schedule: ub_sched, makespan: ub, report };
+        return Ok((result, None));
+    }
+
+    // Replay attempt: retry the cached winning guess with the cached
+    // pattern pool and warm basis before paying for the binary search.
+    // A stale or mismatched seed fails fast (`SeedMismatch`) and the
+    // cold search below takes over — a cache collision can cost time,
+    // never correctness.
+    let mut best: Option<(Schedule, f64, GuessStats, f64, ReplaySeed)> = None;
+    if let Some(state) = replay {
+        report.guesses_tried += 1;
+        match try_guess(cfg, inst, state.chosen_guess, &mut report.stats, Some(&state.seed)) {
+            Ok((sched, gstats, seed)) => {
+                let ms = sched.makespan(inst);
+                report.replayed = true;
+                best = Some((sched, ms, gstats, state.chosen_guess, seed));
+            }
+            Err(fail) => report.failures.push((state.chosen_guess, fail)),
         }
+    }
 
-        let lb = lower_bounds(inst).combined();
-        let ub_sched = greedy_upper_bound(inst);
-        let ub = ub_sched.makespan(inst);
-        report.lower_bound = lb;
-        report.lpt_upper_bound = ub;
-
-        // LPT already optimal (or within rounding): done.
-        if ub <= lb * (1.0 + 1e-9) {
-            report.chosen_guess = Some(ub);
-            report.elapsed = start.elapsed();
-            return Ok(EptasResult { schedule: ub_sched, makespan: ub, report });
-        }
-
+    if best.is_none() {
         // Geometric guess grid.
-        let eps = self.cfg.epsilon;
-        let step = 1.0 + eps * self.cfg.grid_factor;
+        let eps = cfg.epsilon;
+        let step = 1.0 + eps * cfg.grid_factor;
         let mut grid = Vec::new();
         let mut t = lb;
         while t < ub * (1.0 - 1e-12) {
@@ -118,17 +165,16 @@ impl Eptas {
         grid.push(ub);
 
         // Binary search the smallest guess that succeeds.
-        let mut best: Option<(Schedule, f64, GuessStats, f64)> = None;
         let (mut lo, mut hi) = (0usize, grid.len() - 1);
         while lo <= hi {
             let mid = (lo + hi) / 2;
             report.guesses_tried += 1;
-            match self.try_guess(inst, grid[mid], &mut report.stats) {
-                Ok((sched, stats)) => {
+            match try_guess(cfg, inst, grid[mid], &mut report.stats, None) {
+                Ok((sched, gstats, seed)) => {
                     let ms = sched.makespan(inst);
-                    let better = best.as_ref().is_none_or(|&(_, bms, _, _)| ms < bms);
+                    let better = best.as_ref().is_none_or(|&(_, bms, _, _, _)| ms < bms);
                     if better {
-                        best = Some((sched, ms, stats, grid[mid]));
+                        best = Some((sched, ms, gstats, grid[mid], seed));
                     }
                     if mid == 0 {
                         break;
@@ -141,90 +187,103 @@ impl Eptas {
                 }
             }
         }
-
-        let (mut schedule, mut makespan) = match best {
-            Some((sched, ms, stats, guess)) => {
-                report.chosen_guess = Some(guess);
-                report.last_success = Some(stats);
-                (sched, ms)
-            }
-            None => {
-                report.fell_back_to_lpt = true;
-                report.stats.lpt_fallbacks += 1;
-                (ub_sched.clone(), ub)
-            }
-        };
-
-        // The guess pipeline can only beat LPT or match it; keep whichever
-        // is better under the true sizes.
-        if ub < makespan {
-            schedule = ub_sched;
-            makespan = ub;
-        }
-
-        // Safety net: the paper path yields a feasible schedule; repair
-        // loudly if a phase misbehaved.
-        report.safety_net_moves = safety_net(inst, &mut schedule);
-        if report.safety_net_moves > 0 {
-            makespan = schedule.makespan(inst);
-        }
-        report.elapsed = start.elapsed();
-        debug_assert!(schedule.is_feasible(inst));
-        Ok(EptasResult { schedule, makespan, report })
     }
 
-    /// Run the full pipeline for one makespan guess. Work counters are
-    /// accumulated into `stats` incrementally, phase by phase, so the cost
-    /// of guesses that *fail* midway still shows up in the report.
-    fn try_guess(
-        &self,
-        inst: &Instance,
-        t0: f64,
-        stats: &mut Stats,
-    ) -> Result<(Schedule, GuessStats), GuessFailure> {
-        let cfg = &self.cfg;
-        let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
-        let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
-        let class = classify(&rounded, inst.num_machines());
-        let priority = select_priority(inst, &rounded, &class, cfg);
-        let trans = transform(inst, &rounded, &class, &priority);
+    let (mut schedule, mut makespan, state) = match best {
+        Some((sched, ms, gstats, guess, seed)) => {
+            report.chosen_guess = Some(guess);
+            report.last_success = Some(gstats);
+            (sched, ms, Some(SolverState { chosen_guess: guess, seed }))
+        }
+        None => {
+            report.fell_back_to_lpt = true;
+            report.stats.lpt_fallbacks += 1;
+            (ub_sched.clone(), ub, None)
+        }
+    };
 
-        // Pattern generation (column-generation pricing with the eager
-        // enumerator as oracle/fallback) and the MILP solve; all pattern,
-        // pricing and LP work counters are recorded inside.
-        let (ps, out) = solve_patterns(&trans, cfg, stats)?;
-
-        let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
-        let la = assign_large(&trans, &ps, &out.x, &mut state)?;
-        // repair_conflicts records its swaps into `stats` itself, so
-        // work done before a SwapRepair abort is not lost.
-        let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts, stats)?;
-
-        place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
-        place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
-        let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
-        stats.swap_repair_rounds += small_stats.lemma11_moves as u64;
-
-        let mediums = reinsert_medium(inst, &trans, &rounded, &mut state, stats)?;
-        stats.mediums_reinserted += mediums.len() as u64;
-        let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums)?;
-        stats.swap_repair_rounds += lemma4_swaps as u64;
-
-        let stats = GuessStats {
-            patterns: ps.patterns.len(),
-            symbols: ps.symbols.len(),
-            priority_bags: trans.is_priority_tbag.iter().filter(|&&p| p).count(),
-            joint_milp: out.joint,
-            milp_nodes: out.nodes,
-            lp_iterations: out.lp_iterations,
-            lemma7_swaps,
-            lemma11_moves: small_stats.lemma11_moves,
-            lemma4_swaps,
-            medium_reinserted: mediums.len(),
-            filler_jobs: trans.filler_for.iter().filter(|f| f.is_some()).count(),
-        };
-        Ok((schedule, stats))
+    // The guess pipeline can only beat LPT or match it; keep whichever
+    // is better under the true sizes. The state stays valid either way —
+    // it describes the pipeline solve, not which schedule won.
+    if ub < makespan {
+        schedule = ub_sched;
+        makespan = ub;
     }
+
+    // Safety net: the paper path yields a feasible schedule; repair
+    // loudly if a phase misbehaved.
+    report.safety_net_moves = safety_net(inst, &mut schedule);
+    if report.safety_net_moves > 0 {
+        makespan = schedule.makespan(inst);
+    }
+    report.elapsed = start.elapsed();
+    debug_assert!(schedule.is_feasible(inst));
+    Ok((EptasResult { schedule, makespan, report }, state))
+}
+
+/// Run the full pipeline for one makespan guess. Work counters are
+/// accumulated into `stats` incrementally, phase by phase, so the cost
+/// of guesses that *fail* midway still shows up in the report. When
+/// `replay` carries a seed from a previous solve of the same shape, the
+/// pattern phase skips enumeration/pricing and re-solves from the cached
+/// pool and basis; the (refreshed) seed for the *next* replay is always
+/// returned alongside the schedule.
+fn try_guess(
+    cfg: &EptasConfig,
+    inst: &Instance,
+    t0: f64,
+    stats: &mut Stats,
+    replay: Option<&ReplaySeed>,
+) -> Result<(Schedule, GuessStats, ReplaySeed), GuessFailure> {
+    let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
+    let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
+    let class = classify(&rounded, inst.num_machines());
+    let priority = select_priority(inst, &rounded, &class, cfg);
+    let trans = transform(inst, &rounded, &class, &priority);
+
+    // Pattern generation (column-generation pricing with the eager
+    // enumerator as oracle/fallback) and the MILP solve; all pattern,
+    // pricing and LP work counters are recorded inside.
+    let mut solve = PatternSolve::new(&trans, cfg);
+    if let Some(seed) = replay {
+        solve = solve.replay(seed);
+    }
+    let sol = solve.run(stats)?;
+    let (ps, out) = (sol.patterns, sol.outcome);
+    // Carry the integral solution in the seed: the next replay of this
+    // shape hands it straight to placement, skipping the MILP as well.
+    let seed = sol.seed.with_solution(&ps, &out);
+
+    let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
+    let la = assign_large(&trans, &ps, &out.x, &mut state)?;
+    // repair_conflicts records its swaps into `stats` itself, so
+    // work done before a SwapRepair abort is not lost.
+    let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts, stats)?;
+
+    place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
+    place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
+    let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
+    stats.swap_repair_rounds += small_stats.lemma11_moves as u64;
+
+    let mediums = reinsert_medium(inst, &trans, &rounded, &mut state, stats)?;
+    stats.mediums_reinserted += mediums.len() as u64;
+    let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums)?;
+    stats.swap_repair_rounds += lemma4_swaps as u64;
+
+    let gstats = GuessStats {
+        patterns: ps.patterns.len(),
+        symbols: ps.symbols.len(),
+        priority_bags: trans.is_priority_tbag.iter().filter(|&&p| p).count(),
+        joint_milp: out.joint,
+        milp_nodes: out.nodes,
+        lp_iterations: out.lp_iterations,
+        lemma7_swaps,
+        lemma11_moves: small_stats.lemma11_moves,
+        lemma4_swaps,
+        medium_reinserted: mediums.len(),
+        filler_jobs: trans.filler_for.iter().filter(|f| f.is_some()).count(),
+    };
+    Ok((schedule, gstats, seed))
 }
 
 /// Conflict-aware LPT, used to seed the upper bound (kept internal so the
@@ -283,24 +342,31 @@ fn safety_net(inst: &Instance, sched: &mut Schedule) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::Solver;
     use bagsched_types::gen;
     use bagsched_types::validate_schedule;
 
     #[test]
     fn empty_instance() {
         let inst = bagsched_types::InstanceBuilder::new(3).build();
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         assert_eq!(r.makespan, 0.0);
     }
 
     #[test]
     fn infeasible_instance_rejected() {
         let inst = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
-        assert!(matches!(Eptas::with_epsilon(0.5).solve(&inst), Err(EptasError::Infeasible(_))));
+        assert!(matches!(
+            Solver::with_epsilon(0.5).solve_instance(&inst),
+            Err(EptasError::Infeasible(_))
+        ));
     }
 
     #[test]
-    fn single_job() {
+    #[allow(deprecated)]
+    fn deprecated_facade_still_solves() {
+        // `Eptas` is a shim over the session driver; it must keep giving
+        // the same answers until it is removed.
         let inst = Instance::new(&[(3.5, 0)], 2);
         let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
         assert_eq!(r.makespan, 3.5);
@@ -308,9 +374,17 @@ mod tests {
     }
 
     #[test]
+    fn single_job() {
+        let inst = Instance::new(&[(3.5, 0)], 2);
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
+        assert_eq!(r.makespan, 3.5);
+        validate_schedule(&inst, &r.schedule).unwrap();
+    }
+
+    #[test]
     fn tiny_instance_feasible_and_bounded() {
         let inst = Instance::new(&[(0.9, 0), (0.9, 1), (0.4, 2), (0.05, 0), (0.05, 3)], 3);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         validate_schedule(&inst, &r.schedule).unwrap();
         let lb = lower_bounds(&inst).combined();
         assert!(r.makespan >= lb - 1e-9);
@@ -322,7 +396,7 @@ mod tests {
     fn families_feasible_no_safety_net() {
         for family in gen::Family::ALL {
             let inst = family.generate(24, 3, 11);
-            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
             validate_schedule(&inst, &r.schedule)
                 .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
             assert_eq!(r.report.safety_net_moves, 0, "{}: safety net engaged", family.name());
@@ -333,7 +407,7 @@ mod tests {
     fn beats_or_matches_lpt() {
         for seed in 0..3 {
             let inst = gen::uniform(20, 3, 8, seed);
-            let r = Eptas::with_epsilon(0.4).solve(&inst).unwrap();
+            let r = Solver::with_epsilon(0.4).solve_instance(&inst).unwrap();
             let lpt = greedy_upper_bound(&inst).makespan(&inst);
             assert!(r.makespan <= lpt + 1e-9, "seed {seed}: {} > {lpt}", r.makespan);
         }
@@ -342,7 +416,7 @@ mod tests {
     #[test]
     fn fig1_gadget_near_optimal() {
         let inst = gen::fig1_gadget(3);
-        let r = Eptas::with_epsilon(0.4).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.4).solve_instance(&inst).unwrap();
         validate_schedule(&inst, &r.schedule).unwrap();
         // OPT = 1.0 exactly; the EPTAS must land within 1 + O(eps).
         assert!(r.makespan <= 1.0 + 3.0 * 0.4 + 1e-9, "makespan {}", r.makespan);
@@ -351,13 +425,36 @@ mod tests {
     #[test]
     fn report_carries_diagnostics() {
         let inst = gen::uniform(15, 3, 6, 2);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         assert!(r.report.guesses_tried >= 1);
         assert!(r.report.lower_bound > 0.0);
         assert!(r.report.lpt_upper_bound >= r.report.lower_bound - 1e-9);
+        assert!(!r.report.replayed, "cold solve must not claim a replay");
         if !r.report.fell_back_to_lpt {
             assert!(r.report.chosen_guess.is_some());
         }
+    }
+
+    #[test]
+    fn session_replay_matches_cold_solve() {
+        // Solving through an explicit session handle must reproduce the
+        // cold schedule byte for byte: the replayed MILP is bit-identical
+        // (same pool, same basis, same branching), and every later phase
+        // is deterministic in its input.
+        let inst = gen::uniform(40, 4, 12, 7);
+        let solver = Solver::with_epsilon(0.5);
+        let (cold, state) = solver.solve_session(&inst, None).unwrap();
+        let state = state.expect("pipeline win must yield replay state");
+        let (warm, state2) = solver.solve_session(&inst, Some(&state)).unwrap();
+        assert!(warm.report.replayed, "seeded session must replay");
+        assert!(!cold.report.replayed);
+        assert_eq!(warm.schedule.assignment(), cold.schedule.assignment());
+        assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
+        assert_eq!(warm.report.guesses_tried, 1, "replay must skip the binary search");
+        assert!(state2.is_some(), "replay must refresh the state");
+        // The replay skips enumeration/pricing entirely.
+        assert_eq!(warm.report.stats.patterns_enumerated, 0);
+        assert_eq!(warm.report.stats.pricing_rounds, 0);
     }
 
     #[test]
@@ -365,7 +462,7 @@ mod tests {
         // An instance the full pipeline engages on (patterns, MILP, flow,
         // repair all run): every aggregate counter must reflect real work.
         let inst = gen::uniform(40, 4, 12, 7);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         let stats = &r.report.stats;
         for (name, value) in stats.named() {
             // The seed pool can already be LP-complete, in which case the
@@ -382,6 +479,8 @@ mod tests {
             // actually fires (big degenerate masters); short solves never
             // reach a refactorization; `lpt_fallbacks` is an assertion
             // counter that must stay zero on instances the pipeline wins.
+            // The cache trio belongs to `Solver` with a cache attached —
+            // a plain one-shot solve never touches it.
             let may_be_zero = matches!(
                 name,
                 "columns_generated"
@@ -395,6 +494,9 @@ mod tests {
                     | "columns_purged"
                     | "columns_readmitted"
                     | "lpt_fallbacks"
+                    | "cache_hits"
+                    | "cache_misses"
+                    | "cache_evictions"
             );
             if may_be_zero {
                 continue;
@@ -421,7 +523,7 @@ mod tests {
         // generation the two were always equal — one LP relaxation per
         // explored node.)
         let inst = gen::uniform(40, 4, 12, 7);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         let stats = &r.report.stats;
         assert!(stats.pricing_rounds > 0, "instance was expected to exercise pricing");
         assert!(
@@ -439,7 +541,7 @@ mod tests {
         // pricing loop runs enough master re-solves for the warm-start
         // saving estimate to be positive.
         let inst = gen::clustered(60, 20, 20, 5, 2);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         let stats = &r.report.stats;
         assert!(stats.bag_classes > 0, "no bag classes counted");
         assert!(stats.symbols_after_aggregation > 0, "no aggregated symbols counted");
@@ -455,7 +557,7 @@ mod tests {
         // A single job is solved by the LPT-already-optimal shortcut; no
         // pipeline work should be counted.
         let inst = Instance::new(&[(3.5, 0)], 2);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         assert_eq!(r.report.stats, Stats::default());
     }
 }

@@ -36,11 +36,17 @@
 //! 10. [`undo`] — Lemma 4: merge bag pairs back, swap conflicting real
 //!     small jobs with filler jobs, drop fillers.
 //!
-//! The top-level driver ([`Eptas`]) wraps the pipeline in the
-//! dual-approximation binary search and guarantees the returned schedule
-//! is feasible (a final safety net repairs anything the paper path left
-//! behind — [`report::EptasReport::safety_net_moves`] counts how often
-//! that was needed; tests pin it to zero on the paper path).
+//! The top-level driver wraps the pipeline in the dual-approximation
+//! binary search and guarantees the returned schedule is feasible (a
+//! final safety net repairs anything the paper path left behind —
+//! [`report::EptasReport::safety_net_moves`] counts how often that was
+//! needed; tests pin it to zero on the paper path).
+//!
+//! The public entry point is the session-oriented [`Solver`]: it owns
+//! the configuration, optionally a bounded cache of per-shape
+//! [`SolverState`] handles, and replays cached state (winning guess,
+//! pattern pool, warm basis) on structurally identical requests. The
+//! one-shot [`Eptas`] facade remains as a deprecated shim.
 
 pub mod assign_large;
 pub mod classes;
@@ -56,10 +62,15 @@ pub mod priority;
 pub mod report;
 pub mod rounding;
 pub mod small;
+pub mod solver;
 pub mod swap_repair;
 pub mod transform;
 pub mod undo;
 
 pub use config::EptasConfig;
-pub use driver::{Eptas, EptasError, EptasResult};
+#[allow(deprecated)]
+pub use driver::Eptas;
+pub use driver::{EptasError, EptasResult};
+pub use milp_model::{PatternSolution, PatternSolve, PatternStrategy, ReplaySeed};
 pub use report::{EptasReport, Stats};
+pub use solver::{CacheCounters, Solver, SolverState};

@@ -48,12 +48,14 @@
 use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
-use crate::pattern::{collect_symbols_classed, enumerate_patterns, Pattern, PatternSet};
+use crate::pattern::{collect_symbols_classed, enumerate_patterns, Pattern, PatternSet, Symbol};
 use crate::pricing::{generate_columns, MilpRow, Pricing, TreePriceDriver};
 use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
-use bagsched_milp::{solve_milp_with, MilpOptions, MilpResult, MilpStatus, Model, Relation, VarId};
+use bagsched_milp::{
+    solve_milp_seeded, MilpOptions, MilpResult, MilpStatus, Model, Relation, VarId, WarmState,
+};
 use bagsched_types::{BagId, JobId};
 use std::collections::HashMap;
 
@@ -87,6 +89,160 @@ pub struct MilpOutcome {
     pub nodes: usize,
     /// Simplex iterations.
     pub lp_iterations: usize,
+}
+
+/// Which pattern pipeline a [`PatternSolve`] runs.
+///
+/// The explicit strategies expose the formerly separate entry points
+/// (`solve_patterns`, `solve_with_patterns`, the classed variant) behind
+/// one surface; [`PatternStrategy::Auto`] is the driver's production
+/// path, which picks per guess and falls back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternStrategy {
+    /// Pick automatically: class-aggregated pricing above the symbol
+    /// budget, per-bag pricing below it, eager enumeration as the
+    /// stall/failure fallback — the historical `solve_patterns` logic,
+    /// preserved decision for decision.
+    Auto,
+    /// Eager enumeration of the full pattern pool, then the MILP: the
+    /// cross-validation oracle.
+    Eager,
+    /// Per-bag column generation against the master-LP duals; a stall is
+    /// reported as [`GuessFailure::PricingStalled`] instead of falling
+    /// back.
+    Pricing,
+    /// Class-aggregated column generation keyed on `(size, bag class)`,
+    /// de-classed to concrete bags on success; verdicts the class level
+    /// cannot settle are reported as [`GuessFailure::PricingStalled`].
+    Classed,
+}
+
+/// Replayable state of one successful pattern solve, captured by
+/// [`PatternSolve::run`] and consumed by [`PatternSolve::replay`]: the
+/// winning strategy, its symbol space, its (pre-tree-extension) pattern
+/// pool, and the root basis of the x-MILP when in-tree pricing ran.
+///
+/// Replaying skips pattern *generation* — pricing rounds, enumeration —
+/// and, when the seed carries the captured [`MilpOutcome`] (the driver
+/// attaches it after every successful guess), the restricted MILP too:
+/// the cached integral solution is handed straight to the placement
+/// phases. A seed without a captured solution re-solves the MILP over
+/// the cached pool, seeding the branch-and-bound root with the cached
+/// basis ([`bagsched_milp::solve_milp_seeded`]). On an instance
+/// identical to the captured one either path reproduces the original
+/// solve decision for decision. Validation is structural: the rounded
+/// guess and the symbol space (sizes, bags *and* availabilities) must
+/// match bit-exactly, so replaying against a mismatched instance (a
+/// fingerprint collision upstream) fails with
+/// [`GuessFailure::SeedMismatch`] instead of mis-scheduling.
+#[derive(Debug, Clone)]
+pub struct ReplaySeed {
+    strategy: PatternStrategy,
+    /// `trans.t` at capture; replay requires a bit-exact match.
+    t: f64,
+    /// The symbol space the pool is indexed over (replay validation).
+    symbols: Vec<Symbol>,
+    /// The pattern pool of the winning solve, before any tree-priced
+    /// extension (tree columns re-derive on replay).
+    pool: Vec<Pattern>,
+    /// Root basis of the winning x-MILP (tree-priced path only).
+    root_warm: Option<WarmState>,
+    /// The final (post-extension, post-declass) pattern set and integral
+    /// outcome the placement phases consumed; replay reuses them
+    /// verbatim instead of re-running branch-and-bound.
+    solution: Option<Box<(PatternSet, MilpOutcome)>>,
+}
+
+impl ReplaySeed {
+    /// The strategy the seed replays.
+    pub fn strategy(&self) -> PatternStrategy {
+        self.strategy
+    }
+
+    /// Number of cached patterns.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Attach the final pattern set and integral outcome of the solve
+    /// this seed was captured from, so the next replay skips the
+    /// restricted MILP entirely.
+    pub fn with_solution(mut self, ps: &PatternSet, out: &MilpOutcome) -> Self {
+        self.solution = Some(Box::new((ps.clone(), out.clone())));
+        self
+    }
+}
+
+/// Solution of one [`PatternSolve::run`]: the pool the downstream
+/// placement phases consume (tree-priced tail included), the MILP
+/// outcome over it, and the replay seed for the next identical solve.
+#[derive(Debug, Clone)]
+pub struct PatternSolution {
+    /// The solved pattern set (`outcome.x`'s index space).
+    pub patterns: PatternSet,
+    /// The MILP solution over `patterns`.
+    pub outcome: MilpOutcome,
+    /// Replayable state of this solve.
+    pub seed: ReplaySeed,
+}
+
+/// Builder unifying the pattern-generation + MILP entry points: choose a
+/// [`PatternStrategy`] (or let [`PatternStrategy::Auto`] pick), or
+/// replay a cached [`ReplaySeed`], then [`run`](PatternSolve::run).
+///
+/// ```ignore
+/// let sol = PatternSolve::new(&trans, &cfg).run(&mut stats)?;          // auto
+/// let sol = PatternSolve::new(&trans, &cfg)
+///     .strategy(PatternStrategy::Eager)
+///     .run(&mut stats)?;                                               // oracle
+/// let sol = PatternSolve::new(&trans, &cfg).replay(&seed).run(&mut stats)?;
+/// ```
+#[derive(Debug)]
+pub struct PatternSolve<'a> {
+    trans: &'a Transformed,
+    cfg: &'a EptasConfig,
+    strategy: PatternStrategy,
+    replay: Option<&'a ReplaySeed>,
+}
+
+impl<'a> PatternSolve<'a> {
+    /// Start a pattern solve for one guess with the default
+    /// ([`PatternStrategy::Auto`]) strategy.
+    pub fn new(trans: &'a Transformed, cfg: &'a EptasConfig) -> Self {
+        PatternSolve { trans, cfg, strategy: PatternStrategy::Auto, replay: None }
+    }
+
+    /// Force a specific pipeline instead of the auto pick.
+    pub fn strategy(mut self, strategy: PatternStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replay a cached seed instead of generating patterns. Takes
+    /// precedence over [`strategy`](PatternSolve::strategy); the seed
+    /// carries its own.
+    pub fn replay(mut self, seed: &'a ReplaySeed) -> Self {
+        self.replay = Some(seed);
+        self
+    }
+
+    /// Run the solve. Work counters are recorded into `stats` whatever
+    /// the outcome.
+    pub fn run(self, stats: &mut Stats) -> Result<PatternSolution, GuessFailure> {
+        if let Some(seed) = self.replay {
+            return run_replay(self.trans, self.cfg, seed, stats);
+        }
+        match self.strategy {
+            PatternStrategy::Auto => run_auto(self.trans, self.cfg, stats),
+            PatternStrategy::Eager => run_eager(self.trans, self.cfg, stats),
+            PatternStrategy::Pricing => run_pricing(self.trans, self.cfg, stats),
+            PatternStrategy::Classed => {
+                let classes = BagClasses::compute(self.trans);
+                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats)
+                    .unwrap_or(Err(GuessFailure::PricingStalled))
+            }
+        }
+    }
 }
 
 /// Collect the priority small pairs of the transformed instance, one per
@@ -169,6 +325,15 @@ pub fn solve_patterns(
     cfg: &EptasConfig,
     stats: &mut Stats,
 ) -> Result<(PatternSet, MilpOutcome), GuessFailure> {
+    PatternSolve::new(trans, cfg).run(stats).map(|sol| (sol.patterns, sol.outcome))
+}
+
+/// The auto pipeline behind [`PatternStrategy::Auto`].
+fn run_auto(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Result<PatternSolution, GuessFailure> {
     if cfg.column_generation {
         // Class aggregation is the *scale* path: it engages exactly when
         // the per-bag master would be over the symbol budget — i.e. when
@@ -197,8 +362,22 @@ pub fn solve_patterns(
             Pricing::Infeasible => return Err(GuessFailure::MilpInfeasible),
             Pricing::Converged(pool) => {
                 let ps = PatternSet::from_parts(symbols, pool);
-                match solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing) {
-                    Ok((out, ext)) => return Ok((ext.unwrap_or(ps), out)),
+                match solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing, None) {
+                    Ok((out, ext, warm)) => {
+                        let seed = ReplaySeed {
+                            strategy: PatternStrategy::Pricing,
+                            t: trans.t,
+                            symbols: ps.symbols.clone(),
+                            pool: ps.patterns.clone(),
+                            root_warm: warm,
+                            solution: None,
+                        };
+                        return Ok(PatternSolution {
+                            patterns: ext.unwrap_or(ps),
+                            outcome: out,
+                            seed,
+                        });
+                    }
                     Err(restricted) => {
                         // Inconclusive on a restricted pool: consult the
                         // oracle if enumeration is cheap, otherwise let
@@ -208,8 +387,7 @@ pub fn solve_patterns(
                         match enumerate_patterns(trans, budget) {
                             Ok(full) => {
                                 stats.patterns_enumerated += full.patterns.len() as u64;
-                                let out = solve_with_patterns(trans, &full, cfg, stats)?;
-                                return Ok((full, out));
+                                return solve_eager_pool(trans, cfg, full, stats);
                             }
                             Err(e) => {
                                 stats.patterns_enumerated += e.budget as u64;
@@ -222,14 +400,154 @@ pub fn solve_patterns(
             Pricing::Stalled => {} // fall through to the eager path
         }
     }
+    run_eager(trans, cfg, stats)
+}
+
+/// The eager pipeline behind [`PatternStrategy::Eager`] and the auto
+/// path's stall fallback: full enumeration, then the restricted MILP.
+fn run_eager(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Result<PatternSolution, GuessFailure> {
     let ps = enumerate_patterns(trans, cfg.max_patterns).map_err(|e| {
         // The DFS aborts after generating exactly `budget` patterns.
         stats.patterns_enumerated += e.budget as u64;
         GuessFailure::PatternBudget
     })?;
     stats.patterns_enumerated += ps.patterns.len() as u64;
-    let out = solve_with_patterns(trans, &ps, cfg, stats)?;
-    Ok((ps, out))
+    solve_eager_pool(trans, cfg, ps, stats)
+}
+
+/// Solve an eagerly enumerated pool and wrap it as a replayable
+/// solution. Tree pricing stays off (the pool is complete by
+/// construction), so the seed carries no root basis — the eager MILP
+/// runs presolved, where a captured basis could not be replayed.
+fn solve_eager_pool(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    ps: PatternSet,
+    stats: &mut Stats,
+) -> Result<PatternSolution, GuessFailure> {
+    let singles = BagClasses::singletons(trans);
+    let (out, _, _) = solve_restricted(trans, &ps, &singles, cfg, stats, false, None)?;
+    let seed = ReplaySeed {
+        strategy: PatternStrategy::Eager,
+        t: trans.t,
+        symbols: ps.symbols.clone(),
+        pool: ps.patterns.clone(),
+        root_warm: None,
+        solution: None,
+    };
+    Ok(PatternSolution { patterns: ps, outcome: out, seed })
+}
+
+/// The per-bag pricing pipeline behind [`PatternStrategy::Pricing`].
+fn run_pricing(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    stats: &mut Stats,
+) -> Result<PatternSolution, GuessFailure> {
+    let classes = BagClasses::singletons(trans);
+    let symbols = collect_symbols_classed(trans, &classes);
+    stats.bag_classes += classes.num_classes() as u64;
+    stats.symbols_after_aggregation += symbols.len() as u64;
+    match generate_columns(trans, &symbols, &classes, cfg, stats) {
+        Pricing::Infeasible => Err(GuessFailure::MilpInfeasible),
+        Pricing::Stalled => Err(GuessFailure::PricingStalled),
+        Pricing::Converged(pool) => {
+            let ps = PatternSet::from_parts(symbols, pool);
+            let (out, ext, warm) =
+                solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing, None)?;
+            let seed = ReplaySeed {
+                strategy: PatternStrategy::Pricing,
+                t: trans.t,
+                symbols: ps.symbols.clone(),
+                pool: ps.patterns.clone(),
+                root_warm: warm,
+                solution: None,
+            };
+            Ok(PatternSolution { patterns: ext.unwrap_or(ps), outcome: out, seed })
+        }
+    }
+}
+
+/// Replay a cached seed: validate the symbol space, rebuild the pool,
+/// and re-solve the restricted MILP seeded with the cached root basis.
+fn run_replay(
+    trans: &Transformed,
+    cfg: &EptasConfig,
+    seed: &ReplaySeed,
+    stats: &mut Stats,
+) -> Result<PatternSolution, GuessFailure> {
+    // The rounded guess pins the whole size geometry; a drifted `t`
+    // means the cached pool belongs to a different guess grid.
+    if trans.t.to_bits() != seed.t.to_bits() {
+        return Err(GuessFailure::SeedMismatch);
+    }
+    let classes = match seed.strategy {
+        PatternStrategy::Eager | PatternStrategy::Pricing => BagClasses::singletons(trans),
+        PatternStrategy::Classed => {
+            let classes = BagClasses::compute(trans);
+            if classes.all_singletons() {
+                return Err(GuessFailure::SeedMismatch);
+            }
+            classes
+        }
+        // Auto never lands in a seed: capture always records the
+        // concrete winning pipeline.
+        PatternStrategy::Auto => return Err(GuessFailure::SeedMismatch),
+    };
+    if collect_symbols_classed(trans, &classes) != seed.symbols {
+        return Err(GuessFailure::SeedMismatch);
+    }
+    // The captured integral solution short-circuits the whole MILP: the
+    // symbol space (availabilities included) matched bit-exactly, so the
+    // cached multiplicities place this instance's large/priority jobs
+    // decision for decision. Anything the outcome cannot cover (e.g. a
+    // drifted small-job area on a colliding fingerprint) fails in a
+    // placement phase as an ordinary `GuessFailure` and the driver
+    // solves cold.
+    if let Some(cached) = &seed.solution {
+        let (ps, out) = cached.as_ref().clone();
+        return Ok(PatternSolution { patterns: ps, outcome: out, seed: seed.clone() });
+    }
+    let ps = PatternSet::from_parts(seed.symbols.clone(), seed.pool.clone());
+    match seed.strategy {
+        PatternStrategy::Eager => {
+            let (out, _, _) = solve_restricted(trans, &ps, &classes, cfg, stats, false, None)?;
+            Ok(PatternSolution { patterns: ps, outcome: out, seed: seed.clone() })
+        }
+        PatternStrategy::Pricing => {
+            let (out, ext, warm) = solve_restricted(
+                trans,
+                &ps,
+                &classes,
+                cfg,
+                stats,
+                cfg.tree_pricing,
+                seed.root_warm.as_ref(),
+            )?;
+            let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
+            Ok(PatternSolution { patterns: ext.unwrap_or(ps), outcome: out, seed })
+        }
+        PatternStrategy::Classed => {
+            let (out, ext, warm) = solve_restricted(
+                trans,
+                &ps,
+                &classes,
+                cfg,
+                stats,
+                cfg.tree_pricing,
+                seed.root_warm.as_ref(),
+            )?;
+            let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
+            let ps = ext.unwrap_or(ps);
+            let (cps, cout) = crate::declass::declass(trans, &classes, &ps, &out)?;
+            Ok(PatternSolution { patterns: cps, outcome: cout, seed })
+        }
+        PatternStrategy::Auto => unreachable!("rejected above"),
+    }
 }
 
 /// The class-aggregated attempt: pricing and the MILP keyed on `(size,
@@ -247,7 +565,7 @@ fn solve_patterns_aggregated(
     classes: &BagClasses,
     cfg: &EptasConfig,
     stats: &mut Stats,
-) -> Option<Result<(PatternSet, MilpOutcome), GuessFailure>> {
+) -> Option<Result<PatternSolution, GuessFailure>> {
     stats.bag_classes += classes.num_classes() as u64;
     let symbols = collect_symbols_classed(trans, classes);
     stats.symbols_after_aggregation += symbols.len() as u64;
@@ -256,10 +574,19 @@ fn solve_patterns_aggregated(
         Pricing::Stalled => None,
         Pricing::Converged(pool) => {
             let ps = PatternSet::from_parts(symbols, pool);
-            let (out, ext) =
-                solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing).ok()?;
+            let (out, ext, warm) =
+                solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing, None).ok()?;
+            let seed = ReplaySeed {
+                strategy: PatternStrategy::Classed,
+                t: trans.t,
+                symbols: ps.symbols.clone(),
+                pool: ps.patterns.clone(),
+                root_warm: warm,
+                solution: None,
+            };
             let ps = ext.unwrap_or(ps);
-            crate::declass::declass(trans, classes, &ps, &out).ok().map(Ok)
+            let (cps, cout) = crate::declass::declass(trans, classes, &ps, &out).ok()?;
+            Some(Ok(PatternSolution { patterns: cps, outcome: cout, seed }))
         }
     }
 }
@@ -309,7 +636,7 @@ pub(crate) fn solve_with_patterns_classed(
     cfg: &EptasConfig,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
-    solve_restricted(trans, ps, classes, cfg, stats, false).map(|(out, _)| out)
+    solve_restricted(trans, ps, classes, cfg, stats, false, None).map(|(out, _, _)| out)
 }
 
 /// The restricted configuration MILP over a (priced or enumerated) pool,
@@ -319,7 +646,11 @@ pub(crate) fn solve_with_patterns_classed(
 /// [`TreePriceDriver`]). Only the priced-pool path enables it — eager
 /// pools are already complete by construction. When tree columns were
 /// generated the second return value carries the extended pattern set
-/// (`x`'s index space), built exactly once.
+/// (`x`'s index space), built exactly once. `root_warm` seeds the
+/// x-MILP's root LP with a basis from a previous identical solve; the
+/// third return value is this solve's root basis for the next one (see
+/// [`bagsched_milp::solve_milp_seeded`]).
+#[allow(clippy::too_many_arguments)]
 fn solve_restricted(
     trans: &Transformed,
     ps: &PatternSet,
@@ -327,7 +658,8 @@ fn solve_restricted(
     cfg: &EptasConfig,
     stats: &mut Stats,
     tree: bool,
-) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
+    root_warm: Option<&WarmState>,
+) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let pairs = priority_small_pairs_classed(trans, classes);
     let w_nonprio = nonpriority_small_area(trans);
     let class_mult = class_mult_table(ps, classes);
@@ -369,9 +701,9 @@ fn solve_restricted(
     let ctx =
         ClassCtx { classes, class_mult: &class_mult, with_smalls: &classes_with_smalls, covering };
     if joint {
-        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree)
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm)
     } else {
-        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree)
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm)
     }
 }
 
@@ -425,10 +757,12 @@ fn run_milp(
     cfg: &EptasConfig,
     stats: &mut Stats,
     tree: Option<TreePriceDriver<'_>>,
-) -> (MilpResult, Vec<Pattern>, Vec<u32>) {
+    root_warm: Option<&WarmState>,
+) -> (MilpResult, Vec<Pattern>, Vec<u32>, Option<WarmState>) {
     match tree {
         Some(mut driver) => {
-            let res = solve_milp_with(model, &milp_options(cfg), Some(&mut driver));
+            let (res, warm_out) =
+                solve_milp_seeded(model, &milp_options(cfg), Some(&mut driver), root_warm);
             stats.add(&driver.stats);
             let tree_x = match res.status {
                 MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -436,9 +770,15 @@ fn run_milp(
                 }
                 _ => Vec::new(),
             };
-            (res, driver.new_patterns, tree_x)
+            (res, driver.new_patterns, tree_x, warm_out)
         }
-        None => (solve_milp_with(model, &milp_options(cfg), None), Vec::new(), Vec::new()),
+        None => {
+            // Without a pricer the warm seam stays closed: passing a
+            // seed would skip presolve and change which model the B&B
+            // explores relative to the cold path it must reproduce.
+            let (res, _) = solve_milp_seeded(model, &milp_options(cfg), None, None);
+            (res, Vec::new(), Vec::new(), None)
+        }
     }
 }
 
@@ -462,7 +802,8 @@ fn solve_joint(
     ctx: &ClassCtx<'_>,
     stats: &mut Stats,
     tree: bool,
-) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
+    root_warm: Option<&WarmState>,
+) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
@@ -582,7 +923,7 @@ fn solve_joint(
 
     let driver = tree
         .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
-    let (res, tree_patterns, tree_x) = run_milp(&model, cfg, stats, driver);
+    let (res, tree_patterns, tree_x, warm_out) = run_milp(&model, cfg, stats, driver, root_warm);
     record_milp(stats, &res);
     match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -607,6 +948,7 @@ fn solve_joint(
                     lp_iterations: res.lp_iterations,
                 },
                 ext,
+                warm_out,
             ))
         }
         MilpStatus::Infeasible => Err(GuessFailure::MilpInfeasible),
@@ -629,7 +971,8 @@ fn solve_two_stage(
     ctx: &ClassCtx<'_>,
     stats: &mut Stats,
     tree: bool,
-) -> Result<(MilpOutcome, Option<PatternSet>), GuessFailure> {
+    root_warm: Option<&WarmState>,
+) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
     let mut model = Model::new();
@@ -685,7 +1028,7 @@ fn solve_two_stage(
 
     let driver = tree
         .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
-    let (res, tree_patterns, tree_x) = run_milp(&model, cfg, stats, driver);
+    let (res, tree_patterns, tree_x, warm_out) = run_milp(&model, cfg, stats, driver, root_warm);
     record_milp(stats, &res);
     let xs: Vec<u32> = match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -724,6 +1067,7 @@ fn solve_two_stage(
             lp_iterations: res.lp_iterations,
         },
         ext,
+        warm_out,
     ))
 }
 

@@ -31,6 +31,16 @@ pub enum GuessFailure {
     /// de-classed MILP solution and the transformed instance
     /// (inconclusive; formerly a process-aborting panic).
     LargePlacement,
+    /// The column-generation pricing loop stalled before converging and
+    /// no fallback was requested (inconclusive; only the explicit
+    /// pricing strategies report this — the auto path falls back to
+    /// eager enumeration instead).
+    PricingStalled,
+    /// A cached replay seed did not match the instance it was replayed
+    /// against — the fingerprint collided or the cached symbol space
+    /// drifted. Inconclusive by construction: the caller falls back to
+    /// the cold search, so a collision costs time, never correctness.
+    SeedMismatch,
 }
 
 impl std::fmt::Display for GuessFailure {
@@ -44,6 +54,8 @@ impl std::fmt::Display for GuessFailure {
             GuessFailure::SwapRepair => "large-job swap repair found no partner",
             GuessFailure::MediumFlow => "medium-job reinsertion flow incomplete",
             GuessFailure::LargePlacement => "large-slot placement hit a bag/supply mismatch",
+            GuessFailure::PricingStalled => "column-generation pricing stalled",
+            GuessFailure::SeedMismatch => "cached replay seed does not match the instance",
         };
         f.write_str(s)
     }
@@ -129,6 +141,16 @@ pub struct Stats {
     /// zero growth — any regression to the fallback on a previously
     /// solved cell is a failure, not noise.
     pub lpt_fallbacks: u64,
+    /// Solves answered by replaying cached solver state (chosen guess +
+    /// pattern pool + root basis) instead of the cold guess search. A
+    /// savings-style counter like `node_warm_starts`: growth means the
+    /// cross-request cache engages.
+    pub cache_hits: u64,
+    /// Solves that ran the cold guess search: no cached state for the
+    /// instance fingerprint, or the replay attempt failed validation.
+    pub cache_misses: u64,
+    /// Cached solver states evicted by the LRU capacity bound.
+    pub cache_evictions: u64,
 }
 
 impl Stats {
@@ -155,12 +177,15 @@ impl Stats {
         self.columns_purged += other.columns_purged;
         self.columns_readmitted += other.columns_readmitted;
         self.lpt_fallbacks += other.lpt_fallbacks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 21] {
+    pub fn named(&self) -> [(&'static str, u64); 24] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -183,6 +208,9 @@ impl Stats {
             ("columns_purged", self.columns_purged),
             ("columns_readmitted", self.columns_readmitted),
             ("lpt_fallbacks", self.lpt_fallbacks),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
         ]
     }
 }
@@ -211,6 +239,10 @@ pub struct EptasReport {
     pub safety_net_moves: usize,
     /// Aggregate work counters across every guess (failed ones included).
     pub stats: Stats,
+    /// `true` when the schedule came from replaying cached solver state
+    /// (see [`Solver::solve_session`](crate::Solver::solve_session))
+    /// instead of the cold binary search.
+    pub replayed: bool,
     /// Total wall-clock of the solve.
     pub elapsed: Duration,
 }
@@ -286,6 +318,9 @@ mod tests {
             columns_purged: 19,
             columns_readmitted: 20,
             lpt_fallbacks: 21,
+            cache_hits: 22,
+            cache_misses: 23,
+            cache_evictions: 24,
         };
         let b = a;
         a.add(&b);

@@ -1,0 +1,355 @@
+//! Session-oriented solver facade with cross-request state caching.
+//!
+//! [`Solver`] replaces the one-shot `Eptas` facade. It owns an
+//! [`EptasConfig`] and, optionally, a bounded LRU cache of
+//! [`SolverState`] handles keyed by the rounded-instance
+//! [`fingerprint`]: the winning makespan guess plus the pattern pool,
+//! symbol table and root basis that produced it. A later request whose
+//! instance rounds to the same shape *replays* that state — guess
+//! search, pattern enumeration and column-generation pricing are all
+//! skipped, and the MILP re-solves from the cached warm basis in a
+//! handful of pivots. Replay is validated structurally (bit-exact guess,
+//! symbol-table equality), so a fingerprint collision degrades to a cold
+//! solve instead of a wrong schedule.
+//!
+//! Three entry points, least to most explicit:
+//!
+//! * [`Solver::solve`] — wire-level: takes a [`SolveRequest`] (its own
+//!   epsilon per request), never panics, answers with a
+//!   [`SolveResponse`].
+//! * [`Solver::solve_instance`] — one-shot [`Instance`] solve through
+//!   the cache (the `Eptas::solve` replacement).
+//! * [`Solver::solve_session`] — caller-held state: pass the
+//!   [`SolverState`] from the previous solve, get the refreshed one
+//!   back. Bypasses the shared cache entirely.
+
+use crate::config::EptasConfig;
+use crate::driver::{solve_session_inner, EptasError, EptasResult};
+use crate::milp_model::ReplaySeed;
+use bagsched_types::{fingerprint, Instance, SolveRequest, SolveResponse};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Opaque per-shape solver state: everything needed to replay a solve of
+/// a structurally identical instance without re-searching.
+#[derive(Debug, Clone)]
+pub struct SolverState {
+    /// The winning makespan guess of the captured solve.
+    pub(crate) chosen_guess: f64,
+    /// The pattern-phase replay seed (strategy, pool, warm basis).
+    pub(crate) seed: ReplaySeed,
+}
+
+impl SolverState {
+    /// The makespan guess the replay retries first.
+    pub fn chosen_guess(&self) -> f64 {
+        self.chosen_guess
+    }
+
+    /// Number of patterns in the cached pool.
+    pub fn pool_size(&self) -> usize {
+        self.seed.pool_size()
+    }
+}
+
+/// Snapshot of the solver-state cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Requests answered by replaying cached state.
+    pub hits: u64,
+    /// Requests that solved cold (no usable cached state).
+    pub misses: u64,
+    /// States evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// Tick-stamped LRU map. Capacities are small (a server keeps at most a
+/// few hundred states), so min-scan eviction beats a linked structure.
+struct Lru {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u64, (SolverState, u64)>,
+}
+
+impl Lru {
+    fn new(cap: usize) -> Self {
+        Lru { cap: cap.max(1), tick: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<SolverState> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    /// Insert (or refresh) `key`; returns `true` if another entry was
+    /// evicted to make room.
+    fn put(&mut self, key: u64, state: SolverState) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(&k, _)| k) {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (state, self.tick));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The session-oriented EPTAS solver. Cheap to share behind an `Arc`:
+/// all methods take `&self`, the cache is internally synchronized, and
+/// counters are atomics.
+pub struct Solver {
+    cfg: EptasConfig,
+    cache: Option<Mutex<Lru>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Solver {
+    /// A solver without a state cache: every solve is cold.
+    pub fn new(cfg: EptasConfig) -> Self {
+        Solver {
+            cfg,
+            cache: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Shorthand: default configuration at `eps`, no cache.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Solver::new(EptasConfig::with_epsilon(epsilon))
+    }
+
+    /// A solver with a solver-state cache holding up to `capacity`
+    /// states (at least one).
+    pub fn with_cache(cfg: EptasConfig, capacity: usize) -> Self {
+        Solver { cache: Some(Mutex::new(Lru::new(capacity))), ..Solver::new(cfg) }
+    }
+
+    /// The configuration in use (per-request epsilon overrides it on the
+    /// wire path).
+    pub fn config(&self) -> &EptasConfig {
+        &self.cfg
+    }
+
+    /// Lifetime totals of the state cache. All zero when the solver was
+    /// built without a cache.
+    pub fn cache_counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of states currently cached.
+    pub fn cached_states(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.lock().unwrap().len())
+    }
+
+    /// One-shot solve through the shared cache (the `Eptas::solve`
+    /// replacement). With a cache attached, the report's
+    /// `cache_hits`/`cache_misses`/`cache_evictions` counters and the
+    /// `replayed` flag record what the cache did for this request.
+    pub fn solve_instance(&self, inst: &Instance) -> Result<EptasResult, EptasError> {
+        self.solve_cached(&self.cfg, inst)
+    }
+
+    /// Explicit session solve: replays `state` when given, returns the
+    /// refreshed state for the caller to hold. Does not touch the shared
+    /// cache or its counters.
+    pub fn solve_session(
+        &self,
+        inst: &Instance,
+        state: Option<&SolverState>,
+    ) -> Result<(EptasResult, Option<SolverState>), EptasError> {
+        solve_session_inner(&self.cfg, inst, state)
+    }
+
+    /// Wire-level entry point: solve a [`SolveRequest`] (with its own
+    /// epsilon) and answer with a [`SolveResponse`]. Never panics on
+    /// hostile input — an out-of-range epsilon or infeasible instance
+    /// comes back as an error response.
+    pub fn solve(&self, req: &SolveRequest) -> SolveResponse {
+        let start = Instant::now();
+        let error = |msg: String| SolveResponse {
+            id: req.id,
+            ok: false,
+            error: Some(msg),
+            makespan: 0.0,
+            assignment: Vec::new(),
+            cache_hit: false,
+            micros: start.elapsed().as_micros() as u64,
+        };
+        // The wire deserializer already rejects non-finite / non-positive
+        // epsilon; the config layer additionally caps it.
+        if !(req.epsilon > 0.0 && req.epsilon <= 0.95) {
+            return error(format!("epsilon must be in (0, 0.95], got {}", req.epsilon));
+        }
+        let cfg = if req.epsilon == self.cfg.epsilon {
+            self.cfg.clone()
+        } else {
+            EptasConfig { epsilon: req.epsilon, ..self.cfg.clone() }
+        };
+        match self.solve_cached(&cfg, &req.instance) {
+            Ok(res) => SolveResponse {
+                id: req.id,
+                ok: true,
+                error: None,
+                makespan: res.makespan,
+                assignment: res.schedule.assignment().iter().map(|m| m.0).collect(),
+                cache_hit: res.report.replayed,
+                micros: start.elapsed().as_micros() as u64,
+            },
+            Err(e) => error(e.to_string()),
+        }
+    }
+
+    fn solve_cached(&self, cfg: &EptasConfig, inst: &Instance) -> Result<EptasResult, EptasError> {
+        let Some(cache) = &self.cache else {
+            return solve_session_inner(cfg, inst, None).map(|(result, _)| result);
+        };
+        let key = fingerprint(inst, cfg.epsilon);
+        let cached = cache.lock().unwrap().get(key);
+        let (mut res, state) = solve_session_inner(cfg, inst, cached.as_ref())?;
+        if res.report.replayed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            res.report.stats.cache_hits += 1;
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            res.report.stats.cache_misses += 1;
+        }
+        if let Some(state) = state {
+            if cache.lock().unwrap().put(key, state) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                res.report.stats.cache_evictions += 1;
+            }
+        }
+        Ok(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagsched_types::gen;
+    use bagsched_types::validate_schedule;
+
+    /// Distinct uniform instances; `salt` shifts the generator seed so
+    /// tests control how many unique fingerprints they create.
+    fn inst(salt: u64) -> Instance {
+        gen::uniform(40, 4, 12, 7 + salt)
+    }
+
+    #[test]
+    fn cache_hit_replays_identical_schedule() {
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
+        let cold = solver.solve_instance(&inst(0)).unwrap();
+        assert!(!cold.report.replayed);
+        assert_eq!(cold.report.stats.cache_misses, 1);
+        let warm = solver.solve_instance(&inst(0)).unwrap();
+        assert!(warm.report.replayed, "second solve of the same shape must hit");
+        assert_eq!(warm.report.stats.cache_hits, 1);
+        assert_eq!(warm.schedule.assignment(), cold.schedule.assignment());
+        assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
+        assert_eq!(solver.cache_counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+        validate_schedule(&inst(0), &warm.schedule).unwrap();
+    }
+
+    #[test]
+    fn uncached_solver_records_nothing() {
+        let solver = Solver::with_epsilon(0.5);
+        let r = solver.solve_instance(&inst(0)).unwrap();
+        assert_eq!(r.report.stats.cache_hits, 0);
+        assert_eq!(r.report.stats.cache_misses, 0);
+        assert_eq!(solver.cache_counters(), CacheCounters::default());
+        assert_eq!(solver.cached_states(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 2);
+        solver.solve_instance(&inst(0)).unwrap();
+        solver.solve_instance(&inst(1)).unwrap();
+        assert_eq!(solver.cached_states(), 2);
+        // Third distinct shape evicts the least recently used (salt 0).
+        let r = solver.solve_instance(&inst(2)).unwrap();
+        assert_eq!(r.report.stats.cache_evictions, 1);
+        assert_eq!(solver.cached_states(), 2);
+        // Salt 1 and 2 still hit; salt 0 is gone and misses again.
+        assert!(solver.solve_instance(&inst(1)).unwrap().report.replayed);
+        assert!(solver.solve_instance(&inst(2)).unwrap().report.replayed);
+        assert!(!solver.solve_instance(&inst(0)).unwrap().report.replayed);
+        let c = solver.cache_counters();
+        assert_eq!((c.hits, c.misses), (2, 4));
+        assert_eq!(c.evictions, 2, "re-solving salt 0 evicts again at capacity");
+    }
+
+    #[test]
+    fn lru_touch_on_hit_protects_entry() {
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 2);
+        solver.solve_instance(&inst(0)).unwrap();
+        solver.solve_instance(&inst(1)).unwrap();
+        // Touch salt 0 so salt 1 becomes the eviction victim.
+        assert!(solver.solve_instance(&inst(0)).unwrap().report.replayed);
+        solver.solve_instance(&inst(2)).unwrap();
+        assert!(solver.solve_instance(&inst(0)).unwrap().report.replayed, "touched entry survives");
+    }
+
+    #[test]
+    fn wire_solve_answers_and_hits() {
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
+        let req = SolveRequest { id: 7, epsilon: 0.5, instance: inst(0) };
+        let cold = solver.solve(&req);
+        assert!(cold.ok, "{:?}", cold.error);
+        assert_eq!(cold.id, 7);
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.assignment.len(), inst(0).num_jobs());
+        let warm = solver.solve(&SolveRequest { id: 8, ..req });
+        assert!(warm.ok);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.assignment, cold.assignment);
+        assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
+    }
+
+    #[test]
+    fn wire_solve_rejects_bad_epsilon_and_infeasible() {
+        let solver = Solver::with_epsilon(0.5);
+        let bad_eps = solver.solve(&SolveRequest { id: 1, epsilon: 1.5, instance: inst(0) });
+        assert!(!bad_eps.ok);
+        assert!(bad_eps.error.as_deref().unwrap().contains("epsilon"));
+        let infeasible = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
+        let r = solver.solve(&SolveRequest { id: 2, epsilon: 0.5, instance: infeasible });
+        assert!(!r.ok);
+        assert!(r.error.is_some());
+        assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    fn per_request_epsilon_keys_the_cache() {
+        // Same instance at a different epsilon must not replay the other
+        // epsilon's state: the fingerprint folds epsilon in.
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
+        let a = solver.solve(&SolveRequest { id: 1, epsilon: 0.5, instance: inst(0) });
+        let b = solver.solve(&SolveRequest { id: 2, epsilon: 0.4, instance: inst(0) });
+        assert!(a.ok && b.ok);
+        assert!(!b.cache_hit, "different epsilon is a different cache key");
+        let again = solver.solve(&SolveRequest { id: 3, epsilon: 0.4, instance: inst(0) });
+        assert!(again.cache_hit);
+    }
+}

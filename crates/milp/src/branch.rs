@@ -189,8 +189,35 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
 pub fn solve_milp_with(
     model: &Model,
     opts: &MilpOptions,
-    mut pricer: Option<&mut dyn TreePricer>,
+    pricer: Option<&mut dyn TreePricer>,
 ) -> MilpResult {
+    solve_milp_seeded(model, opts, pricer, None).0
+}
+
+/// Like [`solve_milp_with`], plus a root-basis seam for cross-solve warm
+/// starts: `root_warm` seeds the root node's LP with a basis captured
+/// from a previous solve of a structurally identical model, and the
+/// returned state is the root's final basis for the *next* identical
+/// solve.
+///
+/// Seeding an identical model replays to optimality in zero dual pivots,
+/// so the branch-and-bound tree — and hence the integral solution — is
+/// bit-identical to the unseeded solve; a basis the dual engine cannot
+/// absorb (wrong shape, singular) is discarded for the usual cold solve,
+/// so a stale seed costs pivots, never correctness.
+///
+/// Presolve is skipped whenever a seed is supplied or requested (the
+/// basis addresses the unreduced model's rows and columns), and the
+/// returned state is `None` whenever it could not be replayed against
+/// the caller's model as-is: presolve ran, the in-tree pricer grafted
+/// columns before the root was resolved, or the root LP never reached a
+/// reusable optimal basis.
+pub fn solve_milp_seeded(
+    model: &Model,
+    opts: &MilpOptions,
+    mut pricer: Option<&mut dyn TreePricer>,
+    root_warm: Option<&WarmState>,
+) -> (MilpResult, Option<WarmState>) {
     let start = Instant::now();
     let fail = |status: MilpStatus| MilpResult {
         status,
@@ -209,17 +236,19 @@ pub fn solve_milp_with(
     };
     // Root presolve: tighten bounds, drop redundant rows, detect trivial
     // infeasibility. Variables are never removed, so indices are stable.
-    // Skipped when a pricer is attached: priced columns address
-    // constraint rows by index, and presolve renumbers rows.
+    // Skipped when a pricer is attached (priced columns address
+    // constraint rows by index, and presolve renumbers rows) or when a
+    // root basis is in play (the basis addresses the unreduced model).
+    let presolved = pricer.is_none() && root_warm.is_none();
     let reduced;
     let (presolve_rows_dropped, presolve_bounds_tightened);
-    let model = if pricer.is_some() {
+    let model = if !presolved {
         (presolve_rows_dropped, presolve_bounds_tightened) = (0, 0);
         model
     } else {
         match crate::presolve::presolve(model) {
             crate::presolve::PresolveStatus::Infeasible => {
-                return fail(MilpStatus::Infeasible);
+                return (fail(MilpStatus::Infeasible), None);
             }
             crate::presolve::PresolveStatus::Reduced { model, rows_dropped, bounds_tightened } => {
                 presolve_rows_dropped = rows_dropped;
@@ -244,8 +273,16 @@ pub fn solve_milp_with(
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
     let mut budget_hit = false;
     let mut unbounded_root = false;
+    // The root's final basis, captured for the next identical solve.
+    let mut root_basis: Option<WarmState> = None;
 
-    let mut stack = vec![Node { bounds: Vec::new(), parent_bound: f64::NEG_INFINITY, warm: None }];
+    let mut stack = vec![Node {
+        bounds: Vec::new(),
+        parent_bound: f64::NEG_INFINITY,
+        // Seed the root from the caller's basis; the dual engine treats
+        // it exactly like a parent hand-off (cold fallback included).
+        warm: if opts.dual_simplex { root_warm.map(|w| Rc::new(w.clone())) } else { None },
+    }];
     let mut work = model.clone();
 
     'search: while let Some(node) = stack.pop() {
@@ -357,6 +394,13 @@ pub fn solve_milp_with(
                     }
                 }
                 let Some((_, j)) = branch_var else {
+                    // Root exit: keep the final basis for the next
+                    // identical solve — but only if it can be replayed
+                    // against the caller's model as-is (no presolve
+                    // renumbering, no tree-priced extra columns).
+                    if at_root && !presolved && tree_columns == 0 {
+                        root_basis = state.clone();
+                    }
                     break 'node NodeOutcome::Incumbent(lp.x.clone());
                 };
 
@@ -408,6 +452,10 @@ pub fn solve_milp_with(
                     }
                 }
 
+                // Same capture rule as the integral root exit above.
+                if at_root && !presolved && tree_columns == 0 {
+                    root_basis = state.clone();
+                }
                 let (lb, ub) = work.bounds(VarId(j));
                 break 'node NodeOutcome::Branch {
                     j,
@@ -489,7 +537,7 @@ pub fn solve_milp_with(
     }
 
     if unbounded_root {
-        return MilpResult {
+        let result = MilpResult {
             status: MilpStatus::Unbounded,
             x: vec![],
             objective: f64::NEG_INFINITY,
@@ -504,8 +552,9 @@ pub fn solve_milp_with(
             basis_refactorizations,
             eta_updates,
         };
+        return (result, None);
     }
-    match incumbent {
+    let result = match incumbent {
         Some((mut x, objective)) => {
             // Defensive: pricing is gated on `incumbent.is_none()`, so
             // the incumbent already spans every column and this is a
@@ -550,7 +599,8 @@ pub fn solve_milp_with(
             basis_refactorizations,
             eta_updates,
         },
-    }
+    };
+    (result, root_basis)
 }
 
 #[cfg(test)]
@@ -783,6 +833,60 @@ mod tests {
         assert_eq!(r.status, MilpStatus::Feasible);
         assert_eq!(r.x.len(), 3);
         assert_close(r.x[2], 0.0);
+    }
+
+    /// The root-basis seam: a second, identical solve seeded with the
+    /// first solve's captured root basis must return a bit-identical
+    /// result, with the seed actually engaging at the root.
+    #[test]
+    fn seeded_resolve_is_bit_identical() {
+        let mut m = Model::new();
+        let n = 10;
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_int_var(-((j % 4 + 1) as f64) - j as f64 * 1e-9, 0.0, 2.0))
+            .collect();
+        for k in 0..3 {
+            let terms: Vec<_> =
+                vars.iter().enumerate().map(|(j, &v)| (v, ((j + k) % 3 + 1) as f64)).collect();
+            m.add_con(&terms, Le, 11.0 + k as f64);
+        }
+
+        struct NeverPricer;
+        impl TreePricer for NeverPricer {
+            fn price(&mut self, _model: &mut Model, _lp: &LpResult) -> Vec<VarId> {
+                vec![]
+            }
+        }
+
+        let opts = MilpOptions { first_solution: true, ..Default::default() };
+        let mut p1 = NeverPricer;
+        let (cold, basis) = solve_milp_seeded(&m, &opts, Some(&mut p1), None);
+        let basis = basis.expect("root basis must be captured when presolve is skipped");
+        let mut p2 = NeverPricer;
+        let (warm, basis2) = solve_milp_seeded(&m, &opts, Some(&mut p2), Some(&basis));
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.x, cold.x, "seeded solve must be bit-identical");
+        assert_eq!(warm.nodes, cold.nodes, "seeded tree must match the unseeded tree");
+        assert!(
+            warm.node_warm_starts > cold.node_warm_starts,
+            "the root seed never engaged (warm {} vs cold {})",
+            warm.node_warm_starts,
+            cold.node_warm_starts
+        );
+        assert!(basis2.is_some(), "a seeded solve must re-capture the root basis");
+    }
+
+    /// Without a pricer or seed, presolve runs and the root basis is
+    /// withheld (it addresses the reduced model, not the caller's).
+    #[test]
+    fn presolved_solve_withholds_root_basis() {
+        let mut m = Model::new();
+        let x = m.add_int_var(-1.0, 0.0, 5.0);
+        let y = m.add_int_var(-1.0, 0.0, 5.0);
+        m.add_con(&[(x, 2.0), (y, 2.0)], Le, 5.0);
+        let (r, basis) = solve_milp_seeded(&m, &MilpOptions::default(), None, None);
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!(basis.is_none());
     }
 
     proptest::proptest! {

@@ -34,7 +34,9 @@ pub mod model;
 pub mod presolve;
 pub mod simplex;
 
-pub use branch::{solve_milp, solve_milp_with, MilpOptions, MilpResult, MilpStatus, TreePricer};
+pub use branch::{
+    solve_milp, solve_milp_seeded, solve_milp_with, MilpOptions, MilpResult, MilpStatus, TreePricer,
+};
 pub use dual::DualOutcome;
 pub use model::{LpResult, LpStatus, Model, Relation, VarId};
 pub use presolve::{presolve, PresolveStatus};

@@ -1,0 +1,179 @@
+//! The `bagsched-bencher` load client.
+//!
+//! ```text
+//! bagsched-bencher [flags]
+//!
+//! flags:
+//!   --addr A            server address (default 127.0.0.1:7741)
+//!   --requests N        total requests (default 200)
+//!   --concurrency N     concurrent connections (default 4)
+//!   --repeat-ratio F    hot-request fraction in [0,1] (default 0.8)
+//!   --shapes N          distinct hot shapes (default 4)
+//!   --family F          workload family: uniform, bimodal, clustered,
+//!                       adversarial, tight, powerlaw (default uniform)
+//!   --jobs N            jobs per instance (default 40)
+//!   --machines N        machines per instance (default 4)
+//!   --bags N            bags per instance (default 12)
+//!   --epsilon E         approximation parameter (default 0.5)
+//!   --open-loop RPS     open-loop mode at a fixed aggregate rate
+//!   --seed S            workload seed (default 1)
+//!   --quick             small smoke workload (40 requests)
+//!   --require-hits      exit 3 unless the run saw >= 1 cache hit
+//!   --json FILE         write the report as JSON
+//!   --compare FILE      gate against a previous --json report (exit 3
+//!                       on regression)
+//!   --shutdown          send the shutdown op after the run
+//! ```
+//!
+//! Exit codes: `0` ok, `1` transport failure, `2` usage, `3` gate
+//! failure (--require-hits / --compare).
+
+use bagsched_server::load::{self, compare, LoadConfig, LoadReport};
+use bagsched_server::Client;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    cfg: LoadConfig,
+    require_hits: bool,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        cfg: LoadConfig::default(),
+        require_hits: false,
+        json: None,
+        baseline: None,
+        shutdown: false,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        let parse_usize = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&x| x >= 1)
+                .ok_or(format!("{flag} needs a positive integer"))
+        };
+        match a.as_str() {
+            "--addr" => args.cfg.addr = value_of("--addr")?,
+            "--requests" => args.cfg.requests = parse_usize("--requests", value_of("--requests")?)?,
+            "--concurrency" => {
+                args.cfg.concurrency = parse_usize("--concurrency", value_of("--concurrency")?)?;
+            }
+            "--repeat-ratio" => {
+                args.cfg.repeat_ratio = value_of("--repeat-ratio")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("--repeat-ratio needs a number in [0, 1]")?;
+            }
+            "--shapes" => args.cfg.shapes = parse_usize("--shapes", value_of("--shapes")?)?,
+            "--family" => {
+                let f = value_of("--family")?;
+                if bagsched_server::load::family_names().contains(&f.as_str()) {
+                    args.cfg.family = f;
+                } else {
+                    return Err(format!(
+                        "--family must be one of {}",
+                        bagsched_server::load::family_names().join(", ")
+                    ));
+                }
+            }
+            "--jobs" => args.cfg.jobs = parse_usize("--jobs", value_of("--jobs")?)?,
+            "--machines" => args.cfg.machines = parse_usize("--machines", value_of("--machines")?)?,
+            "--bags" => args.cfg.bags = parse_usize("--bags", value_of("--bags")?)?,
+            "--epsilon" => {
+                args.cfg.epsilon = value_of("--epsilon")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|e| *e > 0.0 && *e <= 0.95)
+                    .ok_or("--epsilon needs a number in (0, 0.95]")?;
+            }
+            "--open-loop" => {
+                args.cfg.open_loop_rps = Some(
+                    value_of("--open-loop")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| *r > 0.0)
+                        .ok_or("--open-loop needs a positive rate")?,
+                );
+            }
+            "--seed" => {
+                args.cfg.seed =
+                    value_of("--seed")?.parse::<u64>().map_err(|_| "--seed needs an integer")?;
+            }
+            "--quick" => {
+                let addr = args.cfg.addr.clone();
+                args.cfg = LoadConfig { addr, ..LoadConfig::quick() };
+            }
+            "--require-hits" => args.require_hits = true,
+            "--json" => args.json = Some(PathBuf::from(value_of("--json")?)),
+            "--compare" => args.baseline = Some(PathBuf::from(value_of("--compare")?)),
+            "--shutdown" => args.shutdown = true,
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    Ok(args)
+}
+
+fn gate(report: &LoadReport, args: &Args) -> Result<(), String> {
+    if args.require_hits && report.hits == 0 {
+        return Err("--require-hits: the run saw no cache hits".into());
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let baseline: LoadReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))?;
+        compare(report, &baseline).map_err(|violations| {
+            format!("baseline gate failed:\n  {}", violations.join("\n  "))
+        })?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: bagsched-bencher [--addr A] [--requests N] [--concurrency N] [--repeat-ratio F] [--shapes N] [--family F] [--jobs N] [--machines N] [--bags N] [--epsilon E] [--open-loop RPS] [--seed S] [--quick] [--require-hits] [--json FILE] [--compare FILE] [--shutdown]");
+            exit(2);
+        }
+    };
+
+    let report = match load::run(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: load run against {} failed: {e}", args.cfg.addr);
+            exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&report).expect("report holds finite numbers");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            exit(1);
+        }
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.cfg.addr).map(|mut c| c.shutdown()) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => eprintln!("warning: shutdown op failed: {e}"),
+            Err(e) => eprintln!("warning: cannot reconnect for shutdown: {e}"),
+        }
+    }
+
+    if let Err(e) = gate(&report, &args) {
+        eprintln!("{e}");
+        exit(3);
+    }
+}

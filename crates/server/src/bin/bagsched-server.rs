@@ -1,0 +1,77 @@
+//! The `bagsched-server` daemon.
+//!
+//! ```text
+//! bagsched-server [flags]
+//!
+//! flags:
+//!   --addr A      bind address (default 127.0.0.1:7741; port 0 = pick free)
+//!   --workers N   worker threads / max concurrent connections (default 4)
+//!   --cache N     solver-state cache capacity (default 64)
+//!   --epsilon E   default approximation parameter (default 0.5)
+//! ```
+//!
+//! Prints `listening on <addr>` (with the resolved port) to stdout once
+//! the socket is bound, then serves until a client sends the `shutdown`
+//! op. Exit codes: `0` clean shutdown, `1` bind failure, `2` usage.
+
+use bagsched_server::{serve, ServerConfig};
+use std::process::exit;
+
+fn parse_args(raw: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7741".into(), ..ServerConfig::default() };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => cfg.addr = value_of("--addr")?,
+            "--workers" => {
+                cfg.workers = value_of("--workers")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--cache" => {
+                cfg.cache_capacity = value_of("--cache")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .ok_or("--cache needs a positive integer")?;
+            }
+            "--epsilon" => {
+                cfg.epsilon = value_of("--epsilon")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|e| *e > 0.0 && *e <= 0.95)
+                    .ok_or("--epsilon needs a number in (0, 0.95]")?;
+            }
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&raw) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: bagsched-server [--addr A] [--workers N] [--cache N] [--epsilon E]"
+            );
+            exit(2);
+        }
+    };
+    let handle = match serve(&cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", cfg.addr);
+            exit(1);
+        }
+    };
+    // Scripts (the CI smoke job, the bencher's --spawn-free workflow)
+    // scrape this line for the resolved port.
+    println!("listening on {}", handle.addr());
+    handle.wait();
+}

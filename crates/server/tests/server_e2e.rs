@@ -1,0 +1,165 @@
+//! End-to-end tests against an in-process daemon on an ephemeral port:
+//! cache behavior over the wire, hostile-input handling at the socket
+//! level, load-generator integration, and shutdown.
+
+use bagsched_server::load::{self, LoadConfig};
+use bagsched_server::protocol::{read_frame, write_frame, Ack, Client, MAX_FRAME};
+use bagsched_server::server::{serve, ServerConfig, ServerHandle};
+use bagsched_types::{gen, SolveRequest};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn start() -> ServerHandle {
+    serve(&ServerConfig::default()).expect("bind ephemeral port")
+}
+
+#[test]
+fn solve_twice_hits_cache_with_identical_answer() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SolveRequest { id: 1, epsilon: 0.5, instance: gen::uniform(24, 3, 8, 5) };
+
+    let cold = client.solve(&req).unwrap();
+    assert!(cold.ok, "{:?}", cold.error);
+    assert!(!cold.cache_hit, "first solve of a shape must miss");
+    assert_eq!(cold.assignment.len(), 24);
+
+    let warm = client.solve(&SolveRequest { id: 2, ..req }).unwrap();
+    assert!(warm.ok);
+    assert!(warm.cache_hit, "second solve of the same shape must hit");
+    assert_eq!(warm.id, 2);
+    assert_eq!(warm.assignment, cold.assignment, "replay must be byte-identical");
+    assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cached_states, 1);
+    assert_eq!(stats.requests, 3, "two solves + this stats call");
+    server.shutdown();
+}
+
+#[test]
+fn infeasible_instance_is_an_error_response_not_a_crash() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Two jobs of one bag on one machine: no feasible schedule exists.
+    let req = SolveRequest {
+        id: 9,
+        epsilon: 0.5,
+        instance: bagsched_types::Instance::new(&[(1.0, 0), (1.0, 0)], 1),
+    };
+    let resp = client.solve(&req).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.is_some());
+    assert!(resp.assignment.is_empty());
+    // The connection and server both survive.
+    assert!(client.ping().unwrap().ok);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // A prefix promising 4 GiB must be refused before allocation.
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    raw.flush().unwrap();
+    let reply = read_frame(&mut raw).unwrap().expect("server answers before dropping");
+    let ack: Ack = bagsched_server::protocol::decode(&reply).unwrap();
+    assert!(!ack.ok);
+    assert!(ack.error.unwrap().contains(&MAX_FRAME.to_string()));
+    // The connection is dropped (framing was unrecoverable) but the
+    // server keeps serving new connections.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.ping().unwrap().ok);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_does_not_wedge_the_server() {
+    let server = start();
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // Promise 100 bytes, send 10, hang up mid-frame.
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(b"0123456789").unwrap();
+        raw.flush().unwrap();
+    }
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.ping().unwrap().ok);
+    let stats = client.stats().unwrap();
+    assert!(stats.protocol_errors >= 1, "the truncated frame must be counted");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_gets_error_ack_and_connection_survives() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, b"{this is not json").unwrap();
+    let reply = read_frame(&mut raw).unwrap().unwrap();
+    let ack: Ack = bagsched_server::protocol::decode(&reply).unwrap();
+    assert!(!ack.ok);
+    // Well-formed frame with an unknown op: also a polite error.
+    write_frame(&mut raw, br#"{"op": "mine-bitcoin"}"#).unwrap();
+    let reply = read_frame(&mut raw).unwrap().unwrap();
+    let ack: Ack = bagsched_server::protocol::decode(&reply).unwrap();
+    assert!(!ack.ok);
+    assert!(ack.error.unwrap().contains("mine-bitcoin"));
+    // Same connection still serves valid requests: framing stayed in sync.
+    write_frame(&mut raw, br#"{"op": "ping"}"#).unwrap();
+    let reply = read_frame(&mut raw).unwrap().unwrap();
+    let ack: Ack = bagsched_server::protocol::decode(&reply).unwrap();
+    assert!(ack.ok);
+    server.shutdown();
+}
+
+#[test]
+fn load_generator_quick_run_sees_hits() {
+    let server = start();
+    let cfg = LoadConfig { addr: server.addr().to_string(), ..LoadConfig::quick() };
+    let report = load::run(&cfg).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.completed, cfg.requests as u64);
+    assert!(report.hits >= 1, "quick workload repeats shapes, so hits must appear");
+    assert!(report.misses >= 1);
+    assert_eq!(report.server.cache_hits, report.hits, "client and server must agree");
+    assert!(report.hit_latency.is_some() && report.miss_latency.is_some());
+    assert!(report.throughput_rps > 0.0);
+    // A fresh identical run must pass the baseline gate against itself.
+    let again = load::run(&cfg).unwrap();
+    assert!(load::compare(&again, &report).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn open_loop_mode_completes() {
+    let server = start();
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        requests: 10,
+        concurrency: 2,
+        open_loop_rps: Some(200.0),
+        ..LoadConfig::quick()
+    };
+    let report = load::run(&cfg).unwrap();
+    assert_eq!(report.completed + report.errors, 10);
+    assert_eq!(report.errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_terminates_the_daemon() {
+    let server = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.shutdown().unwrap().ok);
+    // wait() returns promptly once the acceptor and workers drain.
+    server.wait();
+    // New connections are refused (or accepted by the dying listener and
+    // never served); either way a solve round-trip must fail.
+    if let Ok(mut c) = Client::connect(addr) {
+        assert!(c.ping().is_err());
+    }
+}

@@ -17,7 +17,9 @@
 //!   approximation ratios where the exact optimum is out of reach,
 //! * [`gen`] — the synthetic workload families used by the experiment
 //!   harness (the paper has no testbed; see DESIGN.md §5),
-//! * [`io`] — JSON (de)serialization of instances and schedules.
+//! * [`io`] — JSON (de)serialization of instances and schedules,
+//! * [`wire`] — solve request/response wire types and the rounded-shape
+//!   instance fingerprint used as the server's solver-state cache key.
 
 pub mod gen;
 pub mod instance;
@@ -25,10 +27,12 @@ pub mod io;
 pub mod lowerbound;
 pub mod schedule;
 pub mod validate;
+pub mod wire;
 
 pub use instance::{BagId, Instance, InstanceBuilder, Job, JobId};
 pub use schedule::{MachineId, Schedule};
 pub use validate::{validate_instance, validate_schedule, InstanceError, ScheduleError};
+pub use wire::{fingerprint, SolveRequest, SolveResponse};
 
 /// Absolute tolerance for floating point comparisons of processing times
 /// and loads throughout the workspace.

@@ -1,0 +1,265 @@
+//! Wire protocol types for the scheduling server.
+//!
+//! A [`SolveRequest`] carries one instance plus the approximation
+//! parameter; a [`SolveResponse`] carries the schedule (as a dense
+//! machine-assignment vector) plus cache/latency telemetry. Both travel
+//! as JSON values through the vendored `serde_json`, which — together
+//! with the validating [`Instance`] deserializer — is what makes the
+//! protocol safe against hostile input: malformed frames become
+//! `DeserializeError`s, never panics.
+//!
+//! [`fingerprint`] is the cache key: a 64-bit FNV-1a hash over the
+//! *shape* of an instance (machine count, epsilon, and the multiset of
+//! per-bag size profiles, with sizes quantized relative to the largest
+//! job). Two instances that differ only by job or bag numbering — the
+//! common case for repeat traffic — collide on purpose; the cache layer
+//! re-validates on replay, so a collision costs a fallback, never a
+//! wrong schedule.
+
+use crate::instance::Instance;
+use serde::{Deserialize, DeserializeError, Serialize, Value};
+
+/// One solve request: an instance and the approximation parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Approximation parameter `eps` in `(0, 0.95]`.
+    pub epsilon: f64,
+    /// The instance to schedule.
+    pub instance: Instance,
+}
+
+/// The server's answer to one [`SolveRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Whether solving succeeded; on `false` only `error` is meaningful.
+    pub ok: bool,
+    /// Human-readable failure reason when `ok` is `false`.
+    pub error: Option<String>,
+    /// Makespan of the returned schedule (0 when `ok` is `false`).
+    pub makespan: f64,
+    /// Machine index for each job, indexed by dense job id (empty when
+    /// `ok` is `false`).
+    pub assignment: Vec<u32>,
+    /// Whether this solve replayed cached solver state.
+    pub cache_hit: bool,
+    /// Server-side solve latency in microseconds.
+    pub micros: u64,
+}
+
+impl Serialize for SolveRequest {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("epsilon".into(), self.epsilon.to_value()),
+            ("instance".into(), self.instance.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SolveRequest {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let epsilon = f64::from_value(v.field("epsilon")?)?;
+        // The driver validates epsilon again, but rejecting junk at the
+        // wire keeps garbage requests out of the worker pool entirely.
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(DeserializeError::new(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        Ok(SolveRequest {
+            id: u64::from_value(v.field("id")?)?,
+            epsilon,
+            instance: Instance::from_value(v.field("instance")?)?,
+        })
+    }
+}
+
+impl Serialize for SolveResponse {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("ok".into(), self.ok.to_value()),
+            ("error".into(), self.error.to_value()),
+            ("makespan".into(), self.makespan.to_value()),
+            ("assignment".into(), self.assignment.to_value()),
+            ("cache_hit".into(), self.cache_hit.to_value()),
+            ("micros".into(), self.micros.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SolveResponse {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(SolveResponse {
+            id: u64::from_value(v.field("id")?)?,
+            ok: bool::from_value(v.field("ok")?)?,
+            error: Option::<String>::from_value(v.field("error")?)?,
+            makespan: f64::from_value(v.field("makespan")?)?,
+            assignment: Vec::<u32>::from_value(v.field("assignment")?)?,
+            cache_hit: bool::from_value(v.field("cache_hit")?)?,
+            micros: u64::from_value(v.field("micros")?)?,
+        })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+}
+
+/// Quantization grid for relative sizes: ~9 significant decimal digits,
+/// far finer than any rounding step of the EPTAS, so instances the
+/// algorithm would treat differently never share a fingerprint, while
+/// float noise below 1e-9 of the largest job does.
+const QUANTUM: f64 = 1e9;
+
+/// 64-bit FNV-1a fingerprint of an instance's cache-relevant shape.
+///
+/// Invariant under job reordering within a bag and under bag renumbering
+/// (profiles are hashed as a sorted multiset), and under uniform scaling
+/// of all processing times (sizes are quantized relative to the largest
+/// job). Sensitive to machine count, epsilon, and any per-bag size-mix
+/// change above one part in 10^9.
+pub fn fingerprint(inst: &Instance, epsilon: f64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(inst.num_machines() as u64);
+    h.write_u64(epsilon.to_bits());
+    h.write_u64(inst.num_jobs() as u64);
+    h.write_u64(inst.num_bags() as u64);
+    let max = inst.max_size();
+    let scale = if max > 0.0 { QUANTUM / max } else { 0.0 };
+    let mut profiles: Vec<Vec<u64>> = inst
+        .bags()
+        .map(|(_, members)| {
+            let mut profile: Vec<u64> =
+                members.iter().map(|&j| (inst.size(j) * scale).round() as u64).collect();
+            profile.sort_unstable();
+            profile
+        })
+        .collect();
+    profiles.sort_unstable();
+    for profile in &profiles {
+        // Length delimiter keeps [a | b,c] distinct from [a,b | c].
+        h.write_u64(profile.len() as u64);
+        for &q in profile {
+            h.write_u64(q);
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::new(&[(4.0, 0), (2.0, 0), (3.0, 1), (1.0, 2)], 3)
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = SolveRequest { id: 17, epsilon: 0.25, instance: inst() };
+        let v = req.to_value();
+        let back = SolveRequest::from_value(&v).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = SolveResponse {
+            id: 17,
+            ok: true,
+            error: None,
+            makespan: 4.5,
+            assignment: vec![0, 1, 2, 0],
+            cache_hit: true,
+            micros: 1234,
+        };
+        let v = resp.to_value();
+        assert_eq!(SolveResponse::from_value(&v).unwrap(), resp);
+        let err = SolveResponse {
+            id: 18,
+            ok: false,
+            error: Some("epsilon out of range".into()),
+            makespan: 0.0,
+            assignment: Vec::new(),
+            cache_hit: false,
+            micros: 7,
+        };
+        assert_eq!(SolveResponse::from_value(&err.to_value()).unwrap(), err);
+    }
+
+    #[test]
+    fn request_rejects_bad_epsilon() {
+        let req = SolveRequest { id: 1, epsilon: 0.1, instance: inst() };
+        let mut v = req.to_value();
+        if let Value::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "epsilon" {
+                    *val = Value::Num(-1.0);
+                }
+            }
+        }
+        assert!(SolveRequest::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn request_rejects_missing_field() {
+        let v = Value::Obj(vec![("id".into(), 1u64.to_value())]);
+        assert!(SolveRequest::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_job_and_bag_order() {
+        let a = Instance::new(&[(4.0, 0), (2.0, 0), (3.0, 1), (1.0, 2)], 3);
+        // Same bags, jobs listed in a different order and bags renumbered.
+        let b = Instance::new(&[(1.0, 9), (3.0, 5), (2.0, 7), (4.0, 7)], 3);
+        assert_eq!(fingerprint(&a, 0.2), fingerprint(&b, 0.2));
+    }
+
+    #[test]
+    fn fingerprint_ignores_uniform_scaling() {
+        let a = inst();
+        let b = a.scaled(3.5);
+        assert_eq!(fingerprint(&a, 0.2), fingerprint(&b, 0.2));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shape_changes() {
+        let base = fingerprint(&inst(), 0.2);
+        assert_ne!(base, fingerprint(&inst(), 0.3), "epsilon must key the cache");
+        assert_ne!(base, fingerprint(&inst().with_machines(4), 0.2));
+        let moved = Instance::new(&[(4.0, 0), (2.0, 1), (3.0, 1), (1.0, 2)], 3);
+        assert_ne!(base, fingerprint(&moved, 0.2), "bag membership is part of the shape");
+        let resized = Instance::new(&[(4.0, 0), (2.5, 0), (3.0, 1), (1.0, 2)], 3);
+        assert_ne!(base, fingerprint(&resized, 0.2));
+    }
+
+    #[test]
+    fn fingerprint_of_empty_instance_is_stable() {
+        let a = crate::InstanceBuilder::new(2).build();
+        let b = crate::InstanceBuilder::new(2).build();
+        assert_eq!(fingerprint(&a, 0.2), fingerprint(&b, 0.2));
+    }
+}

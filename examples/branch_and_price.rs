@@ -20,7 +20,7 @@
 //! * the warm-vs-cold comparison at the end shows the contract: the work
 //!   changes, the answers do not.
 
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::{gen, validate_schedule};
 use std::time::Instant;
 
@@ -31,7 +31,7 @@ fn main() {
     println!("solving tight clustered n={n}/m={m} (release defaults)...");
     let inst = gen::clustered(n, m, m, 5, 2);
     let start = Instant::now();
-    let r = Eptas::with_epsilon(0.5).solve(&inst).expect("valid instance");
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).expect("valid instance");
     let elapsed = start.elapsed();
     validate_schedule(&inst, &r.schedule).expect("schedule must validate");
 
@@ -68,7 +68,7 @@ fn main() {
     for dual in [true, false] {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.dual_simplex = dual;
-        let r = Eptas::new(cfg).solve(&small).expect("valid instance");
+        let r = Solver::new(cfg).solve_instance(&small).expect("valid instance");
         let milp_pivots = r.report.last_success.as_ref().map(|g| g.lp_iterations).unwrap_or(0);
         println!(
             "  dual_simplex={dual:<5}  makespan={:.6}  restricted-MILP pivots={milp_pivots}",

@@ -10,7 +10,7 @@
 //! ```
 
 use bagsched::baselines::{bag_aware_lpt, bag_lpt_schedule, lpt, random_fit};
-use bagsched::eptas::Eptas;
+use bagsched::eptas::Solver;
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::{Instance, InstanceBuilder};
 use rand::rngs::StdRng;
@@ -71,7 +71,7 @@ fn main() {
     report("conflict-aware LPT", s.makespan(&inst), true);
 
     for eps in [0.75, 0.5, 0.3] {
-        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
         report(&format!("EPTAS eps={eps}"), r.makespan, r.schedule.is_feasible(&inst));
     }
 

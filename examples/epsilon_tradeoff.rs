@@ -6,7 +6,7 @@
 //! cargo run --release --example epsilon_tradeoff
 //! ```
 
-use bagsched::eptas::Eptas;
+use bagsched::eptas::Solver;
 use bagsched::types::gen;
 use bagsched::types::lowerbound::lower_bounds;
 use std::time::Instant;
@@ -26,7 +26,7 @@ fn main() {
     );
     for eps in [0.9, 0.75, 0.6, 0.5, 0.4, 0.3] {
         let start = Instant::now();
-        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
         let elapsed = start.elapsed();
         assert!(r.schedule.is_feasible(&inst));
         let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);

@@ -11,7 +11,7 @@
 //! ```
 
 use bagsched::baselines::{bag_aware_lpt, exact_makespan};
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::InstanceBuilder;
 use rand::rngs::StdRng;
@@ -49,7 +49,7 @@ fn main() {
     println!("conflict-aware LPT: {lpt:.3}  (ratio {:.3})", lpt / exact.makespan);
 
     for eps in [0.6, 0.4, 0.25] {
-        let r = Eptas::new(EptasConfig::with_epsilon(eps)).solve(&inst).unwrap();
+        let r = Solver::new(EptasConfig::with_epsilon(eps)).solve_instance(&inst).unwrap();
         println!(
             "EPTAS eps={eps}: {:.3}  (ratio {:.3}, {} guesses, {:?})",
             r.makespan,

@@ -5,7 +5,7 @@
 //! ```
 
 use bagsched::baselines::bag_aware_lpt;
-use bagsched::eptas::Eptas;
+use bagsched::eptas::Solver;
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::Instance;
 
@@ -32,7 +32,7 @@ fn main() {
     println!("conflict-aware LPT makespan: {:.3}", lpt.makespan(&inst));
 
     // ...and the EPTAS at eps = 0.3.
-    let result = Eptas::with_epsilon(0.3).solve(&inst).expect("feasible instance");
+    let result = Solver::with_epsilon(0.3).solve_instance(&inst).expect("feasible instance");
     println!("EPTAS(eps=0.3) makespan:     {:.3}", result.makespan);
     assert!(result.schedule.is_feasible(&inst), "bag-constraints hold");
 

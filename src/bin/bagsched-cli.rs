@@ -11,7 +11,7 @@
 //! `random`, `ptas`, `exact`; `eps` applies to `eptas`/`ptas` (default 0.5).
 
 use bagsched::baselines as bl;
-use bagsched::eptas::Eptas;
+use bagsched::eptas::Solver;
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::{gen, io, validate_instance, Instance, Schedule};
 use std::path::Path;
@@ -116,7 +116,7 @@ fn cmd_solve(args: &[String]) -> i32 {
     let mut eptas_stats = None;
     let schedule: Schedule = match algo {
         "eptas" => {
-            let r = Eptas::with_epsilon(eps).solve(&inst).expect("validated");
+            let r = Solver::with_epsilon(eps).solve_instance(&inst).expect("validated");
             eptas_stats = Some(r.report.stats);
             r.schedule
         }

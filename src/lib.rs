@@ -24,12 +24,22 @@
 //!
 //! ```
 //! use bagsched::types::gen;
-//! use bagsched::eptas::{Eptas, EptasConfig};
+//! use bagsched::eptas::{EptasConfig, Solver};
 //!
 //! let inst = gen::uniform(40, 4, 12, 7);
-//! let result = Eptas::new(EptasConfig::with_epsilon(0.5)).solve(&inst).unwrap();
+//! let solver = Solver::new(EptasConfig::with_epsilon(0.5));
+//! let result = solver.solve_instance(&inst).unwrap();
 //! assert!(result.schedule.is_feasible(&inst));
 //! ```
+//!
+//! A [`Solver`](eptas::Solver) is a session: built with
+//! [`Solver::with_cache`](eptas::Solver::with_cache) it remembers the
+//! winning guess, pattern pool and warm simplex basis per instance
+//! *shape*, and replays them on repeat solves instead of re-searching.
+//! The `bagsched-server` daemon (crate `bagsched-server`) keeps such a
+//! solver resident behind a length-prefixed JSON TCP protocol; the
+//! `bagsched-bencher` load client measures the cache's effect on tail
+//! latency.
 
 pub use bagsched_baselines as baselines;
 pub use bagsched_core as eptas;

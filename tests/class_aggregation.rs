@@ -15,7 +15,7 @@ use bagsched::eptas::priority::select_priority;
 use bagsched::eptas::report::Stats;
 use bagsched::eptas::rounding::scale_and_round;
 use bagsched::eptas::transform::transform;
-use bagsched::eptas::{Eptas, EptasConfig, EptasResult};
+use bagsched::eptas::{EptasConfig, EptasResult, Solver};
 use bagsched::types::{gen, validate_schedule, Instance};
 
 /// Highly symmetric instances: `groups` clusters of identical single-job
@@ -38,13 +38,13 @@ fn solve_aggregated(inst: &Instance, budget: usize) -> EptasResult {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.class_aggregation = true;
     cfg.pricing_symbol_budget = budget;
-    Eptas::new(cfg).solve(inst).unwrap()
+    Solver::new(cfg).solve_instance(inst).unwrap()
 }
 
 fn solve_per_bag(inst: &Instance) -> EptasResult {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.class_aggregation = false;
-    Eptas::new(cfg).solve(inst).unwrap()
+    Solver::new(cfg).solve_instance(inst).unwrap()
 }
 
 /// The aggregated path must reach the same accepted guess as the per-bag
@@ -170,8 +170,8 @@ fn below_the_gate_aggregation_is_inert() {
         on.class_aggregation = true;
         let mut off = EptasConfig::with_epsilon(0.5);
         off.class_aggregation = false;
-        let a = Eptas::new(on).solve(&inst).unwrap();
-        let b = Eptas::new(off).solve(&inst).unwrap();
+        let a = Solver::new(on).solve_instance(&inst).unwrap();
+        let b = Solver::new(off).solve_instance(&inst).unwrap();
         assert_eq!(
             a.report.stats,
             b.report.stats,

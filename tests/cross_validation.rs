@@ -2,7 +2,7 @@
 //! branch-and-bound optimum, the PTAS baseline, and the heuristics.
 
 use bagsched::baselines::{bag_aware_lpt, dw_ptas, exact_makespan, DwPtasConfig};
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::{gen, validate_schedule};
 
 /// Column generation vs the eager-enumeration oracle, across every
@@ -25,10 +25,10 @@ fn column_generation_cross_validates_against_enumeration_oracle() {
         for &(n, m) in &[(12usize, 3usize), (24, 4)] {
             for seed in 0..3 {
                 let inst = family.generate(n, m, seed);
-                let cg = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+                let cg = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
                 let mut cfg = EptasConfig::with_epsilon(eps);
                 cfg.column_generation = false;
-                let eager = Eptas::new(cfg).solve(&inst).unwrap();
+                let eager = Solver::new(cfg).solve_instance(&inst).unwrap();
 
                 let tag = format!("{} n={n} m={m} seed={seed}", family.name());
                 validate_schedule(&inst, &cg.schedule).unwrap_or_else(|e| panic!("{tag}: {e}"));
@@ -67,7 +67,7 @@ fn eptas_within_bound_of_true_optimum() {
             let inst = family.generate(11, 3, seed);
             let exact = exact_makespan(&inst, 20_000_000).unwrap();
             assert!(exact.proven_optimal, "{}: exact budget too small", family.name());
-            let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+            let r = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
             let ratio = r.makespan / exact.makespan;
             assert!(
                 ratio <= 1.0 + 3.0 * eps + 1e-9,
@@ -88,7 +88,7 @@ fn eptas_never_loses_to_lpt() {
         for seed in 0..2 {
             let inst = family.generate(28, 4, seed + 20);
             let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
-            let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+            let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
             assert!(r.makespan <= lpt + 1e-9, "{} seed {seed}", family.name());
         }
     }
@@ -101,7 +101,7 @@ fn eptas_and_ptas_agree_on_small_instances() {
     let eps = 0.4;
     for seed in 0..3 {
         let inst = gen::uniform(14, 3, 6, seed);
-        let a = Eptas::with_epsilon(eps).solve(&inst).unwrap().makespan;
+        let a = Solver::with_epsilon(eps).solve_instance(&inst).unwrap().makespan;
         let b = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
         assert!(
             a <= b * (1.0 + eps) + 1e-9 && b <= a * (1.0 + eps) + 1e-9,
@@ -116,7 +116,7 @@ fn all_solvers_feasible_on_adversarial_bags() {
     let inst = gen::adversarial_bags(30, 5, 77);
     let solvers: Vec<(&str, SolverFn)> = vec![
         ("bag_aware_lpt", Box::new(|| bag_aware_lpt(&inst).unwrap())),
-        ("eptas", Box::new(|| Eptas::with_epsilon(0.5).solve(&inst).unwrap().schedule)),
+        ("eptas", Box::new(|| Solver::with_epsilon(0.5).solve_instance(&inst).unwrap().schedule)),
         ("dw_ptas", Box::new(|| dw_ptas(&inst, &DwPtasConfig::with_epsilon(0.5)).unwrap())),
     ];
     for (name, run) in solvers {
@@ -138,7 +138,7 @@ fn exact_optimum_confirms_bag_price() {
     let opt_bags = exact_makespan(&inst_bags, 10_000_000).unwrap().makespan;
     let opt_free = exact_makespan(&inst_free, 10_000_000).unwrap().makespan;
     assert!(opt_bags >= opt_free - 1e-9);
-    let r = Eptas::with_epsilon(0.3).solve(&inst_bags).unwrap();
+    let r = Solver::with_epsilon(0.3).solve_instance(&inst_bags).unwrap();
     assert!(r.makespan >= opt_bags - 1e-9);
     assert!(r.makespan <= opt_bags * (1.0 + 3.0 * 0.3) + 1e-9);
 }

@@ -14,7 +14,7 @@ use bagsched::eptas::priority::select_priority;
 use bagsched::eptas::report::{GuessFailure, Stats};
 use bagsched::eptas::rounding::scale_and_round;
 use bagsched::eptas::transform::transform;
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::{gen, Instance};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -115,7 +115,7 @@ fn driver_survives_total_guess_failure_via_fallback() {
     cfg.max_patterns = 1;
     cfg.column_generation = false;
     cfg.pricing_fallback_budget = 1;
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     assert!(r.report.fell_back_to_lpt, "guesses cannot succeed at budget 1");
     assert_eq!(r.report.stats.lpt_fallbacks, 1);
     assert!(r.schedule.is_feasible(&inst));

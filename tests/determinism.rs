@@ -2,7 +2,7 @@
 //! config). Same seed ⇒ byte-identical schedule and report, across every
 //! workload family. Future parallelization work must keep this green.
 
-use bagsched::eptas::{Eptas, EptasReport};
+use bagsched::eptas::{EptasReport, Solver};
 use bagsched::types::gen::Family;
 use bagsched::types::io::schedule_to_json;
 use std::time::Duration;
@@ -21,8 +21,8 @@ fn same_seed_same_schedule_and_report_across_families() {
         let b_inst = family.generate(40, 4, 7);
         assert_eq!(a_inst, b_inst, "{}: generator not deterministic", family.name());
 
-        let a = Eptas::with_epsilon(0.5).solve(&a_inst).unwrap();
-        let b = Eptas::with_epsilon(0.5).solve(&b_inst).unwrap();
+        let a = Solver::with_epsilon(0.5).solve_instance(&a_inst).unwrap();
+        let b = Solver::with_epsilon(0.5).solve_instance(&b_inst).unwrap();
 
         assert_eq!(
             schedule_to_json(&a.schedule),
@@ -49,10 +49,10 @@ fn same_seed_same_schedule_and_report_across_families() {
 fn repeated_solver_reuse_is_deterministic() {
     // One solver object reused twice must behave like two fresh solvers.
     let inst = Family::Clustered.generate(36, 4, 11);
-    let solver = Eptas::with_epsilon(0.6);
-    let a = solver.solve(&inst).unwrap();
-    let b = solver.solve(&inst).unwrap();
-    let fresh = Eptas::with_epsilon(0.6).solve(&inst).unwrap();
+    let solver = Solver::with_epsilon(0.6);
+    let a = solver.solve_instance(&inst).unwrap();
+    let b = solver.solve_instance(&inst).unwrap();
+    let fresh = Solver::with_epsilon(0.6).solve_instance(&inst).unwrap();
     assert_eq!(schedule_to_json(&a.schedule), schedule_to_json(&b.schedule));
     assert_eq!(schedule_to_json(&a.schedule), schedule_to_json(&fresh.schedule));
     assert_eq!(report_fingerprint(&a.report), report_fingerprint(&fresh.report));

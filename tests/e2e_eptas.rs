@@ -3,7 +3,7 @@
 //! bound is checked against the certified lower bound, and the paper
 //! path must never need the safety net.
 
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::{gen, validate_schedule, Instance};
 
@@ -13,8 +13,8 @@ fn all_families_all_epsilons_feasible() {
         for &eps in &[0.75, 0.5] {
             for seed in 0..2 {
                 let inst = family.generate(30, 4, seed);
-                let r = Eptas::with_epsilon(eps)
-                    .solve(&inst)
+                let r = Solver::with_epsilon(eps)
+                    .solve_instance(&inst)
                     .unwrap_or_else(|e| panic!("{} eps={eps} seed={seed}: {e}", family.name()));
                 validate_schedule(&inst, &r.schedule)
                     .unwrap_or_else(|e| panic!("{} eps={eps} seed={seed}: {e}", family.name()));
@@ -38,7 +38,7 @@ fn approximation_bound_against_lower_bound() {
     // cross_validation.rs.
     for family in gen::Family::ALL {
         let inst = family.generate(40, 5, 7);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         let lb = lower_bounds(&inst).combined();
         let ratio = r.makespan / lb;
         assert!(
@@ -53,7 +53,7 @@ fn approximation_bound_against_lower_bound() {
 fn fig1_gadget_scales() {
     for m in [2, 3, 4, 6] {
         let inst = gen::fig1_gadget(m);
-        let r = Eptas::with_epsilon(0.4).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.4).solve_instance(&inst).unwrap();
         validate_schedule(&inst, &r.schedule).unwrap();
         assert!(
             r.makespan <= 1.0 + 3.0 * 0.4 + 1e-9,
@@ -71,7 +71,7 @@ fn forced_swap_path_still_feasible() {
     cfg.priority_cap = Some(1);
     for seed in 0..3 {
         let inst = gen::clustered(36, 4, 14, 4, seed);
-        let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+        let r = Solver::new(cfg.clone()).solve_instance(&inst).unwrap();
         validate_schedule(&inst, &r.schedule).unwrap();
     }
 }
@@ -81,7 +81,7 @@ fn paper_integral_y_mode() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.paper_integral_y = true;
     let inst = gen::uniform(20, 3, 8, 5);
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
 }
 
@@ -90,7 +90,7 @@ fn two_stage_path_end_to_end() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.joint_col_budget = 1; // force the scalable path
     let inst = gen::uniform(30, 4, 12, 3);
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
 }
 
@@ -98,30 +98,30 @@ fn two_stage_path_end_to_end() {
 fn degenerate_shapes() {
     // m = 1.
     let inst = Instance::new(&[(1.0, 0), (2.0, 1), (3.0, 2)], 1);
-    let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     assert!((r.makespan - 6.0).abs() < 1e-9);
 
     // All jobs identical, bags force perfect spread.
     let inst = gen::tight_bags(16, 4, 1);
-    let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
 
     // Many more machines than jobs.
     let inst = Instance::new(&[(1.0, 0), (1.0, 1)], 64);
-    let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     assert!((r.makespan - 1.0).abs() < 1e-9);
 
     // Single bag spanning every machine.
     let inst = Instance::new(&[(2.0, 0), (1.5, 0), (1.0, 0)], 3);
-    let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     assert!((r.makespan - 2.0).abs() < 1e-9);
 }
 
 #[test]
 fn determinism() {
     let inst = gen::uniform(25, 4, 10, 13);
-    let a = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
-    let b = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let a = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
+    let b = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     assert_eq!(a.schedule, b.schedule);
     assert_eq!(a.makespan, b.makespan);
 }
@@ -133,8 +133,8 @@ fn smaller_epsilon_never_hurts_much() {
     // eps = 0.9 result by more than a whisker.
     for seed in 0..3 {
         let inst = gen::powerlaw(30, 4, 12, 1.5, seed);
-        let coarse = Eptas::with_epsilon(0.9).solve(&inst).unwrap().makespan;
-        let fine = Eptas::with_epsilon(0.3).solve(&inst).unwrap().makespan;
+        let coarse = Solver::with_epsilon(0.9).solve_instance(&inst).unwrap().makespan;
+        let fine = Solver::with_epsilon(0.3).solve_instance(&inst).unwrap().makespan;
         assert!(fine <= coarse * 1.05 + 1e-9, "seed {seed}: {fine} vs {coarse}");
     }
 }
@@ -147,7 +147,7 @@ fn pattern_budget_falls_back_to_lpt() {
     cfg.column_generation = false;
     cfg.max_patterns = 1; // only the empty pattern fits: every guess fails
     let inst = gen::uniform(20, 3, 8, 1);
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     assert!(r.report.fell_back_to_lpt);
     assert!(!r.report.failures.is_empty());
     validate_schedule(&inst, &r.schedule).unwrap();
@@ -160,7 +160,7 @@ fn milp_budget_falls_back_to_lpt() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.milp_max_nodes = 0; // solver cannot even open the root node
     let inst = gen::uniform(20, 3, 8, 2);
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     assert!(r.report.fell_back_to_lpt);
     validate_schedule(&inst, &r.schedule).unwrap();
 }
@@ -171,7 +171,7 @@ fn failures_carry_the_guess_value() {
     cfg.max_patterns = 1;
     cfg.column_generation = false; // force the eager PatternBudget path
     let inst = gen::uniform(15, 3, 6, 3);
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     assert!(!r.report.failures.is_empty(), "budget of 1 must fail every guess");
     for (guess, failure) in &r.report.failures {
         assert!(*guess > 0.0);
@@ -185,7 +185,7 @@ fn epsilon_extremes() {
     for eps in [0.05, 0.95] {
         // Tiny eps explodes the paper constants; the budgets must degrade
         // gracefully (fallback allowed, feasibility mandatory).
-        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
         validate_schedule(&inst, &r.schedule).unwrap();
     }
 }
@@ -196,7 +196,7 @@ fn one_job_per_bag_reduces_to_classic_makespan() {
     // the classical LPT guarantee.
     let jobs: Vec<(f64, u32)> = (0..12).map(|i| (1.0 + (i as f64) * 0.3, i)).collect();
     let inst = Instance::new(&jobs, 3);
-    let r = Eptas::with_epsilon(0.3).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.3).solve_instance(&inst).unwrap();
     let lb = lower_bounds(&inst).combined();
     assert!(r.makespan <= lb * (4.0 / 3.0) + 1e-9);
 }

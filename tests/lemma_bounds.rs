@@ -1,7 +1,7 @@
 //! Empirical verification of the paper's per-lemma quantitative claims,
 //! measured on real pipeline runs via the diagnostics report.
 
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::gen;
 
 /// Lemma 2: transforming and undoing the instance costs at most a factor
@@ -12,7 +12,7 @@ fn lemma2_transformation_cost() {
     for seed in 0..4 {
         let inst = gen::bimodal(30, 4, 12, 0.3, seed);
         let eps = 0.5;
-        let r = Eptas::with_epsilon(eps).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(eps).solve_instance(&inst).unwrap();
         if let Some(guess) = r.report.chosen_guess {
             assert!(
                 r.makespan <= guess * (1.0 + 3.0 * eps) + 1e-9,
@@ -32,7 +32,7 @@ fn repair_machinery_accounting() {
     cfg.priority_cap = Some(1); // force wildcard slots and swaps
     for seed in 0..4 {
         let inst = gen::clustered(32, 4, 12, 3, seed);
-        let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+        let r = Solver::new(cfg.clone()).solve_instance(&inst).unwrap();
         assert!(r.schedule.is_feasible(&inst));
         if let Some(stats) = &r.report.last_success {
             assert!(
@@ -56,7 +56,7 @@ fn lemma3_medium_reinsertion() {
     for seed in 0..8 {
         // Bimodal with a mid bump tends to produce medium jobs.
         let inst = gen::uniform(40, 4, 16, seed);
-        let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+        let r = Solver::new(cfg.clone()).solve_instance(&inst).unwrap();
         assert!(r.schedule.is_feasible(&inst));
         if let Some(stats) = &r.report.last_success {
             saw_mediums |= stats.medium_reinserted > 0;
@@ -74,7 +74,7 @@ fn lemma3_medium_reinsertion() {
 fn binary_search_consistency() {
     for seed in 0..4 {
         let inst = gen::powerlaw(30, 4, 12, 1.4, seed);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         if let Some(guess) = r.report.chosen_guess {
             for (failed_at, _) in &r.report.failures {
                 assert!(
@@ -92,7 +92,7 @@ fn binary_search_consistency() {
 fn guess_bracketing() {
     for seed in 0..4 {
         let inst = gen::uniform(24, 3, 10, seed + 40);
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         assert!(r.makespan >= r.report.lower_bound - 1e-9);
         assert!(r.makespan <= r.report.lpt_upper_bound + 1e-9);
     }

@@ -14,13 +14,13 @@
 //!    verdicts and makespans must be byte-identical to the cold-node
 //!    path across a seeded sweep of every generator family.
 
-use bagsched::eptas::{Eptas, EptasConfig, EptasResult};
+use bagsched::eptas::{EptasConfig, EptasResult, Solver};
 use bagsched::types::gen;
 
 fn run(inst: &bagsched::types::Instance, dual: bool) -> EptasResult {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.dual_simplex = dual;
-    Eptas::new(cfg).solve(inst).unwrap()
+    Solver::new(cfg).solve_instance(inst).unwrap()
 }
 
 #[test]

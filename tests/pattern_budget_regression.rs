@@ -9,7 +9,7 @@
 //! magnitude fewer patterns, so these instances now take the paper path.
 
 use bagsched::eptas::report::GuessFailure;
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::{gen, validate_schedule};
 
 /// The witness family: tight clustered instances (n/m = 3) whose
@@ -28,7 +28,7 @@ fn tight_clustered_no_longer_falls_back_to_lpt() {
     // here, the witness instance must be re-tightened.
     let mut eager_cfg = EptasConfig::with_epsilon(0.5);
     eager_cfg.column_generation = false;
-    let eager = Eptas::new(eager_cfg).solve(&inst).unwrap();
+    let eager = Solver::new(eager_cfg).solve_instance(&inst).unwrap();
     assert!(eager.report.fell_back_to_lpt, "witness instance no longer trips the budget");
     assert!(
         eager.report.failures.iter().any(|(_, f)| *f == GuessFailure::PatternBudget),
@@ -37,7 +37,7 @@ fn tight_clustered_no_longer_falls_back_to_lpt() {
 
     // The priced path: solves on the paper path, no budget failure, no
     // LPT fallback, and a strictly better schedule.
-    let cg = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let cg = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &cg.schedule).unwrap();
     assert!(!cg.report.fell_back_to_lpt, "pricing path must not fall back to LPT");
     assert!(
@@ -62,7 +62,7 @@ fn tight_clustered_pattern_work_is_an_order_of_magnitude_below_the_budget() {
     // measured 40k per failed guess pair the PR-2 perf reports exposed).
     let inst = tight_clustered(60);
     let cfg = EptasConfig::with_epsilon(0.5);
-    let r = Eptas::new(cfg.clone()).solve(&inst).unwrap();
+    let r = Solver::new(cfg.clone()).solve_instance(&inst).unwrap();
     let stats = &r.report.stats;
     let per_guess = (stats.patterns_enumerated + stats.columns_generated)
         / (r.report.guesses_tried as u64).max(1);

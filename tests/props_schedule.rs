@@ -2,7 +2,7 @@
 //! scheduler, checking the invariants that must hold universally.
 
 use bagsched::baselines::{bag_aware_lpt, bag_lpt_schedule, random_fit};
-use bagsched::eptas::Eptas;
+use bagsched::eptas::Solver;
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::{validate_schedule, Instance, InstanceBuilder, Schedule, ScheduleError};
 use proptest::prelude::*;
@@ -43,7 +43,7 @@ proptest! {
             ("bag_aware_lpt", bag_aware_lpt(&inst).unwrap()),
             ("bag_lpt", bag_lpt_schedule(&inst).unwrap()),
             ("random_fit", random_fit(&inst, 5).unwrap()),
-            ("eptas", Eptas::with_epsilon(0.6).solve(&inst).unwrap().schedule),
+            ("eptas", Solver::with_epsilon(0.6).solve_instance(&inst).unwrap().schedule),
         ];
         for (name, s) in schedules {
             prop_assert!(s.is_feasible(&inst), "{name} infeasible");
@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn eptas_ratio_bound(inst in arb_instance()) {
         let lb = lower_bounds(&inst).combined();
-        let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+        let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
         if lb > 0.0 {
             prop_assert!(r.makespan / lb <= 1.0 + 3.0 * 0.5 + 1e-9,
                 "ratio {} too large", r.makespan / lb);
@@ -71,9 +71,9 @@ proptest! {
     /// the whole pipeline).
     #[test]
     fn eptas_scale_invariance(inst in arb_instance(), factor in 0.5f64..20.0) {
-        let a = Eptas::with_epsilon(0.5).solve(&inst).unwrap().makespan;
+        let a = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap().makespan;
         let scaled = inst.scaled(factor);
-        let b = Eptas::with_epsilon(0.5).solve(&scaled).unwrap().makespan;
+        let b = Solver::with_epsilon(0.5).solve_instance(&scaled).unwrap().makespan;
         // Binary-search grids differ after scaling, so allow a small
         // relative tolerance rather than exact equality.
         prop_assert!((b - a * factor).abs() <= 0.05 * a * factor + 1e-9,

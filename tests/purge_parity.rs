@@ -10,7 +10,7 @@
 //! (`column_purge_threshold = INFINITY`) must agree byte-for-byte on the
 //! verdict, the accepted guess, and the final makespan.
 
-use bagsched::eptas::{Eptas, EptasConfig, EptasResult};
+use bagsched::eptas::{EptasConfig, EptasResult, Solver};
 use bagsched::types::{gen, validate_schedule, Instance};
 
 fn solve(inst: &Instance, purge_threshold: f64) -> EptasResult {
@@ -19,7 +19,7 @@ fn solve(inst: &Instance, purge_threshold: f64) -> EptasResult {
     // masters see enough re-solves for the purge patience to elapse.
     cfg.priority_cap = Some(1);
     cfg.column_purge_threshold = purge_threshold;
-    Eptas::new(cfg).solve(inst).unwrap()
+    Solver::new(cfg).solve_instance(inst).unwrap()
 }
 
 #[test]

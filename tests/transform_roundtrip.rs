@@ -2,7 +2,7 @@
 //! pipeline: instances engineered to exercise splitting, filler swaps and
 //! medium re-insertion must come back feasible and tight.
 
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::{validate_schedule, Instance, InstanceBuilder};
 
 /// Mixed bag with large + medium + small jobs, forced non-priority.
@@ -27,7 +27,7 @@ fn split_bags_roundtrip_feasible() {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.priority_cap = Some(1);
     let inst = mixed_bag_instance();
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
     // All four jobs of bag 1 must sit on four distinct machines.
     let machines: std::collections::HashSet<u32> = inst
@@ -54,7 +54,7 @@ fn filler_swap_instances() {
         b.push(0.4, bag);
     }
     let inst = b.build();
-    let r = Eptas::new(cfg).solve(&inst).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
     if let Some(stats) = &r.report.last_success {
         // The transformation must have created fillers for the three
@@ -92,7 +92,7 @@ fn medium_heavy_instance_roundtrip() {
     }
     let inst2 = b.build();
     let _ = inst;
-    let r = Eptas::new(cfg).solve(&inst2).unwrap();
+    let r = Solver::new(cfg).solve_instance(&inst2).unwrap();
     validate_schedule(&inst2, &r.schedule).unwrap();
 }
 
@@ -108,7 +108,7 @@ fn bags_of_only_small_jobs() {
         }
     }
     let inst = b.build();
-    let r = Eptas::with_epsilon(0.5).solve(&inst).unwrap();
+    let r = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
     validate_schedule(&inst, &r.schedule).unwrap();
     // Every small bag of 3 jobs spreads over the 3 machines.
     for bag in 1..6 {

@@ -3,7 +3,7 @@
 //! master from the previous optimal basis must strictly reduce the total
 //! simplex pivot count versus cold two-phase re-solves.
 
-use bagsched::eptas::{Eptas, EptasConfig};
+use bagsched::eptas::{EptasConfig, Solver};
 use bagsched::types::gen;
 
 /// The pinned witness: tight clustered, the same family the pricing
@@ -17,7 +17,7 @@ fn warm_start_strictly_reduces_total_pivots_on_priced_instances() {
     let run = |warm: bool| {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.warm_start = warm;
-        Eptas::new(cfg).solve(&inst).unwrap()
+        Solver::new(cfg).solve_instance(&inst).unwrap()
     };
     let warm = run(true);
     let cold = run(false);
