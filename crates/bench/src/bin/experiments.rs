@@ -9,16 +9,25 @@
 //! flags:
 //!   --quick             small grids (CI mode)
 //!   --jobs N            worker threads (default: available parallelism)
+//!   --solver-threads N  solver threads inside each EPTAS solve (default
+//!                       1); placement only — results never depend on it
 //!   --json DIR          write BENCH_<id>.json per experiment plus
 //!                       BENCH_summary.json into DIR
 //!   --compare FILE      gate against a baseline summary (exit 3 on a
 //!                       regression past the threshold)
 //!   --threshold X       slowdown factor for --compare (default 10.0)
+//!   --assert-identical DIR
+//!                       require this run's BENCH_*.json documents to be
+//!                       byte-identical (after redacting wall_secs and
+//!                       rendered time cells) to the ones in DIR (exit 4
+//!                       on any difference) — the cross-thread
+//!                       determinism gate
 //! ```
 //!
-//! Tables go to **stdout** and are byte-identical for any `--jobs` value;
-//! progress and the comparison report go to **stderr**. Exit codes:
-//! `0` ok, `2` usage error, `3` perf regression.
+//! Tables go to **stdout** and are byte-identical for any `--jobs` and
+//! `--solver-threads` value; progress and the comparison report go to
+//! **stderr**. Exit codes: `0` ok, `2` usage error, `3` perf regression,
+//! `4` determinism violation (`--assert-identical`).
 
 use bagsched_bench::{json, runner};
 use std::path::{Path, PathBuf};
@@ -28,9 +37,11 @@ struct Args {
     ids: Vec<String>,
     quick: bool,
     jobs: usize,
+    solver_threads: usize,
     json_dir: Option<PathBuf>,
     compare: Option<PathBuf>,
     threshold: f64,
+    assert_identical: Option<PathBuf>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -38,9 +49,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         ids: Vec::new(),
         quick: false,
         jobs: runner::default_jobs(),
+        solver_threads: 1,
         json_dir: None,
         compare: None,
         threshold: 10.0,
+        assert_identical: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -55,7 +68,17 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .filter(|&j| j >= 1)
                     .ok_or("--jobs needs a positive integer")?;
             }
+            "--solver-threads" => {
+                args.solver_threads = value_of("--solver-threads")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or("--solver-threads needs a positive integer")?;
+            }
             "--json" => args.json_dir = Some(PathBuf::from(value_of("--json")?)),
+            "--assert-identical" => {
+                args.assert_identical = Some(PathBuf::from(value_of("--assert-identical")?));
+            }
             "--compare" => args.compare = Some(PathBuf::from(value_of("--compare")?)),
             "--threshold" => {
                 args.threshold = value_of("--threshold")?
@@ -76,7 +99,7 @@ fn main() {
     let args = match parse_args(&raw) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: experiments [all|list|<id>...] [--quick] [--jobs N] [--json DIR] [--compare FILE] [--threshold X]");
+            eprintln!("error: {e}\nusage: experiments [all|list|<id>...] [--quick] [--jobs N] [--solver-threads N] [--json DIR] [--compare FILE] [--threshold X] [--assert-identical DIR]");
             exit(2);
         }
     };
@@ -102,16 +125,18 @@ fn main() {
         args.ids.iter().map(String::as_str).collect()
     };
 
+    bagsched_bench::experiments::set_solver_threads(args.solver_threads);
     let ncells: usize = ids
         .iter()
         .map(|id| bagsched_bench::experiments::num_cells(id, args.quick).unwrap_or(1))
         .sum();
     eprintln!(
-        "[running {} experiment(s) as {} cell(s), quick={}, jobs={}]",
+        "[running {} experiment(s) as {} cell(s), quick={}, jobs={}, solver-threads={}]",
         ids.len(),
         ncells,
         args.quick,
-        args.jobs
+        args.jobs,
+        args.solver_threads
     );
     let outcomes = runner::run_experiments(&ids, args.quick, args.jobs, |p| {
         if p.cells > 1 {
@@ -134,6 +159,27 @@ fn main() {
             exit(1);
         }
         eprintln!("[wrote {} BENCH_*.json files to {}]", outcomes.len() + 1, dir.display());
+    }
+
+    if let Some(ref_dir) = &args.assert_identical {
+        match assert_identical(ref_dir, &outcomes, args.quick) {
+            Ok(()) => eprintln!(
+                "[determinism gate: {} documents byte-identical to {}]",
+                outcomes.len() + 1,
+                ref_dir.display()
+            ),
+            Err(diffs) => {
+                for d in &diffs {
+                    eprintln!("  NOT IDENTICAL {d}");
+                }
+                eprintln!(
+                    "[determinism gate: FAILED — {} document(s) differ from {}]",
+                    diffs.len(),
+                    ref_dir.display()
+                );
+                exit(4);
+            }
+        }
     }
 
     if let Some(path) = &args.compare {
@@ -172,6 +218,49 @@ fn main() {
             eprintln!("[perf gate: FAILED with {} regression(s)]", cmp.regressions.len());
         }
         exit(cmp.exit_code());
+    }
+}
+
+/// Compare this run's BENCH documents against the same-named files in
+/// `ref_dir`, byte-for-byte after wall-clock redaction on both sides
+/// ([`json::redact_wall_secs`] for the `wall_secs` fields plus
+/// [`json::redact_time_columns`] for rendered `time` cells inside table
+/// rows). Everything else is deterministic, so any difference means the
+/// run was *not* a pure function of its inputs — the gate CI uses to
+/// prove `--solver-threads` never changes results.
+fn assert_identical(
+    ref_dir: &Path,
+    outcomes: &[runner::ExperimentOutcome],
+    quick: bool,
+) -> Result<(), Vec<String>> {
+    let mut diffs = Vec::new();
+    let mut check = |name: String, ours: &str| {
+        let path = ref_dir.join(&name);
+        let theirs = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                diffs.push(format!("{name}: cannot read reference {}: {e}", path.display()));
+                return;
+            }
+        };
+        let redact =
+            |doc: &str| json::redact_wall_secs(doc).and_then(|d| json::redact_time_columns(&d));
+        match (redact(ours), redact(theirs.trim_end())) {
+            (Ok(a), Ok(b)) if a == b => {}
+            (Ok(_), Ok(_)) => diffs.push(format!("{name}: deterministic content differs")),
+            (Err(e), _) | (_, Err(e)) => diffs.push(format!("{name}: unreadable document: {e}")),
+        }
+    };
+    for o in outcomes {
+        let record = json::BenchRecord::from_outcome(o, quick);
+        check(format!("BENCH_{}.json", o.id), &record.to_json());
+    }
+    let summary = json::Baseline::from_outcomes(outcomes, quick);
+    check("BENCH_summary.json".into(), &summary.to_json());
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(diffs)
     }
 }
 

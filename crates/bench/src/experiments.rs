@@ -9,6 +9,7 @@ use bagsched_baselines::{
 use bagsched_core::{EptasConfig, EptasResult, Solver, Stats};
 use bagsched_types::lowerbound::lower_bounds;
 use bagsched_types::{gen, Instance, JobId, MachineId, Schedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// All experiment ids, in report order.
@@ -29,7 +30,38 @@ pub const ALL: &[&str] = &[
     "ablate-bprime",
     "ablate-joint",
     "cache-replay",
+    "parallel-solver",
 ];
+
+/// Process-wide solver-thread override (the `--solver-threads` flag).
+/// Threads are placement only — the solver's determinism contract says
+/// results never depend on this value — so every experiment can inherit
+/// it and still produce byte-identical tables and (wall-clock-redacted)
+/// JSON documents; CI asserts exactly that with `--assert-identical`.
+static SOLVER_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the solver-thread count every experiment solver runs with.
+pub fn set_solver_threads(n: usize) {
+    SOLVER_THREADS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The current solver-thread override (default 1).
+pub fn solver_threads() -> usize {
+    SOLVER_THREADS.load(Ordering::SeqCst)
+}
+
+/// Build a solver from `cfg` with the thread override applied. Every
+/// experiment constructs its solvers through here (or [`tuned_eps`]) so
+/// `--solver-threads` reaches each of them.
+fn tuned(mut cfg: EptasConfig) -> Solver {
+    cfg.solver_threads = solver_threads();
+    Solver::new(cfg)
+}
+
+/// [`tuned`] for the common epsilon-only configuration.
+fn tuned_eps(eps: f64) -> Solver {
+    tuned(EptasConfig::with_epsilon(eps))
+}
 
 /// One finished experiment (or experiment cell): the printable table plus
 /// the aggregate work counters of every EPTAS solve it performed, so the
@@ -87,6 +119,7 @@ pub fn run_cell(id: &str, cell: usize, quick: bool) -> Option<ExperimentRun> {
         "ablate-transform" => ablate_transform(quick, st),
         "ablate-bprime" => ablate_bprime(quick, st),
         "cache-replay" => cache_replay(quick, st),
+        "parallel-solver" => parallel_solver(quick, st),
         _ => return None,
     };
     Some(ExperimentRun { table, stats })
@@ -172,7 +205,7 @@ pub fn fig1(quick: bool, stats: &mut Stats) -> Table {
         let inst = gen::fig1_gadget(m);
         let naive = fig1_naive(&inst).makespan(&inst);
         let lpt = bag_aware_lpt(&inst).unwrap().makespan(&inst);
-        let eptas = solve(&Solver::with_epsilon(0.4), &inst, stats).makespan;
+        let eptas = solve(&tuned_eps(0.4), &inst, stats).makespan;
         t.row(vec![
             m.to_string(),
             format!("{naive:.3}"),
@@ -199,7 +232,7 @@ pub fn fig2(quick: bool, stats: &mut Stats) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(36, 4, seed);
-            let r = solve(&Solver::new(cfg.clone()), &inst, stats);
+            let r = solve(&tuned(cfg.clone()), &inst, stats);
             let (fillers, mediums) = r
                 .report
                 .last_success
@@ -236,7 +269,7 @@ pub fn fig3(quick: bool, stats: &mut Stats) -> Table {
     for family in gen::Family::ALL {
         for seed in 0..seeds {
             let inst = family.generate(32, 4, 100 + seed);
-            let r = solve(&Solver::new(cfg.clone()), &inst, stats);
+            let r = solve(&tuned(cfg.clone()), &inst, stats);
             let (fillers, swaps) = r
                 .report
                 .last_success
@@ -272,7 +305,7 @@ pub fn ratio_small(quick: bool, stats: &mut Stats) -> Table {
                 let inst = family.generate(11, 3, seed);
                 let opt = exact_makespan(&inst, 50_000_000).unwrap();
                 assert!(opt.proven_optimal);
-                let e = solve(&Solver::with_epsilon(eps), &inst, stats).makespan;
+                let e = solve(&tuned_eps(eps), &inst, stats).makespan;
                 let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
                 let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap().makespan(&inst);
                 r_eptas.push(e / opt.makespan);
@@ -307,7 +340,7 @@ pub fn ratio_large(quick: bool, stats: &mut Stats) -> Table {
             let inst = family.generate(n, m, 1);
             let lb = lower_bounds(&inst).combined();
             let start = Instant::now();
-            let r = solve(&Solver::with_epsilon(0.5), &inst, stats);
+            let r = solve(&tuned_eps(0.5), &inst, stats);
             let elapsed = start.elapsed().as_secs_f64();
             let l = bag_aware_lpt(&inst).unwrap().makespan(&inst);
             t.row(vec![
@@ -352,7 +385,7 @@ pub fn scaling_n_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let m = (n / ratio).max(4);
     let inst = gen::clustered(n, m, (n / 3).max(4), 5, 2);
     let start = Instant::now();
-    let r = solve(&Solver::with_epsilon(0.5), &inst, stats);
+    let r = solve(&tuned_eps(0.5), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         format!("{n} ({label})"),
@@ -395,7 +428,7 @@ pub fn scaling_cold_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.dual_simplex = false;
     let start = Instant::now();
-    let r = solve(&Solver::new(cfg), &inst, stats);
+    let r = solve(&tuned(cfg), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         n.to_string(),
@@ -422,7 +455,7 @@ pub fn scaling_eps(quick: bool, stats: &mut Stats) -> Table {
         if quick { &[0.75, 0.5] } else { &[0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25] };
     for &eps in epsilons {
         let start = Instant::now();
-        let r = solve(&Solver::with_epsilon(eps), &inst, stats);
+        let r = solve(&tuned_eps(eps), &inst, stats);
         let te = start.elapsed().as_secs_f64();
         let start = Instant::now();
         let p = dw_ptas(&inst, &DwPtasConfig::with_epsilon(eps)).unwrap();
@@ -502,7 +535,7 @@ pub fn lemma3(quick: bool, stats: &mut Stats) -> Table {
     for seed in 0..seeds {
         let inst = medium_heavy_instance(40, 13, seed as u64);
         let lb = lower_bounds(&inst).combined();
-        let r = solve(&Solver::new(cfg.clone()), &inst, stats);
+        let r = solve(&tuned(cfg.clone()), &inst, stats);
         let mediums = r.report.last_success.as_ref().map_or(0, |s| s.medium_reinserted);
         t.row(vec![
             seed.to_string(),
@@ -548,7 +581,7 @@ pub fn lemma7(quick: bool, stats: &mut Stats) -> Table {
     for &cap in caps {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
-        let r = solve(&Solver::new(cfg), &inst, stats);
+        let r = solve(&tuned(cfg), &inst, stats);
         let (pb, swaps) = r
             .report
             .last_success
@@ -596,7 +629,7 @@ pub fn heuristics(quick: bool, stats: &mut Stats) -> Table {
             acc[2].push(bag_lpt_schedule(&inst).unwrap().makespan(&inst) / lb);
             acc[3].push(bag_aware_lpt(&inst).unwrap().makespan(&inst) / lb);
             acc[4].push(lpt_with_local_search(&inst, 2000).unwrap().makespan / lb);
-            acc[5].push(solve(&Solver::with_epsilon(0.5), &inst, stats).makespan / lb);
+            acc[5].push(solve(&tuned_eps(0.5), &inst, stats).makespan / lb);
         }
         let means: Vec<f64> = acc.iter().map(|v| geomean(v)).collect();
         // Winner among the feasible schedulers (index 1..): lowest ratio.
@@ -631,7 +664,7 @@ pub fn ablate_transform(quick: bool, stats: &mut Stats) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = solve(&Solver::new(cfg), &inst, stats);
+        let r = solve(&tuned(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let patterns = r.report.last_success.as_ref().map_or(0, |s| s.patterns);
         t.row(vec![
@@ -663,7 +696,7 @@ pub fn ablate_bprime(quick: bool, stats: &mut Stats) -> Table {
         let mut cfg = EptasConfig::with_epsilon(0.5);
         cfg.priority_cap = cap;
         let start = Instant::now();
-        let r = solve(&Solver::new(cfg), &inst, stats);
+        let r = solve(&tuned(cfg), &inst, stats);
         let elapsed = start.elapsed().as_secs_f64();
         let (pb, patterns) =
             r.report.last_success.as_ref().map(|s| (s.priority_bags, s.patterns)).unwrap_or((0, 0));
@@ -705,7 +738,7 @@ pub fn ablate_joint_cell(quick: bool, cell: usize, stats: &mut Stats) -> Table {
     let mut cfg = EptasConfig::with_epsilon(0.5);
     cfg.joint_col_budget = budget;
     let start = Instant::now();
-    let r = solve(&Solver::new(cfg), &inst, stats);
+    let r = solve(&tuned(cfg), &inst, stats);
     let elapsed = start.elapsed().as_secs_f64();
     t.row(vec![
         name.into(),
@@ -729,7 +762,9 @@ pub fn cache_replay(quick: bool, stats: &mut Stats) -> Table {
         "Solver-state cache: cold solve vs replay (eps = 0.5, n = 40, m = 4)",
         &["shape", "cold patterns", "warm patterns", "cold pricing", "hit", "identical"],
     );
-    let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 8);
+    let mut cache_cfg = EptasConfig::with_epsilon(0.5);
+    cache_cfg.solver_threads = solver_threads();
+    let solver = Solver::with_cache(cache_cfg, 8);
     let shapes = if quick { 2 } else { 5 };
     for seed in 0..shapes {
         let inst = gen::uniform(40, 4, 12, 500 + seed);
@@ -743,6 +778,52 @@ pub fn cache_replay(quick: bool, stats: &mut Stats) -> Table {
             warm.report.stats.patterns_enumerated.to_string(),
             cold.report.stats.pricing_rounds.to_string(),
             warm.report.replayed.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    t
+}
+
+/// P1 — parallel solver seams: every instance is solved twice with
+/// sharded pricing (2 shards) and speculative guess racing (3 guesses)
+/// enabled — once pinned to 1 solver thread, once with the
+/// `--solver-threads` override — and the cell asserts the two runs are
+/// bitwise-identical (schedule, makespan bits, every counter). The table
+/// carries only structural quantities: the parallel counters are a
+/// function of the configured shard/speculation counts, never of the
+/// thread count, so the rendered bytes and the JSON documents match at
+/// any `--solver-threads` value (CI pins that with `--assert-identical`).
+/// The portfolio deadline stays off here: its winner is wall-clock
+/// dependent, which would poison both the byte-identity guard and the
+/// strict `lpt_fallbacks` gate.
+pub fn parallel_solver(quick: bool, stats: &mut Stats) -> Table {
+    let mut t = Table::new(
+        "P1",
+        "Parallel solver: sharded pricing + speculative racing (eps = 0.5, n = 40, m = 13)",
+        &["family", "shards run", "spec launched", "spec wins", "cancelled", "identical"],
+    );
+    let families: &[gen::Family] =
+        if quick { &[gen::Family::Clustered, gen::Family::Uniform] } else { &gen::Family::ALL };
+    for &family in families {
+        let inst = family.generate(40, 13, 21);
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.pricing_shards = 2;
+        cfg.speculative_guesses = 3;
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.solver_threads = 1;
+        let seq =
+            Solver::new(seq_cfg).solve_instance(&inst).expect("experiment instances are feasible");
+        let par = solve(&tuned(cfg), &inst, stats);
+        let identical = par.schedule.assignment() == seq.schedule.assignment()
+            && par.makespan.to_bits() == seq.makespan.to_bits()
+            && par.report.stats == seq.report.stats;
+        let s = &par.report.stats;
+        t.row(vec![
+            family.name().into(),
+            s.pricing_shards_run.to_string(),
+            s.speculative_guesses_launched.to_string(),
+            s.speculative_wins.to_string(),
+            s.guesses_cancelled.to_string(),
             identical.to_string(),
         ]);
     }
@@ -780,6 +861,25 @@ mod tests {
         for row in &r.table.rows {
             assert_eq!(row[4], "true", "warm solve did not hit: {row:?}");
             assert_eq!(row[5], "true", "replay diverged from cold solve: {row:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_cell_is_thread_invariant() {
+        // The override only moves thread placement, never results: the
+        // rendered table and the summed counters must match bytewise
+        // between a 4-thread and a 1-thread run, and the in-cell
+        // identity column must report true everywhere.
+        set_solver_threads(4);
+        let par = run("parallel-solver", true).unwrap();
+        set_solver_threads(1);
+        let seq = run("parallel-solver", true).unwrap();
+        assert_eq!(par.table.render(), seq.table.render(), "table bytes differ across threads");
+        assert_eq!(par.stats, seq.stats, "counters differ across threads");
+        assert!(par.stats.pricing_shards_run > 0, "sharded pricing never engaged");
+        assert!(par.stats.speculative_guesses_launched > 0, "speculation never engaged");
+        for row in &par.table.rows {
+            assert_eq!(row[5], "true", "parallel run diverged from sequential: {row:?}");
         }
     }
 

@@ -12,11 +12,12 @@
 //!   needs. Blessing a new baseline is `cp bench-out/BENCH_summary.json
 //!   BENCH_baseline.json`.
 //!
-//! Everything in these documents except `wall_secs` is deterministic for
+//! Everything in these documents except wall-clock is deterministic for
 //! a fixed `(id, quick)` — the counters come from [`Stats`], the rows are
-//! pre-formatted strings. [`redact_wall_secs`] zeroes the one
-//! nondeterministic field so byte-level comparisons (the parallel
-//! determinism guard) are possible.
+//! pre-formatted strings. Wall-clock leaks in two places: the `wall_secs`
+//! fields ([`redact_wall_secs`] zeroes them) and rendered `time` cells
+//! inside table rows ([`redact_time_columns`] blanks them); after both,
+//! byte-level comparisons (the parallel determinism guards) are possible.
 
 use crate::runner::ExperimentOutcome;
 use bagsched_core::Stats;
@@ -62,7 +63,15 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// `pricing_rounds` / `lp_solves` drop to near-zero on repeat solves —
 /// a v5 baseline recorded before the cache existed would gate those
 /// counters against incomparably larger numbers, so it is rejected.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: the parallel-solver counters joined (`pricing_shards_run`,
+/// `speculative_guesses_launched`, `speculative_wins`,
+/// `guesses_cancelled`, `portfolio_winner`), emitted when the sharded
+/// pricing DFS or speculative guess racing engage. They are *structural*
+/// — a function of the configured shard/speculation counts, never of the
+/// thread count — so they stay deterministic, but a v6 baseline simply
+/// lacks them and would leave the new seams ungated, so it is rejected.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Counters whose *growth* reports an optimization engaging harder, not
 /// the solver working harder; the `--compare` gate never flags them.
@@ -73,8 +82,20 @@ pub const SCHEMA_VERSION: u64 = 6;
 /// pivots replace is already gated through `simplex_pivots`).
 /// `cache_hits` grows when more solves replay cached solver state — the
 /// avoided search is gated through `patterns_enumerated` and friends.
-pub const SAVINGS_COUNTERS: [&str; 4] =
-    ["warm_start_pivots_saved", "node_warm_starts", "dual_pivots", "cache_hits"];
+/// The speculative-racing trio (`speculative_guesses_launched`,
+/// `speculative_wins`, `guesses_cancelled`) grows when the binary search
+/// races more midpoints ahead of the verdict — the committed work those
+/// races hide is already gated through the per-guess counters, and a
+/// cancelled loser leaves no other trace in [`Stats`] at all.
+pub const SAVINGS_COUNTERS: [&str; 7] = [
+    "warm_start_pivots_saved",
+    "node_warm_starts",
+    "dual_pivots",
+    "cache_hits",
+    "speculative_guesses_launched",
+    "speculative_wins",
+    "guesses_cancelled",
+];
 
 /// Counters where *any* growth over the baseline fails the gate, with no
 /// threshold headroom. `lpt_fallbacks` counts guesses where the MILP
@@ -325,6 +346,44 @@ pub fn redact_wall_secs(json: &str) -> Result<String, serde_json::Error> {
     serde_json::to_string_pretty(&v)
 }
 
+/// Blank every row cell in a column whose header mentions wall-clock
+/// time (the same header rule as `Table::has_time_column`). Table rows
+/// are pre-formatted strings, so a `time` column carries a measurement
+/// exactly the way `wall_secs` does — the rest of the row (makespan
+/// ratios, counters, verdict flags) is deterministic and left intact.
+/// Summary documents have no `rows` and pass through unchanged.
+/// Composes with [`redact_wall_secs`]: after both, two runs of the same
+/// experiments must agree byte-for-byte at any `--jobs` or
+/// `--solver-threads` value.
+pub fn redact_time_columns(json: &str) -> Result<String, serde_json::Error> {
+    let mut v: Value = serde_json::from_str(json)?;
+    let time_cols: Vec<usize> = match v.get("headers") {
+        Some(Value::Arr(headers)) => headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h, Value::Str(s) if s.to_ascii_lowercase().contains("time")))
+            .map(|(i, _)| i)
+            .collect(),
+        _ => Vec::new(),
+    };
+    if !time_cols.is_empty() {
+        if let Value::Obj(fields) = &mut v {
+            if let Some((_, Value::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == "rows") {
+                for row in rows {
+                    if let Value::Arr(cells) = row {
+                        for &c in &time_cols {
+                            if let Some(cell) = cells.get_mut(c) {
+                                *cell = Value::Str("-".into());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    serde_json::to_string_pretty(&v)
+}
+
 /// Wall-clock below this is treated as the measurement floor: quick-mode
 /// cells finish in milliseconds where scheduler noise dominates, so
 /// slowdown ratios are computed against at least this many seconds.
@@ -473,6 +532,11 @@ mod tests {
             cache_hits: 22,
             cache_misses: 23,
             cache_evictions: 24,
+            pricing_shards_run: 25,
+            speculative_guesses_launched: 26,
+            speculative_wins: 27,
+            guesses_cancelled: 28,
+            portfolio_winner: 29,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }
@@ -516,6 +580,37 @@ mod tests {
         let base = Baseline::from_outcomes(&[outcome("a", 1.0)], true);
         let parsed = Baseline::from_json(&redact_wall_secs(&base.to_json()).unwrap()).unwrap();
         assert_eq!(parsed.experiments[0].wall_secs, 0.0);
+    }
+
+    #[test]
+    fn time_column_redaction_blanks_only_time_cells() {
+        let mut o = outcome("fig9", 7.5);
+        o.table = Table::new("T9", "timed", &["n", "time", "EPTAS time", "feasible"]);
+        o.table.row(vec!["40".into(), "416us".into(), "1.2ms".into(), "true".into()]);
+        o.table.row(vec!["80".into(), "3.1ms".into(), "8.0ms".into(), "true".into()]);
+        let rec = BenchRecord::from_outcome(&o, true);
+        let redacted =
+            BenchRecord::from_json(&redact_time_columns(&rec.to_json()).unwrap()).unwrap();
+        for row in &redacted.rows {
+            assert_eq!(row[1], "-");
+            assert_eq!(row[2], "-");
+        }
+        // Non-time columns and everything else survive untouched.
+        assert_eq!(redacted.rows[0][0], "40");
+        assert_eq!(redacted.rows[1][3], "true");
+        assert_eq!(redacted.wall_secs, rec.wall_secs);
+        assert_eq!(redacted.counters, rec.counters);
+        // Two runs differing only in rendered times agree after redaction.
+        let mut o2 = o.clone();
+        o2.table.rows[0][1] = "473us".into();
+        let rec2 = BenchRecord::from_outcome(&o2, true);
+        assert_eq!(
+            redact_time_columns(&rec.to_json()).unwrap(),
+            redact_time_columns(&rec2.to_json()).unwrap()
+        );
+        // A document with no time columns passes through unchanged.
+        let plain = BenchRecord::from_outcome(&outcome("a", 1.0), true);
+        assert_eq!(redact_time_columns(&plain.to_json()).unwrap(), plain.to_json());
     }
 
     fn baseline_of(entries: &[(&str, f64, u64)]) -> Baseline {

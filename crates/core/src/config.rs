@@ -142,6 +142,41 @@ pub struct EptasConfig {
     /// keeps the eta file shorter — cheaper FTRAN/BTRAN per pivot — at
     /// the cost of more frequent rebuilds.
     pub refactor_interval: usize,
+    /// Worker threads the solver may use internally (scoped threads,
+    /// spawned per solve — no persistent pool). `1` (the default) runs
+    /// every parallel seam on the caller's thread. The determinism
+    /// contract is thread-count invariance: for fixed knobs, schedules
+    /// and reports are byte-identical at any `solver_threads` value —
+    /// the thread count decides only *where* work runs, never *what*
+    /// is computed (see `tests/parallel_determinism.rs`).
+    pub solver_threads: usize,
+    /// Shards the pricing DFS is partitioned into per round: shard `s`
+    /// explores only patterns whose first used item index is `≡ s (mod
+    /// shards)`, each with the full [`pricing_dfs_node_budget`], and
+    /// candidates merge under a deterministic (profit, key) sort.
+    /// `1` (the default) is the classic single-DFS path, bit-for-bit.
+    /// Note the *shard count* is part of the configuration — different
+    /// shard counts may keep different candidates at profit ties — while
+    /// the thread count executing the shards never changes the result.
+    ///
+    /// [`pricing_dfs_node_budget`]: EptasConfig::pricing_dfs_node_budget
+    pub pricing_shards: usize,
+    /// Budget of the speculative binary-search window: up to this many
+    /// adjacent guesses (the midpoint plus its predicted successors) are
+    /// solved concurrently, with verdicts committed strictly in the
+    /// order the sequential search would probe them, so the chosen guess
+    /// is bitwise-identical to the sequential search. Off-path work is
+    /// cancelled cooperatively at phase boundaries. `<= 1` (the
+    /// default) runs the plain sequential search.
+    pub speculative_guesses: usize,
+    /// Deadline of the portfolio race in milliseconds: when set, the
+    /// EPTAS guess search runs against the clock and, past the
+    /// deadline, the solve returns the best feasible schedule found so
+    /// far — a committed guess if one succeeded, otherwise the
+    /// bag-aware-LPT arm (always computed as the search's upper bound).
+    /// Wall-clock dependent by construction, so excluded from the
+    /// determinism contract. `None` (the default) never cuts off.
+    pub portfolio_deadline_ms: Option<u64>,
 }
 
 impl EptasConfig {
@@ -173,6 +208,10 @@ impl EptasConfig {
             pricing_enrich_rounds: 8,
             column_purge_threshold: 0.1,
             refactor_interval: 32,
+            solver_threads: 1,
+            pricing_shards: 1,
+            speculative_guesses: 1,
+            portfolio_deadline_ms: None,
         }
     }
 }

@@ -22,6 +22,7 @@ use crate::classify::classify;
 use crate::config::EptasConfig;
 use crate::medium_flow::reinsert_medium;
 use crate::milp_model::{PatternSolve, ReplaySeed};
+use crate::par::CancelToken;
 use crate::priority::select_priority;
 use crate::report::{EptasReport, GuessFailure, GuessStats, Stats};
 use crate::rounding::scale_and_round;
@@ -34,7 +35,10 @@ use bagsched_types::{
     lowerbound::lower_bounds, validate_instance, Instance, InstanceError, JobId, MachineId,
     Schedule,
 };
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why the EPTAS refused to run at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +138,17 @@ pub(crate) fn solve_session_inner(
         return Ok((result, None));
     }
 
+    // The cancellation root for this solve. With a portfolio deadline
+    // configured it trips on the wall clock and every phase boundary /
+    // B&B node polls it; without one it never trips and the checks are
+    // a dead atomic load. Speculative windows hang their per-node child
+    // tokens off it either way.
+    let deadline = cfg.portfolio_deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let root_token = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+
     // Replay attempt: retry the cached winning guess with the cached
     // pattern pool and warm basis before paying for the binary search.
     // A stale or mismatched seed fails fast (`SeedMismatch`) and the
@@ -142,7 +157,14 @@ pub(crate) fn solve_session_inner(
     let mut best: Option<(Schedule, f64, GuessStats, f64, ReplaySeed)> = None;
     if let Some(state) = replay {
         report.guesses_tried += 1;
-        match try_guess(cfg, inst, state.chosen_guess, &mut report.stats, Some(&state.seed)) {
+        match try_guess(
+            cfg,
+            inst,
+            state.chosen_guess,
+            &mut report.stats,
+            Some(&state.seed),
+            Some(&root_token),
+        ) {
             Ok((sched, gstats, seed)) => {
                 let ms = sched.makespan(inst);
                 report.replayed = true;
@@ -164,26 +186,89 @@ pub(crate) fn solve_session_inner(
         }
         grid.push(ub);
 
-        // Binary search the smallest guess that succeeds.
+        // Binary search the smallest guess that succeeds. With
+        // `speculative_guesses > 1` the search runs in speculative
+        // windows: likely midpoints race ahead of the verdict, and the
+        // commit order below guarantees the chosen guess is exactly the
+        // one the plain loop would pick.
         let (mut lo, mut hi) = (0usize, grid.len() - 1);
-        while lo <= hi {
-            let mid = (lo + hi) / 2;
-            report.guesses_tried += 1;
-            match try_guess(cfg, inst, grid[mid], &mut report.stats, None) {
-                Ok((sched, gstats, seed)) => {
-                    let ms = sched.makespan(inst);
-                    let better = best.as_ref().is_none_or(|&(_, bms, _, _, _)| ms < bms);
-                    if better {
-                        best = Some((sched, ms, gstats, grid[mid], seed));
+        if cfg.speculative_guesses <= 1 {
+            while lo <= hi {
+                let mid = (lo + hi) / 2;
+                report.guesses_tried += 1;
+                match try_guess(cfg, inst, grid[mid], &mut report.stats, None, Some(&root_token)) {
+                    Ok((sched, gstats, seed)) => {
+                        let ms = sched.makespan(inst);
+                        let better = best.as_ref().is_none_or(|&(_, bms, _, _, _)| ms < bms);
+                        if better {
+                            best = Some((sched, ms, gstats, grid[mid], seed));
+                        }
+                        if mid == 0 {
+                            break;
+                        }
+                        hi = mid - 1;
                     }
-                    if mid == 0 {
+                    Err(GuessFailure::Cancelled) => {
+                        // The portfolio deadline fired mid-guess. A
+                        // cancelled guess is inconclusive — raising `lo`
+                        // on it could certify a wrong "smallest feasible
+                        // guess" — so the search stops here and the LPT
+                        // arm below answers.
+                        report.failures.push((grid[mid], GuessFailure::Cancelled));
                         break;
                     }
-                    hi = mid - 1;
+                    Err(fail) => {
+                        report.failures.push((grid[mid], fail));
+                        lo = mid + 1;
+                    }
                 }
-                Err(fail) => {
-                    report.failures.push((grid[mid], fail));
-                    lo = mid + 1;
+            }
+        } else {
+            'windows: while lo <= hi {
+                let window = build_window(lo, hi, cfg.speculative_guesses, &root_token);
+                // The three speculation counters are *structural*: they
+                // depend only on the window shapes and the verdict path,
+                // never on which thread finished first, so reports stay
+                // byte-identical at any thread count.
+                report.stats.speculative_guesses_launched += window.len() as u64;
+                let committed = execute_window(cfg, inst, &grid, &window);
+                report.stats.speculative_wins += committed.len() as u64 - 1;
+                report.stats.guesses_cancelled += (window.len() - committed.len()) as u64;
+                let mut stop = false;
+                for (idx, res, nstats) in committed {
+                    // Merging the private per-node stats in commit order
+                    // reproduces the sequential totals: `try_guess` only
+                    // ever adds deltas, and `Stats::add` is fieldwise.
+                    report.stats.add(&nstats);
+                    report.guesses_tried += 1;
+                    let node = &window[idx];
+                    match res {
+                        Ok((sched, gstats, seed)) => {
+                            let ms = sched.makespan(inst);
+                            let better = best.as_ref().is_none_or(|&(_, bms, _, _, _)| ms < bms);
+                            if better {
+                                best = Some((sched, ms, gstats, grid[node.mid], seed));
+                            }
+                            if node.mid == 0 {
+                                stop = true;
+                            } else {
+                                lo = node.lo;
+                                hi = node.mid - 1;
+                            }
+                        }
+                        Err(GuessFailure::Cancelled) => {
+                            report.failures.push((grid[node.mid], GuessFailure::Cancelled));
+                            stop = true;
+                        }
+                        Err(fail) => {
+                            report.failures.push((grid[node.mid], fail));
+                            lo = node.mid + 1;
+                            hi = node.hi;
+                        }
+                    }
+                }
+                if stop {
+                    break 'windows;
                 }
             }
         }
@@ -205,9 +290,15 @@ pub(crate) fn solve_session_inner(
     // The guess pipeline can only beat LPT or match it; keep whichever
     // is better under the true sizes. The state stays valid either way —
     // it describes the pipeline solve, not which schedule won.
-    if ub < makespan {
+    let lpt_won = ub < makespan;
+    if lpt_won {
         schedule = ub_sched;
         makespan = ub;
+    }
+    // Portfolio accounting: the deadline fired and the always-running
+    // bag-aware-LPT arm supplied the answer.
+    if deadline.is_some() && root_token.is_cancelled() && (lpt_won || report.fell_back_to_lpt) {
+        report.stats.portfolio_winner += 1;
     }
 
     // Safety net: the paper path yields a feasible schedule; repair
@@ -221,25 +312,225 @@ pub(crate) fn solve_session_inner(
     Ok((EptasResult { schedule, makespan, report }, state))
 }
 
+/// The per-guess result type shared by the sequential loop and the
+/// speculative workers.
+type GuessOutcome = Result<(Schedule, GuessStats, ReplaySeed), GuessFailure>;
+
+/// One node of a speculative prediction window: a `(lo, hi)` search
+/// range with its midpoint guess and the two possible continuations.
+struct SpecNode {
+    lo: usize,
+    hi: usize,
+    mid: usize,
+    /// Continuation when this guess succeeds (search moves down).
+    success: Option<usize>,
+    /// Continuation when this guess fails (search moves up).
+    failure: Option<usize>,
+    /// Child of the tree-parent's token, so cancelling a mispredicted
+    /// branch cancels its whole subtree.
+    token: CancelToken,
+}
+
+/// Build the speculative prediction tree over the binary-search range
+/// `[lo, hi]`: each node's children are exactly the ranges the plain
+/// loop would visit next on success / failure, expanded breadth-first
+/// (success side first) up to `cap` nodes. The tree shape is a pure
+/// function of `(lo, hi, cap)` — no timing enters it.
+fn build_window(lo: usize, hi: usize, cap: usize, root: &CancelToken) -> Vec<SpecNode> {
+    let mut nodes = vec![SpecNode {
+        lo,
+        hi,
+        mid: (lo + hi) / 2,
+        success: None,
+        failure: None,
+        token: root.child(),
+    }];
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(i) = queue.pop_front() {
+        let (nlo, nhi, nmid) = (nodes[i].lo, nodes[i].hi, nodes[i].mid);
+        // Success continuation: `hi = mid - 1` (the plain loop breaks at
+        // `mid == 0` instead, and exits when the range empties).
+        if nmid > 0 && nlo < nmid && nodes.len() < cap {
+            let token = nodes[i].token.child();
+            nodes[i].success = Some(nodes.len());
+            queue.push_back(nodes.len());
+            let (clo, chi) = (nlo, nmid - 1);
+            nodes.push(SpecNode {
+                lo: clo,
+                hi: chi,
+                mid: (clo + chi) / 2,
+                success: None,
+                failure: None,
+                token,
+            });
+        }
+        // Failure continuation: `lo = mid + 1`.
+        if nmid < nhi && nodes.len() < cap {
+            let token = nodes[i].token.child();
+            nodes[i].failure = Some(nodes.len());
+            queue.push_back(nodes.len());
+            let (clo, chi) = (nmid + 1, nhi);
+            nodes.push(SpecNode {
+                lo: clo,
+                hi: chi,
+                mid: (clo + chi) / 2,
+                success: None,
+                failure: None,
+                token,
+            });
+        }
+    }
+    nodes
+}
+
+/// Walk the verdict path through a window, committing nodes in grid
+/// order. `obtain` produces node `i`'s outcome (inline, or by waiting on
+/// a racing worker); the walk cancels the mispredicted subtree the
+/// moment each verdict lands. The returned commit sequence is exactly
+/// the node sequence the plain sequential loop would have executed.
+fn walk_committed(
+    window: &[SpecNode],
+    mut obtain: impl FnMut(usize) -> (GuessOutcome, Stats),
+) -> Vec<(usize, GuessOutcome, Stats)> {
+    let mut committed = Vec::new();
+    let mut cur = 0usize;
+    loop {
+        let (res, nstats) = obtain(cur);
+        let node = &window[cur];
+        let next = match &res {
+            Ok(_) => {
+                if let Some(f) = node.failure {
+                    window[f].token.cancel();
+                }
+                if node.mid == 0 {
+                    None
+                } else {
+                    node.success
+                }
+            }
+            Err(GuessFailure::Cancelled) => {
+                // Deadline: the whole search stops; nothing to predict.
+                if let Some(s) = node.success {
+                    window[s].token.cancel();
+                }
+                if let Some(f) = node.failure {
+                    window[f].token.cancel();
+                }
+                None
+            }
+            Err(_) => {
+                if let Some(s) = node.success {
+                    window[s].token.cancel();
+                }
+                node.failure
+            }
+        };
+        committed.push((cur, res, nstats));
+        match next {
+            Some(n) => cur = n,
+            None => break,
+        }
+    }
+    committed
+}
+
+/// Execute one speculative window: with one solver thread only the
+/// verdict-path nodes run (speculation costs nothing, counters stay
+/// structural); with more, workers claim nodes in breadth-first order
+/// and race ahead while the main thread commits along the actual path.
+fn execute_window(
+    cfg: &EptasConfig,
+    inst: &Instance,
+    grid: &[f64],
+    window: &[SpecNode],
+) -> Vec<(usize, GuessOutcome, Stats)> {
+    let threads = cfg.solver_threads.max(1).min(window.len());
+    if threads <= 1 {
+        return walk_committed(window, |i| {
+            let mut nstats = Stats::default();
+            let res = try_guess(
+                cfg,
+                inst,
+                grid[window[i].mid],
+                &mut nstats,
+                None,
+                Some(&window[i].token),
+            );
+            (res, nstats)
+        });
+    }
+    let claimed = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(GuessOutcome, Stats)>>> =
+        (0..window.len()).map(|_| Mutex::new(None)).collect();
+    let gate = (Mutex::new(()), Condvar::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = claimed.fetch_add(1, Ordering::Relaxed);
+                if i >= window.len() {
+                    break;
+                }
+                let node = &window[i];
+                // A node cancelled before it started still fills its
+                // slot: path nodes are never cancelled except by the
+                // portfolio deadline, where `Cancelled` is the answer.
+                let out = if node.token.is_cancelled() {
+                    (Err(GuessFailure::Cancelled), Stats::default())
+                } else {
+                    let mut nstats = Stats::default();
+                    let res =
+                        try_guess(cfg, inst, grid[node.mid], &mut nstats, None, Some(&node.token));
+                    (res, nstats)
+                };
+                *slots[i].lock().unwrap() = Some(out);
+                let _g = gate.0.lock().unwrap();
+                gate.1.notify_all();
+            });
+        }
+        let committed = walk_committed(window, |i| loop {
+            if let Some(out) = slots[i].lock().unwrap().take() {
+                return out;
+            }
+            let g = gate.0.lock().unwrap();
+            // Timed wait: robust against the store landing between the
+            // slot check and the wait.
+            drop(gate.1.wait_timeout(g, Duration::from_millis(5)).unwrap());
+        });
+        // The path is committed; stop whatever speculation is still in
+        // flight so the scope join is prompt.
+        for node in window {
+            node.token.cancel();
+        }
+        committed
+    })
+}
+
 /// Run the full pipeline for one makespan guess. Work counters are
 /// accumulated into `stats` incrementally, phase by phase, so the cost
 /// of guesses that *fail* midway still shows up in the report. When
 /// `replay` carries a seed from a previous solve of the same shape, the
 /// pattern phase skips enumeration/pricing and re-solves from the cached
 /// pool and basis; the (refreshed) seed for the *next* replay is always
-/// returned alongside the schedule.
+/// returned alongside the schedule. A tripped `cancel` token aborts at
+/// the next phase boundary (or inside the MILP / pricing loop) with
+/// [`GuessFailure::Cancelled`].
 fn try_guess(
     cfg: &EptasConfig,
     inst: &Instance,
     t0: f64,
     stats: &mut Stats,
     replay: Option<&ReplaySeed>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(Schedule, GuessStats, ReplaySeed), GuessFailure> {
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
     let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
     let class = classify(&rounded, inst.num_machines());
     let priority = select_priority(inst, &rounded, &class, cfg);
     let trans = transform(inst, &rounded, &class, &priority);
+    if cancelled() {
+        return Err(GuessFailure::Cancelled);
+    }
 
     // Pattern generation (column-generation pricing with the eager
     // enumerator as oracle/fallback) and the MILP solve; all pattern,
@@ -248,7 +539,13 @@ fn try_guess(
     if let Some(seed) = replay {
         solve = solve.replay(seed);
     }
+    if let Some(token) = cancel {
+        solve = solve.cancel_token(token);
+    }
     let sol = solve.run(stats)?;
+    if cancelled() {
+        return Err(GuessFailure::Cancelled);
+    }
     let (ps, out) = (sol.patterns, sol.outcome);
     // Carry the integral solution in the seed: the next replay of this
     // shape hands it straight to placement, skipping the MILP as well.
@@ -265,6 +562,9 @@ fn try_guess(
     let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
     stats.swap_repair_rounds += small_stats.lemma11_moves as u64;
 
+    if cancelled() {
+        return Err(GuessFailure::Cancelled);
+    }
     let mediums = reinsert_medium(inst, &trans, &rounded, &mut state, stats)?;
     stats.mediums_reinserted += mediums.len() as u64;
     let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums)?;
@@ -481,6 +781,9 @@ mod tests {
             // counter that must stay zero on instances the pipeline wins.
             // The cache trio belongs to `Solver` with a cache attached —
             // a plain one-shot solve never touches it.
+            // The parallel-execution counters only move when pricing
+            // shards, guess speculation or a portfolio deadline are
+            // configured; the defaults run the classic sequential path.
             let may_be_zero = matches!(
                 name,
                 "columns_generated"
@@ -497,6 +800,11 @@ mod tests {
                     | "cache_hits"
                     | "cache_misses"
                     | "cache_evictions"
+                    | "pricing_shards_run"
+                    | "speculative_guesses_launched"
+                    | "speculative_wins"
+                    | "guesses_cancelled"
+                    | "portfolio_winner"
             );
             if may_be_zero {
                 continue;
@@ -550,6 +858,64 @@ mod tests {
             "a class contributes at least one symbol"
         );
         assert!(stats.warm_start_pivots_saved > 0, "warm starts saved no pivots");
+    }
+
+    #[test]
+    fn speculative_search_matches_sequential() {
+        // The speculative window commits verdicts in grid order, so the
+        // entire solve — schedule, makespan, guess sequence, every work
+        // counter — must match the plain loop; only the three structural
+        // speculation counters may differ from zero.
+        let inst = gen::uniform(40, 4, 12, 7);
+        let base = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.speculative_guesses = 3;
+        let spec = Solver::new(cfg).solve_instance(&inst).unwrap();
+        assert_eq!(spec.schedule.assignment(), base.schedule.assignment());
+        assert_eq!(spec.makespan.to_bits(), base.makespan.to_bits());
+        assert_eq!(spec.report.guesses_tried, base.report.guesses_tried);
+        assert!(spec.report.stats.speculative_guesses_launched > 0);
+        let mut masked = spec.report.stats;
+        masked.speculative_guesses_launched = 0;
+        masked.speculative_wins = 0;
+        masked.guesses_cancelled = 0;
+        assert_eq!(masked, base.report.stats);
+    }
+
+    #[test]
+    fn sharded_pricing_matches_plain_at_any_thread_count() {
+        // Shard count fixed, thread count varied: the merge is a pure
+        // function of the shard results, so schedules and reports are
+        // identical at 1 and 4 threads.
+        let inst = gen::uniform(40, 4, 12, 7);
+        let solve = |threads: usize| {
+            let mut cfg = EptasConfig::with_epsilon(0.5);
+            cfg.pricing_shards = 2;
+            cfg.solver_threads = threads;
+            Solver::new(cfg).solve_instance(&inst).unwrap()
+        };
+        let a = solve(1);
+        let b = solve(4);
+        assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.report.stats, b.report.stats);
+        assert!(a.report.stats.pricing_shards_run > 0, "sharded rounds must be counted");
+    }
+
+    #[test]
+    fn portfolio_deadline_yields_lpt_schedule() {
+        // A deadline that fires immediately forces every guess to cancel;
+        // the LPT arm must answer with a feasible schedule and the
+        // portfolio counter must record the win.
+        let inst = gen::uniform(40, 4, 12, 7);
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.portfolio_deadline_ms = Some(0);
+        let r = Solver::new(cfg).solve_instance(&inst).unwrap();
+        validate_schedule(&inst, &r.schedule).unwrap();
+        assert!(r.report.fell_back_to_lpt, "all guesses cancelled: LPT must answer");
+        assert_eq!(r.report.stats.portfolio_winner, 1);
+        assert!(r.report.failures.iter().any(|(_, f)| matches!(f, GuessFailure::Cancelled)));
+        assert!((r.makespan - r.report.lpt_upper_bound).abs() < 1e-12);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod declass;
 pub mod driver;
 pub mod medium_flow;
 pub mod milp_model;
+pub mod par;
 pub mod pattern;
 pub mod pricing;
 pub mod priority;

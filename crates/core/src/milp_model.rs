@@ -48,6 +48,7 @@
 use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
+use crate::par::CancelToken;
 use crate::pattern::{collect_symbols_classed, enumerate_patterns, Pattern, PatternSet, Symbol};
 use crate::pricing::{generate_columns, MilpRow, Pricing, TreePriceDriver};
 use crate::report::{GuessFailure, Stats};
@@ -203,13 +204,14 @@ pub struct PatternSolve<'a> {
     cfg: &'a EptasConfig,
     strategy: PatternStrategy,
     replay: Option<&'a ReplaySeed>,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> PatternSolve<'a> {
     /// Start a pattern solve for one guess with the default
     /// ([`PatternStrategy::Auto`]) strategy.
     pub fn new(trans: &'a Transformed, cfg: &'a EptasConfig) -> Self {
-        PatternSolve { trans, cfg, strategy: PatternStrategy::Auto, replay: None }
+        PatternSolve { trans, cfg, strategy: PatternStrategy::Auto, replay: None, cancel: None }
     }
 
     /// Force a specific pipeline instead of the auto pick.
@@ -226,19 +228,30 @@ impl<'a> PatternSolve<'a> {
         self
     }
 
+    /// Observe a cancellation token: the pricing loop polls it per
+    /// round and the branch-and-bound between nodes, unwinding as
+    /// [`GuessFailure::Cancelled`]. The solve's results are only valid
+    /// while the token has not tripped — a racing caller must discard
+    /// the output of a cancelled solve.
+    pub fn cancel_token(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Run the solve. Work counters are recorded into `stats` whatever
     /// the outcome.
     pub fn run(self, stats: &mut Stats) -> Result<PatternSolution, GuessFailure> {
+        let cancel = self.cancel;
         if let Some(seed) = self.replay {
-            return run_replay(self.trans, self.cfg, seed, stats);
+            return run_replay(self.trans, self.cfg, seed, stats, cancel);
         }
         match self.strategy {
-            PatternStrategy::Auto => run_auto(self.trans, self.cfg, stats),
-            PatternStrategy::Eager => run_eager(self.trans, self.cfg, stats),
-            PatternStrategy::Pricing => run_pricing(self.trans, self.cfg, stats),
+            PatternStrategy::Auto => run_auto(self.trans, self.cfg, stats, cancel),
+            PatternStrategy::Eager => run_eager(self.trans, self.cfg, stats, cancel),
+            PatternStrategy::Pricing => run_pricing(self.trans, self.cfg, stats, cancel),
             PatternStrategy::Classed => {
                 let classes = BagClasses::compute(self.trans);
-                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats)
+                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats, cancel)
                     .unwrap_or(Err(GuessFailure::PricingStalled))
             }
         }
@@ -333,6 +346,7 @@ fn run_auto(
     trans: &Transformed,
     cfg: &EptasConfig,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Result<PatternSolution, GuessFailure> {
     if cfg.column_generation {
         // Class aggregation is the *scale* path: it engages exactly when
@@ -350,7 +364,9 @@ fn run_auto(
                 // retries this guess on the per-bag path below — which,
                 // above the budget, degrades to eager enumeration,
                 // exactly the pre-aggregation behaviour.
-                if let Some(resolved) = solve_patterns_aggregated(trans, &classes, cfg, stats) {
+                if let Some(resolved) =
+                    solve_patterns_aggregated(trans, &classes, cfg, stats, cancel)
+                {
                     return resolved;
                 }
             }
@@ -358,11 +374,21 @@ fn run_auto(
         let classes = singles;
         stats.bag_classes += classes.num_classes() as u64;
         stats.symbols_after_aggregation += symbols.len() as u64;
-        match generate_columns(trans, &symbols, &classes, cfg, stats) {
+        match generate_columns(trans, &symbols, &classes, cfg, stats, cancel) {
             Pricing::Infeasible => return Err(GuessFailure::MilpInfeasible),
+            Pricing::Cancelled => return Err(GuessFailure::Cancelled),
             Pricing::Converged(pool) => {
                 let ps = PatternSet::from_parts(symbols, pool);
-                match solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing, None) {
+                match solve_restricted(
+                    trans,
+                    &ps,
+                    &classes,
+                    cfg,
+                    stats,
+                    cfg.tree_pricing,
+                    None,
+                    cancel,
+                ) {
                     Ok((out, ext, warm)) => {
                         let seed = ReplaySeed {
                             strategy: PatternStrategy::Pricing,
@@ -387,7 +413,7 @@ fn run_auto(
                         match enumerate_patterns(trans, budget) {
                             Ok(full) => {
                                 stats.patterns_enumerated += full.patterns.len() as u64;
-                                return solve_eager_pool(trans, cfg, full, stats);
+                                return solve_eager_pool(trans, cfg, full, stats, cancel);
                             }
                             Err(e) => {
                                 stats.patterns_enumerated += e.budget as u64;
@@ -400,7 +426,7 @@ fn run_auto(
             Pricing::Stalled => {} // fall through to the eager path
         }
     }
-    run_eager(trans, cfg, stats)
+    run_eager(trans, cfg, stats, cancel)
 }
 
 /// The eager pipeline behind [`PatternStrategy::Eager`] and the auto
@@ -409,6 +435,7 @@ fn run_eager(
     trans: &Transformed,
     cfg: &EptasConfig,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Result<PatternSolution, GuessFailure> {
     let ps = enumerate_patterns(trans, cfg.max_patterns).map_err(|e| {
         // The DFS aborts after generating exactly `budget` patterns.
@@ -416,7 +443,7 @@ fn run_eager(
         GuessFailure::PatternBudget
     })?;
     stats.patterns_enumerated += ps.patterns.len() as u64;
-    solve_eager_pool(trans, cfg, ps, stats)
+    solve_eager_pool(trans, cfg, ps, stats, cancel)
 }
 
 /// Solve an eagerly enumerated pool and wrap it as a replayable
@@ -428,9 +455,10 @@ fn solve_eager_pool(
     cfg: &EptasConfig,
     ps: PatternSet,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Result<PatternSolution, GuessFailure> {
     let singles = BagClasses::singletons(trans);
-    let (out, _, _) = solve_restricted(trans, &ps, &singles, cfg, stats, false, None)?;
+    let (out, _, _) = solve_restricted(trans, &ps, &singles, cfg, stats, false, None, cancel)?;
     let seed = ReplaySeed {
         strategy: PatternStrategy::Eager,
         t: trans.t,
@@ -447,18 +475,20 @@ fn run_pricing(
     trans: &Transformed,
     cfg: &EptasConfig,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Result<PatternSolution, GuessFailure> {
     let classes = BagClasses::singletons(trans);
     let symbols = collect_symbols_classed(trans, &classes);
     stats.bag_classes += classes.num_classes() as u64;
     stats.symbols_after_aggregation += symbols.len() as u64;
-    match generate_columns(trans, &symbols, &classes, cfg, stats) {
+    match generate_columns(trans, &symbols, &classes, cfg, stats, cancel) {
         Pricing::Infeasible => Err(GuessFailure::MilpInfeasible),
         Pricing::Stalled => Err(GuessFailure::PricingStalled),
+        Pricing::Cancelled => Err(GuessFailure::Cancelled),
         Pricing::Converged(pool) => {
             let ps = PatternSet::from_parts(symbols, pool);
             let (out, ext, warm) =
-                solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing, None)?;
+                solve_restricted(trans, &ps, &classes, cfg, stats, cfg.tree_pricing, None, cancel)?;
             let seed = ReplaySeed {
                 strategy: PatternStrategy::Pricing,
                 t: trans.t,
@@ -479,6 +509,7 @@ fn run_replay(
     cfg: &EptasConfig,
     seed: &ReplaySeed,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Result<PatternSolution, GuessFailure> {
     // The rounded guess pins the whole size geometry; a drifted `t`
     // means the cached pool belongs to a different guess grid.
@@ -515,7 +546,8 @@ fn run_replay(
     let ps = PatternSet::from_parts(seed.symbols.clone(), seed.pool.clone());
     match seed.strategy {
         PatternStrategy::Eager => {
-            let (out, _, _) = solve_restricted(trans, &ps, &classes, cfg, stats, false, None)?;
+            let (out, _, _) =
+                solve_restricted(trans, &ps, &classes, cfg, stats, false, None, cancel)?;
             Ok(PatternSolution { patterns: ps, outcome: out, seed: seed.clone() })
         }
         PatternStrategy::Pricing => {
@@ -527,6 +559,7 @@ fn run_replay(
                 stats,
                 cfg.tree_pricing,
                 seed.root_warm.as_ref(),
+                cancel,
             )?;
             let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
             Ok(PatternSolution { patterns: ext.unwrap_or(ps), outcome: out, seed })
@@ -540,6 +573,7 @@ fn run_replay(
                 stats,
                 cfg.tree_pricing,
                 seed.root_warm.as_ref(),
+                cancel,
             )?;
             let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
             let ps = ext.unwrap_or(ps);
@@ -565,17 +599,20 @@ fn solve_patterns_aggregated(
     classes: &BagClasses,
     cfg: &EptasConfig,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Option<Result<PatternSolution, GuessFailure>> {
     stats.bag_classes += classes.num_classes() as u64;
     let symbols = collect_symbols_classed(trans, classes);
     stats.symbols_after_aggregation += symbols.len() as u64;
-    match generate_columns(trans, &symbols, classes, cfg, stats) {
+    match generate_columns(trans, &symbols, classes, cfg, stats, cancel) {
         Pricing::Infeasible => Some(Err(GuessFailure::MilpInfeasible)),
         Pricing::Stalled => None,
+        Pricing::Cancelled => Some(Err(GuessFailure::Cancelled)),
         Pricing::Converged(pool) => {
             let ps = PatternSet::from_parts(symbols, pool);
             let (out, ext, warm) =
-                solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing, None).ok()?;
+                solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing, None, cancel)
+                    .ok()?;
             let seed = ReplaySeed {
                 strategy: PatternStrategy::Classed,
                 t: trans.t,
@@ -636,7 +673,7 @@ pub(crate) fn solve_with_patterns_classed(
     cfg: &EptasConfig,
     stats: &mut Stats,
 ) -> Result<MilpOutcome, GuessFailure> {
-    solve_restricted(trans, ps, classes, cfg, stats, false, None).map(|(out, _, _)| out)
+    solve_restricted(trans, ps, classes, cfg, stats, false, None, None).map(|(out, _, _)| out)
 }
 
 /// The restricted configuration MILP over a (priced or enumerated) pool,
@@ -659,6 +696,7 @@ fn solve_restricted(
     stats: &mut Stats,
     tree: bool,
     root_warm: Option<&WarmState>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let pairs = priority_small_pairs_classed(trans, classes);
     let w_nonprio = nonpriority_small_area(trans);
@@ -701,9 +739,9 @@ fn solve_restricted(
     let ctx =
         ClassCtx { classes, class_mult: &class_mult, with_smalls: &classes_with_smalls, covering };
     if joint {
-        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm)
+        solve_joint(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm, cancel)
     } else {
-        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm)
+        solve_two_stage(trans, ps, cfg, pairs, w_nonprio, &ctx, stats, tree, root_warm, cancel)
     }
 }
 
@@ -738,7 +776,7 @@ fn record_milp(stats: &mut Stats, res: &bagsched_milp::MilpResult) {
     stats.eta_updates += res.eta_updates as u64;
 }
 
-fn milp_options(cfg: &EptasConfig) -> MilpOptions {
+fn milp_options(cfg: &EptasConfig, cancel: Option<&CancelToken>) -> MilpOptions {
     MilpOptions {
         max_nodes: cfg.milp_max_nodes,
         time_limit: cfg.milp_time_limit,
@@ -746,6 +784,7 @@ fn milp_options(cfg: &EptasConfig) -> MilpOptions {
         first_solution: true,
         dual_simplex: cfg.dual_simplex,
         price_after_nodes: 32,
+        cancel: cancel.map(CancelToken::probe),
     }
 }
 
@@ -758,11 +797,12 @@ fn run_milp(
     stats: &mut Stats,
     tree: Option<TreePriceDriver<'_>>,
     root_warm: Option<&WarmState>,
+    cancel: Option<&CancelToken>,
 ) -> (MilpResult, Vec<Pattern>, Vec<u32>, Option<WarmState>) {
     match tree {
         Some(mut driver) => {
             let (res, warm_out) =
-                solve_milp_seeded(model, &milp_options(cfg), Some(&mut driver), root_warm);
+                solve_milp_seeded(model, &milp_options(cfg, cancel), Some(&mut driver), root_warm);
             stats.add(&driver.stats);
             let tree_x = match res.status {
                 MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -776,7 +816,7 @@ fn run_milp(
             // Without a pricer the warm seam stays closed: passing a
             // seed would skip presolve and change which model the B&B
             // explores relative to the cold path it must reproduce.
-            let (res, _) = solve_milp_seeded(model, &milp_options(cfg), None, None);
+            let (res, _) = solve_milp_seeded(model, &milp_options(cfg, cancel), None, None);
             (res, Vec::new(), Vec::new(), None)
         }
     }
@@ -803,6 +843,7 @@ fn solve_joint(
     stats: &mut Stats,
     tree: bool,
     root_warm: Option<&WarmState>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
@@ -923,7 +964,8 @@ fn solve_joint(
 
     let driver = tree
         .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
-    let (res, tree_patterns, tree_x, warm_out) = run_milp(&model, cfg, stats, driver, root_warm);
+    let (res, tree_patterns, tree_x, warm_out) =
+        run_milp(&model, cfg, stats, driver, root_warm, cancel);
     record_milp(stats, &res);
     match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -952,7 +994,15 @@ fn solve_joint(
             ))
         }
         MilpStatus::Infeasible => Err(GuessFailure::MilpInfeasible),
-        MilpStatus::Budget | MilpStatus::Unbounded => Err(GuessFailure::MilpBudget),
+        // A budget stop under a tripped token is a cancellation, not a
+        // verdict: the driver must not raise the search on it.
+        MilpStatus::Budget | MilpStatus::Unbounded => {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                Err(GuessFailure::Cancelled)
+            } else {
+                Err(GuessFailure::MilpBudget)
+            }
+        }
     }
 }
 
@@ -972,6 +1022,7 @@ fn solve_two_stage(
     stats: &mut Stats,
     tree: bool,
     root_warm: Option<&WarmState>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(MilpOutcome, Option<PatternSet>, Option<WarmState>), GuessFailure> {
     let m = trans.tinst.num_machines() as f64;
     let np = ps.patterns.len();
@@ -1028,7 +1079,8 @@ fn solve_two_stage(
 
     let driver = tree
         .then(|| TreePriceDriver::new(&ps.symbols, ctx.classes, trans.t, cfg, rows, &ps.patterns));
-    let (res, tree_patterns, tree_x, warm_out) = run_milp(&model, cfg, stats, driver, root_warm);
+    let (res, tree_patterns, tree_x, warm_out) =
+        run_milp(&model, cfg, stats, driver, root_warm, cancel);
     record_milp(stats, &res);
     let xs: Vec<u32> = match res.status {
         MilpStatus::Optimal | MilpStatus::Feasible => {
@@ -1037,7 +1089,13 @@ fn solve_two_stage(
             xs
         }
         MilpStatus::Infeasible => return Err(GuessFailure::MilpInfeasible),
-        MilpStatus::Budget | MilpStatus::Unbounded => return Err(GuessFailure::MilpBudget),
+        MilpStatus::Budget | MilpStatus::Unbounded => {
+            return Err(if cancel.is_some_and(CancelToken::is_cancelled) {
+                GuessFailure::Cancelled
+            } else {
+                GuessFailure::MilpBudget
+            });
+        }
     };
 
     // The greedy `y` must see the same index space as `xs`: extend the

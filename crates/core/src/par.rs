@@ -1,0 +1,226 @@
+//! The solver's internal execution layer: scoped worker threads and
+//! cooperative cancellation.
+//!
+//! Three seams use it (each behind an [`EptasConfig`] knob): sharded
+//! pricing ([`crate::pricing`]), speculative guess racing and the
+//! deadline portfolio ([`crate::driver`]). The contract everywhere is
+//! **thread-count invariance**: the thread count decides where work
+//! runs, never what is computed — for fixed knobs, schedules and
+//! reports are byte-identical at any `solver_threads` value. The
+//! helpers here make that easy to uphold: [`run_indexed`] returns
+//! results in index order regardless of completion order, and
+//! [`CancelToken`] only ever *stops* work whose result the caller has
+//! already decided to discard.
+//!
+//! No thread pool: threads are scoped to one call ([`std::thread::scope`],
+//! the same idiom as the bench runner's `parallel_map`), so the solver
+//! stays a plain function of its inputs with no global state.
+//!
+//! [`EptasConfig`]: crate::EptasConfig
+
+use bagsched_milp::CancelProbe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Run `f(0), f(1), .., f(n-1)` on up to `threads` scoped worker
+/// threads and return the results in index order. With `threads <= 1`
+/// (or `n <= 1`) everything runs sequentially on the caller's thread —
+/// the zero-overhead path the default configuration takes.
+///
+/// Work is claimed by an atomic cursor, so completion order is
+/// arbitrary; result order is not. Panics in `f` propagate (the scope
+/// joins all workers first).
+pub fn run_indexed<O, F>(n: usize, threads: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("worker skipped slot"))
+        .collect()
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+/// Cooperative cancellation, checked at phase boundaries.
+///
+/// A token trips when [`cancel`](CancelToken::cancel) is called, when
+/// its deadline (if any) passes, or when any ancestor token trips —
+/// [`child`](CancelToken::child) builds trees where cancelling a parent
+/// (the whole solve) reaches every descendant (one speculative guess)
+/// but not vice versa. Cancellation is *cooperative*: work observes the
+/// token between phases and unwinds as [`GuessFailure::Cancelled`]; a
+/// cancelled computation's partial results are discarded by the caller,
+/// which is what keeps cancellation timing out of the committed output.
+///
+/// [`GuessFailure::Cancelled`]: crate::report::GuessFailure::Cancelled
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token that only trips on an explicit [`cancel`]
+    /// (or via a parent, for children of this token).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: None, parent: None }),
+        }
+    }
+
+    /// A token that also trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: trips when this token trips or on its own
+    /// [`cancel`], without affecting this token.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Trip the token (idempotent). Descendants observe it; ancestors
+    /// do not.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped — explicitly, by deadline, or via
+    /// an ancestor.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// The token as a [`bagsched_milp::CancelProbe`], for threading
+    /// through [`MilpOptions`](bagsched_milp::MilpOptions) so the
+    /// branch-and-bound loop observes it between nodes.
+    pub fn probe(&self) -> CancelProbe {
+        let inner = Arc::clone(&self.inner);
+        CancelProbe::new(move || inner.is_cancelled())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn run_indexed_preserves_order_at_any_thread_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 8, 64] {
+            assert_eq!(run_indexed(37, threads, |i| i * i), expect, "threads={threads}");
+        }
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_indexed_runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(100, 8, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_trips_and_children_observe_parents() {
+        let root = CancelToken::new();
+        let child = root.child();
+        let grandchild = child.child();
+        assert!(!root.is_cancelled() && !child.is_cancelled() && !grandchild.is_cancelled());
+
+        // Child cancellation stays local.
+        child.cancel();
+        assert!(!root.is_cancelled());
+        assert!(child.is_cancelled() && grandchild.is_cancelled());
+
+        // Parent cancellation reaches every descendant.
+        let other = root.child();
+        assert!(!other.is_cancelled());
+        root.cancel();
+        assert!(other.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_the_token() {
+        let live = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!live.is_cancelled());
+        let past = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_cancelled());
+        assert!(past.child().is_cancelled());
+    }
+
+    #[test]
+    fn probe_mirrors_the_token() {
+        let token = CancelToken::new();
+        let probe = token.probe();
+        assert!(!probe.is_cancelled());
+        token.cancel();
+        assert!(probe.is_cancelled());
+    }
+}

@@ -38,6 +38,7 @@
 use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
+use crate::par::{run_indexed, CancelToken};
 use crate::pattern::{Pattern, SlotBag, Symbol};
 use crate::report::Stats;
 use crate::transform::Transformed;
@@ -57,6 +58,14 @@ pub enum Pricing {
     /// A round or DFS-node budget was exhausted before convergence; the
     /// caller falls back to eager enumeration.
     Stalled,
+    /// The cancellation token tripped between rounds: the solve is being
+    /// abandoned (speculation loser or deadline). Unlike [`Stalled`]
+    /// this must *not* fall back to eager enumeration — the caller
+    /// unwinds as [`GuessFailure::Cancelled`].
+    ///
+    /// [`Stalled`]: Pricing::Stalled
+    /// [`GuessFailure::Cancelled`]: crate::report::GuessFailure::Cancelled
+    Cancelled,
 }
 
 /// Columns added per pricing round: the DFS collects the top-K improving
@@ -145,6 +154,7 @@ pub fn generate_columns(
     classes: &BagClasses,
     cfg: &EptasConfig,
     stats: &mut Stats,
+    cancel: Option<&CancelToken>,
 ) -> Pricing {
     // Safety valve on the master size: on the per-bag path the row count
     // is the symbol count (the pre-aggregation gate, byte-for-byte);
@@ -202,6 +212,9 @@ pub fn generate_columns(
 
     // ---- Phase A: feasibility (minimize the overflow). ----
     loop {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Pricing::Cancelled;
+        }
         let mut lp = master.solve(&model, cfg, stats);
         // Re-admission guard: a purged column that prices negative under
         // the new duals would make this optimum under-informed (the purge
@@ -350,6 +363,9 @@ pub fn generate_columns(
     let enrich_capped = pool.len() > cfg.pricing_symbol_budget;
     let mut enrich_rounds = 0usize;
     loop {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Pricing::Cancelled;
+        }
         let mut lp = master.solve(&model, cfg, stats);
         // Same re-admission guard as phase A, against the machine-count
         // objective (purged columns are never the empty seed, so their
@@ -820,25 +836,55 @@ fn price(
 
     let num_classes = classes.num_classes();
     let class_cap: Vec<u16> = (0..num_classes).map(|c| classes.size(c) as u16).collect();
-    let mut dfs = PriceDfs {
-        items: &items,
-        needed,
-        budget: cfg.pricing_dfs_node_budget,
-        nodes: 0,
-        complete: true,
-        used: vec![0u16; items.len()],
-        class_used: vec![0u16; num_classes],
-        class_cap,
-        cands: Vec::new(),
-        threshold: needed,
-        pool_keys,
-    };
-    dfs.run(0, t, 0.0);
-    stats.pricing_dfs_nodes += dfs.nodes.max(1) as u64;
 
-    let mut cands = dfs.cands;
-    // Best columns first; key order as a deterministic tiebreak.
+    // Sharded DFS: shard `s` of `S` explores exactly the patterns whose
+    // first used item index is `≡ s (mod S)` (the empty pattern belongs
+    // to shard 0), so the shards partition the pattern space and their
+    // candidate sets are disjoint by construction. Each shard carries
+    // the *full* node budget — sharding never explores less than the
+    // single DFS would — and a private top-K threshold, which is exact
+    // per shard (a weaker threshold only prunes less). `S = 1` is the
+    // classic single DFS, decision for decision.
+    let shards = cfg.pricing_shards.max(1);
+    let run_shard = |s: usize| {
+        let mut dfs = PriceDfs {
+            items: &items,
+            needed,
+            budget: cfg.pricing_dfs_node_budget,
+            nodes: 0,
+            complete: true,
+            used: vec![0u16; items.len()],
+            class_used: vec![0u16; num_classes],
+            class_cap: class_cap.clone(),
+            cands: Vec::new(),
+            threshold: needed,
+            pool_keys,
+            shard: s,
+            shard_count: shards,
+            used_any: false,
+        };
+        dfs.run(0, t, 0.0);
+        (dfs.cands, dfs.complete, dfs.nodes)
+    };
+    // The thread count only places the shards; the merge below is a
+    // deterministic function of the shard results, so output is
+    // byte-identical at any `solver_threads`.
+    let threads = if shards > 1 { cfg.solver_threads } else { 1 };
+    let results = run_indexed(shards, threads, run_shard);
+    if shards > 1 {
+        stats.pricing_shards_run += shards as u64;
+    }
+    let total_nodes: usize = results.iter().map(|r| r.2).sum();
+    stats.pricing_dfs_nodes += total_nodes.max(1) as u64;
+    let complete = results.iter().all(|r| r.1);
+    let mut cands: Vec<(f64, PatternKey)> = results.into_iter().flat_map(|r| r.0).collect();
+
+    // Best columns first; key order as a deterministic tiebreak. The
+    // shards together may hold up to `S * COLS_PER_ROUND` candidates;
+    // the master admits the same per-round column count as the single
+    // DFS.
     cands.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    cands.truncate(COLS_PER_ROUND);
     let patterns = cands
         .into_iter()
         .map(|(_, entries)| {
@@ -846,7 +892,7 @@ fn price(
             Pattern { entries, height }
         })
         .collect();
-    (patterns, dfs.complete)
+    (patterns, complete)
 }
 
 /// The bounded-knapsack pricing DFS.
@@ -869,6 +915,14 @@ struct PriceDfs<'a> {
     /// full, then the worst kept profit (see [`PriceDfs::reprice`]).
     threshold: f64,
     pool_keys: &'a HashSet<PatternKey>,
+    /// This DFS explores only patterns whose first used item index is
+    /// `≡ shard (mod shard_count)`; the empty pattern counts as shard 0.
+    /// `(0, 1)` is the unsharded classic DFS.
+    shard: usize,
+    shard_count: usize,
+    /// Whether any item has nonzero multiplicity along the current path
+    /// (the shard constraint binds only the *first* used item).
+    used_any: bool,
 }
 
 impl PriceDfs<'_> {
@@ -924,13 +978,23 @@ impl PriceDfs<'_> {
                 max_mult = 0;
             }
         }
+        // Shard constraint: until some item is used, only items of this
+        // DFS's residue class may open a pattern (multiplicity 0 always
+        // stays allowed — later items of the right residue may still
+        // open it).
+        if !self.used_any && i % self.shard_count != self.shard {
+            max_mult = 0;
+        }
         // Dense multiplicities first: good leaves early tighten pruning.
         for mult in (0..=max_mult).rev() {
             self.used[i] = mult as u16;
             if let Some(c) = item.class {
                 self.class_used[c] += mult as u16;
             }
+            let was_used_any = self.used_any;
+            self.used_any = was_used_any || mult > 0;
             self.run(i + 1, cap - mult as f64 * item.size, profit + mult as f64 * item.value);
+            self.used_any = was_used_any;
             if let Some(c) = item.class {
                 self.class_used[c] -= mult as u16;
             }
@@ -942,6 +1006,12 @@ impl PriceDfs<'_> {
     }
 
     fn leaf(&mut self, profit: f64) {
+        // The all-zero leaf (the empty pattern) belongs to shard 0; it
+        // is in every pool anyway, so this only keeps the partition
+        // clean.
+        if !self.used_any && self.shard != 0 {
+            return;
+        }
         if profit <= self.threshold {
             return;
         }
@@ -1023,6 +1093,7 @@ mod tests {
             &crate::classes::BagClasses::singletons(&t),
             &cfg,
             &mut stats,
+            None,
         ) {
             Pricing::Converged(pool) => {
                 assert!(pool[0].is_empty());
@@ -1056,7 +1127,8 @@ mod tests {
                 &symbols,
                 &crate::classes::BagClasses::singletons(&t),
                 &cfg,
-                &mut stats
+                &mut stats,
+                None
             ),
             Pricing::Infeasible
         ));
@@ -1075,6 +1147,7 @@ mod tests {
             &crate::classes::BagClasses::singletons(&t),
             &cfg,
             &mut stats,
+            None,
         ) else {
             panic!("expected convergence");
         };
@@ -1104,6 +1177,7 @@ mod tests {
                 &crate::classes::BagClasses::singletons(&t),
                 &cfg,
                 &mut stats,
+                None,
             ) {
                 Pricing::Converged(pool) => (pool, stats),
                 other => panic!("expected convergence, got {other:?}"),

@@ -41,6 +41,16 @@ pub enum GuessFailure {
     /// drifted. Inconclusive by construction: the caller falls back to
     /// the cold search, so a collision costs time, never correctness.
     SeedMismatch,
+    /// The guess was cancelled cooperatively before reaching a verdict —
+    /// by the portfolio deadline ([`portfolio_deadline_ms`]) or by the
+    /// speculation controller abandoning an off-path probe. Inconclusive
+    /// in a special way: unlike the budget variants the driver must
+    /// *not* raise the search on it (the guess was never refuted, only
+    /// interrupted), so a deadline cancellation stops the search and a
+    /// speculative one is simply discarded.
+    ///
+    /// [`portfolio_deadline_ms`]: crate::EptasConfig::portfolio_deadline_ms
+    Cancelled,
 }
 
 impl std::fmt::Display for GuessFailure {
@@ -56,6 +66,7 @@ impl std::fmt::Display for GuessFailure {
             GuessFailure::LargePlacement => "large-slot placement hit a bag/supply mismatch",
             GuessFailure::PricingStalled => "column-generation pricing stalled",
             GuessFailure::SeedMismatch => "cached replay seed does not match the instance",
+            GuessFailure::Cancelled => "guess cancelled by the deadline or speculation controller",
         };
         f.write_str(s)
     }
@@ -151,6 +162,36 @@ pub struct Stats {
     pub cache_misses: u64,
     /// Cached solver states evicted by the LRU capacity bound.
     pub cache_evictions: u64,
+    /// Pricing DFS shards run by sharded pricing rounds: each round with
+    /// [`pricing_shards`] `> 1` adds the shard count. Zero on the
+    /// classic single-DFS path. Deterministic for fixed knobs — the
+    /// thread count executing the shards never changes it.
+    ///
+    /// [`pricing_shards`]: crate::EptasConfig::pricing_shards
+    pub pricing_shards_run: u64,
+    /// Guesses entered into a speculative binary-search window (the
+    /// probed midpoint plus its predicted successors). Structural: the
+    /// count depends only on the prediction-tree shape, never on which
+    /// speculative probes actually got to run, so it is thread-count
+    /// invariant. A savings-style counter — growth means speculation
+    /// engaged.
+    pub speculative_guesses_launched: u64,
+    /// Speculative probes whose verdict was committed *beyond* the one
+    /// the sequential search would have probed next — search steps the
+    /// window resolved for free. Savings-style.
+    pub speculative_wins: u64,
+    /// Speculative probes abandoned because the committed verdict path
+    /// turned away from them (launched − committed, per window).
+    /// Structural and thread-count invariant, like
+    /// [`speculative_guesses_launched`](Stats::speculative_guesses_launched).
+    pub guesses_cancelled: u64,
+    /// Solves where the portfolio deadline fired and the bag-aware-LPT
+    /// arm beat every committed guess — the race was won by the
+    /// fallback, not the EPTAS pipeline. Zero unless
+    /// [`portfolio_deadline_ms`] is set.
+    ///
+    /// [`portfolio_deadline_ms`]: crate::EptasConfig::portfolio_deadline_ms
+    pub portfolio_winner: u64,
 }
 
 impl Stats {
@@ -180,12 +221,17 @@ impl Stats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.pricing_shards_run += other.pricing_shards_run;
+        self.speculative_guesses_launched += other.speculative_guesses_launched;
+        self.speculative_wins += other.speculative_wins;
+        self.guesses_cancelled += other.guesses_cancelled;
+        self.portfolio_winner += other.portfolio_winner;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 24] {
+    pub fn named(&self) -> [(&'static str, u64); 29] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -211,6 +257,11 @@ impl Stats {
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
+            ("pricing_shards_run", self.pricing_shards_run),
+            ("speculative_guesses_launched", self.speculative_guesses_launched),
+            ("speculative_wins", self.speculative_wins),
+            ("guesses_cancelled", self.guesses_cancelled),
+            ("portfolio_winner", self.portfolio_winner),
         ]
     }
 }
@@ -321,6 +372,11 @@ mod tests {
             cache_hits: 22,
             cache_misses: 23,
             cache_evictions: 24,
+            pricing_shards_run: 25,
+            speculative_guesses_launched: 26,
+            speculative_wins: 27,
+            guesses_cancelled: 28,
+            portfolio_winner: 29,
         };
         let b = a;
         a.add(&b);

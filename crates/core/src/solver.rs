@@ -27,9 +27,10 @@ use crate::config::EptasConfig;
 use crate::driver::{solve_session_inner, EptasError, EptasResult};
 use crate::milp_model::ReplaySeed;
 use bagsched_types::{fingerprint, Instance, SolveRequest, SolveResponse};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Opaque per-shape solver state: everything needed to replay a solve of
@@ -63,6 +64,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// States evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Requests that found the same shape already solving cold and
+    /// waited for that leader instead of duplicating the solve.
+    pub coalesced_waits: u64,
 }
 
 /// Tick-stamped LRU map. Capacities are small (a server keeps at most a
@@ -113,10 +117,19 @@ impl Lru {
 pub struct Solver {
     cfg: EptasConfig,
     cache: Option<Mutex<Lru>>,
+    /// Shapes currently solving cold, for request coalescing: followers
+    /// of an in-flight leader wait on the gate instead of duplicating
+    /// the solve, then replay the state the leader published.
+    inflight: Mutex<HashMap<u64, Gate>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced_waits: AtomicU64,
 }
+
+/// A leader-completion gate: `true` once the leading solve finished
+/// (successfully or not) and removed itself from the in-flight map.
+type Gate = Arc<(Mutex<bool>, Condvar)>;
 
 impl Solver {
     /// A solver without a state cache: every solve is cold.
@@ -124,9 +137,11 @@ impl Solver {
         Solver {
             cfg,
             cache: None,
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +169,7 @@ impl Solver {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -201,11 +217,16 @@ impl Solver {
         if !(req.epsilon > 0.0 && req.epsilon <= 0.95) {
             return error(format!("epsilon must be in (0, 0.95], got {}", req.epsilon));
         }
-        let cfg = if req.epsilon == self.cfg.epsilon {
+        let mut cfg = if req.epsilon == self.cfg.epsilon {
             self.cfg.clone()
         } else {
             EptasConfig { epsilon: req.epsilon, ..self.cfg.clone() }
         };
+        // A per-request deadline turns on the portfolio for this solve
+        // only; absent, the server-wide configuration stands.
+        if req.deadline_ms.is_some() {
+            cfg.portfolio_deadline_ms = req.deadline_ms;
+        }
         match self.solve_cached(&cfg, &req.instance) {
             Ok(res) => SolveResponse {
                 id: req.id,
@@ -225,22 +246,71 @@ impl Solver {
             return solve_session_inner(cfg, inst, None).map(|(result, _)| result);
         };
         let key = fingerprint(inst, cfg.epsilon);
-        let cached = cache.lock().unwrap().get(key);
-        let (mut res, state) = solve_session_inner(cfg, inst, cached.as_ref())?;
-        if res.report.replayed {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            res.report.stats.cache_hits += 1;
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            res.report.stats.cache_misses += 1;
-        }
-        if let Some(state) = state {
-            if cache.lock().unwrap().put(key, state) {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                res.report.stats.cache_evictions += 1;
+
+        // Coalescing: a cache miss either elects this thread the cold
+        // leader for the shape, or finds a leader already in flight and
+        // waits on its gate, replaying the published state afterwards.
+        // A leader that publishes nothing (LPT shortcut, error) simply
+        // leaves the next waiter to elect itself — progress, never a
+        // livelock.
+        let mut leader = false;
+        let cached = loop {
+            if let Some(state) = cache.lock().unwrap().get(key) {
+                break Some(state);
+            }
+            let gate = match self.inflight.lock().unwrap().entry(key) {
+                Entry::Occupied(e) => Some(e.get().clone()),
+                Entry::Vacant(v) => {
+                    v.insert(Arc::new((Mutex::new(false), Condvar::new())));
+                    None
+                }
+            };
+            match gate {
+                Some(gate) => {
+                    self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                    let (lock, cv) = &*gate;
+                    let mut done = lock.lock().unwrap();
+                    while !*done {
+                        done = cv.wait(done).unwrap();
+                    }
+                }
+                None => {
+                    leader = true;
+                    // Double-check: a leader may have published between
+                    // our cache miss and taking leadership.
+                    break cache.lock().unwrap().get(key);
+                }
+            }
+        };
+
+        let solved = solve_session_inner(cfg, inst, cached.as_ref());
+        let outcome = solved.map(|(mut res, state)| {
+            if res.report.replayed {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                res.report.stats.cache_hits += 1;
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                res.report.stats.cache_misses += 1;
+            }
+            if let Some(state) = state {
+                if cache.lock().unwrap().put(key, state) {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    res.report.stats.cache_evictions += 1;
+                }
+            }
+            res
+        });
+        if leader {
+            // Publish-then-release order matters: the state is in the
+            // cache (above) before any waiter wakes, so followers hit.
+            // Open the gate on the error path too — waiters must never
+            // hang on a failed leader.
+            if let Some(gate) = self.inflight.lock().unwrap().remove(&key) {
+                *gate.0.lock().unwrap() = true;
+                gate.1.notify_all();
             }
         }
-        Ok(res)
+        outcome
     }
 }
 
@@ -267,7 +337,10 @@ mod tests {
         assert_eq!(warm.report.stats.cache_hits, 1);
         assert_eq!(warm.schedule.assignment(), cold.schedule.assignment());
         assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
-        assert_eq!(solver.cache_counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(
+            solver.cache_counters(),
+            CacheCounters { hits: 1, misses: 1, evictions: 0, coalesced_waits: 0 }
+        );
         validate_schedule(&inst(0), &warm.schedule).unwrap();
     }
 
@@ -314,7 +387,7 @@ mod tests {
     #[test]
     fn wire_solve_answers_and_hits() {
         let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
-        let req = SolveRequest { id: 7, epsilon: 0.5, instance: inst(0) };
+        let req = SolveRequest { id: 7, epsilon: 0.5, deadline_ms: None, instance: inst(0) };
         let cold = solver.solve(&req);
         assert!(cold.ok, "{:?}", cold.error);
         assert_eq!(cold.id, 7);
@@ -330,14 +403,45 @@ mod tests {
     #[test]
     fn wire_solve_rejects_bad_epsilon_and_infeasible() {
         let solver = Solver::with_epsilon(0.5);
-        let bad_eps = solver.solve(&SolveRequest { id: 1, epsilon: 1.5, instance: inst(0) });
+        let bad_eps = solver.solve(&SolveRequest {
+            id: 1,
+            epsilon: 1.5,
+            deadline_ms: None,
+            instance: inst(0),
+        });
         assert!(!bad_eps.ok);
         assert!(bad_eps.error.as_deref().unwrap().contains("epsilon"));
         let infeasible = Instance::new(&[(1.0, 0), (1.0, 0)], 1);
-        let r = solver.solve(&SolveRequest { id: 2, epsilon: 0.5, instance: infeasible });
+        let r = solver.solve(&SolveRequest {
+            id: 2,
+            epsilon: 0.5,
+            deadline_ms: None,
+            instance: infeasible,
+        });
         assert!(!r.ok);
         assert!(r.error.is_some());
         assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    fn concurrent_same_shape_requests_coalesce() {
+        // Four threads race the same shape: exactly one solves cold, the
+        // rest replay the leader's published state (whether they waited
+        // on the gate or arrived after it closed).
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
+        let shape = inst(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let r = solver.solve_instance(&shape).unwrap();
+                    validate_schedule(&shape, &r.schedule).unwrap();
+                });
+            }
+        });
+        let c = solver.cache_counters();
+        assert_eq!(c.misses, 1, "one leader solves cold");
+        assert_eq!(c.hits, 3, "followers replay the leader's state");
+        assert!(c.coalesced_waits <= 3, "at most the three followers wait");
     }
 
     #[test]
@@ -345,11 +449,26 @@ mod tests {
         // Same instance at a different epsilon must not replay the other
         // epsilon's state: the fingerprint folds epsilon in.
         let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
-        let a = solver.solve(&SolveRequest { id: 1, epsilon: 0.5, instance: inst(0) });
-        let b = solver.solve(&SolveRequest { id: 2, epsilon: 0.4, instance: inst(0) });
+        let a = solver.solve(&SolveRequest {
+            id: 1,
+            epsilon: 0.5,
+            deadline_ms: None,
+            instance: inst(0),
+        });
+        let b = solver.solve(&SolveRequest {
+            id: 2,
+            epsilon: 0.4,
+            deadline_ms: None,
+            instance: inst(0),
+        });
         assert!(a.ok && b.ok);
         assert!(!b.cache_hit, "different epsilon is a different cache key");
-        let again = solver.solve(&SolveRequest { id: 3, epsilon: 0.4, instance: inst(0) });
+        let again = solver.solve(&SolveRequest {
+            id: 3,
+            epsilon: 0.4,
+            deadline_ms: None,
+            instance: inst(0),
+        });
         assert!(again.cache_hit);
     }
 }

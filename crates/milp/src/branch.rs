@@ -40,7 +40,33 @@ use crate::model::{LpResult, LpStatus, Model, VarId};
 use crate::simplex::{self, WarmState};
 use crate::TOL;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation probe, polled by the branch-and-bound loop
+/// between nodes exactly where the node/time budgets are checked. The
+/// closure must be cheap (an atomic load or two) and is shared across
+/// threads — the caller races solves and trips the probe of the losers.
+#[derive(Clone)]
+pub struct CancelProbe(Arc<dyn Fn() -> bool + Send + Sync>);
+
+impl CancelProbe {
+    /// Wrap a predicate; `true` means "stop as soon as convenient".
+    pub fn new(f: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        CancelProbe(Arc::new(f))
+    }
+
+    /// Poll the probe.
+    pub fn is_cancelled(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for CancelProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CancelProbe(..)")
+    }
+}
 
 /// Budgets and tolerances for [`solve_milp`].
 #[derive(Debug, Clone)]
@@ -62,6 +88,11 @@ pub struct MilpOptions {
     /// quickly never pays for pricing, a struggling one — the symptom of
     /// a missing column — gets rescued.
     pub price_after_nodes: usize,
+    /// Cooperative cancellation, polled beside the node/time budgets. A
+    /// tripped probe stops the search like an exhausted budget
+    /// ([`MilpStatus::Feasible`] with an incumbent, [`MilpStatus::Budget`]
+    /// without) — never a silent wrong answer. `None` never cancels.
+    pub cancel: Option<CancelProbe>,
 }
 
 impl Default for MilpOptions {
@@ -73,6 +104,7 @@ impl Default for MilpOptions {
             first_solution: false,
             dual_simplex: true,
             price_after_nodes: 32,
+            cancel: None,
         }
     }
 }
@@ -286,7 +318,10 @@ pub fn solve_milp_seeded(
     let mut work = model.clone();
 
     'search: while let Some(node) = stack.pop() {
-        if nodes >= opts.max_nodes || start.elapsed() > opts.time_limit {
+        if nodes >= opts.max_nodes
+            || start.elapsed() > opts.time_limit
+            || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+        {
             budget_hit = true;
             break;
         }

@@ -35,7 +35,8 @@ pub mod presolve;
 pub mod simplex;
 
 pub use branch::{
-    solve_milp, solve_milp_seeded, solve_milp_with, MilpOptions, MilpResult, MilpStatus, TreePricer,
+    solve_milp, solve_milp_seeded, solve_milp_with, CancelProbe, MilpOptions, MilpResult,
+    MilpStatus, TreePricer,
 };
 pub use dual::DualOutcome;
 pub use model::{LpResult, LpStatus, Model, Relation, VarId};

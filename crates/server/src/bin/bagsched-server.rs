@@ -8,6 +8,10 @@
 //!   --workers N   worker threads / max concurrent connections (default 4)
 //!   --cache N     solver-state cache capacity (default 64)
 //!   --epsilon E   default approximation parameter (default 0.5)
+//!   --solver-threads N
+//!                 per-request solver threads; above 1 enables the
+//!                 parallel solver seams (sharded pricing, speculative
+//!                 guesses) with N shards (default 1)
 //! ```
 //!
 //! Prints `listening on <addr>` (with the resolved port) to stdout once
@@ -46,6 +50,13 @@ fn parse_args(raw: &[String]) -> Result<ServerConfig, String> {
                     .filter(|e| *e > 0.0 && *e <= 0.95)
                     .ok_or("--epsilon needs a number in (0, 0.95]")?;
             }
+            "--solver-threads" => {
+                cfg.solver_threads = value_of("--solver-threads")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or("--solver-threads needs a positive integer")?;
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -58,7 +69,7 @@ fn main() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!(
-                "error: {e}\nusage: bagsched-server [--addr A] [--workers N] [--cache N] [--epsilon E]"
+                "error: {e}\nusage: bagsched-server [--addr A] [--workers N] [--cache N] [--epsilon E] [--solver-threads N]"
             );
             exit(2);
         }

@@ -294,7 +294,7 @@ pub fn build_requests(cfg: &LoadConfig) -> Vec<SolveRequest> {
                 }
                 _ => gen::uniform(cfg.jobs, cfg.machines, cfg.bags, gen_seed),
             };
-            SolveRequest { id: i as u64, epsilon: cfg.epsilon, instance }
+            SolveRequest { id: i as u64, epsilon: cfg.epsilon, deadline_ms: None, instance }
         })
         .collect()
 }

@@ -32,6 +32,10 @@ pub enum ProtocolError {
     /// on sockets with a read timeout set (the server's poll loop); the
     /// stream is still at a frame boundary and it is safe to retry.
     Idle,
+    /// [`read_frame_polled`]'s `keep_waiting` said to give up (server
+    /// shutdown). May strike mid-frame; the connection is done either
+    /// way.
+    Stopped,
     /// The length prefix exceeded [`MAX_FRAME`].
     FrameTooLarge(usize),
     /// The payload was not UTF-8.
@@ -45,6 +49,7 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
             ProtocolError::Idle => write!(f, "no frame within the read timeout"),
+            ProtocolError::Stopped => write!(f, "read abandoned: the server is stopping"),
             ProtocolError::FrameTooLarge(n) => {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
             }
@@ -98,6 +103,78 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
     Ok(Some(buf))
+}
+
+/// Read one frame on a socket with a read timeout, consulting
+/// `keep_waiting` on every timeout tick — *including between the length
+/// prefix and the body*. `read_frame` only re-checks the caller's stop
+/// condition at frame boundaries, so a peer that sends a prefix and then
+/// stalls would pin the worker until the peer hangs up; this variant
+/// honours a shutdown within one poll interval no matter where in the
+/// frame the stream stands. `Ok(None)` is a clean EOF at a frame
+/// boundary; [`ProtocolError::Stopped`] means `keep_waiting` said no.
+pub fn read_frame_polled(
+    r: &mut impl Read,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    // First byte: the one place a clean EOF is allowed.
+    loop {
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if keep_waiting() {
+                    continue;
+                }
+                return Err(ProtocolError::Stopped);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    read_exact_polled(r, &mut len_buf[1..], keep_waiting)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut buf = vec![0u8; len];
+    read_exact_polled(r, &mut buf, keep_waiting)?;
+    Ok(Some(buf))
+}
+
+/// `read_exact` that treats a read-timeout tick as a chance to ask
+/// `keep_waiting`, and mid-frame EOF as the framing error it is.
+fn read_exact_polled(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<(), ProtocolError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if keep_waiting() {
+                    continue;
+                }
+                return Err(ProtocolError::Stopped);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 /// Serialize a wire type to a frame payload. Infallible for the types
@@ -203,6 +280,9 @@ pub struct StatsReply {
     pub cache_evictions: u64,
     /// States currently resident in the cache.
     pub cached_states: u64,
+    /// Requests that waited for an in-flight solve of the same shape
+    /// instead of duplicating it (request coalescing).
+    pub coalesced_waits: u64,
 }
 
 impl Serialize for StatsReply {
@@ -214,12 +294,19 @@ impl Serialize for StatsReply {
             ("cache_misses".into(), self.cache_misses.to_value()),
             ("cache_evictions".into(), self.cache_evictions.to_value()),
             ("cached_states".into(), self.cached_states.to_value()),
+            ("coalesced_waits".into(), self.coalesced_waits.to_value()),
         ])
     }
 }
 
 impl Deserialize for StatsReply {
     fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        // Tolerant on the coalescing counter: replies from servers
+        // predating it parse as zero.
+        let coalesced_waits = match v.field("coalesced_waits") {
+            Ok(val) => u64::from_value(val)?,
+            Err(_) => 0,
+        };
         Ok(StatsReply {
             requests: u64::from_value(v.field("requests")?)?,
             protocol_errors: u64::from_value(v.field("protocol_errors")?)?,
@@ -227,6 +314,7 @@ impl Deserialize for StatsReply {
             cache_misses: u64::from_value(v.field("cache_misses")?)?,
             cache_evictions: u64::from_value(v.field("cache_evictions")?)?,
             cached_states: u64::from_value(v.field("cached_states")?)?,
+            coalesced_waits,
         })
     }
 }
@@ -311,11 +399,66 @@ mod tests {
         assert!(matches!(read_frame(&mut r), Err(ProtocolError::Io(_))));
     }
 
+    /// Yields `data` one byte at a time, then `WouldBlock` forever —
+    /// a peer that sent a frame header and stalled.
+    struct Dribble {
+        data: Vec<u8>,
+        sent: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.sent < self.data.len() && !buf.is_empty() {
+                buf[0] = self.data[self.sent];
+                self.sent += 1;
+                Ok(1)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+    }
+
+    #[test]
+    fn polled_read_stops_mid_frame_when_told_to() {
+        // Header promising 100 bytes, then 3 body bytes, then a stall:
+        // the old boundary-only poll would hang here until the peer hung
+        // up; the polled variant must observe the stop signal mid-frame.
+        let mut data = 100u32.to_be_bytes().to_vec();
+        data.extend_from_slice(b"abc");
+        let mut r = Dribble { data, sent: 0 };
+        let mut polls = 0;
+        let result = read_frame_polled(&mut r, &mut || {
+            polls += 1;
+            polls < 3
+        });
+        assert!(matches!(result, Err(ProtocolError::Stopped)));
+        assert_eq!(polls, 3, "the stall must keep consulting the poll hook");
+    }
+
+    #[test]
+    fn polled_read_delivers_complete_frames_and_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mut r = &buf[..];
+        // No stall happens, so the hook must never be consulted.
+        let mut never = || panic!("no timeout tick expected on a complete frame");
+        assert_eq!(read_frame_polled(&mut r, &mut never).unwrap().unwrap(), b"payload");
+        assert!(read_frame_polled(&mut r, &mut || false).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn polled_read_reports_mid_frame_eof_as_io_error() {
+        let mut data = 100u32.to_be_bytes().to_vec();
+        data.extend_from_slice(b"abc");
+        let mut r = &data[..];
+        assert!(matches!(read_frame_polled(&mut r, &mut || true), Err(ProtocolError::Io(_))));
+    }
+
     #[test]
     fn requests_roundtrip() {
         let inst = Instance::new(&[(2.0, 0), (1.0, 1)], 2);
         let ops = [
-            Request::Solve(SolveRequest { id: 3, epsilon: 0.5, instance: inst }),
+            Request::Solve(SolveRequest { id: 3, epsilon: 0.5, deadline_ms: None, instance: inst }),
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -349,6 +492,7 @@ mod tests {
             cache_misses: 4,
             cache_evictions: 1,
             cached_states: 3,
+            coalesced_waits: 6,
         };
         assert_eq!(decode::<StatsReply>(&encode(&s)).unwrap(), s);
         assert_eq!(decode::<Ack>(&encode(&Ack::ok())).unwrap(), Ack::ok());

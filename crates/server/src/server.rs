@@ -14,7 +14,7 @@
 //! their current connections and exit when the channel closes.
 
 use crate::protocol::{
-    decode, encode, read_frame, write_frame, Ack, ProtocolError, Request, StatsReply,
+    decode, encode, read_frame_polled, write_frame, Ack, ProtocolError, Request, StatsReply,
 };
 use bagsched_core::{EptasConfig, Solver};
 use std::io;
@@ -41,11 +41,25 @@ pub struct ServerConfig {
     /// Default epsilon (each request carries its own; this seeds the
     /// config the per-request epsilon is spliced into).
     pub epsilon: f64,
+    /// Solver threads per request. Above 1 this turns on the parallel
+    /// solver seams (sharded pricing DFS and speculative guess racing)
+    /// with this many shards / speculative guesses. The *shard count*
+    /// is taken verbatim (it is part of the solve configuration, so
+    /// answers stay machine-independent); the *thread count* actually
+    /// used is clamped so `workers * solver_threads` does not
+    /// oversubscribe the machine — threads never change results.
+    pub solver_threads: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, cache_capacity: 64, epsilon: 0.5 }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_capacity: 64,
+            epsilon: 0.5,
+            solver_threads: 1,
+        }
     }
 }
 
@@ -94,7 +108,17 @@ impl ServerHandle {
 pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let solver = Solver::with_cache(EptasConfig::with_epsilon(cfg.epsilon), cfg.cache_capacity);
+    let mut ecfg = EptasConfig::with_epsilon(cfg.epsilon);
+    let requested = cfg.solver_threads.max(1);
+    if requested > 1 {
+        // Shard/speculation counts follow the request verbatim; only the
+        // thread budget is divided among the worker pool.
+        let avail = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ecfg.solver_threads = requested.min((avail / cfg.workers.max(1)).max(1));
+        ecfg.pricing_shards = requested;
+        ecfg.speculative_guesses = requested;
+    }
+    let solver = Solver::with_cache(ecfg, cfg.cache_capacity);
     let shared = Arc::new(Shared {
         solver,
         addr,
@@ -152,23 +176,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         return;
     }
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return,
-            Err(ProtocolError::Idle) => {
-                if shared.stop.load(Ordering::SeqCst) {
+        // The poll hook runs on every read-timeout tick — before a frame
+        // starts *and between its header and body* — so a shutdown
+        // cannot be held off by a peer that stalls mid-frame.
+        let frame =
+            match read_frame_polled(&mut stream, &mut || !shared.stop.load(Ordering::SeqCst)) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(ProtocolError::Stopped) => return,
+                Err(e) => {
+                    // Framing is out of sync (oversized prefix, truncated
+                    // payload): answer best-effort, then drop the connection.
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(&mut stream, &encode(&Ack::err(e.to_string())));
                     return;
                 }
-                continue;
-            }
-            Err(e) => {
-                // Framing is out of sync (oversized prefix, truncated
-                // payload): answer best-effort, then drop the connection.
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(&mut stream, &encode(&Ack::err(e.to_string())));
-                return;
-            }
-        };
+            };
         let request = match decode::<Request>(&frame) {
             Ok(request) => request,
             Err(e) => {
@@ -193,6 +216,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     cache_misses: c.misses,
                     cache_evictions: c.evictions,
                     cached_states: shared.solver.cached_states() as u64,
+                    coalesced_waits: c.coalesced_waits,
                 })
             }
             Request::Ping => encode(&Ack::ok()),

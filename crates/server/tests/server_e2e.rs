@@ -8,6 +8,7 @@ use bagsched_server::server::{serve, ServerConfig, ServerHandle};
 use bagsched_types::{gen, SolveRequest};
 use std::io::Write;
 use std::net::TcpStream;
+use std::time::Duration;
 
 fn start() -> ServerHandle {
     serve(&ServerConfig::default()).expect("bind ephemeral port")
@@ -17,7 +18,12 @@ fn start() -> ServerHandle {
 fn solve_twice_hits_cache_with_identical_answer() {
     let server = start();
     let mut client = Client::connect(server.addr()).unwrap();
-    let req = SolveRequest { id: 1, epsilon: 0.5, instance: gen::uniform(24, 3, 8, 5) };
+    let req = SolveRequest {
+        id: 1,
+        epsilon: 0.5,
+        deadline_ms: None,
+        instance: gen::uniform(24, 3, 8, 5),
+    };
 
     let cold = client.solve(&req).unwrap();
     assert!(cold.ok, "{:?}", cold.error);
@@ -36,7 +42,64 @@ fn solve_twice_hits_cache_with_identical_answer() {
     assert_eq!(stats.cache_misses, 1);
     assert_eq!(stats.cached_states, 1);
     assert_eq!(stats.requests, 3, "two solves + this stats call");
+    assert_eq!(stats.coalesced_waits, 0, "sequential requests never wait on a leader");
     server.shutdown();
+}
+
+#[test]
+fn per_request_deadline_is_honoured_on_the_wire() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // A zero deadline cancels every EPTAS guess instantly; the portfolio's
+    // LPT arm must still answer with a full feasible assignment.
+    let req = SolveRequest {
+        id: 5,
+        epsilon: 0.5,
+        deadline_ms: Some(0),
+        instance: gen::uniform(24, 3, 8, 5),
+    };
+    let resp = client.solve(&req).unwrap();
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.assignment.len(), 24);
+    assert!(resp.makespan > 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn slow_peer_dribbling_a_frame_is_served_not_dropped() {
+    let server = start();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let payload = br#"{"op": "ping"}"#;
+    // Send the header, stall past the server's read-poll interval, then
+    // send the body: the worker must keep waiting (no shutdown pending)
+    // instead of treating the timeout tick as a broken frame.
+    raw.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    raw.write_all(payload).unwrap();
+    raw.flush().unwrap();
+    let reply = read_frame(&mut raw).unwrap().expect("server must answer the completed frame");
+    let ack: Ack = bagsched_server::protocol::decode(&reply).unwrap();
+    assert!(ack.ok, "a slow but well-formed frame must be served: {:?}", ack.error);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_despite_a_peer_stalled_mid_frame() {
+    let server = start();
+    let addr = server.addr();
+    // Occupy a worker with a half-sent frame that never completes.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(&100u32.to_be_bytes()).unwrap();
+    stalled.write_all(b"abc").unwrap();
+    stalled.flush().unwrap();
+    // Give a worker time to adopt the connection and park mid-frame.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.shutdown().unwrap().ok);
+    // The worker polls the stop flag between header and body, so the
+    // drain completes within a poll interval instead of hanging.
+    server.wait();
 }
 
 #[test]
@@ -47,6 +110,7 @@ fn infeasible_instance_is_an_error_response_not_a_crash() {
     let req = SolveRequest {
         id: 9,
         epsilon: 0.5,
+        deadline_ms: None,
         instance: bagsched_types::Instance::new(&[(1.0, 0), (1.0, 0)], 1),
     };
     let resp = client.solve(&req).unwrap();

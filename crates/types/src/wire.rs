@@ -26,6 +26,11 @@ pub struct SolveRequest {
     pub id: u64,
     /// Approximation parameter `eps` in `(0, 0.95]`.
     pub epsilon: f64,
+    /// Optional portfolio deadline in milliseconds: the solver races the
+    /// EPTAS against bag-aware LPT and answers with whichever arm holds
+    /// the better schedule when the clock fires. Absent on the wire
+    /// means no deadline (old clients keep working unchanged).
+    pub deadline_ms: Option<u64>,
     /// The instance to schedule.
     pub instance: Instance,
 }
@@ -52,11 +57,15 @@ pub struct SolveResponse {
 
 impl Serialize for SolveRequest {
     fn to_value(&self) -> Value {
-        Value::Obj(vec![
-            ("id".into(), self.id.to_value()),
-            ("epsilon".into(), self.epsilon.to_value()),
-            ("instance".into(), self.instance.to_value()),
-        ])
+        let mut fields =
+            vec![("id".into(), self.id.to_value()), ("epsilon".into(), self.epsilon.to_value())];
+        // Emitted only when set, so requests from new clients without a
+        // deadline stay byte-compatible with old servers.
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), ms.to_value()));
+        }
+        fields.push(("instance".into(), self.instance.to_value()));
+        Value::Obj(fields)
     }
 }
 
@@ -70,9 +79,16 @@ impl Deserialize for SolveRequest {
                 "epsilon must be positive and finite, got {epsilon}"
             )));
         }
+        // Tolerant: requests predating the portfolio option simply lack
+        // the field; `null` is accepted as "no deadline" too.
+        let deadline_ms = match v.field("deadline_ms") {
+            Ok(val) => Option::<u64>::from_value(val)?,
+            Err(_) => None,
+        };
         Ok(SolveRequest {
             id: u64::from_value(v.field("id")?)?,
             epsilon,
+            deadline_ms,
             instance: Instance::from_value(v.field("instance")?)?,
         })
     }
@@ -179,7 +195,7 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        let req = SolveRequest { id: 17, epsilon: 0.25, instance: inst() };
+        let req = SolveRequest { id: 17, epsilon: 0.25, deadline_ms: None, instance: inst() };
         let v = req.to_value();
         let back = SolveRequest::from_value(&v).unwrap();
         assert_eq!(back, req);
@@ -211,8 +227,22 @@ mod tests {
     }
 
     #[test]
+    fn request_deadline_roundtrips_and_old_requests_still_parse() {
+        let req = SolveRequest { id: 3, epsilon: 0.25, deadline_ms: Some(150), instance: inst() };
+        assert_eq!(SolveRequest::from_value(&req.to_value()).unwrap(), req);
+        // A request serialized before the field existed parses as "no
+        // deadline" — the wire stays backward compatible.
+        let old = Value::Obj(vec![
+            ("id".into(), 4u64.to_value()),
+            ("epsilon".into(), 0.5f64.to_value()),
+            ("instance".into(), inst().to_value()),
+        ]);
+        assert_eq!(SolveRequest::from_value(&old).unwrap().deadline_ms, None);
+    }
+
+    #[test]
     fn request_rejects_bad_epsilon() {
-        let req = SolveRequest { id: 1, epsilon: 0.1, instance: inst() };
+        let req = SolveRequest { id: 1, epsilon: 0.1, deadline_ms: None, instance: inst() };
         let mut v = req.to_value();
         if let Value::Obj(fields) = &mut v {
             for (k, val) in fields.iter_mut() {

@@ -1,0 +1,101 @@
+//! Determinism guard for the parallel solver seams: with sharded pricing
+//! and speculative guess racing enabled, the thread count is *placement
+//! only* — for a fixed seed, schedule and report are byte-identical at
+//! 1, 2, and 8 solver threads, across every workload family. The shard
+//! and speculation *counts* are part of the configuration (they shape
+//! the search), but threads never are.
+
+use bagsched::eptas::{EptasConfig, EptasReport, Solver, Stats};
+use bagsched::types::gen::Family;
+use bagsched::types::io::schedule_to_json;
+use std::time::Duration;
+
+/// The report minus its wall-clock field, rendered for byte comparison.
+fn report_fingerprint(report: &EptasReport) -> String {
+    let mut r = report.clone();
+    r.elapsed = Duration::ZERO;
+    format!("{r:?}")
+}
+
+/// The parallel configuration under test: both seams on, thread count
+/// supplied by the caller.
+fn par_config(threads: usize) -> EptasConfig {
+    let mut cfg = EptasConfig::with_epsilon(0.5);
+    cfg.pricing_shards = 2;
+    cfg.speculative_guesses = 3;
+    cfg.solver_threads = threads;
+    cfg
+}
+
+#[test]
+fn schedules_and_reports_are_byte_identical_at_1_2_and_8_threads() {
+    for family in Family::ALL {
+        for seed in [7, 23] {
+            let inst = family.generate(40, 4, seed);
+            let base = Solver::new(par_config(1)).solve_instance(&inst).unwrap();
+            for threads in [2, 8] {
+                let run = Solver::new(par_config(threads)).solve_instance(&inst).unwrap();
+                assert_eq!(
+                    schedule_to_json(&run.schedule),
+                    schedule_to_json(&base.schedule),
+                    "{} seed {seed}: schedule differs at {threads} threads",
+                    family.name()
+                );
+                assert_eq!(
+                    run.makespan.to_bits(),
+                    base.makespan.to_bits(),
+                    "{} seed {seed}: makespan differs bit-wise at {threads} threads",
+                    family.name()
+                );
+                // The report fingerprint covers every Stats counter: the
+                // speculative launched/wins/cancelled trio is structural
+                // (a function of the window shape, not of which thread
+                // ran which node), so even those must match exactly.
+                assert_eq!(
+                    report_fingerprint(&run.report),
+                    report_fingerprint(&base.report),
+                    "{} seed {seed}: report differs at {threads} threads",
+                    family.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cancelled_guesses_leave_no_trace_in_stats() {
+    // Speculative racing launches guesses the sequential search would
+    // never run and cancels them when the committed path turns away. A
+    // cancelled loser must leave *no* trace: compared to a plain
+    // sequential solve, only the three speculative bookkeeping counters
+    // may differ — every algorithmic work counter must match exactly,
+    // otherwise cancelled work leaked into the report.
+    for family in Family::ALL {
+        let inst = family.generate(40, 4, 11);
+        let seq = Solver::with_epsilon(0.5).solve_instance(&inst).unwrap();
+        let mut cfg = EptasConfig::with_epsilon(0.5);
+        cfg.speculative_guesses = 3;
+        cfg.solver_threads = 2;
+        let spec = Solver::new(cfg).solve_instance(&inst).unwrap();
+
+        assert_eq!(
+            schedule_to_json(&spec.schedule),
+            schedule_to_json(&seq.schedule),
+            "{}: speculation changed the schedule",
+            family.name()
+        );
+        let mask = |s: &Stats| {
+            let mut s = *s;
+            s.speculative_guesses_launched = 0;
+            s.speculative_wins = 0;
+            s.guesses_cancelled = 0;
+            s
+        };
+        assert_eq!(
+            mask(&spec.report.stats),
+            mask(&seq.report.stats),
+            "{}: a cancelled guess leaked work into the stats",
+            family.name()
+        );
+    }
+}
