@@ -358,18 +358,22 @@ pub fn ratio_large(quick: bool, stats: &mut Stats) -> Table {
 /// T3 row grid: `(regime label, n/m ratio, n)` — one runner cell per row.
 /// Two regimes: loose (n/m = 20; jobs are small, group-bag-LPT dominates)
 /// and tight (n/m = 3; the pattern MILP engages). The tight rows are the
-/// class-aggregation showcase: n=400/m=133 runs in quick mode (the
-/// CI-gated pricing-scale cell), n=1600/m=533 — 1061 per-bag symbols,
-/// hopeless before aggregation — only in full mode.
+/// aggregation showcase and get their own n ladder: n=400/m=133 and
+/// n=3200/m=1066 run in quick mode (the CI-gated pricing-scale cells),
+/// and full mode climbs 1600/3200/6400/12800/25600 — the top rows only
+/// solve on the MILP path because coarse bag classes keep the master
+/// below the symbol budget.
 fn scaling_n_grid(quick: bool) -> Vec<(&'static str, usize, usize)> {
-    let ns: &[usize] =
+    let loose_ns: &[usize] =
         if quick { &[100, 400, 1600] } else { &[100, 400, 1600, 6400, 25600, 102400] };
-    let tight_cap = if quick { 400 } else { 25600 };
+    let tight_ns: &[usize] =
+        if quick { &[100, 400, 3200] } else { &[100, 400, 1600, 3200, 6400, 12800, 25600] };
     let mut grid = Vec::new();
-    for &(label, ratio, cap) in &[("loose", 20usize, usize::MAX), ("tight", 3usize, tight_cap)] {
-        for &n in ns.iter().filter(|&&n| n <= cap) {
-            grid.push((label, ratio, n));
-        }
+    for &n in loose_ns {
+        grid.push(("loose", 20usize, n));
+    }
+    for &n in tight_ns {
+        grid.push(("tight", 3usize, n));
     }
     grid
 }
@@ -895,11 +899,12 @@ mod tests {
 
     #[test]
     fn split_experiments_expose_one_cell_per_row() {
-        // scaling-n quick: 3 loose + 2 tight rows (n=1600-tight is full
-        // mode only); ablate-joint quick: 1 n x 2 modes. Everything else
-        // is a single cell, and out-of-range cells are rejected.
-        assert_eq!(num_cells("scaling-n", true), Some(5));
-        assert_eq!(num_cells("scaling-n", false), Some(11));
+        // scaling-n quick: 3 loose + 3 tight rows (the tight ladder's
+        // upper rungs are full mode only); ablate-joint quick: 1 n x 2
+        // modes. Everything else is a single cell, and out-of-range
+        // cells are rejected.
+        assert_eq!(num_cells("scaling-n", true), Some(6));
+        assert_eq!(num_cells("scaling-n", false), Some(13));
         assert_eq!(num_cells("scaling-cold", true), Some(1));
         assert_eq!(num_cells("scaling-cold", false), Some(2));
         assert_eq!(num_cells("ablate-joint", true), Some(2));
@@ -910,7 +915,7 @@ mod tests {
             }
         }
         assert!(run_cell("fig1", 1, true).is_none());
-        assert!(run_cell("scaling-n", 5, true).is_none(), "split ids share the None contract");
+        assert!(run_cell("scaling-n", 6, true).is_none(), "split ids share the None contract");
         assert!(run_cell("scaling-cold", 1, true).is_none());
         assert!(run_cell("ablate-joint", 2, true).is_none());
     }

@@ -71,7 +71,17 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// — a function of the configured shard/speculation counts, never of the
 /// thread count — so they stay deterministic, but a v6 baseline simply
 /// lacks them and would leave the new seams ungated, so it is rejected.
-pub const SCHEMA_VERSION: u64 = 7;
+///
+/// v8: the coarse-class counters joined (`coarse_classes_formed`,
+/// `repair_jobs_moved`, `repair_failures`), emitted when the
+/// template-quantized aggregation rescue engages past the symbol
+/// budget, plus the similarity-tier `cache_near_hits` emitted when a
+/// coarse-fingerprint neighbour seeds the guess search. Coarsening also
+/// shifts the meaning of the pricing counters on very large instances —
+/// guesses that previously fell through to the eager path now solve a
+/// (much smaller) coarse master — so a v7 baseline is rejected for the
+/// same reason earlier ones were.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Counters whose *growth* reports an optimization engaging harder, not
 /// the solver working harder; the `--compare` gate never flags them.
@@ -87,7 +97,10 @@ pub const SCHEMA_VERSION: u64 = 7;
 /// races more midpoints ahead of the verdict — the committed work those
 /// races hide is already gated through the per-guess counters, and a
 /// cancelled loser leaves no other trace in [`Stats`] at all.
-pub const SAVINGS_COUNTERS: [&str; 7] = [
+/// `cache_near_hits` grows when the similarity tier seeds more cold
+/// searches — the probes it saves are gated through `lp_solves` and the
+/// per-guess counters.
+pub const SAVINGS_COUNTERS: [&str; 8] = [
     "warm_start_pivots_saved",
     "node_warm_starts",
     "dual_pivots",
@@ -95,6 +108,7 @@ pub const SAVINGS_COUNTERS: [&str; 7] = [
     "speculative_guesses_launched",
     "speculative_wins",
     "guesses_cancelled",
+    "cache_near_hits",
 ];
 
 /// Counters where *any* growth over the baseline fails the gate, with no
@@ -537,6 +551,10 @@ mod tests {
             speculative_wins: 27,
             guesses_cancelled: 28,
             portfolio_winner: 29,
+            coarse_classes_formed: 30,
+            repair_jobs_moved: 31,
+            repair_failures: 32,
+            cache_near_hits: 33,
         };
         ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
     }

@@ -56,17 +56,29 @@ pub struct EptasConfig {
     /// DFS node budget per pricing round; exceeding it makes the round
     /// inexact (no infeasibility proofs, possible stall).
     pub pricing_dfs_node_budget: usize,
-    /// Safety-valve on the pricing master's size. Two gates read it:
-    /// instances whose *per-bag* symbol count exceeds it switch to the
-    /// class-aggregated path ([`EptasConfig::class_aggregation`]), whose
-    /// own master is gated on the number of **bag classes** (groups of
-    /// priority bags with identical size→count profiles,
-    /// [`crate::classes::BagClasses`]) against the same budget — past
-    /// that, pricing is skipped and the eager path runs as before the
-    /// pricing subsystem existed. Class keying is what keeps instances
-    /// whose per-bag symbol count is in the thousands (n=1600 tight
-    /// clustered: 1061 symbols, 118 classes) far below the ceiling, as
-    /// long as their bags cluster into few profiles.
+    /// Safety-valve on the pricing master's size. Three gates read it:
+    ///
+    /// 1. **per-bag engagement** — instances whose *per-bag* symbol
+    ///    count exceeds it switch to the class-aggregated path
+    ///    ([`EptasConfig::class_aggregation`]);
+    /// 2. **class-count ceiling** — the aggregated master is gated on
+    ///    the number of **bag classes** (groups of priority bags with
+    ///    identical size→count profiles,
+    ///    [`crate::classes::BagClasses`]) against the same budget; past
+    ///    it, pricing is skipped for that attempt;
+    /// 3. **coarsening engagement** — when the exact-class attempt
+    ///    could not settle the guess (typically because gate 2 fired),
+    ///    [`EptasConfig::class_coarsening`] retries with
+    ///    template-quantized *coarse* classes, whose (smaller) class
+    ///    count faces the same ceiling; only past that does the eager
+    ///    path run as before the pricing subsystem existed.
+    ///
+    /// Class keying is what keeps instances whose per-bag symbol count
+    /// is in the thousands (n=1600 tight clustered: 1061 symbols, 118
+    /// classes) far below the ceiling as long as their bags cluster
+    /// into few profiles; coarsening extends that to instances whose
+    /// *exact* class count outgrows the ceiling too (n=6400 tight
+    /// clustered and up).
     pub pricing_symbol_budget: usize,
     /// Key pattern slot symbols, master rows, MILP covering constraints
     /// and the pricing item space on `(size, bag class)` instead of
@@ -79,6 +91,29 @@ pub struct EptasConfig {
     /// Below the budget the per-bag path runs unchanged; off = never
     /// aggregate.
     pub class_aggregation: bool,
+    /// Second-level coarsening of the class-aggregated path (default
+    /// on): when the *exact* bag-class attempt cannot settle a guess —
+    /// typically because the exact class count itself exceeds
+    /// [`EptasConfig::pricing_symbol_budget`] — bag profiles are
+    /// re-quantized onto a geometric count-bucket template
+    /// ([`EptasConfig::coarse_tolerance`]) and bags whose quantized
+    /// profiles coincide merge into one coarse class. The coarse master
+    /// prices against the per-size *minimum* count over the members (a
+    /// relaxation, so Infeasible verdicts stay exact), and
+    /// [`crate::declass`] re-places each member's surplus jobs in a
+    /// repair pass — any repair failure fails the guess loudly, never
+    /// producing a wrong schedule, so the `(1 + O(eps))` contract is
+    /// unchanged. Engages only when coarsening actually reduces the
+    /// class count; off = the exact-class pipeline as before.
+    pub class_coarsening: bool,
+    /// Relative width of the coarse count buckets: bucket boundaries
+    /// grow by `max(+1, *(1 + coarse_tolerance))`, so two bags merge
+    /// when their per-(size, class) job counts agree within roughly a
+    /// `(1 + coarse_tolerance)` factor (and their supports are
+    /// identical). `0.0` reproduces the exact partition; larger values
+    /// merge more aggressively and shift more work onto the declass
+    /// repair pass.
+    pub coarse_tolerance: f64,
     /// Warm-start master-LP re-solves inside the pricing loop from the
     /// previous optimal basis instead of a cold two-phase solve
     /// (default). Per-round pivot work then scales with the newly priced
@@ -200,6 +235,8 @@ impl EptasConfig {
             pricing_symbol_budget: 200,
             pricing_fallback_budget: 2000,
             class_aggregation: true,
+            class_coarsening: true,
+            coarse_tolerance: 0.5,
             warm_start: true,
             pricing_pool_cap: 600,
             dual_simplex: true,

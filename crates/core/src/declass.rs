@@ -32,23 +32,31 @@
 //! raises it — exactly like every other budget-type failure.
 
 use crate::classes::BagClasses;
+use crate::classify::JobClass;
 use crate::milp_model::{
     class_mult_table, greedy_small_y, nonpriority_small_area, priority_small_pairs, ClassCtx,
     MilpOutcome,
 };
 use crate::pattern::{collect_symbols, Pattern, PatternSet, SlotBag};
-use crate::report::GuessFailure;
+use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
 use crate::transform::Transformed;
 use std::collections::HashMap;
 
 /// Expand a class-keyed solution into a concrete per-bag `(PatternSet,
 /// MilpOutcome)` that the downstream placement phases consume unchanged.
+///
+/// With *coarse* classes ([`BagClasses::compute_coarse`]) the coloring
+/// only realizes each member's per-size class **minimum**; the repair
+/// pass (step 3b) re-places the surplus jobs, recording
+/// [`Stats::repair_jobs_moved`] / [`Stats::repair_failures`]. Exact
+/// classes have zero surplus, so the pass is a no-op there.
 pub fn declass(
     trans: &Transformed,
     classes: &BagClasses,
     ps: &PatternSet,
     out: &MilpOutcome,
+    stats: &mut Stats,
 ) -> Result<(PatternSet, MilpOutcome), GuessFailure> {
     // ---- 1. Expand x into machines (assign_large's expansion order). ----
     let mut machine_agg: Vec<usize> = Vec::new();
@@ -142,6 +150,92 @@ pub fn declass(
         for ((mi, exps), cols) in class_slots.iter().zip(&colors) {
             for (&exp, &col) in exps.iter().zip(cols) {
                 assigned[*mi].push((exp, classes.members[c][col]));
+            }
+        }
+    }
+
+    // ---- 3b. Repair: re-place each member bag's surplus jobs. ----
+    // Coarse classes price against `K * min` slots per size
+    // ([`crate::pattern::collect_symbols_coarse`]), so after trimming the
+    // coloring hands every member exactly the class minimum — a member's
+    // jobs above the minimum hold no slot yet. A pattern extended by a
+    // slot is still a pattern while the height bound and the
+    // one-slot-per-bag rule hold (the mirror image of the surplus
+    // trimming above), so place each surplus job greedily on the lowest
+    // machine whose pattern does not touch its bag, opening idle
+    // machines up to `m` when every busy one is full. Exact classes have
+    // zero surplus and skip the pass; any unplaceable job fails the
+    // guess (`LargePlacement`), never mis-schedules.
+    let epsilon = trans.t.sqrt() - 1.0;
+    let mut actual: HashMap<(bagsched_types::BagId, SizeExp), u32> = HashMap::new();
+    for j in 0..trans.tinst.num_jobs() {
+        if trans.tclass[j] == JobClass::Small {
+            continue;
+        }
+        let b = trans.tinst.bag_of(bagsched_types::JobId(j as u32));
+        if trans.is_priority_tbag[b.idx()] {
+            *actual.entry((b, trans.texp[j])).or_insert(0) += 1;
+        }
+    }
+    let mut placed: HashMap<(bagsched_types::BagId, SizeExp), u32> = HashMap::new();
+    for slots in &assigned {
+        for &(exp, b) in slots {
+            *placed.entry((b, exp)).or_insert(0) += 1;
+        }
+    }
+    let mut surplus: Vec<(f64, bagsched_types::BagId, SizeExp, u32)> = Vec::new();
+    for (&(b, exp), &need) in &actual {
+        let have = placed.get(&(b, exp)).copied().unwrap_or(0);
+        if have > need {
+            // More slots than the bag has jobs: the class-level
+            // availability disagreed with the instance.
+            stats.repair_failures += 1;
+            return Err(GuessFailure::LargePlacement);
+        }
+        if have < need {
+            surplus.push((crate::rounding::exp_size(exp, epsilon), b, exp, need - have));
+        }
+    }
+    if !surplus.is_empty() {
+        // Deterministic greedy: big jobs first, then bag id, then size
+        // exponent, each onto the lowest (then lowest-indexed) machine.
+        surplus.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut heights: Vec<f64> = machine_syms
+            .iter()
+            .map(|entries| entries.iter().map(|&(s, mult)| ps.symbols[s].size * mult as f64).sum())
+            .collect();
+        let mut bags_on: Vec<Vec<bagsched_types::BagId>> =
+            assigned.iter().map(|slots| slots.iter().map(|&(_, b)| b).collect()).collect();
+        let m = trans.tinst.num_machines();
+        for (size, b, exp, count) in surplus {
+            for _ in 0..count {
+                let target = (0..machine_syms.len())
+                    .filter(|&mi| !bags_on[mi].contains(&b))
+                    .filter(|&mi| heights[mi] + size <= trans.t + 1e-9)
+                    .min_by(|&x, &y| heights[x].total_cmp(&heights[y]).then(x.cmp(&y)));
+                let mi = match target {
+                    Some(mi) => mi,
+                    // Constraint (1) is `<= m`: idle machines are free.
+                    None if machine_syms.len() < m => {
+                        machine_syms.push(Vec::new());
+                        assigned.push(Vec::new());
+                        bags_on.push(Vec::new());
+                        heights.push(0.0);
+                        machine_syms.len() - 1
+                    }
+                    None => {
+                        stats.repair_failures += 1;
+                        return Err(GuessFailure::LargePlacement);
+                    }
+                };
+                if heights[mi] + size > trans.t + 1e-9 {
+                    stats.repair_failures += 1;
+                    return Err(GuessFailure::LargePlacement);
+                }
+                assigned[mi].push((exp, b));
+                bags_on[mi].push(b);
+                heights[mi] += size;
+                stats.repair_jobs_moved += 1;
             }
         }
     }

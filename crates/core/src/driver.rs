@@ -96,7 +96,7 @@ impl Eptas {
     /// Compute a `(1 + O(eps))`-approximate feasible schedule (cold; no
     /// state is cached or replayed).
     pub fn solve(&self, inst: &Instance) -> Result<EptasResult, EptasError> {
-        solve_session_inner(&self.cfg, inst, None).map(|(result, _)| result)
+        solve_session_inner(&self.cfg, inst, None, None).map(|(result, _)| result)
     }
 }
 
@@ -104,10 +104,17 @@ impl Eptas {
 /// [`Eptas`] facade. Returns the result plus, when the pipeline (not an
 /// LPT shortcut/fallback) produced the schedule, a [`SolverState`] that
 /// replays this solve on the next structurally identical request.
+///
+/// `hint` seeds the binary search's *first* probe with a guess value
+/// (the similarity cache tier passes a near-neighbour's chosen guess):
+/// the nearest grid point replaces the first midpoint, and every later
+/// probe bisects as usual, so the search stays correct for any hint —
+/// a good one just lands near the answer immediately.
 pub(crate) fn solve_session_inner(
     cfg: &EptasConfig,
     inst: &Instance,
     replay: Option<&SolverState>,
+    hint: Option<f64>,
 ) -> Result<(EptasResult, Option<SolverState>), EptasError> {
     let start = Instant::now();
     validate_instance(inst).map_err(EptasError::Infeasible)?;
@@ -192,9 +199,25 @@ pub(crate) fn solve_session_inner(
         // commit order below guarantees the chosen guess is exactly the
         // one the plain loop would pick.
         let (mut lo, mut hi) = (0usize, grid.len() - 1);
+        // Nearest grid index to the similarity-cache hint, if any. Only
+        // the first probe is overridden; bisection is correct from any
+        // starting midpoint inside [lo, hi].
+        let mut first_mid = hint.and_then(|h| {
+            let up = grid.partition_point(|&g| g < h);
+            let cand = if up == 0 {
+                0
+            } else if up >= grid.len() {
+                grid.len() - 1
+            } else if (h - grid[up - 1]).abs() <= (grid[up] - h).abs() {
+                up - 1
+            } else {
+                up
+            };
+            (cand >= lo && cand <= hi).then_some(cand)
+        });
         if cfg.speculative_guesses <= 1 {
             while lo <= hi {
-                let mid = (lo + hi) / 2;
+                let mid = first_mid.take().unwrap_or((lo + hi) / 2);
                 report.guesses_tried += 1;
                 match try_guess(cfg, inst, grid[mid], &mut report.stats, None, Some(&root_token)) {
                     Ok((sched, gstats, seed)) => {
@@ -225,7 +248,8 @@ pub(crate) fn solve_session_inner(
             }
         } else {
             'windows: while lo <= hi {
-                let window = build_window(lo, hi, cfg.speculative_guesses, &root_token);
+                let window =
+                    build_window(lo, hi, cfg.speculative_guesses, &root_token, first_mid.take());
                 // The three speculation counters are *structural*: they
                 // depend only on the window shapes and the verdict path,
                 // never on which thread finished first, so reports stay
@@ -335,12 +359,23 @@ struct SpecNode {
 /// `[lo, hi]`: each node's children are exactly the ranges the plain
 /// loop would visit next on success / failure, expanded breadth-first
 /// (success side first) up to `cap` nodes. The tree shape is a pure
-/// function of `(lo, hi, cap)` — no timing enters it.
-fn build_window(lo: usize, hi: usize, cap: usize, root: &CancelToken) -> Vec<SpecNode> {
+/// function of `(lo, hi, cap, root_mid)` — no timing enters it.
+///
+/// `root_mid` overrides the root node's probe point (the similarity
+/// cache's hinted first guess); children still bisect their own ranges,
+/// so the tree stays a pure function of its arguments and the
+/// structural speculation counters stay deterministic.
+fn build_window(
+    lo: usize,
+    hi: usize,
+    cap: usize,
+    root: &CancelToken,
+    root_mid: Option<usize>,
+) -> Vec<SpecNode> {
     let mut nodes = vec![SpecNode {
         lo,
         hi,
-        mid: (lo + hi) / 2,
+        mid: root_mid.filter(|&m| m >= lo && m <= hi).unwrap_or((lo + hi) / 2),
         success: None,
         failure: None,
         token: root.child(),
@@ -784,6 +819,8 @@ mod tests {
             // The parallel-execution counters only move when pricing
             // shards, guess speculation or a portfolio deadline are
             // configured; the defaults run the classic sequential path.
+            // The coarsening trio engages only past the symbol budget,
+            // and `cache_near_hits` needs a solver-level cache.
             let may_be_zero = matches!(
                 name,
                 "columns_generated"
@@ -805,6 +842,10 @@ mod tests {
                     | "speculative_wins"
                     | "guesses_cancelled"
                     | "portfolio_winner"
+                    | "coarse_classes_formed"
+                    | "repair_jobs_moved"
+                    | "repair_failures"
+                    | "cache_near_hits"
             );
             if may_be_zero {
                 continue;

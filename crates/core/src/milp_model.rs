@@ -49,7 +49,10 @@ use crate::classes::BagClasses;
 use crate::classify::JobClass;
 use crate::config::EptasConfig;
 use crate::par::CancelToken;
-use crate::pattern::{collect_symbols_classed, enumerate_patterns, Pattern, PatternSet, Symbol};
+use crate::pattern::{
+    collect_symbols_classed, collect_symbols_coarse, enumerate_patterns, Pattern, PatternSet,
+    Symbol,
+};
 use crate::pricing::{generate_columns, MilpRow, Pricing, TreePriceDriver};
 use crate::report::{GuessFailure, Stats};
 use crate::rounding::SizeExp;
@@ -116,6 +119,13 @@ pub enum PatternStrategy {
     /// de-classed to concrete bags on success; verdicts the class level
     /// cannot settle are reported as [`GuessFailure::PricingStalled`].
     Classed,
+    /// Like [`PatternStrategy::Classed`], but over *coarse* classes
+    /// ([`BagClasses::compute_coarse`]): profiles quantized onto a
+    /// geometric template grid, availabilities priced at the per-size
+    /// member minimum, and the de-class repair pass re-placing each
+    /// member's surplus jobs. Only ever recorded in replay seeds — the
+    /// auto path engages it when even exact classes are too many.
+    Coarse,
 }
 
 /// Replayable state of one successful pattern solve, captured by
@@ -251,7 +261,13 @@ impl<'a> PatternSolve<'a> {
             PatternStrategy::Pricing => run_pricing(self.trans, self.cfg, stats, cancel),
             PatternStrategy::Classed => {
                 let classes = BagClasses::compute(self.trans);
-                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats, cancel)
+                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats, cancel, false)
+                    .unwrap_or(Err(GuessFailure::PricingStalled))
+            }
+            PatternStrategy::Coarse => {
+                let classes = BagClasses::compute_coarse(self.trans, self.cfg.coarse_tolerance);
+                stats.coarse_classes_formed += classes.num_classes() as u64;
+                solve_patterns_aggregated(self.trans, &classes, self.cfg, stats, cancel, true)
                     .unwrap_or(Err(GuessFailure::PricingStalled))
             }
         }
@@ -365,9 +381,27 @@ fn run_auto(
                 // above the budget, degrades to eager enumeration,
                 // exactly the pre-aggregation behaviour.
                 if let Some(resolved) =
-                    solve_patterns_aggregated(trans, &classes, cfg, stats, cancel)
+                    solve_patterns_aggregated(trans, &classes, cfg, stats, cancel, false)
                 {
                     return resolved;
+                }
+            }
+            // Coarse rescue: when exact classes could not settle the
+            // guess — typically because their *count* is itself over the
+            // class-count ceiling in the pricing gate — retry with
+            // template-quantized coarse classes, which merge
+            // near-identical profiles and price against the per-size
+            // member minimum. Only worth running when coarsening
+            // actually merged something (equal counts = same partition).
+            if cfg.class_coarsening {
+                let coarse = BagClasses::compute_coarse(trans, cfg.coarse_tolerance);
+                if !coarse.all_singletons() && coarse.num_classes() < classes.num_classes() {
+                    stats.coarse_classes_formed += coarse.num_classes() as u64;
+                    if let Some(resolved) =
+                        solve_patterns_aggregated(trans, &coarse, cfg, stats, cancel, true)
+                    {
+                        return resolved;
+                    }
                 }
             }
         }
@@ -525,11 +559,22 @@ fn run_replay(
             }
             classes
         }
+        PatternStrategy::Coarse => {
+            let classes = BagClasses::compute_coarse(trans, cfg.coarse_tolerance);
+            if classes.all_singletons() {
+                return Err(GuessFailure::SeedMismatch);
+            }
+            classes
+        }
         // Auto never lands in a seed: capture always records the
         // concrete winning pipeline.
         PatternStrategy::Auto => return Err(GuessFailure::SeedMismatch),
     };
-    if collect_symbols_classed(trans, &classes) != seed.symbols {
+    let symbols_now = match seed.strategy {
+        PatternStrategy::Coarse => collect_symbols_coarse(trans, &classes),
+        _ => collect_symbols_classed(trans, &classes),
+    };
+    if symbols_now != seed.symbols {
         return Err(GuessFailure::SeedMismatch);
     }
     // The captured integral solution short-circuits the whole MILP: the
@@ -564,7 +609,7 @@ fn run_replay(
             let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
             Ok(PatternSolution { patterns: ext.unwrap_or(ps), outcome: out, seed })
         }
-        PatternStrategy::Classed => {
+        PatternStrategy::Classed | PatternStrategy::Coarse => {
             let (out, ext, warm) = solve_restricted(
                 trans,
                 &ps,
@@ -577,7 +622,7 @@ fn run_replay(
             )?;
             let seed = ReplaySeed { root_warm: warm, ..seed.clone() };
             let ps = ext.unwrap_or(ps);
-            let (cps, cout) = crate::declass::declass(trans, &classes, &ps, &out)?;
+            let (cps, cout) = crate::declass::declass(trans, &classes, &ps, &out, stats)?;
             Ok(PatternSolution { patterns: cps, outcome: cout, seed })
         }
         PatternStrategy::Auto => unreachable!("rejected above"),
@@ -585,24 +630,35 @@ fn run_replay(
 }
 
 /// The class-aggregated attempt: pricing and the MILP keyed on `(size,
-/// bag class)`, de-classed to concrete bags on success.
+/// bag class)`, de-classed to concrete bags on success. With `coarse`
+/// set the classes are template-quantized ([`BagClasses::compute_coarse`])
+/// and the symbol availabilities are priced at the per-size member
+/// minimum ([`collect_symbols_coarse`]); the de-class repair pass then
+/// re-places each member's surplus jobs.
 ///
 /// Returns `Some` only for verdicts that are *final*: a de-classed
 /// solution, or a pricing infeasibility proof (exact — every per-bag
-/// pattern multiset maps to a class-level one, so the aggregated master
-/// is a relaxation). `None` means the class level could not settle the
-/// guess — pricing stalled, the restricted MILP failed, or the concrete
-/// small-job split failed — and the caller retries per-bag, where the
-/// joint model and the eager oracle are available.
+/// pattern multiset maps to a class-level one covering at least the
+/// minimum availabilities, so the aggregated master is a relaxation on
+/// the coarse path too). `None` means the class level could not settle
+/// the guess — pricing stalled, the restricted MILP failed, or the
+/// concrete small-job split or surplus repair failed — and the caller
+/// retries per-bag, where the joint model and the eager oracle are
+/// available.
 fn solve_patterns_aggregated(
     trans: &Transformed,
     classes: &BagClasses,
     cfg: &EptasConfig,
     stats: &mut Stats,
     cancel: Option<&CancelToken>,
+    coarse: bool,
 ) -> Option<Result<PatternSolution, GuessFailure>> {
     stats.bag_classes += classes.num_classes() as u64;
-    let symbols = collect_symbols_classed(trans, classes);
+    let symbols = if coarse {
+        collect_symbols_coarse(trans, classes)
+    } else {
+        collect_symbols_classed(trans, classes)
+    };
     stats.symbols_after_aggregation += symbols.len() as u64;
     match generate_columns(trans, &symbols, classes, cfg, stats, cancel) {
         Pricing::Infeasible => Some(Err(GuessFailure::MilpInfeasible)),
@@ -614,7 +670,7 @@ fn solve_patterns_aggregated(
                 solve_restricted(trans, &ps, classes, cfg, stats, cfg.tree_pricing, None, cancel)
                     .ok()?;
             let seed = ReplaySeed {
-                strategy: PatternStrategy::Classed,
+                strategy: if coarse { PatternStrategy::Coarse } else { PatternStrategy::Classed },
                 t: trans.t,
                 symbols: ps.symbols.clone(),
                 pool: ps.patterns.clone(),
@@ -622,7 +678,7 @@ fn solve_patterns_aggregated(
                 solution: None,
             };
             let ps = ext.unwrap_or(ps);
-            let (cps, cout) = crate::declass::declass(trans, classes, &ps, &out).ok()?;
+            let (cps, cout) = crate::declass::declass(trans, classes, &ps, &out, stats).ok()?;
             Some(Ok(PatternSolution { patterns: cps, outcome: cout, seed }))
         }
     }

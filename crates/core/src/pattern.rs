@@ -191,6 +191,74 @@ pub fn collect_symbols_classed(trans: &Transformed, classes: &BagClasses) -> Vec
     symbols
 }
 
+/// Collect slot symbols for *coarse* classes
+/// ([`BagClasses::compute_coarse`]): keyed like
+/// [`collect_symbols_classed`] on `(size, class representative)`, but the
+/// availability is `K * min` — class size times the **minimum** per-size
+/// non-small job count over the members — instead of the member sum.
+/// Coarse class members are only near-identical, so the minimum is the
+/// largest per-member slot count every member can actually absorb: any
+/// class-level pattern priced against it de-classes into concrete
+/// patterns feasible for *every* member, and [`crate::declass`]'s repair
+/// pass re-places the per-member surplus (`count_b - min`) afterwards.
+/// With singleton classes `min` is the bag's own count and this is
+/// exactly [`collect_symbols_classed`].
+pub fn collect_symbols_coarse(trans: &Transformed, classes: &BagClasses) -> Vec<Symbol> {
+    let epsilon = trans.t.sqrt() - 1.0; // T = (1 + eps)^2
+
+    // Per priority bag: non-small job count per size exponent.
+    let mut per_bag: HashMap<BagId, HashMap<SizeExp, u32>> = HashMap::new();
+    let mut wild: HashMap<SizeExp, u32> = HashMap::new();
+    for (j, &class) in trans.tclass.iter().enumerate() {
+        if class == JobClass::Small {
+            continue;
+        }
+        let tbag = trans.tinst.bag_of(bagsched_types::JobId(j as u32));
+        let exp = trans.texp[j];
+        if trans.is_priority_tbag[tbag.idx()] {
+            *per_bag.entry(tbag).or_default().entry(exp).or_insert(0) += 1;
+        } else {
+            *wild.entry(exp).or_insert(0) += 1;
+        }
+    }
+
+    let mut symbols: Vec<Symbol> = Vec::new();
+    for c in 0..classes.num_classes() {
+        let rep = classes.rep(c);
+        let k = classes.size(c) as u32;
+        // Iterating the representative's exponents covers the whole
+        // class: an exponent some member lacks has minimum 0 and would
+        // be dropped anyway (coarse grouping guarantees identical
+        // supports, so this is belt and braces).
+        let Some(rep_counts) = per_bag.get(&rep) else { continue };
+        for &exp in rep_counts.keys() {
+            let min = classes.members[c]
+                .iter()
+                .map(|b| per_bag.get(b).and_then(|m| m.get(&exp)).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            if min == 0 {
+                continue;
+            }
+            let size = crate::rounding::exp_size(exp, epsilon);
+            symbols.push(Symbol { exp, size, bag: SlotBag::Priority(rep), avail: k * min });
+        }
+    }
+    for (&exp, &avail) in &wild {
+        let size = crate::rounding::exp_size(exp, epsilon);
+        symbols.push(Symbol { exp, size, bag: SlotBag::X, avail });
+    }
+    symbols.sort_by(|a, b| {
+        b.size.total_cmp(&a.size).then_with(|| match (a.bag, b.bag) {
+            (SlotBag::Priority(x), SlotBag::Priority(y)) => x.cmp(&y),
+            (SlotBag::Priority(_), SlotBag::X) => std::cmp::Ordering::Less,
+            (SlotBag::X, SlotBag::Priority(_)) => std::cmp::Ordering::Greater,
+            (SlotBag::X, SlotBag::X) => std::cmp::Ordering::Equal,
+        })
+    });
+    symbols
+}
+
 /// Enumerate all valid patterns of the transformed instance.
 pub fn enumerate_patterns(
     trans: &Transformed,
@@ -397,6 +465,34 @@ mod tests {
             .map(|j| t.texp[j])
             .collect();
         assert_eq!(ps.symbols.len(), expected.len());
+    }
+
+    #[test]
+    fn coarse_symbols_match_classed_on_singletons() {
+        let jobs = [(0.9, 0), (0.5, 1), (0.3, 2), (0.01, 2)];
+        let (t, _) = patterns_for(&jobs, 3, 0.5, None, 1000);
+        let singles = BagClasses::singletons(&t);
+        assert_eq!(
+            collect_symbols_coarse(&t, &singles),
+            collect_symbols_classed(&t, &singles),
+            "singleton coarse symbols must be the per-bag symbols"
+        );
+    }
+
+    #[test]
+    fn coarse_availability_is_class_size_times_minimum() {
+        // Bags 0/1 hold two 0.9-jobs, bag 2 holds three: one coarse
+        // class of 3 members at tol 1.0, priority avail 3 * min(2,2,3).
+        let jobs = [(0.9, 0), (0.9, 0), (0.9, 1), (0.9, 1), (0.9, 2), (0.9, 2), (0.9, 2)];
+        let (t, _) = patterns_for(&jobs, 7, 0.5, None, 100_000);
+        let coarse = BagClasses::compute_coarse(&t, 1.0);
+        assert_eq!(coarse.num_classes(), 1);
+        let syms = collect_symbols_coarse(&t, &coarse);
+        let prio: Vec<&Symbol> =
+            syms.iter().filter(|s| matches!(s.bag, SlotBag::Priority(_))).collect();
+        assert_eq!(prio.len(), 1);
+        assert_eq!(prio[0].avail, 6, "avail must be K * min = 3 * 2");
+        assert_eq!(prio[0].bag, SlotBag::Priority(coarse.rep(0)));
     }
 
     #[test]

@@ -192,6 +192,26 @@ pub struct Stats {
     ///
     /// [`portfolio_deadline_ms`]: crate::EptasConfig::portfolio_deadline_ms
     pub portfolio_winner: u64,
+    /// Coarse bag classes formed when the template-quantized attempt
+    /// engaged ([`class_coarsening`]), summed over guesses. Zero when
+    /// every guess was settled by the exact-class (or per-bag) path.
+    ///
+    /// [`class_coarsening`]: crate::EptasConfig::class_coarsening
+    pub coarse_classes_formed: u64,
+    /// Surplus jobs re-placed by the declass repair pass: member-bag
+    /// jobs beyond the coarse representative's minimum that the
+    /// class-level solution did not carry slots for.
+    pub repair_jobs_moved: u64,
+    /// Declass repair passes that could not place every surplus job and
+    /// failed the guess loudly (the driver falls back per-guess; never
+    /// a wrong schedule).
+    pub repair_failures: u64,
+    /// Cache misses answered by the similarity tier: the exact
+    /// fingerprint missed but a coarse-fingerprint neighbour seeded the
+    /// binary search's first probe with its chosen guess. A
+    /// savings-style counter like `node_warm_starts`: growth means the
+    /// near tier engages.
+    pub cache_near_hits: u64,
 }
 
 impl Stats {
@@ -226,12 +246,16 @@ impl Stats {
         self.speculative_wins += other.speculative_wins;
         self.guesses_cancelled += other.guesses_cancelled;
         self.portfolio_winner += other.portfolio_winner;
+        self.coarse_classes_formed += other.coarse_classes_formed;
+        self.repair_jobs_moved += other.repair_jobs_moved;
+        self.repair_failures += other.repair_failures;
+        self.cache_near_hits += other.cache_near_hits;
     }
 
     /// The counters as `(name, value)` pairs, in schema order. The bench
     /// JSON emitter and the CLI both render from this single source so the
     /// on-disk schema cannot drift from the struct.
-    pub fn named(&self) -> [(&'static str, u64); 29] {
+    pub fn named(&self) -> [(&'static str, u64); 33] {
         [
             ("patterns_enumerated", self.patterns_enumerated),
             ("simplex_pivots", self.simplex_pivots),
@@ -262,6 +286,10 @@ impl Stats {
             ("speculative_wins", self.speculative_wins),
             ("guesses_cancelled", self.guesses_cancelled),
             ("portfolio_winner", self.portfolio_winner),
+            ("coarse_classes_formed", self.coarse_classes_formed),
+            ("repair_jobs_moved", self.repair_jobs_moved),
+            ("repair_failures", self.repair_failures),
+            ("cache_near_hits", self.cache_near_hits),
         ]
     }
 }
@@ -377,6 +405,10 @@ mod tests {
             speculative_wins: 27,
             guesses_cancelled: 28,
             portfolio_winner: 29,
+            coarse_classes_formed: 30,
+            repair_jobs_moved: 31,
+            repair_failures: 32,
+            cache_near_hits: 33,
         };
         let b = a;
         a.add(&b);

@@ -26,7 +26,7 @@
 use crate::config::EptasConfig;
 use crate::driver::{solve_session_inner, EptasError, EptasResult};
 use crate::milp_model::ReplaySeed;
-use bagsched_types::{fingerprint, Instance, SolveRequest, SolveResponse};
+use bagsched_types::{coarse_fingerprint, fingerprint, Instance, SolveRequest, SolveResponse};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +67,11 @@ pub struct CacheCounters {
     /// Requests that found the same shape already solving cold and
     /// waited for that leader instead of duplicating the solve.
     pub coalesced_waits: u64,
+    /// Exact misses rescued by the similarity tier: a
+    /// [`coarse_fingerprint`] neighbour's chosen guess seeded the cold
+    /// search's first probe. These solves still count as misses — the
+    /// tier saves search steps, not the solve.
+    pub near_hits: u64,
 }
 
 /// Tick-stamped LRU map. Capacities are small (a server keeps at most a
@@ -75,11 +80,17 @@ struct Lru {
     cap: usize,
     tick: u64,
     map: HashMap<u64, (SolverState, u64)>,
+    /// Similarity tier: coarse fingerprint → (chosen guess, tick). A
+    /// full state would replay wrongly against a merely *similar*
+    /// instance, so only the winning guess is kept — enough to seed the
+    /// binary search's first probe. Same capacity bound, refreshed on
+    /// every publish.
+    near: HashMap<u64, (f64, u64)>,
 }
 
 impl Lru {
     fn new(cap: usize) -> Self {
-        Lru { cap: cap.max(1), tick: 0, map: HashMap::new() }
+        Lru { cap: cap.max(1), tick: 0, map: HashMap::new(), near: HashMap::new() }
     }
 
     fn get(&mut self, key: u64) -> Option<SolverState> {
@@ -106,6 +117,30 @@ impl Lru {
         evicted
     }
 
+    /// The similarity tier's guess for a coarse key, if any.
+    fn get_near(&mut self, key: u64) -> Option<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.near.get_mut(&key).map(|entry| {
+            entry.1 = tick;
+            entry.0
+        })
+    }
+
+    /// Record (or refresh) the winning guess under a coarse key. Shares
+    /// the exact map's capacity bound but evicts silently — near
+    /// entries are hints, not state, so their churn is not surfaced in
+    /// the eviction counter.
+    fn put_near(&mut self, key: u64, guess: f64) {
+        self.tick += 1;
+        if !self.near.contains_key(&key) && self.near.len() >= self.cap {
+            if let Some(oldest) = self.near.iter().min_by_key(|(_, (_, t))| *t).map(|(&k, _)| k) {
+                self.near.remove(&oldest);
+            }
+        }
+        self.near.insert(key, (guess, self.tick));
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }
@@ -125,6 +160,7 @@ pub struct Solver {
     misses: AtomicU64,
     evictions: AtomicU64,
     coalesced_waits: AtomicU64,
+    near_hits: AtomicU64,
 }
 
 /// A leader-completion gate: `true` once the leading solve finished
@@ -142,6 +178,7 @@ impl Solver {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             coalesced_waits: AtomicU64::new(0),
+            near_hits: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +207,7 @@ impl Solver {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            near_hits: self.near_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -194,7 +232,7 @@ impl Solver {
         inst: &Instance,
         state: Option<&SolverState>,
     ) -> Result<(EptasResult, Option<SolverState>), EptasError> {
-        solve_session_inner(&self.cfg, inst, state)
+        solve_session_inner(&self.cfg, inst, state, None)
     }
 
     /// Wire-level entry point: solve a [`SolveRequest`] (with its own
@@ -243,9 +281,10 @@ impl Solver {
 
     fn solve_cached(&self, cfg: &EptasConfig, inst: &Instance) -> Result<EptasResult, EptasError> {
         let Some(cache) = &self.cache else {
-            return solve_session_inner(cfg, inst, None).map(|(result, _)| result);
+            return solve_session_inner(cfg, inst, None, None).map(|(result, _)| result);
         };
         let key = fingerprint(inst, cfg.epsilon);
+        let near_key = coarse_fingerprint(inst, cfg.epsilon);
 
         // Coalescing: a cache miss either elects this thread the cold
         // leader for the shape, or finds a leader already in flight and
@@ -283,7 +322,13 @@ impl Solver {
             }
         };
 
-        let solved = solve_session_inner(cfg, inst, cached.as_ref());
+        // Similarity tier: on an exact miss, a coarse-fingerprint
+        // neighbour's winning guess seeds the cold search's first probe.
+        // A hint is advisory — bisection stays correct from any starting
+        // midpoint — so a stale neighbour costs probes, never
+        // correctness.
+        let hint = if cached.is_none() { cache.lock().unwrap().get_near(near_key) } else { None };
+        let solved = solve_session_inner(cfg, inst, cached.as_ref(), hint);
         let outcome = solved.map(|(mut res, state)| {
             if res.report.replayed {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -291,9 +336,15 @@ impl Solver {
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 res.report.stats.cache_misses += 1;
+                if hint.is_some() {
+                    self.near_hits.fetch_add(1, Ordering::Relaxed);
+                    res.report.stats.cache_near_hits += 1;
+                }
             }
             if let Some(state) = state {
-                if cache.lock().unwrap().put(key, state) {
+                let mut lru = cache.lock().unwrap();
+                lru.put_near(near_key, state.chosen_guess);
+                if lru.put(key, state) {
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     res.report.stats.cache_evictions += 1;
                 }
@@ -339,7 +390,7 @@ mod tests {
         assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
         assert_eq!(
             solver.cache_counters(),
-            CacheCounters { hits: 1, misses: 1, evictions: 0, coalesced_waits: 0 }
+            CacheCounters { hits: 1, misses: 1, evictions: 0, coalesced_waits: 0, near_hits: 0 }
         );
         validate_schedule(&inst(0), &warm.schedule).unwrap();
     }
@@ -442,6 +493,44 @@ mod tests {
         assert_eq!(c.misses, 1, "one leader solves cold");
         assert_eq!(c.hits, 3, "followers replay the leader's state");
         assert!(c.coalesced_waits <= 3, "at most the three followers wait");
+    }
+
+    #[test]
+    fn near_tier_seeds_similar_shape_and_stays_correct() {
+        // Shape B is shape A with one job size jittered by a part in a
+        // million: the exact fingerprint separates them (cold solve
+        // required), the coarse one does not, so B's binary search
+        // starts from A's cached winning guess.
+        use bagsched_types::{coarse_fingerprint, fingerprint, JobId};
+        let shape_a = inst(0);
+        let jobs: Vec<(f64, u32)> = (0..shape_a.num_jobs())
+            .map(|j| {
+                let id = JobId(j as u32);
+                let jitter = if j == 0 { 1.0 + 1e-6 } else { 1.0 };
+                (shape_a.size(id) * jitter, shape_a.bag_of(id).0)
+            })
+            .collect();
+        let shape_b = Instance::new(&jobs, shape_a.num_machines());
+        assert_ne!(fingerprint(&shape_a, 0.5), fingerprint(&shape_b, 0.5));
+        assert_eq!(
+            coarse_fingerprint(&shape_a, 0.5),
+            coarse_fingerprint(&shape_b, 0.5),
+            "test premise: the shapes must share a coarse fingerprint"
+        );
+        let solver = Solver::with_cache(EptasConfig::with_epsilon(0.5), 4);
+        let a = solver.solve_instance(&shape_a).unwrap();
+        assert_eq!(a.report.stats.cache_near_hits, 0, "nothing cached yet");
+        let b = solver.solve_instance(&shape_b).unwrap();
+        assert!(!b.report.replayed, "a near hit is still an exact miss");
+        assert_eq!(b.report.stats.cache_misses, 1);
+        assert_eq!(b.report.stats.cache_near_hits, 1, "A's guess must seed B's search");
+        assert_eq!(solver.cache_counters().near_hits, 1);
+        validate_schedule(&shape_b, &b.schedule).unwrap();
+        // The hint only moves the search's first probe; the answer must
+        // stay inside the same approximation envelope a cold solve of B
+        // delivers.
+        let cold = Solver::with_epsilon(0.5).solve_instance(&shape_b).unwrap();
+        assert!(b.makespan <= cold.makespan * (1.0 + 0.5) + 1e-9);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod wire;
 pub use instance::{BagId, Instance, InstanceBuilder, Job, JobId};
 pub use schedule::{MachineId, Schedule};
 pub use validate::{validate_instance, validate_schedule, InstanceError, ScheduleError};
-pub use wire::{fingerprint, SolveRequest, SolveResponse};
+pub use wire::{coarse_fingerprint, fingerprint, SolveRequest, SolveResponse};
 
 /// Absolute tolerance for floating point comparisons of processing times
 /// and loads throughout the workspace.

@@ -185,6 +185,55 @@ pub fn fingerprint(inst: &Instance, epsilon: f64) -> u64 {
     h.0
 }
 
+/// Quantization grid of the *coarse* fingerprint: ~2 significant decimal
+/// digits. Sizes within ~1% of each other (relative to the largest job)
+/// land on the same coarse step.
+const COARSE_QUANTUM: f64 = 1e2;
+
+/// 64-bit FNV-1a fingerprint of an instance's *similarity* shape — the
+/// key of the cache's near tier.
+///
+/// Deliberately blunter than [`fingerprint`]: sizes are quantized to
+/// ~1% of the largest job, per-bag profiles collapse to (coarse size →
+/// geometric count bucket) maps (ratio-2 buckets, so ±1 job among
+/// several of a size keeps the print), and the total job count is not
+/// hashed at all. Two instances that the exact key separates — a few
+/// jobs added, sizes jittered below a percent — collide here on
+/// purpose: a near entry only seeds the guess search's first probe, so
+/// a wrong neighbour costs probes, never correctness. Machine count,
+/// epsilon and bag count stay exact — those change the answer too much
+/// for a hint to help.
+pub fn coarse_fingerprint(inst: &Instance, epsilon: f64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(inst.num_machines() as u64);
+    h.write_u64(epsilon.to_bits());
+    h.write_u64(inst.num_bags() as u64);
+    let max = inst.max_size();
+    let scale = if max > 0.0 { COARSE_QUANTUM / max } else { 0.0 };
+    let mut profiles: Vec<Vec<(u64, u32)>> = inst
+        .bags()
+        .map(|(_, members)| {
+            let mut counts: std::collections::BTreeMap<u64, u32> =
+                std::collections::BTreeMap::new();
+            for &j in members {
+                *counts.entry((inst.size(j) * scale).round() as u64).or_insert(0) += 1;
+            }
+            // Ratio-2 geometric count buckets: bucket = bit length of
+            // the count, so 2..=3, 4..=7, ... collapse together.
+            counts.into_iter().map(|(q, c)| (q, 32 - c.leading_zeros())).collect()
+        })
+        .collect();
+    profiles.sort_unstable();
+    for profile in &profiles {
+        h.write_u64(profile.len() as u64);
+        for &(q, bucket) in profile {
+            h.write_u64(q);
+            h.write_u64(bucket as u64);
+        }
+    }
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +333,41 @@ mod tests {
         assert_ne!(base, fingerprint(&moved, 0.2), "bag membership is part of the shape");
         let resized = Instance::new(&[(4.0, 0), (2.5, 0), (3.0, 1), (1.0, 2)], 3);
         assert_ne!(base, fingerprint(&resized, 0.2));
+    }
+
+    #[test]
+    fn coarse_fingerprint_survives_job_count_drift() {
+        // One more 2.0-job in a bag that already holds two: the exact
+        // key separates them, the coarse key (ratio-2 count buckets, no
+        // total job count) does not.
+        let a = Instance::new(&[(4.0, 0), (2.0, 0), (2.0, 0), (3.0, 1), (1.0, 2)], 3);
+        let b = Instance::new(&[(4.0, 0), (2.0, 0), (2.0, 0), (2.0, 0), (3.0, 1), (1.0, 2)], 3);
+        assert_ne!(fingerprint(&a, 0.2), fingerprint(&b, 0.2));
+        assert_eq!(coarse_fingerprint(&a, 0.2), coarse_fingerprint(&b, 0.2));
+    }
+
+    #[test]
+    fn coarse_fingerprint_survives_sub_percent_size_jitter() {
+        let a = inst();
+        let jittered = Instance::new(&[(4.0, 0), (2.003, 0), (3.0, 1), (1.0, 2)], 3);
+        assert_ne!(fingerprint(&a, 0.2), fingerprint(&jittered, 0.2));
+        assert_eq!(coarse_fingerprint(&a, 0.2), coarse_fingerprint(&jittered, 0.2));
+    }
+
+    #[test]
+    fn coarse_fingerprint_keeps_hard_shape_exact() {
+        let base = coarse_fingerprint(&inst(), 0.2);
+        assert_ne!(base, coarse_fingerprint(&inst(), 0.3), "epsilon stays exact");
+        assert_ne!(base, coarse_fingerprint(&inst().with_machines(4), 0.2));
+        let rebagged = Instance::new(&[(4.0, 0), (2.0, 1), (3.0, 1), (1.0, 2)], 3);
+        assert_ne!(base, coarse_fingerprint(&rebagged, 0.2), "bag structure stays exact");
+    }
+
+    #[test]
+    fn coarse_fingerprint_ignores_job_and_bag_order() {
+        let a = Instance::new(&[(4.0, 0), (2.0, 0), (3.0, 1), (1.0, 2)], 3);
+        let b = Instance::new(&[(1.0, 9), (3.0, 5), (2.0, 7), (4.0, 7)], 3);
+        assert_eq!(coarse_fingerprint(&a, 0.2), coarse_fingerprint(&b, 0.2));
     }
 
     #[test]
