@@ -11,6 +11,10 @@
 //!   --jobs N            worker threads (default: available parallelism)
 //!   --solver-threads N  solver threads inside each EPTAS solve (default
 //!                       1); placement only — results never depend on it
+//!   --profile           record per-phase span profiles while cells run
+//!                       and print one profile table per experiment to
+//!                       stderr; profiles also land in the `phases` field
+//!                       of `--json` reports (stdout stays untouched)
 //!   --json DIR          write BENCH_<id>.json per experiment plus
 //!                       BENCH_summary.json into DIR
 //!   --compare FILE      gate against a baseline summary (exit 3 on a
@@ -18,10 +22,10 @@
 //!   --threshold X       slowdown factor for --compare (default 10.0)
 //!   --assert-identical DIR
 //!                       require this run's BENCH_*.json documents to be
-//!                       byte-identical (after redacting wall_secs and
-//!                       rendered time cells) to the ones in DIR (exit 4
-//!                       on any difference) — the cross-thread
-//!                       determinism gate
+//!                       byte-identical (after redacting wall_secs,
+//!                       phase span times, and rendered time cells) to
+//!                       the ones in DIR (exit 4 on any difference) —
+//!                       the cross-thread determinism gate
 //! ```
 //!
 //! Tables go to **stdout** and are byte-identical for any `--jobs` and
@@ -38,6 +42,7 @@ struct Args {
     quick: bool,
     jobs: usize,
     solver_threads: usize,
+    profile: bool,
     json_dir: Option<PathBuf>,
     compare: Option<PathBuf>,
     threshold: f64,
@@ -50,6 +55,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         quick: false,
         jobs: runner::default_jobs(),
         solver_threads: 1,
+        profile: false,
         json_dir: None,
         compare: None,
         threshold: 10.0,
@@ -61,6 +67,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--profile" => args.profile = true,
             "--jobs" => {
                 args.jobs = value_of("--jobs")?
                     .parse::<usize>()
@@ -99,7 +106,7 @@ fn main() {
     let args = match parse_args(&raw) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: experiments [all|list|<id>...] [--quick] [--jobs N] [--solver-threads N] [--json DIR] [--compare FILE] [--threshold X] [--assert-identical DIR]");
+            eprintln!("error: {e}\nusage: experiments [all|list|<id>...] [--quick] [--jobs N] [--solver-threads N] [--profile] [--json DIR] [--compare FILE] [--threshold X] [--assert-identical DIR]");
             exit(2);
         }
     };
@@ -126,6 +133,7 @@ fn main() {
     };
 
     bagsched_bench::experiments::set_solver_threads(args.solver_threads);
+    runner::set_profiling(args.profile);
     let ncells: usize = ids
         .iter()
         .map(|id| bagsched_bench::experiments::num_cells(id, args.quick).unwrap_or(1))
@@ -152,6 +160,12 @@ fn main() {
     }
     let total: f64 = outcomes.iter().map(|o| o.wall_secs).sum();
     eprintln!("[total cell time {total:.2}s across {ncells} cells]");
+
+    if args.profile {
+        for o in &outcomes {
+            print_profile(o);
+        }
+    }
 
     if let Some(dir) = &args.json_dir {
         if let Err(e) = write_reports(dir, &outcomes, args.quick) {
@@ -221,13 +235,39 @@ fn main() {
     }
 }
 
+/// Print one per-phase profile table for an outcome to stderr: span
+/// counts are deterministic, the time columns are wall-clock
+/// measurements (total, self = total minus child spans, and the single
+/// slowest occurrence).
+fn print_profile(o: &runner::ExperimentOutcome) {
+    if o.profile.is_empty() {
+        eprintln!("[profile {}: no spans recorded]", o.id);
+        return;
+    }
+    eprintln!("[profile {}]", o.id);
+    eprintln!(
+        "  {:<22} {:>9} {:>12} {:>12} {:>12}",
+        "phase", "count", "total ms", "self ms", "max ms"
+    );
+    for p in &o.profile.phases {
+        eprintln!(
+            "  {:<22} {:>9} {:>12.3} {:>12.3} {:>12.3}",
+            p.name,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            p.self_ns as f64 / 1e6,
+            p.max_ns as f64 / 1e6
+        );
+    }
+}
+
 /// Compare this run's BENCH documents against the same-named files in
-/// `ref_dir`, byte-for-byte after wall-clock redaction on both sides
-/// ([`json::redact_wall_secs`] for the `wall_secs` fields plus
-/// [`json::redact_time_columns`] for rendered `time` cells inside table
-/// rows). Everything else is deterministic, so any difference means the
-/// run was *not* a pure function of its inputs — the gate CI uses to
-/// prove `--solver-threads` never changes results.
+/// `ref_dir`, byte-for-byte after redacting every nondeterministic
+/// field on both sides ([`json::redact_nondeterministic`]: `wall_secs`
+/// measurements, `*_ns` phase timings, rendered `time` cells inside
+/// table rows). Everything else is deterministic, so any difference
+/// means the run was *not* a pure function of its inputs — the gate CI
+/// uses to prove `--solver-threads` never changes results.
 fn assert_identical(
     ref_dir: &Path,
     outcomes: &[runner::ExperimentOutcome],
@@ -243,8 +283,7 @@ fn assert_identical(
                 return;
             }
         };
-        let redact =
-            |doc: &str| json::redact_wall_secs(doc).and_then(|d| json::redact_time_columns(&d));
+        let redact = json::redact_nondeterministic;
         match (redact(ours), redact(theirs.trim_end())) {
             (Ok(a), Ok(b)) if a == b => {}
             (Ok(_), Ok(_)) => diffs.push(format!("{name}: deterministic content differs")),

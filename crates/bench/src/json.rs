@@ -14,12 +14,14 @@
 //!
 //! Everything in these documents except wall-clock is deterministic for
 //! a fixed `(id, quick)` — the counters come from [`Stats`], the rows are
-//! pre-formatted strings. Wall-clock leaks in two places: the `wall_secs`
-//! fields ([`redact_wall_secs`] zeroes them) and rendered `time` cells
-//! inside table rows ([`redact_time_columns`] blanks them); after both,
+//! pre-formatted strings. Wall-clock leaks in three places: the
+//! `wall_secs` fields, rendered `time` cells inside table rows, and the
+//! `*_ns` phase-time fields of `--profile` runs;
+//! [`redact_nondeterministic`] scrubs all three in one pass, after which
 //! byte-level comparisons (the parallel determinism guards) are possible.
 
 use crate::runner::ExperimentOutcome;
+use bagsched_core::obs::{PhaseProfile, PhaseStat};
 use bagsched_core::Stats;
 use serde::{Deserialize, DeserializeError, Serialize, Value};
 
@@ -81,7 +83,17 @@ use serde::{Deserialize, DeserializeError, Serialize, Value};
 /// guesses that previously fell through to the eager path now solve a
 /// (much smaller) coarse master — so a v7 baseline is rejected for the
 /// same reason earlier ones were.
-pub const SCHEMA_VERSION: u64 = 8;
+///
+/// v9: per-experiment records gained the `phases` array — the span
+/// profile captured when the harness runs with `--profile` (empty
+/// otherwise). Phase rows are observability data, segregated exactly
+/// like `wall_secs`: the `--compare` gate never reads them (summaries
+/// and baselines carry no phases at all), and
+/// [`redact_nondeterministic`] zeroes the `*_ns` time fields so the
+/// `--assert-identical` byte gate sees only the deterministic span
+/// counts. v8 baselines are rejected only for the version stamp —
+/// counters are unchanged — so re-blessing is a plain re-run.
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Counters whose *growth* reports an optimization engaging harder, not
 /// the solver working harder; the `--compare` gate never flags them.
@@ -139,6 +151,43 @@ fn counters_from_value(v: &Value) -> Result<Counters, DeserializeError> {
     }
 }
 
+fn phases_to_value(profile: &PhaseProfile) -> Value {
+    Value::Arr(
+        profile
+            .phases
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("name".into(), p.name.to_value()),
+                    ("count".into(), p.count.to_value()),
+                    ("total_ns".into(), p.total_ns.to_value()),
+                    ("self_ns".into(), p.self_ns.to_value()),
+                    ("max_ns".into(), p.max_ns.to_value()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn phases_from_value(v: &Value) -> Result<PhaseProfile, DeserializeError> {
+    let Value::Arr(items) = v else {
+        return Err(DeserializeError::new(format!("expected phases array, got {v:?}")));
+    };
+    let phases = items
+        .iter()
+        .map(|item| {
+            Ok(PhaseStat {
+                name: String::from_value(item.field("name")?)?,
+                count: u64::from_value(item.field("count")?)?,
+                total_ns: u64::from_value(item.field("total_ns")?)?,
+                self_ns: u64::from_value(item.field("self_ns")?)?,
+                max_ns: u64::from_value(item.field("max_ns")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DeserializeError>>()?;
+    Ok(PhaseProfile { phases })
+}
+
 /// The `BENCH_<id>.json` document: one experiment's table and measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
@@ -160,6 +209,10 @@ pub struct BenchRecord {
     pub rows: Vec<Vec<String>>,
     /// Deterministic algorithm counters ([`Stats::named`] order).
     pub counters: Counters,
+    /// Span profile of the run (empty unless `--profile`). Span counts
+    /// are deterministic; the `*_ns` times are wall-clock and are
+    /// zeroed by [`redact_nondeterministic`].
+    pub phases: PhaseProfile,
 }
 
 impl BenchRecord {
@@ -175,6 +228,7 @@ impl BenchRecord {
             headers: o.table.headers.clone(),
             rows: o.table.rows.clone(),
             counters: counters_of(&o.stats),
+            phases: o.profile.clone(),
         }
     }
 
@@ -201,12 +255,18 @@ impl Serialize for BenchRecord {
             ("headers".into(), self.headers.to_value()),
             ("rows".into(), self.rows.to_value()),
             ("counters".into(), counters_to_value(&self.counters)),
+            ("phases".into(), phases_to_value(&self.phases)),
         ])
     }
 }
 
 impl Deserialize for BenchRecord {
     fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        // Tolerant on `phases`: v8 records predate the field.
+        let phases = match v.field("phases") {
+            Ok(val) => phases_from_value(val)?,
+            Err(_) => PhaseProfile::default(),
+        };
         Ok(BenchRecord {
             schema_version: u64::from_value(v.field("schema_version")?)?,
             id: String::from_value(v.field("id")?)?,
@@ -217,6 +277,7 @@ impl Deserialize for BenchRecord {
             headers: Vec::from_value(v.field("headers")?)?,
             rows: Vec::from_value(v.field("rows")?)?,
             counters: counters_from_value(v.field("counters")?)?,
+            phases,
         })
     }
 }
@@ -335,17 +396,34 @@ impl Deserialize for Baseline {
     }
 }
 
-/// Zero every `"wall_secs"` field of a document produced by this module,
-/// leaving all deterministic content untouched. Two runs of the same
-/// experiments at any `--jobs` value must agree byte-for-byte after this
-/// redaction — the parallel determinism guard relies on it.
-pub fn redact_wall_secs(json: &str) -> Result<String, serde_json::Error> {
+/// Redact every nondeterministic (wall-clock) field of a document
+/// produced by this module, leaving all deterministic content
+/// untouched. One helper covers the three places time leaks in:
+///
+/// * `"wall_secs"` fields anywhere in the tree are zeroed (record tops
+///   and baseline entries alike);
+/// * phase-time fields (`total_ns`, `self_ns`, `max_ns` inside the
+///   `phases` rows) are zeroed — the structural `count` and `name`
+///   stay, so the determinism gate still compares span *counts*;
+/// * row cells in columns whose header mentions wall-clock time (the
+///   same header rule as `Table::has_time_column`) are blanked to
+///   `"-"` — rows are pre-formatted strings, so a `time` column
+///   carries a measurement exactly the way `wall_secs` does.
+///
+/// Two runs of the same experiments must agree byte-for-byte after
+/// this redaction at any `--jobs` or `--solver-threads` value, with or
+/// without `--profile` on both sides — the parallel determinism guard
+/// (`--assert-identical`) relies on it. Summary documents have no
+/// `rows` or `phases` and only lose their `wall_secs`.
+pub fn redact_nondeterministic(json: &str) -> Result<String, serde_json::Error> {
     let mut v: Value = serde_json::from_str(json)?;
+    // Phase rows live under "phases" and carry their times in `*_ns`
+    // fields; nothing else in these documents uses the suffix.
     fn walk(v: &mut Value) {
         match v {
             Value::Obj(fields) => {
                 for (k, val) in fields.iter_mut() {
-                    if k == "wall_secs" {
+                    if k == "wall_secs" || k.ends_with("_ns") {
                         *val = Value::Num(0.0);
                     } else {
                         walk(val);
@@ -357,20 +435,6 @@ pub fn redact_wall_secs(json: &str) -> Result<String, serde_json::Error> {
         }
     }
     walk(&mut v);
-    serde_json::to_string_pretty(&v)
-}
-
-/// Blank every row cell in a column whose header mentions wall-clock
-/// time (the same header rule as `Table::has_time_column`). Table rows
-/// are pre-formatted strings, so a `time` column carries a measurement
-/// exactly the way `wall_secs` does — the rest of the row (makespan
-/// ratios, counters, verdict flags) is deterministic and left intact.
-/// Summary documents have no `rows` and pass through unchanged.
-/// Composes with [`redact_wall_secs`]: after both, two runs of the same
-/// experiments must agree byte-for-byte at any `--jobs` or
-/// `--solver-threads` value.
-pub fn redact_time_columns(json: &str) -> Result<String, serde_json::Error> {
-    let mut v: Value = serde_json::from_str(json)?;
     let time_cols: Vec<usize> = match v.get("headers") {
         Some(Value::Arr(headers)) => headers
             .iter()
@@ -556,7 +620,36 @@ mod tests {
             repair_failures: 32,
             cache_near_hits: 33,
         };
-        ExperimentOutcome { id: id.into(), table, stats, wall_secs: wall }
+        ExperimentOutcome {
+            id: id.into(),
+            table,
+            stats,
+            wall_secs: wall,
+            profile: PhaseProfile::default(),
+        }
+    }
+
+    fn profiled_outcome(id: &str, wall: f64, guess_ns: u64) -> ExperimentOutcome {
+        let mut o = outcome(id, wall);
+        o.profile = PhaseProfile {
+            phases: vec![
+                PhaseStat {
+                    name: "guess".into(),
+                    count: 4,
+                    total_ns: guess_ns,
+                    self_ns: guess_ns / 2,
+                    max_ns: guess_ns / 3,
+                },
+                PhaseStat {
+                    name: "patterns".into(),
+                    count: 9,
+                    total_ns: 500,
+                    self_ns: 500,
+                    max_ns: 80,
+                },
+            ],
+        };
+        o
     }
 
     #[test]
@@ -565,7 +658,18 @@ mod tests {
         let parsed = BenchRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(parsed, rec, "emit -> parse must be the identity");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(SCHEMA_VERSION, 9, "phase profiles entered the documents at v9");
         assert_eq!(parsed.counters.len(), Stats::default().named().len());
+        // Phase rows roundtrip too, and a pre-v9 document without the
+        // `phases` field parses as an empty profile.
+        let prof = BenchRecord::from_outcome(&profiled_outcome("fig9", 1.25, 9_000), true);
+        assert_eq!(BenchRecord::from_json(&prof.to_json()).unwrap(), prof);
+        let mut v: Value = serde_json::from_str(&rec.to_json()).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "phases");
+        }
+        let old = BenchRecord::from_json(&serde_json::to_string_pretty(&v).unwrap()).unwrap();
+        assert!(old.phases.is_empty());
     }
 
     #[test]
@@ -586,18 +690,45 @@ mod tests {
     }
 
     #[test]
-    fn redaction_zeroes_only_wall_secs() {
-        let rec = BenchRecord::from_outcome(&outcome("fig9", 7.5), true);
-        let redacted = redact_wall_secs(&rec.to_json()).unwrap();
+    fn redaction_zeroes_wall_secs_and_phase_times() {
+        let rec = BenchRecord::from_outcome(&profiled_outcome("fig9", 7.5, 9_000), true);
+        let redacted = redact_nondeterministic(&rec.to_json()).unwrap();
         let parsed = BenchRecord::from_json(&redacted).unwrap();
         assert_eq!(parsed.wall_secs, 0.0);
         let mut expect = rec.clone();
         expect.wall_secs = 0.0;
+        expect.phases = expect.phases.redacted();
         assert_eq!(parsed, expect, "redaction touched a deterministic field");
+        // Span counts and names survive; only the times are gone.
+        assert_eq!(parsed.phases.get("guess").unwrap().count, 4);
+        assert_eq!(parsed.phases.get("guess").unwrap().total_ns, 0);
         // Nested wall_secs (baseline entries) are redacted too.
         let base = Baseline::from_outcomes(&[outcome("a", 1.0)], true);
-        let parsed = Baseline::from_json(&redact_wall_secs(&base.to_json()).unwrap()).unwrap();
+        let parsed =
+            Baseline::from_json(&redact_nondeterministic(&base.to_json()).unwrap()).unwrap();
         assert_eq!(parsed.experiments[0].wall_secs, 0.0);
+    }
+
+    #[test]
+    fn docs_differing_only_in_phase_times_redact_equal() {
+        // The satellite guarantee: phase times can never leak into the
+        // --assert-identical byte gate.
+        let a = BenchRecord::from_outcome(&profiled_outcome("fig9", 1.0, 9_000), true);
+        let b = BenchRecord::from_outcome(&profiled_outcome("fig9", 2.0, 777_777), true);
+        assert_ne!(a.to_json(), b.to_json(), "the raw docs must actually differ");
+        assert_eq!(
+            redact_nondeterministic(&a.to_json()).unwrap(),
+            redact_nondeterministic(&b.to_json()).unwrap()
+        );
+        // But differing span *counts* stay visible: that is a real
+        // determinism violation, not timing noise.
+        let mut c = profiled_outcome("fig9", 1.0, 9_000);
+        c.profile.phases[0].count += 1;
+        let c = BenchRecord::from_outcome(&c, true);
+        assert_ne!(
+            redact_nondeterministic(&a.to_json()).unwrap(),
+            redact_nondeterministic(&c.to_json()).unwrap()
+        );
     }
 
     #[test]
@@ -608,7 +739,7 @@ mod tests {
         o.table.row(vec!["80".into(), "3.1ms".into(), "8.0ms".into(), "true".into()]);
         let rec = BenchRecord::from_outcome(&o, true);
         let redacted =
-            BenchRecord::from_json(&redact_time_columns(&rec.to_json()).unwrap()).unwrap();
+            BenchRecord::from_json(&redact_nondeterministic(&rec.to_json()).unwrap()).unwrap();
         for row in &redacted.rows {
             assert_eq!(row[1], "-");
             assert_eq!(row[2], "-");
@@ -616,19 +747,15 @@ mod tests {
         // Non-time columns and everything else survive untouched.
         assert_eq!(redacted.rows[0][0], "40");
         assert_eq!(redacted.rows[1][3], "true");
-        assert_eq!(redacted.wall_secs, rec.wall_secs);
         assert_eq!(redacted.counters, rec.counters);
         // Two runs differing only in rendered times agree after redaction.
         let mut o2 = o.clone();
         o2.table.rows[0][1] = "473us".into();
         let rec2 = BenchRecord::from_outcome(&o2, true);
         assert_eq!(
-            redact_time_columns(&rec.to_json()).unwrap(),
-            redact_time_columns(&rec2.to_json()).unwrap()
+            redact_nondeterministic(&rec.to_json()).unwrap(),
+            redact_nondeterministic(&rec2.to_json()).unwrap()
         );
-        // A document with no time columns passes through unchanged.
-        let plain = BenchRecord::from_outcome(&outcome("a", 1.0), true);
-        assert_eq!(redact_time_columns(&plain.to_json()).unwrap(), plain.to_json());
     }
 
     fn baseline_of(entries: &[(&str, f64, u64)]) -> Baseline {

@@ -13,8 +13,8 @@
 
 use crate::experiments;
 use crate::table::Table;
-use bagsched_core::Stats;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use bagsched_core::{obs, Stats};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -29,6 +29,24 @@ pub struct ExperimentOutcome {
     pub stats: Stats,
     /// Wall-clock of the cell in seconds (not deterministic).
     pub wall_secs: f64,
+    /// Per-phase span profile, merged over the experiment's cells.
+    /// Empty unless profiling was enabled ([`set_profiling`]); span
+    /// *counts* are deterministic, span *times* are not.
+    pub profile: obs::PhaseProfile,
+}
+
+/// Harness-wide profiling toggle, following the `set_solver_threads`
+/// precedent in [`experiments`]: flipped once by the CLI before any
+/// cell runs, never mid-run. When on, every cell runs under its own
+/// span [`Recorder`](obs::Recorder) and the per-phase profile lands on
+/// the merged [`ExperimentOutcome::profile`]. When off (the default)
+/// no recorder exists and spans cost one thread-local check.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable per-cell phase profiling for subsequent
+/// [`run_experiments`] calls.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
 }
 
 /// Worker count to use when `--jobs` is not given.
@@ -110,18 +128,26 @@ pub fn run_experiments(
             (0..cells).map(move |cell| (slot, id, cell, cells))
         })
         .collect();
+    let profiling = PROFILING.load(Ordering::Relaxed);
     let done = parallel_map(&work, jobs, |&(_, id, cell, cells)| {
         let start = Instant::now();
-        let run = experiments::run_cell(id, cell, quick).expect("cell index below num_cells");
+        // One recorder per cell: profiles never mix across cells, and
+        // with profiling off the solve path is untouched.
+        let recorder = profiling.then(obs::Recorder::new);
+        let run = {
+            let _obs = recorder.as_ref().map(|r| r.install("bench-cell"));
+            experiments::run_cell(id, cell, quick).expect("cell index below num_cells")
+        };
+        let profile = recorder.map(|r| r.profile()).unwrap_or_default();
         let wall_secs = start.elapsed().as_secs_f64();
         progress(&CellProgress { id, cell, cells, wall_secs });
-        (run, wall_secs)
+        (run, wall_secs, profile)
     });
 
     // Merge cells back per experiment. `work` is ordered by (slot, cell)
     // and `parallel_map` preserves input order, so each slot's cells
     // arrive contiguously and in cell order.
-    let mut per_slot: Vec<Vec<(experiments::ExperimentRun, f64)>> =
+    let mut per_slot: Vec<Vec<(experiments::ExperimentRun, f64, obs::PhaseProfile)>> =
         ids.iter().map(|_| Vec::new()).collect();
     for (&(slot, ..), cell_run) in work.iter().zip(done) {
         per_slot[slot].push(cell_run);
@@ -130,12 +156,17 @@ pub fn run_experiments(
         .zip(per_slot)
         .map(|(&id, cells)| {
             let wall_secs: f64 = cells.iter().map(|c| c.1).sum();
+            let mut profile = obs::PhaseProfile::default();
+            for (_, _, p) in &cells {
+                profile.merge(p);
+            }
             let merged = experiments::merge(cells.into_iter().map(|c| c.0).collect());
             ExperimentOutcome {
                 id: id.to_string(),
                 table: merged.table,
                 stats: merged.stats,
                 wall_secs,
+                profile,
             }
         })
         .collect()
@@ -187,6 +218,23 @@ mod tests {
         let direct = experiments::run("fig1", true).unwrap();
         assert_eq!(out[0].stats, direct.stats);
         assert_eq!(out[0].table.render(), direct.table.render());
+    }
+
+    #[test]
+    fn profiling_toggle_fills_profile_without_touching_results() {
+        // fig3 drives the full EPTAS pipeline (fig1's gadget takes the
+        // LPT shortcut and records no solver spans).
+        let off = run_experiments(&["fig3"], true, 1, |_| ());
+        assert!(off[0].profile.is_empty(), "no recorder, no spans");
+
+        set_profiling(true);
+        let on = run_experiments(&["fig3"], true, 2, |_| ());
+        set_profiling(false);
+        assert!(!on[0].profile.is_empty(), "profiling must capture spans");
+        assert!(on[0].profile.get("guess").is_some(), "guess search must be profiled");
+        // Profiling is observational: deterministic outputs are untouched.
+        assert_eq!(on[0].stats, off[0].stats);
+        assert_eq!(on[0].table.render(), off[0].table.render());
     }
 
     #[test]

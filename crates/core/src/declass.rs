@@ -58,6 +58,7 @@ pub fn declass(
     out: &MilpOutcome,
     stats: &mut Stats,
 ) -> Result<(PatternSet, MilpOutcome), GuessFailure> {
+    let _span = bagsched_types::obs::Span::enter("declass");
     // ---- 1. Expand x into machines (assign_large's expansion order). ----
     let mut machine_agg: Vec<usize> = Vec::new();
     for (p, &count) in out.x.iter().enumerate() {
@@ -197,6 +198,7 @@ pub fn declass(
         }
     }
     if !surplus.is_empty() {
+        let _span = bagsched_types::obs::Span::enter("declass.repair");
         // Deterministic greedy: big jobs first, then bag id, then size
         // exponent, each onto the lowest (then lowest-indexed) machine.
         surplus.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));

@@ -32,7 +32,7 @@ use crate::swap_repair::repair_conflicts;
 use crate::transform::transform;
 use crate::undo::undo_transform;
 use bagsched_types::{
-    lowerbound::lower_bounds, validate_instance, Instance, InstanceError, JobId, MachineId,
+    lowerbound::lower_bounds, obs, validate_instance, Instance, InstanceError, JobId, MachineId,
     Schedule,
 };
 use std::collections::VecDeque;
@@ -119,6 +119,13 @@ pub(crate) fn solve_session_inner(
     let start = Instant::now();
     validate_instance(inst).map_err(EptasError::Infeasible)?;
     let mut report = EptasReport::default();
+    // When the caller installed an `obs::Recorder`, attach the phase
+    // profile for exactly this solve to the report (the cursor scopes
+    // out anything the recorder saw before us).
+    let obs_session = obs::handle().map(|h| {
+        let cursor = h.cursor();
+        (h, cursor)
+    });
 
     if inst.num_jobs() == 0 {
         report.elapsed = start.elapsed();
@@ -331,6 +338,9 @@ pub(crate) fn solve_session_inner(
     if report.safety_net_moves > 0 {
         makespan = schedule.makespan(inst);
     }
+    if let Some((h, cursor)) = &obs_session {
+        report.profile = Some(h.profile_since(cursor));
+    }
     report.elapsed = start.elapsed();
     debug_assert!(schedule.is_feasible(inst));
     Ok((EptasResult { schedule, makespan, report }, state))
@@ -498,28 +508,51 @@ fn execute_window(
     let slots: Vec<Mutex<Option<(GuessOutcome, Stats)>>> =
         (0..window.len()).map(|_| Mutex::new(None)).collect();
     let gate = (Mutex::new(()), Condvar::new());
+    // Each speculative node records its spans under a private region:
+    // after the commit walk, losers' regions are discarded so cancelled
+    // work is visible in the trace but never in the profile (keeping
+    // profile counts byte-identical to the sequential walk).
+    let obs_handle = obs::handle();
+    let regions: Vec<u64> = match &obs_handle {
+        Some(h) => window.iter().map(|_| h.new_region()).collect(),
+        None => Vec::new(),
+    };
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = claimed.fetch_add(1, Ordering::Relaxed);
-                if i >= window.len() {
-                    break;
+        let (claimed, slots, gate, regions) = (&claimed, &slots, &gate, &regions);
+        for w in 0..threads {
+            let worker_handle = obs_handle.clone();
+            scope.spawn(move || {
+                let _obs = worker_handle.map(|h| h.install(&format!("spec-{w}")));
+                loop {
+                    let i = claimed.fetch_add(1, Ordering::Relaxed);
+                    if i >= window.len() {
+                        break;
+                    }
+                    if !regions.is_empty() {
+                        obs::set_region(regions[i]);
+                    }
+                    let node = &window[i];
+                    // A node cancelled before it started still fills its
+                    // slot: path nodes are never cancelled except by the
+                    // portfolio deadline, where `Cancelled` is the answer.
+                    let out = if node.token.is_cancelled() {
+                        (Err(GuessFailure::Cancelled), Stats::default())
+                    } else {
+                        let mut nstats = Stats::default();
+                        let res = try_guess(
+                            cfg,
+                            inst,
+                            grid[node.mid],
+                            &mut nstats,
+                            None,
+                            Some(&node.token),
+                        );
+                        (res, nstats)
+                    };
+                    *slots[i].lock().unwrap() = Some(out);
+                    let _g = gate.0.lock().unwrap();
+                    gate.1.notify_all();
                 }
-                let node = &window[i];
-                // A node cancelled before it started still fills its
-                // slot: path nodes are never cancelled except by the
-                // portfolio deadline, where `Cancelled` is the answer.
-                let out = if node.token.is_cancelled() {
-                    (Err(GuessFailure::Cancelled), Stats::default())
-                } else {
-                    let mut nstats = Stats::default();
-                    let res =
-                        try_guess(cfg, inst, grid[node.mid], &mut nstats, None, Some(&node.token));
-                    (res, nstats)
-                };
-                *slots[i].lock().unwrap() = Some(out);
-                let _g = gate.0.lock().unwrap();
-                gate.1.notify_all();
             });
         }
         let committed = walk_committed(window, |i| loop {
@@ -531,6 +564,17 @@ fn execute_window(
             // slot check and the wait.
             drop(gate.1.wait_timeout(g, Duration::from_millis(5)).unwrap());
         });
+        if let Some(h) = &obs_handle {
+            let mut kept = vec![false; window.len()];
+            for &(i, _, _) in &committed {
+                kept[i] = true;
+            }
+            for (i, &r) in regions.iter().enumerate() {
+                if !kept[i] {
+                    h.discard_region(r);
+                }
+            }
+        }
         // The path is committed; stop whatever speculation is still in
         // flight so the scope join is prompt.
         for node in window {
@@ -557,12 +601,17 @@ fn try_guess(
     replay: Option<&ReplaySeed>,
     cancel: Option<&CancelToken>,
 ) -> Result<(Schedule, GuessStats, ReplaySeed), GuessFailure> {
+    let _guess_span = obs::Span::enter("guess");
     let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let sizes: Vec<f64> = inst.jobs().iter().map(|j| j.size).collect();
-    let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
-    let class = classify(&rounded, inst.num_machines());
-    let priority = select_priority(inst, &rounded, &class, cfg);
-    let trans = transform(inst, &rounded, &class, &priority);
+    let (rounded, trans) = {
+        let _span = obs::Span::enter("transform");
+        let rounded = scale_and_round(&sizes, t0, cfg.epsilon).ok_or(GuessFailure::JobTooLarge)?;
+        let class = classify(&rounded, inst.num_machines());
+        let priority = select_priority(inst, &rounded, &class, cfg);
+        let trans = transform(inst, &rounded, &class, &priority);
+        (rounded, trans)
+    };
     if cancelled() {
         return Err(GuessFailure::Cancelled);
     }
@@ -577,7 +626,10 @@ fn try_guess(
     if let Some(token) = cancel {
         solve = solve.cancel_token(token);
     }
-    let sol = solve.run(stats)?;
+    let sol = {
+        let _span = obs::Span::enter("patterns");
+        solve.run(stats)?
+    };
     if cancelled() {
         return Err(GuessFailure::Cancelled);
     }
@@ -587,22 +639,35 @@ fn try_guess(
     let seed = sol.seed.with_solution(&ps, &out);
 
     let mut state = WorkState::new(trans.tinst.num_jobs(), inst.num_machines());
-    let la = assign_large(&trans, &ps, &out.x, &mut state)?;
-    // repair_conflicts records its swaps into `stats` itself, so
-    // work done before a SwapRepair abort is not lost.
-    let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts, stats)?;
+    let (la, lemma7_swaps) = {
+        let _span = obs::Span::enter("place.large");
+        let la = assign_large(&trans, &ps, &out.x, &mut state)?;
+        // repair_conflicts records its swaps into `stats` itself, so
+        // work done before a SwapRepair abort is not lost.
+        let lemma7_swaps = repair_conflicts(&trans, &mut state, &la.conflicts, stats)?;
+        (la, lemma7_swaps)
+    };
 
-    place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
-    place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
-    let small_stats = repair_priority_conflicts(&trans, &la.origin, &mut state);
+    let small_stats = {
+        let _span = obs::Span::enter("place.small");
+        place_priority_smalls(&trans, &ps, &out, &la.machine_pattern, &mut state);
+        place_nonpriority_smalls(&trans, cfg.epsilon, &mut state);
+        repair_priority_conflicts(&trans, &la.origin, &mut state)
+    };
     stats.swap_repair_rounds += small_stats.lemma11_moves as u64;
 
     if cancelled() {
         return Err(GuessFailure::Cancelled);
     }
-    let mediums = reinsert_medium(inst, &trans, &rounded, &mut state, stats)?;
+    let mediums = {
+        let _span = obs::Span::enter("place.medium_flow");
+        reinsert_medium(inst, &trans, &rounded, &mut state, stats)?
+    };
     stats.mediums_reinserted += mediums.len() as u64;
-    let (schedule, lemma4_swaps) = undo_transform(inst, &trans, &state, &mediums)?;
+    let (schedule, lemma4_swaps) = {
+        let _span = obs::Span::enter("place.undo");
+        undo_transform(inst, &trans, &state, &mediums)?
+    };
     stats.swap_repair_rounds += lemma4_swaps as u64;
 
     let gstats = GuessStats {

@@ -68,6 +68,13 @@ pub mod swap_repair;
 pub mod transform;
 pub mod undo;
 
+/// Observability primitives (re-exported from `bagsched_types::obs` so
+/// the substrate crates can share them): install a
+/// [`Recorder`](obs::Recorder) around a solve to collect phase spans,
+/// an aggregated [`PhaseProfile`](obs::PhaseProfile) and a Chrome
+/// trace. With no recorder installed the instrumentation is inert.
+pub use bagsched_types::obs;
+
 pub use config::EptasConfig;
 #[allow(deprecated)]
 pub use driver::Eptas;

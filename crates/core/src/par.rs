@@ -19,6 +19,7 @@
 //! [`EptasConfig`]: crate::EptasConfig
 
 use bagsched_milp::CancelProbe;
+use bagsched_types::obs;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -42,15 +43,24 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Propagate the caller's observability context (with its current
+    // region) into the workers: spans a shard opens land on a per-worker
+    // track but aggregate into the same profile region as the caller.
+    let obs_handle = obs::handle();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let (next, slots, f) = (&next, &slots, &f);
+        for w in 0..threads {
+            let worker_handle = obs_handle.clone();
+            scope.spawn(move || {
+                let _obs = worker_handle.map(|h| h.install(&format!("par-{w}")));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
                 }
-                let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });

@@ -43,7 +43,7 @@ use crate::pattern::{Pattern, SlotBag, Symbol};
 use crate::report::Stats;
 use crate::transform::Transformed;
 use bagsched_milp::{LpResult, LpStatus, Model, Relation, VarId, WarmState};
-use bagsched_types::JobId;
+use bagsched_types::{obs, JobId};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of the column-generation loop.
@@ -115,6 +115,7 @@ impl Master {
     /// cold otherwise, with a periodic cold refresh for numerical
     /// hygiene. Counts pivots/solves and the warm-start saving estimate.
     fn solve(&mut self, model: &Model, cfg: &EptasConfig, stats: &mut Stats) -> LpResult {
+        let _span = obs::Span::enter("pricing.master_lp");
         stats.lp_solves += 1;
         if !cfg.warm_start {
             let lp = model.solve_lp();
@@ -672,6 +673,7 @@ impl bagsched_milp::TreePricer for TreePriceDriver<'_> {
         if self.rounds_left == 0 || lp.duals.len() < self.rows.len() {
             return vec![];
         }
+        let _span = obs::Span::enter("pricing.tree");
         self.rounds_left -= 1;
         // Master-row duals in the layout the knapsack DFS expects:
         // `[machine, symbols..., area]`.
@@ -847,6 +849,9 @@ fn price(
     // classic single DFS, decision for decision.
     let shards = cfg.pricing_shards.max(1);
     let run_shard = |s: usize| {
+        // Timed inside the closure so each shard's DFS is attributed to
+        // the worker thread that actually ran it.
+        let _span = obs::Span::enter("pricing.dfs");
         let mut dfs = PriceDfs {
             items: &items,
             needed,

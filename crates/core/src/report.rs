@@ -324,6 +324,13 @@ pub struct EptasReport {
     pub replayed: bool,
     /// Total wall-clock of the solve.
     pub elapsed: Duration,
+    /// Aggregated phase timings for this solve, present only when the
+    /// caller installed an [`obs::Recorder`](bagsched_types::obs::Recorder)
+    /// around it. Wall times in here are nondeterministic (they are
+    /// redacted wherever reports are byte-compared, like
+    /// [`elapsed`](EptasReport::elapsed)); the per-phase *counts* are
+    /// structural and thread-count invariant.
+    pub profile: Option<bagsched_types::obs::PhaseProfile>,
 }
 
 /// Statistics of one successful guess.

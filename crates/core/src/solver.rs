@@ -26,7 +26,9 @@
 use crate::config::EptasConfig;
 use crate::driver::{solve_session_inner, EptasError, EptasResult};
 use crate::milp_model::ReplaySeed;
-use bagsched_types::{coarse_fingerprint, fingerprint, Instance, SolveRequest, SolveResponse};
+use bagsched_types::{
+    coarse_fingerprint, fingerprint, CacheTag, Instance, SolveRequest, SolveResponse,
+};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -249,6 +251,8 @@ impl Solver {
             assignment: Vec::new(),
             cache_hit: false,
             micros: start.elapsed().as_micros() as u64,
+            cache: CacheTag::Miss,
+            elapsed_us: start.elapsed().as_micros() as u64,
         };
         // The wire deserializer already rejects non-finite / non-positive
         // epsilon; the config layer additionally caps it.
@@ -266,15 +270,27 @@ impl Solver {
             cfg.portfolio_deadline_ms = req.deadline_ms;
         }
         match self.solve_cached(&cfg, &req.instance) {
-            Ok(res) => SolveResponse {
-                id: req.id,
-                ok: true,
-                error: None,
-                makespan: res.makespan,
-                assignment: res.schedule.assignment().iter().map(|m| m.0).collect(),
-                cache_hit: res.report.replayed,
-                micros: start.elapsed().as_micros() as u64,
-            },
+            Ok(res) => {
+                let cache = if res.report.replayed {
+                    CacheTag::Hit
+                } else if res.report.stats.cache_near_hits > 0 {
+                    CacheTag::Near
+                } else {
+                    CacheTag::Miss
+                };
+                let micros = start.elapsed().as_micros() as u64;
+                SolveResponse {
+                    id: req.id,
+                    ok: true,
+                    error: None,
+                    makespan: res.makespan,
+                    assignment: res.schedule.assignment().iter().map(|m| m.0).collect(),
+                    cache_hit: res.report.replayed,
+                    micros,
+                    cache,
+                    elapsed_us: micros,
+                }
+            }
             Err(e) => error(e.to_string()),
         }
     }

@@ -250,6 +250,7 @@ pub fn solve_milp_seeded(
     mut pricer: Option<&mut dyn TreePricer>,
     root_warm: Option<&WarmState>,
 ) -> (MilpResult, Option<WarmState>) {
+    let _span = bagsched_types::obs::Span::enter("milp.bnb");
     let start = Instant::now();
     let fail = |status: MilpStatus| MilpResult {
         status,
@@ -278,6 +279,7 @@ pub fn solve_milp_seeded(
         (presolve_rows_dropped, presolve_bounds_tightened) = (0, 0);
         model
     } else {
+        let _span = bagsched_types::obs::Span::enter("milp.presolve");
         match crate::presolve::presolve(model) {
             crate::presolve::PresolveStatus::Infeasible => {
                 return (fail(MilpStatus::Infeasible), None);

@@ -70,6 +70,7 @@ pub struct DualOutcome {
 /// appended column with non-`[0, inf)` bounds, or a numerically singular
 /// dual step.
 pub fn reoptimize(model: &Model, iter_limit: usize, state: &mut WarmState) -> Option<DualOutcome> {
+    let _span = bagsched_types::obs::Span::enter("milp.dual");
     if model.cons.len() != state.num_cons {
         return None;
     }

@@ -328,6 +328,7 @@ pub fn solve(model: &Model, iter_limit: usize) -> LpResult {
 /// reached optimality (and the model has at least one row — trivial
 /// models have no basis to reuse).
 pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<WarmState>) {
+    let _span = bagsched_types::obs::Span::enter("milp.simplex");
     let n = model.num_vars();
     let lbs: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let obj_offset: f64 = model.vars.iter().map(|v| v.obj * v.lb).sum();
@@ -529,6 +530,7 @@ pub fn solve_with_state(model: &Model, iter_limit: usize) -> (LpResult, Option<W
 /// whose bounds are not `[0, inf)`. The caller then falls back to a cold
 /// [`solve_with_state`].
 pub fn resolve(model: &Model, iter_limit: usize, state: &mut WarmState) -> Option<LpResult> {
+    let _span = bagsched_types::obs::Span::enter("milp.simplex.warm");
     if model.cons.len() != state.num_cons {
         return None;
     }

@@ -12,6 +12,10 @@
 //!                 per-request solver threads; above 1 enables the
 //!                 parallel solver seams (sharded pricing, speculative
 //!                 guesses) with N shards (default 1)
+//!   --slow-us N   latency threshold (microseconds) above which a solve
+//!                 enters the slow-request ring served by the `stats`
+//!                 op, with its per-phase profile; 0 disables the ring
+//!                 and per-request profiling (default 100000)
 //! ```
 //!
 //! Prints `listening on <addr>` (with the resolved port) to stdout once
@@ -57,6 +61,11 @@ fn parse_args(raw: &[String]) -> Result<ServerConfig, String> {
                     .filter(|&t| t >= 1)
                     .ok_or("--solver-threads needs a positive integer")?;
             }
+            "--slow-us" => {
+                cfg.slow_us = value_of("--slow-us")?
+                    .parse::<u64>()
+                    .map_err(|_| "--slow-us needs a nonnegative integer")?;
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -69,7 +78,7 @@ fn main() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!(
-                "error: {e}\nusage: bagsched-server [--addr A] [--workers N] [--cache N] [--epsilon E] [--solver-threads N]"
+                "error: {e}\nusage: bagsched-server [--addr A] [--workers N] [--cache N] [--epsilon E] [--solver-threads N] [--slow-us N]"
             );
             exit(2);
         }

@@ -15,11 +15,15 @@
 //! * [`load`] — the `bagsched-bencher` load generator: closed/open
 //!   loop, configurable hot/cold workload mix, hit/miss-split latency
 //!   percentiles, JSON reports with baseline comparison.
+//! * [`metrics`] — daemon observability: per-op latency histograms
+//!   (p50/p99/p999), an inflight gauge, and a slow-request ring with
+//!   per-phase profiles, all served by the `stats` op.
 
 pub mod load;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use load::{LoadConfig, LoadReport};
-pub use protocol::{Client, Request, StatsReply, MAX_FRAME};
+pub use protocol::{Client, OpLatency, Request, SlowRequest, StatsReply, MAX_FRAME};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -23,7 +23,7 @@
 //! ([`compare`]).
 
 use crate::protocol::{Client, StatsReply};
-use bagsched_types::{gen, Instance, SolveRequest};
+use bagsched_types::{gen, CacheTag, Instance, SolveRequest};
 use serde::{Deserialize, DeserializeError, Serialize, Value};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,10 +157,23 @@ pub struct LoadReport {
     pub hits: u64,
     /// Completed requests the server solved cold.
     pub misses: u64,
+    /// Completed cold requests whose search was seeded by a similar
+    /// cached state (the server's `cache: "near"` tag; counted inside
+    /// `misses` too, for continuity with older reports).
+    pub near: u64,
     /// Latency of cache-hit requests (absent if none).
     pub hit_latency: Option<Percentiles>,
     /// Latency of cache-miss requests (absent if none).
     pub miss_latency: Option<Percentiles>,
+    /// Latency of near-hit requests (absent if none).
+    pub near_latency: Option<Percentiles>,
+    /// Client-observed latency minus the server's own `elapsed_us`,
+    /// per request: wire + framing + queueing overhead. In open-loop
+    /// mode this includes queueing delay by design.
+    pub overhead: Percentiles,
+    /// Requests where the server claimed *more* elapsed time than the
+    /// client observed — an accounting bug if ever nonzero.
+    pub elapsed_inversions: u64,
     /// Server lifetime counters sampled after the run.
     pub server: StatsReply,
 }
@@ -175,8 +188,12 @@ impl Serialize for LoadReport {
             ("overall".into(), self.overall.to_value()),
             ("cache_hits".into(), self.hits.to_value()),
             ("cache_misses".into(), self.misses.to_value()),
+            ("cache_near".into(), self.near.to_value()),
             ("hit_latency".into(), self.hit_latency.to_value()),
             ("miss_latency".into(), self.miss_latency.to_value()),
+            ("near_latency".into(), self.near_latency.to_value()),
+            ("overhead".into(), self.overhead.to_value()),
+            ("elapsed_inversions".into(), self.elapsed_inversions.to_value()),
             ("server".into(), self.server.to_value()),
         ])
     }
@@ -184,6 +201,24 @@ impl Serialize for LoadReport {
 
 impl Deserialize for LoadReport {
     fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        // Tolerant on fields added after the first report schema, so
+        // old baseline files keep working with --compare.
+        let near = match v.field("cache_near") {
+            Ok(val) => u64::from_value(val)?,
+            Err(_) => 0,
+        };
+        let near_latency = match v.field("near_latency") {
+            Ok(val) => Option::<Percentiles>::from_value(val)?,
+            Err(_) => None,
+        };
+        let overhead = match v.field("overhead") {
+            Ok(val) => Percentiles::from_value(val)?,
+            Err(_) => Percentiles::default(),
+        };
+        let elapsed_inversions = match v.field("elapsed_inversions") {
+            Ok(val) => u64::from_value(val)?,
+            Err(_) => 0,
+        };
         Ok(LoadReport {
             completed: u64::from_value(v.field("completed")?)?,
             errors: u64::from_value(v.field("errors")?)?,
@@ -192,8 +227,12 @@ impl Deserialize for LoadReport {
             overall: Percentiles::from_value(v.field("overall")?)?,
             hits: u64::from_value(v.field("cache_hits")?)?,
             misses: u64::from_value(v.field("cache_misses")?)?,
+            near,
             hit_latency: Option::<Percentiles>::from_value(v.field("hit_latency")?)?,
             miss_latency: Option::<Percentiles>::from_value(v.field("miss_latency")?)?,
+            near_latency,
+            overhead,
+            elapsed_inversions,
             server: StatsReply::from_value(v.field("server")?)?,
         })
     }
@@ -223,15 +262,55 @@ impl LoadReport {
         if let Some(p) = &self.miss_latency {
             out.push_str(&line("cache miss", p));
         }
+        if let Some(p) = &self.near_latency {
+            out.push_str(&line("near hit", p));
+        }
+        out.push_str(&line("overhead", &self.overhead));
+        if self.elapsed_inversions > 0 {
+            out.push_str(&format!(
+                "WARNING: {} requests reported more server time than the client observed\n",
+                self.elapsed_inversions
+            ));
+        }
         out.push_str(&format!(
-            "cache: {} hits / {} misses client-side; server lifetime {} hits / {} misses / {} evictions, {} states resident\n",
+            "cache: {} hits / {} misses ({} near) client-side; server lifetime {} hits / {} misses / {} evictions, {} states resident\n",
             self.hits,
             self.misses,
+            self.near,
             self.server.cache_hits,
             self.server.cache_misses,
             self.server.cache_evictions,
             self.server.cached_states
         ));
+        if self.server.uptime_secs > 0 || !self.server.ops.is_empty() {
+            out.push_str(&format!(
+                "server: up {}s, {} inflight, {} near hits\n",
+                self.server.uptime_secs, self.server.inflight, self.server.near_hits
+            ));
+        }
+        for op in &self.server.ops {
+            out.push_str(&format!(
+                "server {:<6} x{:<6} p50 {:>8} us   p99 {:>8} us   p99.9 {:>8} us   max {:>8} us\n",
+                op.op, op.count, op.p50_us, op.p99_us, op.p999_us, op.max_us
+            ));
+        }
+        if !self.server.slow.is_empty() {
+            out.push_str(&format!("server slow ring ({} entries):\n", self.server.slow.len()));
+            for s in &self.server.slow {
+                let top = s
+                    .phases
+                    .iter()
+                    .max_by_key(|p| p.total_us)
+                    .map(|p| format!("{} {} us", p.name, p.total_us))
+                    .unwrap_or_else(|| "no phases".into());
+                out.push_str(&format!(
+                    "  req {} {} us ({}), hottest phase: {top}\n",
+                    s.id,
+                    s.micros,
+                    s.cache.as_str()
+                ));
+            }
+        }
         out
     }
 }
@@ -301,7 +380,10 @@ pub fn build_requests(cfg: &LoadConfig) -> Vec<SolveRequest> {
 
 struct Sample {
     micros: u64,
-    hit: bool,
+    /// The server's own `elapsed_us` for the request, for the
+    /// client-vs-server latency cross-check.
+    server_micros: u64,
+    cache: CacheTag,
     ok: bool,
 }
 
@@ -345,7 +427,8 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
                 match client.solve(&requests[idx]) {
                     Ok(resp) => samples.push(Sample {
                         micros: begin.elapsed().as_micros() as u64,
-                        hit: resp.cache_hit,
+                        server_micros: resp.elapsed_us,
+                        cache: resp.cache,
                         ok: resp.ok,
                     }),
                     Err(_) => {
@@ -378,6 +461,8 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     let mut all = Vec::new();
     let mut hit_lat = Vec::new();
     let mut miss_lat = Vec::new();
+    let mut near_lat = Vec::new();
+    let mut overhead = Vec::new();
     for s in &samples {
         if !s.ok {
             report.errors += 1;
@@ -385,20 +470,41 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         }
         report.completed += 1;
         all.push(s.micros);
-        if s.hit {
-            report.hits += 1;
-            hit_lat.push(s.micros);
-        } else {
-            report.misses += 1;
-            miss_lat.push(s.micros);
+        // Cross-check: the client's view must be at least the server's
+        // own measurement; the difference is wire + queueing overhead.
+        if s.server_micros > s.micros {
+            report.elapsed_inversions += 1;
+        }
+        overhead.push(s.micros.saturating_sub(s.server_micros));
+        match s.cache {
+            CacheTag::Hit => {
+                report.hits += 1;
+                hit_lat.push(s.micros);
+            }
+            CacheTag::Near => {
+                // Near hits are misses that got a warm start; count
+                // them under misses too so older baselines compare.
+                report.misses += 1;
+                report.near += 1;
+                near_lat.push(s.micros);
+                miss_lat.push(s.micros);
+            }
+            CacheTag::Miss => {
+                report.misses += 1;
+                miss_lat.push(s.micros);
+            }
         }
     }
     all.sort_unstable();
     hit_lat.sort_unstable();
     miss_lat.sort_unstable();
+    near_lat.sort_unstable();
+    overhead.sort_unstable();
     report.overall = Percentiles::from_sorted(&all).unwrap_or_default();
     report.hit_latency = Percentiles::from_sorted(&hit_lat);
     report.miss_latency = Percentiles::from_sorted(&miss_lat);
+    report.near_latency = Percentiles::from_sorted(&near_lat);
+    report.overhead = Percentiles::from_sorted(&overhead).unwrap_or_default();
     report.throughput_rps = report.completed as f64 / elapsed.as_secs_f64().max(1e-9);
     report.server = Client::connect(&cfg.addr)?.stats().map_err(io::Error::other)?;
     Ok(report)
@@ -456,8 +562,12 @@ mod tests {
             overall: Percentiles { p50: 100, p99: 300, p999: 500 },
             hits: 18,
             misses: 22,
+            near: 3,
             hit_latency: Some(Percentiles { p50: 20, p99: 40, p999: 50 }),
             miss_latency: Some(Percentiles { p50: 200, p99: 400, p999: 600 }),
+            near_latency: Some(Percentiles { p50: 150, p99: 350, p999: 550 }),
+            overhead: Percentiles { p50: 30, p99: 80, p999: 120 },
+            elapsed_inversions: 0,
             server: StatsReply {
                 requests: 41,
                 cache_hits: 18,
@@ -480,6 +590,26 @@ mod tests {
         let mut slow = back.clone();
         slow.overall.p50 = 1_000;
         assert!(compare(&slow, &report).is_err());
+    }
+
+    #[test]
+    fn old_reports_without_cache_split_still_parse() {
+        // A baseline written before the near/overhead fields existed
+        // must keep working with --compare.
+        let old = r#"{
+            "completed": 5, "errors": 0, "elapsed_micros": 100, "throughput_rps": 50.0,
+            "overall": {"p50_micros": 10, "p99_micros": 20, "p999_micros": 30},
+            "cache_hits": 2, "cache_misses": 3,
+            "hit_latency": null, "miss_latency": null,
+            "server": {"requests": 5, "protocol_errors": 0, "cache_hits": 2,
+                       "cache_misses": 3, "cache_evictions": 0, "cached_states": 3}
+        }"#;
+        let report: LoadReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.near, 0);
+        assert_eq!(report.near_latency, None);
+        assert_eq!(report.overhead, Percentiles::default());
+        assert_eq!(report.elapsed_inversions, 0);
+        assert!(report.server.ops.is_empty());
     }
 
     #[test]

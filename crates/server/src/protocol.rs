@@ -13,7 +13,7 @@
 //! plus the validating `Instance` deserializer turn garbage into typed
 //! errors, never panics.
 
-use bagsched_types::{SolveRequest, SolveResponse};
+use bagsched_types::{CacheTag, SolveRequest, SolveResponse};
 use serde::{Deserialize, DeserializeError, Serialize, Value};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -265,8 +265,132 @@ impl Deserialize for Ack {
     }
 }
 
-/// Server lifetime counters, as answered to the `stats` op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Latency summary for one op, from the daemon's log2-bucketed
+/// histogram: quantiles are interpolated (exact at bucket boundaries,
+/// within 2x elsewhere), the max is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpLatency {
+    /// The op name (`solve`, `stats`, `ping`).
+    pub op: String,
+    /// Requests of this op the daemon has timed.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Slowest single request, microseconds (exact).
+    pub max_us: u64,
+}
+
+impl Serialize for OpLatency {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("op".into(), self.op.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("p50_us".into(), self.p50_us.to_value()),
+            ("p99_us".into(), self.p99_us.to_value()),
+            ("p999_us".into(), self.p999_us.to_value()),
+            ("max_us".into(), self.max_us.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OpLatency {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(OpLatency {
+            op: String::from_value(v.field("op")?)?,
+            count: u64::from_value(v.field("count")?)?,
+            p50_us: u64::from_value(v.field("p50_us")?)?,
+            p99_us: u64::from_value(v.field("p99_us")?)?,
+            p999_us: u64::from_value(v.field("p999_us")?)?,
+            max_us: u64::from_value(v.field("max_us")?)?,
+        })
+    }
+}
+
+/// One phase row inside a [`SlowRequest`] (times in microseconds; the
+/// daemon records nanoseconds internally but the wire stays coarse).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlowPhase {
+    /// Dotted phase name (see the span taxonomy in the README).
+    pub name: String,
+    /// Span occurrences of this phase within the solve.
+    pub count: u64,
+    /// Summed wall time of those spans, microseconds.
+    pub total_us: u64,
+}
+
+impl Serialize for SlowPhase {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), self.name.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("total_us".into(), self.total_us.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SlowPhase {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        Ok(SlowPhase {
+            name: String::from_value(v.field("name")?)?,
+            count: u64::from_value(v.field("count")?)?,
+            total_us: u64::from_value(v.field("total_us")?)?,
+        })
+    }
+}
+
+/// One entry of the slow-request ring: a solve whose latency crossed
+/// the daemon's `--slow-us` threshold, with its phase profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlowRequest {
+    /// The request id the client sent.
+    pub id: u64,
+    /// Server-side latency, microseconds.
+    pub micros: u64,
+    /// How the solver-state cache treated the request.
+    pub cache: CacheTag,
+    /// Where the time went, one row per phase that fired.
+    pub phases: Vec<SlowPhase>,
+}
+
+impl Serialize for SlowRequest {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), self.id.to_value()),
+            ("micros".into(), self.micros.to_value()),
+            ("cache".into(), self.cache.as_str().to_string().to_value()),
+            ("phases".into(), self.phases.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SlowRequest {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let cache = match String::from_value(v.field("cache")?)?.as_str() {
+            "hit" => CacheTag::Hit,
+            "near" => CacheTag::Near,
+            "miss" => CacheTag::Miss,
+            other => {
+                return Err(DeserializeError::new(format!(
+                    "cache tag must be hit|near|miss, got {other:?}"
+                )))
+            }
+        };
+        Ok(SlowRequest {
+            id: u64::from_value(v.field("id")?)?,
+            micros: u64::from_value(v.field("micros")?)?,
+            cache,
+            phases: Vec::<SlowPhase>::from_value(v.field("phases")?)?,
+        })
+    }
+}
+
+/// Server lifetime counters and latency metrics, as answered to the
+/// `stats` op.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReply {
     /// Well-formed requests handled (all ops).
     pub requests: u64,
@@ -283,6 +407,17 @@ pub struct StatsReply {
     /// Requests that waited for an in-flight solve of the same shape
     /// instead of duplicating it (request coalescing).
     pub coalesced_waits: u64,
+    /// Misses whose search was seeded by a similar cached state
+    /// (similarity-tier near hits).
+    pub near_hits: u64,
+    /// Solves being worked on right now (gauge, not a counter).
+    pub inflight: u64,
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// Per-op latency summaries; ops with no traffic are omitted.
+    pub ops: Vec<OpLatency>,
+    /// The slow-request ring, oldest first (empty when `--slow-us 0`).
+    pub slow: Vec<SlowRequest>,
 }
 
 impl Serialize for StatsReply {
@@ -295,17 +430,32 @@ impl Serialize for StatsReply {
             ("cache_evictions".into(), self.cache_evictions.to_value()),
             ("cached_states".into(), self.cached_states.to_value()),
             ("coalesced_waits".into(), self.coalesced_waits.to_value()),
+            ("near_hits".into(), self.near_hits.to_value()),
+            ("inflight".into(), self.inflight.to_value()),
+            ("uptime_secs".into(), self.uptime_secs.to_value()),
+            ("ops".into(), self.ops.to_value()),
+            ("slow".into(), self.slow.to_value()),
         ])
     }
 }
 
 impl Deserialize for StatsReply {
     fn from_value(v: &Value) -> Result<Self, DeserializeError> {
-        // Tolerant on the coalescing counter: replies from servers
-        // predating it parse as zero.
-        let coalesced_waits = match v.field("coalesced_waits") {
-            Ok(val) => u64::from_value(val)?,
-            Err(_) => 0,
+        // Tolerant on everything added after the first protocol
+        // version: replies from older servers parse with zeros/empties.
+        let opt_u64 = |name: &str| -> Result<u64, DeserializeError> {
+            match v.field(name) {
+                Ok(val) => u64::from_value(val),
+                Err(_) => Ok(0),
+            }
+        };
+        let ops = match v.field("ops") {
+            Ok(val) => Vec::<OpLatency>::from_value(val)?,
+            Err(_) => Vec::new(),
+        };
+        let slow = match v.field("slow") {
+            Ok(val) => Vec::<SlowRequest>::from_value(val)?,
+            Err(_) => Vec::new(),
         };
         Ok(StatsReply {
             requests: u64::from_value(v.field("requests")?)?,
@@ -314,7 +464,12 @@ impl Deserialize for StatsReply {
             cache_misses: u64::from_value(v.field("cache_misses")?)?,
             cache_evictions: u64::from_value(v.field("cache_evictions")?)?,
             cached_states: u64::from_value(v.field("cached_states")?)?,
-            coalesced_waits,
+            coalesced_waits: opt_u64("coalesced_waits")?,
+            near_hits: opt_u64("near_hits")?,
+            inflight: opt_u64("inflight")?,
+            uptime_secs: opt_u64("uptime_secs")?,
+            ops,
+            slow,
         })
     }
 }
@@ -493,10 +648,43 @@ mod tests {
             cache_evictions: 1,
             cached_states: 3,
             coalesced_waits: 6,
+            near_hits: 2,
+            inflight: 1,
+            uptime_secs: 99,
+            ops: vec![OpLatency {
+                op: "solve".into(),
+                count: 10,
+                p50_us: 400,
+                p99_us: 2_000,
+                p999_us: 2_100,
+                max_us: 2_111,
+            }],
+            slow: vec![SlowRequest {
+                id: 7,
+                micros: 2_111,
+                cache: CacheTag::Near,
+                phases: vec![SlowPhase { name: "guess".into(), count: 3, total_us: 1_900 }],
+            }],
         };
         assert_eq!(decode::<StatsReply>(&encode(&s)).unwrap(), s);
         assert_eq!(decode::<Ack>(&encode(&Ack::ok())).unwrap(), Ack::ok());
         let e = Ack::err("nope");
         assert_eq!(decode::<Ack>(&encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn old_stats_replies_without_metrics_still_parse() {
+        // A reply from a daemon predating the metrics layer: only the
+        // original counters. Everything newer parses as zero/empty.
+        let old = br#"{"requests": 4, "protocol_errors": 0, "cache_hits": 1,
+                       "cache_misses": 3, "cache_evictions": 0, "cached_states": 3}"#;
+        let s = decode::<StatsReply>(old).unwrap();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.coalesced_waits, 0);
+        assert_eq!(s.near_hits, 0);
+        assert_eq!(s.inflight, 0);
+        assert_eq!(s.uptime_secs, 0);
+        assert!(s.ops.is_empty());
+        assert!(s.slow.is_empty());
     }
 }

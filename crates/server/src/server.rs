@@ -13,16 +13,17 @@
 //! a self-connection so the blocking `accept` observes it; workers drain
 //! their current connections and exit when the channel closes.
 
+use crate::metrics::{Metrics, Op, SlowEntry};
 use crate::protocol::{
     decode, encode, read_frame_polled, write_frame, Ack, ProtocolError, Request, StatsReply,
 };
-use bagsched_core::{EptasConfig, Solver};
+use bagsched_core::{obs, EptasConfig, Solver};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Read-poll interval on worker connections: the latency bound between
 /// the stop flag rising and idle connections being closed.
@@ -49,6 +50,12 @@ pub struct ServerConfig {
     /// used is clamped so `workers * solver_threads` does not
     /// oversubscribe the machine — threads never change results.
     pub solver_threads: usize,
+    /// Latency threshold (microseconds) above which a solve enters the
+    /// slow-request ring — with the per-phase profile captured by a
+    /// per-request span recorder — served by the `stats` op. `0`
+    /// disables the ring *and* the per-request recorder (the
+    /// zero-overhead path); latency histograms stay on either way.
+    pub slow_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +66,7 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             epsilon: 0.5,
             solver_threads: 1,
+            slow_us: 100_000,
         }
     }
 }
@@ -68,6 +76,7 @@ struct Shared {
     addr: SocketAddr,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
+    metrics: Metrics,
     stop: AtomicBool,
 }
 
@@ -124,6 +133,7 @@ pub fn serve(cfg: &ServerConfig) -> io::Result<ServerHandle> {
         addr,
         requests: AtomicU64::new(0),
         protocol_errors: AtomicU64::new(0),
+        metrics: Metrics::new(cfg.slow_us),
         stop: AtomicBool::new(false),
     });
 
@@ -205,11 +215,35 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        let op_start = Instant::now();
         let reply = match request {
-            Request::Solve(req) => encode(&shared.solver.solve(&req)),
+            Request::Solve(req) => {
+                // Gauge covers the whole solve; the guard decrements on
+                // every exit path.
+                let _inflight = shared.metrics.enter();
+                // With the slow ring enabled, a per-request recorder
+                // captures the phase profile so an over-threshold solve
+                // can say where its time went. With it disabled nothing
+                // is installed and spans stay no-ops.
+                let recorder = shared.metrics.profiling().then(obs::Recorder::new);
+                let resp = {
+                    let _obs = recorder.as_ref().map(|r| r.install("server-worker"));
+                    shared.solver.solve(&req)
+                };
+                shared.metrics.record(Op::Solve, resp.elapsed_us);
+                if let Some(r) = &recorder {
+                    shared.metrics.offer_slow(SlowEntry {
+                        id: resp.id,
+                        micros: resp.elapsed_us,
+                        cache: resp.cache,
+                        profile: r.profile(),
+                    });
+                }
+                encode(&resp)
+            }
             Request::Stats => {
                 let c = shared.solver.cache_counters();
-                encode(&StatsReply {
+                let reply = encode(&StatsReply {
                     requests: shared.requests.load(Ordering::Relaxed),
                     protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
                     cache_hits: c.hits,
@@ -217,9 +251,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     cache_evictions: c.evictions,
                     cached_states: shared.solver.cached_states() as u64,
                     coalesced_waits: c.coalesced_waits,
-                })
+                    near_hits: c.near_hits,
+                    inflight: shared.metrics.inflight(),
+                    uptime_secs: shared.metrics.uptime_secs(),
+                    ops: shared.metrics.op_latencies(),
+                    slow: shared.metrics.slow_requests(),
+                });
+                shared.metrics.record(Op::Stats, op_start.elapsed().as_micros() as u64);
+                reply
             }
-            Request::Ping => encode(&Ack::ok()),
+            Request::Ping => {
+                shared.metrics.record(Op::Ping, op_start.elapsed().as_micros() as u64);
+                encode(&Ack::ok())
+            }
             Request::Shutdown => {
                 let _ = write_frame(&mut stream, &encode(&Ack::ok()));
                 shared.stop.store(true, Ordering::SeqCst);

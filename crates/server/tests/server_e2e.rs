@@ -47,6 +47,65 @@ fn solve_twice_hits_cache_with_identical_answer() {
 }
 
 #[test]
+fn stats_op_serves_latency_metrics_and_slow_ring() {
+    // Threshold of 1 µs: every solve is "slow", so the ring fills and
+    // each entry carries the phase profile of its solve.
+    let server = serve(&ServerConfig { slow_us: 1, ..ServerConfig::default() }).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SolveRequest {
+        id: 31,
+        epsilon: 0.5,
+        deadline_ms: None,
+        instance: gen::uniform(24, 3, 8, 7),
+    };
+    let cold = client.solve(&req).unwrap();
+    assert!(cold.ok);
+    assert!(cold.elapsed_us > 0, "server must report its own latency");
+    assert_eq!(cold.cache.as_str(), "miss");
+    let warm = client.solve(&SolveRequest { id: 32, ..req }).unwrap();
+    assert_eq!(warm.cache.as_str(), "hit");
+    assert!(client.ping().unwrap().ok);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.inflight, 0, "nothing in flight between requests");
+    // Both ops that ran have a latency summary; quantiles are ordered.
+    let solve = stats.ops.iter().find(|o| o.op == "solve").expect("solve op summary");
+    assert_eq!(solve.count, 2);
+    assert!(solve.p50_us <= solve.p99_us && solve.p99_us <= solve.p999_us);
+    assert!(solve.p999_us <= solve.max_us);
+    assert!(stats.ops.iter().any(|o| o.op == "ping"));
+    // The slow ring holds both solves, oldest first, with phase rows
+    // on the cold one (the hit replays and runs no solver phases).
+    assert_eq!(stats.slow.len(), 2);
+    assert_eq!(stats.slow[0].id, 31);
+    assert_eq!(stats.slow[1].id, 32);
+    assert_eq!(stats.slow[1].cache.as_str(), "hit");
+    assert!(
+        stats.slow[0].phases.iter().any(|p| p.name == "guess"),
+        "cold solve must profile its guess search: {:?}",
+        stats.slow[0].phases
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slow_ring_disabled_at_zero_threshold() {
+    let server = serve(&ServerConfig { slow_us: 0, ..ServerConfig::default() }).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SolveRequest {
+        id: 41,
+        epsilon: 0.5,
+        deadline_ms: None,
+        instance: gen::uniform(24, 3, 8, 9),
+    };
+    assert!(client.solve(&req).unwrap().ok);
+    let stats = client.stats().unwrap();
+    assert!(stats.slow.is_empty(), "threshold 0 must disable the ring");
+    assert!(stats.ops.iter().any(|o| o.op == "solve"), "histograms stay on");
+    server.shutdown();
+}
+
+#[test]
 fn per_request_deadline_is_honoured_on_the_wire() {
     let server = start();
     let mut client = Client::connect(server.addr()).unwrap();

@@ -19,12 +19,16 @@
 //!   harness (the paper has no testbed; see DESIGN.md §5),
 //! * [`io`] — JSON (de)serialization of instances and schedules,
 //! * [`wire`] — solve request/response wire types and the rounded-shape
-//!   instance fingerprint used as the server's solver-state cache key.
+//!   instance fingerprint used as the server's solver-state cache key,
+//! * [`obs`] — observability primitives (phase spans, phase profiles,
+//!   latency histograms, Chrome-trace export) shared by the solver
+//!   crates, the bench harness and the daemon.
 
 pub mod gen;
 pub mod instance;
 pub mod io;
 pub mod lowerbound;
+pub mod obs;
 pub mod schedule;
 pub mod validate;
 pub mod wire;
@@ -32,7 +36,7 @@ pub mod wire;
 pub use instance::{BagId, Instance, InstanceBuilder, Job, JobId};
 pub use schedule::{MachineId, Schedule};
 pub use validate::{validate_instance, validate_schedule, InstanceError, ScheduleError};
-pub use wire::{coarse_fingerprint, fingerprint, SolveRequest, SolveResponse};
+pub use wire::{coarse_fingerprint, fingerprint, CacheTag, SolveRequest, SolveResponse};
 
 /// Absolute tolerance for floating point comparisons of processing times
 /// and loads throughout the workspace.

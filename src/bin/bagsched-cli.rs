@@ -4,14 +4,21 @@
 //! ```text
 //! bagsched-cli gen <family> <n> <m> <seed> <out.json>   generate a workload
 //! bagsched-cli info <instance.json>                     print instance stats
-//! bagsched-cli solve <instance.json> [algo] [eps]       schedule it
+//! bagsched-cli solve <instance.json> [algo] [eps] [--trace out.json]
+//!                                                       schedule it
 //! ```
 //!
 //! `algo` is one of `eptas` (default), `lpt`, `bag-lpt`, `local-search`,
 //! `random`, `ptas`, `exact`; `eps` applies to `eptas`/`ptas` (default 0.5).
+//!
+//! `--trace FILE` records the solve under a span recorder and writes a
+//! Chrome trace-event JSON file — open it at `ui.perfetto.dev` or in
+//! `chrome://tracing`. One track per solver thread; spans of cancelled
+//! speculative guesses are kept, tagged `"cancelled": true`. A per-phase
+//! summary table (count / total / self / max) goes to stderr.
 
 use bagsched::baselines as bl;
-use bagsched::eptas::Solver;
+use bagsched::eptas::{obs, Solver};
 use bagsched::types::lowerbound::lower_bounds;
 use bagsched::types::{gen, io, validate_instance, Instance, Schedule};
 use std::path::Path;
@@ -94,12 +101,33 @@ fn print_info(inst: &Instance) {
 }
 
 fn cmd_solve(args: &[String]) -> i32 {
-    let Some(path) = args.first() else {
-        eprintln!("usage: bagsched-cli solve <instance.json> [algo] [eps]");
+    // Split flags from positionals so `--trace` composes with the
+    // positional [algo] [eps] form in any order.
+    let mut trace_out: Option<String> = None;
+    let mut pos: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => match it.next() {
+                Some(f) => trace_out = Some(f.clone()),
+                None => {
+                    eprintln!("--trace needs an output file");
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return 2;
+            }
+            _ => pos.push(a),
+        }
+    }
+    let Some(path) = pos.first() else {
+        eprintln!("usage: bagsched-cli solve <instance.json> [algo] [eps] [--trace out.json]");
         return 2;
     };
-    let algo = args.get(1).map(String::as_str).unwrap_or("eptas");
-    let eps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let algo = pos.get(1).map(|s| s.as_str()).unwrap_or("eptas");
+    let eps: f64 = pos.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let inst = match io::read_instance(Path::new(path)) {
         Ok(i) => i,
         Err(e) => {
@@ -112,8 +140,10 @@ fn cmd_solve(args: &[String]) -> i32 {
         return 1;
     }
 
+    let recorder = trace_out.is_some().then(obs::Recorder::new);
     let start = Instant::now();
     let mut eptas_stats = None;
+    let _obs = recorder.as_ref().map(|r| r.install("solve"));
     let schedule: Schedule = match algo {
         "eptas" => {
             let r = Solver::with_epsilon(eps).solve_instance(&inst).expect("validated");
@@ -144,6 +174,29 @@ fn cmd_solve(args: &[String]) -> i32 {
         }
     };
     let elapsed = start.elapsed();
+    drop(_obs);
+    if let (Some(rec), Some(out)) = (&recorder, &trace_out) {
+        if let Err(e) = std::fs::write(out, rec.chrome_trace()) {
+            eprintln!("cannot write trace {out}: {e}");
+            return 1;
+        }
+        let profile = rec.profile();
+        eprintln!("[wrote Chrome trace to {out} — load it at ui.perfetto.dev]");
+        eprintln!(
+            "  {:<22} {:>9} {:>12} {:>12} {:>12}",
+            "phase", "count", "total ms", "self ms", "max ms"
+        );
+        for p in &profile.phases {
+            eprintln!(
+                "  {:<22} {:>9} {:>12.3} {:>12.3} {:>12.3}",
+                p.name,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.self_ns as f64 / 1e6,
+                p.max_ns as f64 / 1e6
+            );
+        }
+    }
 
     let lb = lower_bounds(&inst).combined();
     let ms = schedule.makespan(&inst);

@@ -91,8 +91,8 @@ fn parallel_runner_is_byte_identical_to_sequential() {
         );
         assert_eq!(a.stats, b.stats, "{}: counters differ across jobs", a.id);
 
-        let ja = json::redact_wall_secs(&json::BenchRecord::from_outcome(a, true).to_json());
-        let jb = json::redact_wall_secs(&json::BenchRecord::from_outcome(b, true).to_json());
+        let ja = json::redact_nondeterministic(&json::BenchRecord::from_outcome(a, true).to_json());
+        let jb = json::redact_nondeterministic(&json::BenchRecord::from_outcome(b, true).to_json());
         assert_eq!(
             ja.unwrap(),
             jb.unwrap(),

@@ -5,7 +5,7 @@
 //! and speculation *counts* are part of the configuration (they shape
 //! the search), but threads never are.
 
-use bagsched::eptas::{EptasConfig, EptasReport, Solver, Stats};
+use bagsched::eptas::{obs, EptasConfig, EptasReport, Solver, Stats};
 use bagsched::types::gen::Family;
 use bagsched::types::io::schedule_to_json;
 use std::time::Duration;
@@ -60,6 +60,54 @@ fn schedules_and_reports_are_byte_identical_at_1_2_and_8_threads() {
             }
         }
     }
+}
+
+#[test]
+fn span_profiles_are_structurally_identical_across_thread_counts() {
+    // Observability must obey the same contract as the stats: span
+    // *counts* are a pure function of the configuration and seed, never
+    // of the thread count. Cancelled speculative guesses record their
+    // spans under discarded regions, so the profile of an 8-thread
+    // racing solve redacts equal to the 1-thread walk. (Times are
+    // wall-clock and differ — `redacted()` zeroes exactly those.)
+    for family in [Family::ALL[0], Family::Clustered] {
+        let inst = family.generate(40, 4, 7);
+        let profile_at = |threads: usize| {
+            let rec = obs::Recorder::new();
+            {
+                let _g = rec.install("test");
+                Solver::new(par_config(threads)).solve_instance(&inst).unwrap();
+            }
+            rec.profile().redacted()
+        };
+        let base = profile_at(1);
+        assert!(!base.is_empty(), "{}: solve under a recorder must span", family.name());
+        for threads in [2, 8] {
+            assert_eq!(
+                profile_at(threads),
+                base,
+                "{}: span structure differs at {threads} threads",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn profiling_is_invisible_to_the_parallel_solver_cell() {
+    // Zero-overhead contract at the bench layer: running the
+    // `parallel-solver` experiment cell (both parallel seams on) under
+    // span recording must leave its deterministic outputs — rendered
+    // table and every counter — byte-identical to the recorder-free run.
+    use bagsched_bench::runner;
+    let off = runner::run_experiments(&["parallel-solver"], true, 1, |_| ());
+    assert!(off[0].profile.is_empty());
+    runner::set_profiling(true);
+    let on = runner::run_experiments(&["parallel-solver"], true, 1, |_| ());
+    runner::set_profiling(false);
+    assert!(!on[0].profile.is_empty(), "profiling on must record spans");
+    assert_eq!(on[0].table.render(), off[0].table.render(), "profiling changed the table");
+    assert_eq!(on[0].stats, off[0].stats, "profiling changed the counters");
 }
 
 #[test]
